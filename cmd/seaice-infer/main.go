@@ -1,0 +1,85 @@
+// Command seaice-infer reproduces the paper's inference workflow (Fig 9):
+// it takes a big scene (a PNG, or a freshly generated synthetic scene),
+// splits it into tiles, runs the thin-cloud/shadow filter, classifies
+// every tile with a trained U-Net checkpoint, and stitches the prediction
+// back into a scene-sized label map.
+//
+// Usage:
+//
+//	seaice-infer -ckpt unet.ckpt -seed 99 -out pred.png
+//	seaice-infer -ckpt unet.ckpt -in scene.png -out pred.png
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"seaice/internal/core"
+	"seaice/internal/dataset"
+	"seaice/internal/metrics"
+	"seaice/internal/raster"
+	"seaice/internal/scene"
+	"seaice/internal/unet"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("seaice-infer: ")
+
+	var (
+		ckpt = flag.String("ckpt", "unet.ckpt", "U-Net checkpoint from seaice-train")
+		in   = flag.String("in", "", "input scene PNG (empty: generate a synthetic scene)")
+		size = flag.Int("size", 256, "generated scene size (when -in is empty)")
+		tile = flag.Int("tile", 32, "inference tile size")
+		seed = flag.Uint64("seed", 99, "generated scene seed")
+		out  = flag.String("out", "prediction.png", "output label-map PNG")
+	)
+	flag.Parse()
+
+	model, err := unet.LoadFile(*ckpt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("loaded %d-conv-layer U-Net (%d parameters)", model.NumConvLayers(), model.NumParams())
+
+	var img *raster.RGB
+	var truth *raster.Labels
+	if *in != "" {
+		img, err = raster.ReadPNG(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		cfg := scene.DefaultConfig(*seed)
+		cfg.W, cfg.H = *size, *size
+		sc, err := scene.Generate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		img, truth = sc.Image, sc.Truth
+		log.Printf("generated synthetic scene (cloud fraction %.1f%%)", 100*sc.CloudFraction)
+	}
+
+	pred, err := core.Inference(model, img, *tile, dataset.DefaultBuild())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := pred.Render().WritePNG(*out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("prediction written to %s\n", *out)
+
+	if truth != nil {
+		acc, err := metrics.PixelAccuracy(truth, pred)
+		if err != nil {
+			log.Fatal(err)
+		}
+		counts := pred.Counts()
+		fmt.Printf("accuracy vs ground truth: %.2f%%\n", 100*acc)
+		fmt.Printf("class cover: water %.1f%%, thin %.1f%%, thick %.1f%%\n",
+			100*float64(counts[raster.ClassWater])/float64(len(pred.Pix)),
+			100*float64(counts[raster.ClassThinIce])/float64(len(pred.Pix)),
+			100*float64(counts[raster.ClassThickIce])/float64(len(pred.Pix)))
+	}
+}

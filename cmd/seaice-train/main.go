@@ -1,0 +1,149 @@
+// Command seaice-train trains a U-Net sea-ice classifier on a synthetic
+// campaign, either serially or with Horovod-style synchronous data
+// parallelism over simulated GPUs (§III-C). It saves a checkpoint usable
+// by seaice-infer.
+//
+// Usage:
+//
+//	seaice-train -preset fast -epochs 8 -labels auto -ckpt unet-auto.ckpt
+//	seaice-train -workers 4 -epochs 4          # distributed (ring all-reduce)
+//	seaice-train -preset paper -epochs 1       # full 28-conv-layer variant
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"seaice/internal/dataset"
+	"seaice/internal/ddp"
+	"seaice/internal/perfmodel"
+	"seaice/internal/scene"
+	"seaice/internal/train"
+	"seaice/internal/unet"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("seaice-train: ")
+
+	var (
+		preset   = flag.String("preset", "fast", "model preset: fast | paper")
+		scenes   = flag.Int("scenes", 12, "scenes in the training campaign")
+		size     = flag.Int("size", 256, "scene size")
+		tile     = flag.Int("tile", 32, "tile size")
+		labels   = flag.String("labels", "auto", "training labels: manual | auto")
+		epochs   = flag.Int("epochs", 8, "training epochs")
+		batch    = flag.Int("batch", 8, "batch size (per worker when -workers > 1)")
+		lr       = flag.Float64("lr", 0.01, "Adam learning rate")
+		workers  = flag.Int("workers", 1, "simulated GPUs for distributed training")
+		maxTiles = flag.Int("max-tiles", 256, "cap on training tiles (0 = all)")
+		seed     = flag.Uint64("seed", 7, "seed")
+		ckpt     = flag.String("ckpt", "unet.ckpt", "checkpoint output path")
+	)
+	flag.Parse()
+
+	var modelCfg unet.Config
+	switch *preset {
+	case "fast":
+		modelCfg = unet.FastConfig(*seed)
+	case "paper":
+		modelCfg = unet.PaperConfig(*seed)
+	default:
+		log.Fatalf("unknown preset %q", *preset)
+	}
+	if *tile < modelCfg.MinInputSize() {
+		log.Fatalf("tile size %d below the %s preset's minimum %d", *tile, *preset, modelCfg.MinInputSize())
+	}
+
+	var labKind dataset.LabelKind
+	switch *labels {
+	case "manual":
+		labKind = dataset.ManualLabels
+	case "auto":
+		labKind = dataset.AutoLabels
+	default:
+		log.Fatalf("unknown label kind %q", *labels)
+	}
+
+	cc := scene.DefaultCollection(*seed)
+	cc.Scenes = *scenes
+	cc.W, cc.H = *size, *size
+	log.Printf("generating %d scenes of %dx%d…", *scenes, *size, *size)
+	scs, err := scene.GenerateCollection(cc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	build := dataset.DefaultBuild()
+	build.TileSize = *tile
+	log.Printf("filtering and auto-labeling…")
+	set, err := dataset.Build(scs, build)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainTiles, testTiles, err := set.Split(0.8, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *maxTiles > 0 {
+		trainTiles = dataset.Subsample(trainTiles, *maxTiles, *seed)
+	}
+	samples := dataset.Samples(trainTiles, dataset.OriginalImages, labKind)
+	log.Printf("training on %d tiles (%s labels), %d epochs, preset %s (%d conv layers)",
+		len(samples), *labels, *epochs, *preset, modelCfg.NumConvLayers())
+
+	var model *unet.Model
+	if *workers > 1 {
+		tr, err := ddp.New(modelCfg, ddp.Config{
+			Workers:        *workers,
+			BatchPerWorker: *batch,
+			Epochs:         *epochs,
+			LR:             *lr,
+			Seed:           *seed,
+			Timing:         perfmodel.PaperDGX(),
+			Progress: func(epoch int, loss float64) {
+				log.Printf("epoch %d: loss %.4f", epoch, loss)
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := tr.Fit(samples)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("distributed training: %d workers, virtual DGX time %.2f s, real %.2f s",
+			*workers, res.VirtualTotal, res.RealTotal)
+		model = tr.Replica(0)
+	} else {
+		model, err = unet.New(modelCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := train.Fit(model, samples, train.Config{
+			Epochs: *epochs, BatchSize: *batch, LR: *lr, Seed: *seed,
+			Progress: func(epoch int, loss float64) {
+				log.Printf("epoch %d: loss %.4f", epoch, loss)
+			},
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Validate on held-out tiles against manual labels.
+	if len(testTiles) > 128 {
+		testTiles = dataset.Subsample(testTiles, 128, *seed+1)
+	}
+	conf, err := train.Evaluate(model, dataset.Samples(testTiles, dataset.FilteredImages, dataset.ManualLabels))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("validation accuracy (filtered imagery, manual labels): %.2f%%\n", 100*conf.Accuracy())
+	fmt.Println(conf)
+
+	if err := model.SaveFile(*ckpt); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checkpoint written to %s\n", *ckpt)
+}

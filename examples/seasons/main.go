@@ -1,0 +1,64 @@
+// Seasons: the paper notes (§IV-B2) that its summer color thresholds
+// stop working for the Antarctic partial-night season and "a manual color
+// limit setup may be needed". This example implements that future work:
+// it shows the published thresholds failing on dim partial-night imagery
+// and recovers accuracy by calibrating new thresholds from a single
+// labeled reference scene (autolabel.Calibrate).
+//
+//	go run ./examples/seasons
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"seaice/internal/autolabel"
+	"seaice/internal/metrics"
+	"seaice/internal/raster"
+	"seaice/internal/scene"
+)
+
+func partialNight(seed uint64) (*scene.Scene, error) {
+	cfg := scene.DefaultConfig(seed)
+	cfg.W, cfg.H = 384, 384
+	cfg.Illumination = 0.55 // low sun: every surface dimmed by 45%
+	cfg.Clouds = scene.ClearClouds()
+	return scene.Generate(cfg)
+}
+
+func main() {
+	log.SetFlags(0)
+
+	ref, err := partialNight(300)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eval, err := partialNight(301)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	score := func(th autolabel.Thresholds) float64 {
+		lab, err := autolabel.Label(eval.Image, th)
+		if err != nil {
+			log.Fatal(err)
+		}
+		acc, err := metrics.PixelAccuracy(eval.Truth, lab)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return acc
+	}
+
+	summer := autolabel.PaperThresholds()
+	fmt.Printf("partial-night scene, published summer thresholds: %.2f%% accuracy\n", 100*score(summer))
+
+	calibrated, err := autolabel.Calibrate(
+		[]*raster.RGB{ref.Image}, []*raster.Labels{ref.Truth})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("calibrated on one labeled reference scene:       %.2f%% accuracy\n", 100*score(calibrated))
+	fmt.Printf("\ncalibrated value bands: water ≤%d, thin %d–%d, thick ≥%d (summer: ≤30, 31–204, ≥205)\n",
+		calibrated.Water.Hi.V, calibrated.ThinIce.Lo.V, calibrated.ThinIce.Hi.V, calibrated.ThickIce.Lo.V)
+}

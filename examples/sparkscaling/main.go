@@ -1,0 +1,91 @@
+// Sparkscaling: the PySpark-style map-reduce auto-labeling job of §III-B
+// on the simulated Google Cloud Dataproc cluster — load the tiles into a
+// distributed dataset, register the auto-label UDF as a lazy Map, trigger
+// it with Collect, and sweep the executor×core grid of Table II.
+//
+//	go run ./examples/sparkscaling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"seaice/internal/autolabel"
+	"seaice/internal/cloudfilter"
+	"seaice/internal/mapreduce"
+	"seaice/internal/perfmodel"
+	"seaice/internal/raster"
+	"seaice/internal/scene"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Tile workload: two 256² scenes → 32 tiles of 64².
+	cc := scene.DefaultCollection(3)
+	cc.Scenes = 2
+	cc.W, cc.H = 256, 256
+	scenes, err := scene.GenerateCollection(cc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var tiles []*raster.RGB
+	for _, sc := range scenes {
+		ts, _, err := raster.Split(sc.Image, 64, 64)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, t := range ts {
+			tiles = append(tiles, t.Image)
+		}
+	}
+	fmt.Printf("workload: %d tiles\n\n", len(tiles))
+
+	loadCost := mapreduce.CostFromSparkStage(perfmodel.PaperLoadStage(), len(tiles))
+	reduceCost := mapreduce.CostFromSparkStage(perfmodel.PaperReduceStage(), len(tiles))
+
+	fmt.Println("exec  cores  load(s)  map(s)  reduce(s)  speedup")
+	var base float64
+	for _, tc := range []struct{ e, c int }{{1, 1}, {1, 2}, {1, 4}, {2, 2}, {4, 4}} {
+		parts := tc.e * tc.c * 4
+
+		// Stage 1: load into the distributed dataset.
+		loadRunner, err := mapreduce.NewSimRunner(tc.e, tc.c, loadCost)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ds, err := mapreduce.Parallelize(tiles, parts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		loaded, loadStats, err := mapreduce.Collect(ds, loadRunner)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Stage 2: the lazy auto-label UDF (driver-side only).
+		reDs, _ := mapreduce.Parallelize(loaded, parts)
+		labeled := mapreduce.Map(reDs, func(img *raster.RGB) (*raster.Labels, error) {
+			return autolabel.LabelPaper(cloudfilter.FilterDefault(img).Image)
+		})
+
+		// Stage 3: Collect triggers execution on the cluster.
+		reduceRunner, err := mapreduce.NewSimRunner(tc.e, tc.c, reduceCost)
+		if err != nil {
+			log.Fatal(err)
+		}
+		labels, reduceStats, err := mapreduce.Collect(labeled, reduceRunner)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(labels) != len(tiles) {
+			log.Fatalf("lost tiles: %d of %d", len(labels), len(tiles))
+		}
+		if base == 0 {
+			base = reduceStats.Elapsed
+		}
+		fmt.Printf("%4d  %5d  %7.1f  %6.1f  %9.1f  %6.2fx\n",
+			tc.e, tc.c, loadStats.Elapsed, perfmodel.PaperMapTime, reduceStats.Elapsed, base/reduceStats.Elapsed)
+	}
+	fmt.Println("\n(virtual seconds on the calibrated Dataproc model; paper: 390 s → 24 s = 16.25x)")
+}

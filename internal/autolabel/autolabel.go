@@ -1,0 +1,113 @@
+// Package autolabel implements the paper's central contribution: automatic
+// labeling of Sentinel-2 sea-ice imagery by HSV color-threshold
+// segmentation (§III-B). Three non-intersecting HSV boxes — determined by
+// the authors by inspecting Ross Sea summer imagery — produce three binary
+// masks (thick/snow-covered ice, thin/young ice, open water) which are
+// merged into a per-pixel class map used as training labels for the U-Net.
+package autolabel
+
+import (
+	"fmt"
+
+	"seaice/internal/colorspace"
+	"seaice/internal/raster"
+)
+
+// Thresholds holds the HSV box per class.
+type Thresholds struct {
+	ThickIce colorspace.Bounds
+	ThinIce  colorspace.Bounds
+	Water    colorspace.Bounds
+}
+
+// PaperThresholds returns the published Ross Sea summer-season limits
+// (§III-B): thick ice (0,0,205)–(185,255,255), thin ice (0,0,31)–
+// (185,255,204), open water (0,0,0)–(185,255,30). The paper's upper hue
+// bound of 185 exceeds OpenCV's hue range [0,180) and therefore acts as
+// "any hue"; we keep the published value for fidelity.
+func PaperThresholds() Thresholds {
+	anyHue := uint8(185)
+	return Thresholds{
+		ThickIce: colorspace.Bounds{
+			Lo: colorspace.HSV{H: 0, S: 0, V: 205},
+			Hi: colorspace.HSV{H: anyHue, S: 255, V: 255},
+		},
+		ThinIce: colorspace.Bounds{
+			Lo: colorspace.HSV{H: 0, S: 0, V: 31},
+			Hi: colorspace.HSV{H: anyHue, S: 255, V: 204},
+		},
+		Water: colorspace.Bounds{
+			Lo: colorspace.HSV{H: 0, S: 0, V: 0},
+			Hi: colorspace.HSV{H: anyHue, S: 255, V: 30},
+		},
+	}
+}
+
+// Validate checks that the three value bands are non-intersecting and
+// jointly cover [0,255] — the property the paper calls "non-intersecting
+// borders [that] can be readily evaluated against individual pixels".
+func (t Thresholds) Validate() error {
+	if t.Water.Hi.V+1 != t.ThinIce.Lo.V {
+		return fmt.Errorf("autolabel: water/thin value bands not contiguous: %d vs %d", t.Water.Hi.V, t.ThinIce.Lo.V)
+	}
+	if t.ThinIce.Hi.V+1 != t.ThickIce.Lo.V {
+		return fmt.Errorf("autolabel: thin/thick value bands not contiguous: %d vs %d", t.ThinIce.Hi.V, t.ThickIce.Lo.V)
+	}
+	if t.Water.Lo.V != 0 || t.ThickIce.Hi.V != 255 {
+		return fmt.Errorf("autolabel: value bands do not cover [0,255]")
+	}
+	return nil
+}
+
+// Masks holds the three binary class masks produced by segmentation.
+type Masks struct {
+	ThickIce *raster.Gray
+	ThinIce  *raster.Gray
+	Water    *raster.Gray
+}
+
+// Segment converts the image to HSV and produces the three class masks
+// with OpenCV-style inRange tests.
+func Segment(img *raster.RGB, t Thresholds) Masks {
+	hsv := colorspace.ToHSV(img)
+	return Masks{
+		ThickIce: colorspace.InRange(hsv, t.ThickIce),
+		ThinIce:  colorspace.InRange(hsv, t.ThinIce),
+		Water:    colorspace.InRange(hsv, t.Water),
+	}
+}
+
+// Merge combines the class masks into a label map. Pixels claimed by no
+// mask (possible only with non-paper thresholds) default to thin ice, the
+// middle class; pixels claimed by several masks resolve brightest-first,
+// but with the paper's contiguous bands neither case occurs.
+func Merge(m Masks) (*raster.Labels, error) {
+	w, h := m.ThickIce.W, m.ThickIce.H
+	if m.ThinIce.W != w || m.ThinIce.H != h || m.Water.W != w || m.Water.H != h {
+		return nil, fmt.Errorf("autolabel: mask size mismatch")
+	}
+	out := raster.NewLabels(w, h)
+	for i := 0; i < w*h; i++ {
+		switch {
+		case m.ThickIce.Pix[i] != 0:
+			out.Pix[i] = raster.ClassThickIce
+		case m.Water.Pix[i] != 0:
+			out.Pix[i] = raster.ClassWater
+		default:
+			out.Pix[i] = raster.ClassThinIce
+		}
+	}
+	return out, nil
+}
+
+// Label runs the full auto-labeling step on one image: segmentation into
+// three masks followed by the merge. This is the per-tile unit of work
+// that the multiprocessing pool and the map-reduce engine parallelize.
+func Label(img *raster.RGB, t Thresholds) (*raster.Labels, error) {
+	return Merge(Segment(img, t))
+}
+
+// LabelPaper labels with the published Ross Sea thresholds.
+func LabelPaper(img *raster.RGB) (*raster.Labels, error) {
+	return Label(img, PaperThresholds())
+}

@@ -1,0 +1,138 @@
+package autolabel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"seaice/internal/colorspace"
+	"seaice/internal/imgproc"
+	"seaice/internal/noise"
+	"seaice/internal/raster"
+)
+
+func TestPaperThresholdsValid(t *testing.T) {
+	if err := PaperThresholds().Validate(); err != nil {
+		t.Fatalf("published thresholds rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsGapsAndOverlaps(t *testing.T) {
+	th := PaperThresholds()
+	th.ThinIce.Lo.V = 40 // gap between water (≤30) and thin (≥40)
+	if err := th.Validate(); err == nil {
+		t.Fatal("expected gap to be rejected")
+	}
+	th = PaperThresholds()
+	th.Water.Hi.V = 50 // overlap with thin (≥31)
+	if err := th.Validate(); err == nil {
+		t.Fatal("expected overlap to be rejected")
+	}
+}
+
+// TestMasksPartitionImage is the paper's "non-intersecting borders"
+// property: for any image, the three masks are pairwise disjoint and
+// jointly cover every pixel.
+func TestMasksPartitionImage(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := noise.NewRNG(seed, 1)
+		img := raster.NewRGB(16, 16)
+		for i := range img.Pix {
+			img.Pix[i] = uint8(rng.Intn(256))
+		}
+		m := Segment(img, PaperThresholds())
+		for i := 0; i < 256; i++ {
+			claims := 0
+			if m.ThickIce.Pix[i] != 0 {
+				claims++
+			}
+			if m.ThinIce.Pix[i] != 0 {
+				claims++
+			}
+			if m.Water.Pix[i] != 0 {
+				claims++
+			}
+			if claims != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLabelMatchesValueBand: the merged label must agree with the pixel's
+// HSV value band.
+func TestLabelMatchesValueBand(t *testing.T) {
+	rng := noise.NewRNG(3, 1)
+	img := raster.NewRGB(32, 32)
+	for i := range img.Pix {
+		img.Pix[i] = uint8(rng.Intn(256))
+	}
+	lab, err := LabelPaper(img)
+	if err != nil {
+		t.Fatalf("label: %v", err)
+	}
+	for i := 0; i < 32*32; i++ {
+		v := colorspace.RGBToHSV(img.Pix[3*i], img.Pix[3*i+1], img.Pix[3*i+2]).V
+		var want raster.Class
+		switch {
+		case v >= 205:
+			want = raster.ClassThickIce
+		case v >= 31:
+			want = raster.ClassThinIce
+		default:
+			want = raster.ClassWater
+		}
+		if lab.Pix[i] != want {
+			t.Fatalf("pixel %d (V=%d) labeled %v, want %v", i, v, lab.Pix[i], want)
+		}
+	}
+}
+
+func TestSegmentMaskCountsConsistent(t *testing.T) {
+	rng := noise.NewRNG(6, 1)
+	img := raster.NewRGB(20, 20)
+	for i := range img.Pix {
+		img.Pix[i] = uint8(rng.Intn(256))
+	}
+	m := Segment(img, PaperThresholds())
+	lab, _ := Merge(m)
+	counts := lab.Counts()
+	if imgproc.CountNonZero(m.Water) != counts[raster.ClassWater] {
+		t.Fatalf("water mask %d vs labels %d", imgproc.CountNonZero(m.Water), counts[raster.ClassWater])
+	}
+	if imgproc.CountNonZero(m.ThickIce) != counts[raster.ClassThickIce] {
+		t.Fatalf("thick mask %d vs labels %d", imgproc.CountNonZero(m.ThickIce), counts[raster.ClassThickIce])
+	}
+}
+
+func TestMergeSizeMismatch(t *testing.T) {
+	m := Masks{
+		ThickIce: raster.NewGray(4, 4),
+		ThinIce:  raster.NewGray(4, 4),
+		Water:    raster.NewGray(5, 4),
+	}
+	if _, err := Merge(m); err == nil {
+		t.Fatal("expected size-mismatch error")
+	}
+}
+
+// TestPureColorPatches: canonical pixels land in the right classes.
+func TestPureColorPatches(t *testing.T) {
+	img := raster.NewRGB(3, 1)
+	img.Set(0, 0, 250, 250, 250) // bright white → thick
+	img.Set(1, 0, 60, 80, 120)   // mid blue-gray → thin
+	img.Set(2, 0, 5, 10, 20)     // near black → water
+	lab, err := LabelPaper(img)
+	if err != nil {
+		t.Fatalf("label: %v", err)
+	}
+	want := []raster.Class{raster.ClassThickIce, raster.ClassThinIce, raster.ClassWater}
+	for i, w := range want {
+		if lab.Pix[i] != w {
+			t.Fatalf("pixel %d labeled %v, want %v", i, lab.Pix[i], w)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+// Package catalog is the data-collection substrate of the workflow — the
+// offline substitute for Google Earth Engine's Sentinel-2 archive that
+// the paper queries by spatial and temporal extent (§III-A: Ross Sea,
+// latitude −70°…−78°, longitude −140°…−180°, November 2019).
+//
+// The catalog holds scene descriptors (footprint, acquisition time,
+// orbit-deterministic seed) laid out on an acquisition grid over a
+// region. Queries filter by region intersection and time window, exactly
+// like a GEE ImageCollection filterBounds/filterDate chain, and each
+// descriptor renders its imagery on demand through internal/scene —
+// deterministically, so "downloading" a scene twice yields identical
+// pixels.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"seaice/internal/noise"
+	"seaice/internal/scene"
+)
+
+// Region is a geographic bounding box in degrees. Latitudes run south
+// negative; longitude bounds may be given in either order.
+type Region struct {
+	LatMin, LatMax float64
+	LonMin, LonMax float64
+}
+
+// Normalize orders the bounds.
+func (r Region) Normalize() Region {
+	if r.LatMin > r.LatMax {
+		r.LatMin, r.LatMax = r.LatMax, r.LatMin
+	}
+	if r.LonMin > r.LonMax {
+		r.LonMin, r.LonMax = r.LonMax, r.LonMin
+	}
+	return r
+}
+
+// Intersects reports whether two regions overlap.
+func (r Region) Intersects(o Region) bool {
+	r, o = r.Normalize(), o.Normalize()
+	return r.LatMin <= o.LatMax && o.LatMin <= r.LatMax &&
+		r.LonMin <= o.LonMax && o.LonMin <= r.LonMax
+}
+
+// RossSea is the paper's study region: latitude −70° to −78°, longitude
+// −140° to −180° (§III-A).
+var RossSea = Region{LatMin: -78, LatMax: -70, LonMin: -180, LonMax: -140}
+
+// SceneID identifies one acquisition, in the style of S2 product names.
+type SceneID string
+
+// Descriptor is one catalogued acquisition.
+type Descriptor struct {
+	ID        SceneID
+	Footprint Region
+	Acquired  time.Time
+	// Seed renders this scene's pixels deterministically.
+	Seed uint64
+	// CloudEstimate is the archive's advertised cloudiness in [0,1]
+	// (GEE metadata carries CLOUDY_PIXEL_PERCENTAGE); the rendered
+	// scene's true fraction is close but not identical, as in real
+	// archives.
+	CloudEstimate float64
+}
+
+// Catalog is a queryable scene archive.
+type Catalog struct {
+	scenes []Descriptor
+	render scene.Config // template for rendering (size, ice regime)
+}
+
+// Config sizes a synthetic archive.
+type Config struct {
+	Seed uint64
+	// Region covered by the acquisition grid.
+	Region Region
+	// GridLat × GridLon footprints tile the region.
+	GridLat, GridLon int
+	// Revisit is the time between passes over the same footprint
+	// (Sentinel-2 revisits every 5 days, §III-A).
+	Revisit time.Duration
+	// Start and Passes bound the temporal axis.
+	Start  time.Time
+	Passes int
+	// SceneSize is the rendered scene edge in pixels.
+	SceneSize int
+	// ClearFraction of acquisitions are cloud-free.
+	ClearFraction float64
+}
+
+// DefaultConfig covers the Ross Sea for November 2019 with a 6×11
+// footprint grid and one pass per revisit — 66 footprints, matching the
+// paper's 66 large scenes per pass.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Seed:          seed,
+		Region:        RossSea,
+		GridLat:       6,
+		GridLon:       11,
+		Revisit:       5 * 24 * time.Hour,
+		Start:         time.Date(2019, time.November, 1, 0, 0, 0, 0, time.UTC),
+		Passes:        6, // Nov 1 … Nov 26
+		SceneSize:     512,
+		ClearFraction: 0.35,
+	}
+}
+
+// New builds the archive.
+func New(cfg Config) (*Catalog, error) {
+	if cfg.GridLat <= 0 || cfg.GridLon <= 0 || cfg.Passes <= 0 {
+		return nil, fmt.Errorf("catalog: invalid grid %dx%d / %d passes", cfg.GridLat, cfg.GridLon, cfg.Passes)
+	}
+	if cfg.SceneSize <= 0 {
+		return nil, fmt.Errorf("catalog: invalid scene size %d", cfg.SceneSize)
+	}
+	region := cfg.Region.Normalize()
+	dLat := (region.LatMax - region.LatMin) / float64(cfg.GridLat)
+	dLon := (region.LonMax - region.LonMin) / float64(cfg.GridLon)
+
+	rng := noise.NewRNG(cfg.Seed, 0xca7a)
+	c := &Catalog{render: scene.DefaultConfig(0)}
+	c.render.W, c.render.H = cfg.SceneSize, cfg.SceneSize
+
+	for pass := 0; pass < cfg.Passes; pass++ {
+		when := cfg.Start.Add(time.Duration(pass) * cfg.Revisit)
+		for la := 0; la < cfg.GridLat; la++ {
+			for lo := 0; lo < cfg.GridLon; lo++ {
+				seed := rng.Uint64()
+				cloudy := rng.Float64() >= cfg.ClearFraction
+				est := 0.0
+				if cloudy {
+					est = 0.05 + 0.6*rng.Float64()
+				}
+				foot := Region{
+					LatMin: region.LatMin + float64(la)*dLat,
+					LatMax: region.LatMin + float64(la+1)*dLat,
+					LonMin: region.LonMin + float64(lo)*dLon,
+					LonMax: region.LonMin + float64(lo+1)*dLon,
+				}
+				id := SceneID(fmt.Sprintf("S2_%s_T%02d%02d", when.Format("20060102"), la, lo))
+				c.scenes = append(c.scenes, Descriptor{
+					ID:            id,
+					Footprint:     foot,
+					Acquired:      when,
+					Seed:          seed,
+					CloudEstimate: est,
+				})
+			}
+		}
+	}
+	return c, nil
+}
+
+// Len reports the archive size.
+func (c *Catalog) Len() int { return len(c.scenes) }
+
+// Query mirrors a GEE filterBounds + filterDate + cloud-metadata chain.
+type Query struct {
+	Region Region
+	// From/To bound acquisition time (inclusive From, exclusive To);
+	// zero values disable the bound.
+	From, To time.Time
+	// MaxCloud filters on the advertised cloud estimate; negative
+	// disables the filter.
+	MaxCloud float64
+}
+
+// Find returns matching descriptors sorted by acquisition time then ID.
+func (c *Catalog) Find(q Query) []Descriptor {
+	var out []Descriptor
+	for _, d := range c.scenes {
+		if !q.Region.Intersects(d.Footprint) {
+			continue
+		}
+		if !q.From.IsZero() && d.Acquired.Before(q.From) {
+			continue
+		}
+		if !q.To.IsZero() && !d.Acquired.Before(q.To) {
+			continue
+		}
+		if q.MaxCloud >= 0 && d.CloudEstimate > q.MaxCloud {
+			continue
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Acquired.Equal(out[j].Acquired) {
+			return out[i].Acquired.Before(out[j].Acquired)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Fetch renders a descriptor's imagery — the "download" step. Scenes are
+// deterministic in the descriptor's seed.
+func (c *Catalog) Fetch(d Descriptor) (*scene.Scene, error) {
+	cfg := c.render
+	cfg.Seed = d.Seed
+	if d.CloudEstimate <= 0 {
+		cfg.Clouds = scene.ClearClouds()
+	} else {
+		cl := scene.DefaultClouds()
+		// Bias maps the advertised cloudiness onto field coverage:
+		// more advertised cloud ⇒ lower bias ⇒ more veil.
+		cl.Bias = 0.75 - 0.45*d.CloudEstimate
+		cfg.Clouds = cl
+	}
+	return scene.Generate(cfg)
+}
+
+// FetchAll renders a list of descriptors in order.
+func (c *Catalog) FetchAll(ds []Descriptor) ([]*scene.Scene, error) {
+	out := make([]*scene.Scene, len(ds))
+	for i, d := range ds {
+		sc, err := c.Fetch(d)
+		if err != nil {
+			return nil, fmt.Errorf("catalog: fetch %s: %w", d.ID, err)
+		}
+		out[i] = sc
+	}
+	return out, nil
+}

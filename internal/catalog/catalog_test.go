@@ -1,0 +1,151 @@
+package catalog
+
+import (
+	"testing"
+	"time"
+)
+
+func mustCatalog(t *testing.T, cfg Config) *Catalog {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("catalog: %v", err)
+	}
+	return c
+}
+
+func smallConfig(seed uint64) Config {
+	cfg := DefaultConfig(seed)
+	cfg.GridLat, cfg.GridLon = 2, 3
+	cfg.Passes = 2
+	cfg.SceneSize = 64
+	return cfg
+}
+
+func TestDefaultArchiveMatchesPaperCampaign(t *testing.T) {
+	c := mustCatalog(t, DefaultConfig(1))
+	// 6×11 footprints per pass: the paper's 66 large scenes.
+	nov := c.Find(Query{
+		Region:   RossSea,
+		From:     time.Date(2019, 11, 1, 0, 0, 0, 0, time.UTC),
+		To:       time.Date(2019, 11, 6, 0, 0, 0, 0, time.UTC),
+		MaxCloud: -1,
+	})
+	if len(nov) != 66 {
+		t.Fatalf("one pass over the Ross Sea has %d scenes, want 66", len(nov))
+	}
+}
+
+func TestQuerySpatialFilter(t *testing.T) {
+	c := mustCatalog(t, smallConfig(2))
+	all := c.Find(Query{Region: RossSea, MaxCloud: -1})
+	if len(all) != 2*3*2 {
+		t.Fatalf("archive has %d scenes, want 12", len(all))
+	}
+	// a region outside the archive
+	none := c.Find(Query{Region: Region{LatMin: 10, LatMax: 20, LonMin: 0, LonMax: 10}, MaxCloud: -1})
+	if len(none) != 0 {
+		t.Fatalf("disjoint region matched %d scenes", len(none))
+	}
+	// a sliver intersecting only the south-west footprint
+	corner := c.Find(Query{Region: Region{LatMin: -78, LatMax: -77.9, LonMin: -180, LonMax: -179.9}, MaxCloud: -1})
+	if len(corner) != 2 { // one footprint × two passes
+		t.Fatalf("corner sliver matched %d scenes, want 2", len(corner))
+	}
+}
+
+func TestQueryTemporalFilter(t *testing.T) {
+	cfg := smallConfig(3)
+	c := mustCatalog(t, cfg)
+	secondPass := cfg.Start.Add(cfg.Revisit)
+	late := c.Find(Query{Region: RossSea, From: secondPass, MaxCloud: -1})
+	if len(late) != 6 {
+		t.Fatalf("second pass has %d scenes, want 6", len(late))
+	}
+	for _, d := range late {
+		if d.Acquired.Before(secondPass) {
+			t.Fatalf("scene %s acquired %v before the window", d.ID, d.Acquired)
+		}
+	}
+}
+
+func TestQueryCloudFilter(t *testing.T) {
+	c := mustCatalog(t, smallConfig(4))
+	clear := c.Find(Query{Region: RossSea, MaxCloud: 0})
+	all := c.Find(Query{Region: RossSea, MaxCloud: -1})
+	if len(clear) == 0 || len(clear) >= len(all) {
+		t.Fatalf("cloud filter degenerate: %d clear of %d", len(clear), len(all))
+	}
+	for _, d := range clear {
+		if d.CloudEstimate > 0 {
+			t.Fatalf("scene %s advertised cloud %.2f above filter", d.ID, d.CloudEstimate)
+		}
+	}
+}
+
+func TestFetchDeterministicAndMatchesEstimate(t *testing.T) {
+	c := mustCatalog(t, smallConfig(5))
+	ds := c.Find(Query{Region: RossSea, MaxCloud: -1})
+	a, err := c.Fetch(ds[0])
+	if err != nil {
+		t.Fatalf("fetch: %v", err)
+	}
+	b, err := c.Fetch(ds[0])
+	if err != nil {
+		t.Fatalf("fetch: %v", err)
+	}
+	for i := range a.Image.Pix {
+		if a.Image.Pix[i] != b.Image.Pix[i] {
+			t.Fatal("fetching the same scene twice gave different pixels")
+		}
+	}
+
+	// advertised-clear scenes render clear; advertised-cloudy render cloudy
+	for _, d := range ds {
+		sc, err := c.Fetch(d)
+		if err != nil {
+			t.Fatalf("fetch %s: %v", d.ID, err)
+		}
+		if d.CloudEstimate == 0 && sc.CloudFraction != 0 {
+			t.Fatalf("scene %s advertised clear but rendered %.2f cloudy", d.ID, sc.CloudFraction)
+		}
+	}
+}
+
+func TestFetchAllOrder(t *testing.T) {
+	c := mustCatalog(t, smallConfig(6))
+	ds := c.Find(Query{Region: RossSea, MaxCloud: -1})[:3]
+	scenes, err := c.FetchAll(ds)
+	if err != nil {
+		t.Fatalf("fetchall: %v", err)
+	}
+	if len(scenes) != 3 {
+		t.Fatalf("%d scenes", len(scenes))
+	}
+}
+
+func TestRegionNormalizeAndIntersects(t *testing.T) {
+	a := Region{LatMin: 5, LatMax: -5, LonMin: 10, LonMax: -10}.Normalize()
+	if a.LatMin != -5 || a.LonMin != -10 {
+		t.Fatalf("normalize wrong: %+v", a)
+	}
+	if !a.Intersects(Region{LatMin: 0, LatMax: 1, LonMin: 0, LonMax: 1}) {
+		t.Fatal("containment not detected")
+	}
+	if a.Intersects(Region{LatMin: 50, LatMax: 60, LonMin: 0, LonMax: 1}) {
+		t.Fatal("disjoint regions intersect")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := DefaultConfig(1)
+	bad.GridLat = 0
+	if _, err := New(bad); err == nil {
+		t.Fatal("expected grid error")
+	}
+	bad = DefaultConfig(1)
+	bad.SceneSize = 0
+	if _, err := New(bad); err == nil {
+		t.Fatal("expected size error")
+	}
+}

@@ -1,0 +1,127 @@
+package cloudfilter
+
+import (
+	"testing"
+
+	"seaice/internal/imgproc"
+	"seaice/internal/raster"
+	"seaice/internal/scene"
+)
+
+// TestResultFieldsPopulated: the filter must return all its estimates
+// with scene dimensions.
+func TestResultFieldsPopulated(t *testing.T) {
+	cfg := scene.DefaultConfig(201)
+	cfg.W, cfg.H = 128, 128
+	sc, _ := scene.Generate(cfg)
+	res := FilterDefault(sc.Image)
+	if res.Image == nil || res.CloudMask == nil || res.Opacity == nil || res.Shadow == nil {
+		t.Fatal("result fields missing")
+	}
+	if res.Image.W != 128 || res.CloudMask.W != 128 || res.Opacity.W != 128 {
+		t.Fatal("result sizes wrong")
+	}
+	for i, a := range res.Opacity.Pix {
+		if a < 0 || a > DefaultConfig().MaxOpacity+1e-9 {
+			t.Fatalf("opacity[%d] = %f outside [0,max]", i, a)
+		}
+	}
+	for i, s := range res.Shadow.Pix {
+		if s < 0 || s > DefaultConfig().MaxShadow+1e-9 {
+			t.Fatalf("shadow[%d] = %f outside [0,max]", i, s)
+		}
+	}
+}
+
+// TestCloudMaskCoversTruth: the estimated disturbance mask must cover
+// most truly disturbed pixels (high recall — missed clouds stay
+// uncorrected) while not ballooning far past the true disturbed area
+// (the estimate is deliberately dilated, so moderate over-detection is
+// expected and harmless).
+func TestCloudMaskCoversTruth(t *testing.T) {
+	cfg := scene.DefaultConfig(42)
+	cfg.W, cfg.H = 512, 512
+	sc, _ := scene.Generate(cfg)
+	res := FilterDefault(sc.Image)
+
+	est := imgproc.CountNonZero(res.CloudMask)
+	truth := imgproc.CountNonZero(sc.CloudMask)
+	if est == 0 {
+		t.Fatal("no disturbance detected on a cloudy scene")
+	}
+	inter := 0
+	for i := range res.CloudMask.Pix {
+		if res.CloudMask.Pix[i] != 0 && sc.CloudMask.Pix[i] != 0 {
+			inter++
+		}
+	}
+	recall := float64(inter) / float64(truth)
+	ratio := float64(est) / float64(truth)
+	t.Logf("cloud-mask recall %.3f, detected/true area ratio %.2f", recall, ratio)
+	if recall < 0.70 {
+		t.Fatalf("cloud-mask recall %.3f < 0.70", recall)
+	}
+	if ratio > 1.8 {
+		t.Fatalf("mask %.2f× larger than the true disturbed area", ratio)
+	}
+}
+
+// TestFilterDeterministic: same input, same output.
+func TestFilterDeterministic(t *testing.T) {
+	cfg := scene.DefaultConfig(202)
+	cfg.W, cfg.H = 128, 128
+	sc, _ := scene.Generate(cfg)
+	a := FilterDefault(sc.Image)
+	b := FilterDefault(sc.Image)
+	for i := range a.Image.Pix {
+		if a.Image.Pix[i] != b.Image.Pix[i] {
+			t.Fatal("filter not deterministic")
+		}
+	}
+}
+
+// TestFilterDoesNotMutateInput.
+func TestFilterDoesNotMutateInput(t *testing.T) {
+	cfg := scene.DefaultConfig(203)
+	cfg.W, cfg.H = 96, 96
+	sc, _ := scene.Generate(cfg)
+	before := append([]uint8(nil), sc.Image.Pix...)
+	FilterDefault(sc.Image)
+	for i := range before {
+		if sc.Image.Pix[i] != before[i] {
+			t.Fatal("filter mutated its input")
+		}
+	}
+}
+
+// TestDilateFloatQuantization: the helper's quantized max must bound the
+// true values from above within one quantization step.
+func TestDilateFloatQuantization(t *testing.T) {
+	f := raster.NewFloat(8, 8)
+	f.Set(3, 3, 0.4)
+	d := dilateFloat(f, 2)
+	if d.At(3, 3) < 0.4-1.0/500 || d.At(3, 3) > 0.4+1.0/500 {
+		t.Fatalf("peak value %f drifted from 0.4", d.At(3, 3))
+	}
+	if d.At(5, 5) < 0.4-1.0/500 {
+		t.Fatalf("dilation did not spread: %f", d.At(5, 5))
+	}
+	if d.At(7, 7) != 0 {
+		t.Fatalf("dilation spread too far: %f", d.At(7, 7))
+	}
+}
+
+// TestSmoothFloatConservesMassApprox: Gaussian smoothing of a constant
+// field is the identity.
+func TestSmoothFloatConstant(t *testing.T) {
+	f := raster.NewFloat(16, 16)
+	for i := range f.Pix {
+		f.Pix[i] = 0.3
+	}
+	s := smoothFloat(f, 3)
+	for i, v := range s.Pix {
+		if v < 0.299 || v > 0.301 {
+			t.Fatalf("constant field changed at %d: %f", i, v)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package cloudfilter
+
+import (
+	"math"
+	"testing"
+
+	"seaice/internal/autolabel"
+	"seaice/internal/metrics"
+	"seaice/internal/raster"
+	"seaice/internal/scene"
+)
+
+// maxch returns the max RGB channel (the HSV value) of pixel i.
+func maxch(img *raster.RGB, i int) uint8 {
+	v := img.Pix[3*i]
+	if img.Pix[3*i+1] > v {
+		v = img.Pix[3*i+1]
+	}
+	if img.Pix[3*i+2] > v {
+		v = img.Pix[3*i+2]
+	}
+	return v
+}
+
+// TestDiagFilterBreakdown prints a detailed error breakdown used while
+// calibrating the filter; it never fails, it only reports.
+func TestDiagFilterBreakdown(t *testing.T) {
+	cfg := scene.DefaultConfig(42)
+	cfg.W, cfg.H = 512, 512
+	sc, _ := scene.Generate(cfg)
+	res := FilterDefault(sc.Image)
+
+	// opacity and shadow estimate errors over disturbed pixels
+	var aErr, shErr float64
+	var aN int
+	for i := range sc.CloudOpacity.Pix {
+		aErr += math.Abs(res.Opacity.Pix[i] - sc.CloudOpacity.Pix[i])
+		shErr += math.Abs(res.Shadow.Pix[i] - sc.Shadow.Pix[i])
+		aN++
+	}
+	t.Logf("mean |opacity err| %.4f  mean |shadow err| %.4f", aErr/float64(aN), shErr/float64(aN))
+
+	labOrig, _ := autolabel.LabelPaper(sc.Image)
+	labFilt, _ := autolabel.LabelPaper(res.Image)
+
+	// Sample residual errors with their field values.
+	sample := func(name string, truth, pred raster.Class) {
+		shown := 0
+		for i := range sc.Truth.Pix {
+			if shown >= 5 {
+				break
+			}
+			if sc.Truth.Pix[i] == truth && labFilt.Pix[i] == pred && sc.Truth.Pix[i] != labFilt.Pix[i] {
+				t.Logf("%s px %d: aTrue=%.3f shTrue=%.3f aEst=%.3f shEst=%.3f obsV=%d filtV=%d", name, i,
+					sc.CloudOpacity.Pix[i], sc.Shadow.Pix[i], res.Opacity.Pix[i], res.Shadow.Pix[i],
+					maxch(sc.Image, i), maxch(res.Image, i))
+				shown++
+			}
+		}
+	}
+	sample("thick→thin", raster.ClassThickIce, raster.ClassThinIce)
+	sample("water→thin", raster.ClassWater, raster.ClassThinIce)
+	sample("water→thick", raster.ClassWater, raster.ClassThickIce)
+	sample("thin→water", raster.ClassThinIce, raster.ClassWater)
+
+	for _, part := range []struct {
+		name string
+		want uint8 // cloud mask value selecting the partition
+	}{{"disturbed", 255}, {"clear", 0}} {
+		co := metrics.NewConfusion(int(raster.NumClasses))
+		cf := metrics.NewConfusion(int(raster.NumClasses))
+		for i := range sc.Truth.Pix {
+			if sc.CloudMask.Pix[i] != part.want {
+				continue
+			}
+			co.Add(sc.Truth.Pix[i], labOrig.Pix[i])
+			cf.Add(sc.Truth.Pix[i], labFilt.Pix[i])
+		}
+		t.Logf("%s pixels (n=%d): original acc %.4f filtered acc %.4f", part.name, co.Total(), co.Accuracy(), cf.Accuracy())
+		t.Logf("%s original confusion:\n%s", part.name, co)
+		t.Logf("%s filtered confusion:\n%s", part.name, cf)
+	}
+}

@@ -1,0 +1,173 @@
+// Package cluster simulates the multi-node execution environment of the
+// paper's PySpark experiments: a Google Cloud Dataproc cluster with one
+// master and up to three worker nodes of four cores each (Intel N2
+// Cascade Lake). Substituting a simulation is required because this
+// repository runs offline on a single core; the simulation executes the
+// real scheduling logic (FIFO task dispatch onto executor cores, stage
+// barriers, driver serialization) against the virtual clock of
+// internal/simtime, with per-task durations supplied by the calibrated
+// cost models in internal/perfmodel.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"seaice/internal/simtime"
+)
+
+// Config sizes the simulated cluster.
+type Config struct {
+	Executors        int
+	CoresPerExecutor int
+	// TaskOverhead is per-task scheduling/serialization cost in
+	// seconds, paid on the core that runs the task.
+	TaskOverhead float64
+}
+
+// Validate rejects non-positive topologies.
+func (c Config) Validate() error {
+	if c.Executors <= 0 || c.CoresPerExecutor <= 0 {
+		return fmt.Errorf("cluster: invalid topology %d executors × %d cores", c.Executors, c.CoresPerExecutor)
+	}
+	if c.TaskOverhead < 0 {
+		return fmt.Errorf("cluster: negative task overhead %f", c.TaskOverhead)
+	}
+	return nil
+}
+
+// Slots returns the total number of concurrent task slots.
+func (c Config) Slots() int { return c.Executors * c.CoresPerExecutor }
+
+// Task is one schedulable unit with a modeled duration and an arbitrary
+// payload the caller executes when the task is dispatched.
+type Task struct {
+	Duration float64
+	// Run, if non-nil, performs the task's real work (the simulation
+	// executes it at dispatch; only the clock is virtual).
+	Run func()
+}
+
+// StageResult reports the outcome of one simulated stage.
+type StageResult struct {
+	// Start and End are virtual times of the stage barrier.
+	Start, End float64
+	// Elapsed is End-Start including driver serial time.
+	Elapsed float64
+	// CoreBusy is the summed busy time of all cores.
+	CoreBusy float64
+	// Utilization is CoreBusy / (Slots × span of the parallel phase).
+	Utilization float64
+	// TasksRun is the number of tasks executed.
+	TasksRun int
+}
+
+// Cluster is a simulated Spark-like cluster bound to a virtual clock.
+type Cluster struct {
+	cfg      Config
+	clock    *simtime.Clock
+	coreFree []float64 // next-free virtual time per slot
+}
+
+// New creates a cluster on the given clock.
+func New(cfg Config, clock *simtime.Clock) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{cfg: cfg, clock: clock, coreFree: make([]float64, cfg.Slots())}
+	for i := range c.coreFree {
+		c.coreFree[i] = clock.Now()
+	}
+	return c, nil
+}
+
+// Config returns the cluster topology.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// RunStage executes one stage: driverSerial seconds of driver-side work,
+// then all tasks dispatched FIFO onto the earliest-free core (the
+// scheduling policy of Spark's standalone FIFO scheduler within a stage),
+// then a barrier. It returns when every task has finished, advancing the
+// virtual clock.
+func (c *Cluster) RunStage(driverSerial float64, tasks []Task) StageResult {
+	start := c.clock.Now()
+	ready := start + driverSerial
+
+	// Reset core availability to the stage start: stages are separated
+	// by barriers, so no core is busy across a stage boundary.
+	for i := range c.coreFree {
+		c.coreFree[i] = ready
+	}
+
+	busy := 0.0
+	end := ready
+	for _, t := range tasks {
+		// earliest-free core wins; ties resolve to the lowest slot id,
+		// matching deterministic round-robin on an idle cluster.
+		slot := 0
+		for i := 1; i < len(c.coreFree); i++ {
+			if c.coreFree[i] < c.coreFree[slot] {
+				slot = i
+			}
+		}
+		dur := t.Duration + c.cfg.TaskOverhead
+		startAt := c.coreFree[slot]
+		finishAt := startAt + dur
+		c.coreFree[slot] = finishAt
+		busy += dur
+		if finishAt > end {
+			end = finishAt
+		}
+		if t.Run != nil {
+			run := t.Run
+			c.clock.Schedule(startAt, run)
+		}
+	}
+	// Advance the clock to the barrier.
+	c.clock.Schedule(end, func() {})
+	c.clock.Run()
+
+	span := end - ready
+	util := 0.0
+	if span > 0 {
+		util = busy / (span * float64(c.cfg.Slots()))
+	}
+	return StageResult{
+		Start:       start,
+		End:         end,
+		Elapsed:     end - start,
+		CoreBusy:    busy,
+		Utilization: util,
+		TasksRun:    len(tasks),
+	}
+}
+
+// UniformTasks builds n tasks of equal duration.
+func UniformTasks(n int, duration float64) []Task {
+	tasks := make([]Task, n)
+	for i := range tasks {
+		tasks[i] = Task{Duration: duration}
+	}
+	return tasks
+}
+
+// Makespan computes, without running a clock, the FIFO makespan of the
+// given durations on `slots` cores — used by tests to cross-check the
+// event-driven scheduler against the closed form.
+func Makespan(durations []float64, slots int) float64 {
+	if slots <= 0 {
+		return 0
+	}
+	free := make([]float64, slots)
+	for _, d := range durations {
+		sort.Float64s(free)
+		free[0] += d
+	}
+	max := 0.0
+	for _, f := range free {
+		if f > max {
+			max = f
+		}
+	}
+	return max
+}

@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"seaice/internal/noise"
+	"seaice/internal/simtime"
+)
+
+func newCluster(t *testing.T, e, c int) *Cluster {
+	t.Helper()
+	cl, err := New(Config{Executors: e, CoresPerExecutor: c}, &simtime.Clock{})
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	return cl
+}
+
+func TestUniformStageMakespan(t *testing.T) {
+	// 8 tasks of 1s on 2 slots → 4s + 0.5s driver.
+	cl := newCluster(t, 2, 1)
+	res := cl.RunStage(0.5, UniformTasks(8, 1))
+	if math.Abs(res.Elapsed-4.5) > 1e-12 {
+		t.Fatalf("elapsed %f, want 4.5", res.Elapsed)
+	}
+	if res.TasksRun != 8 {
+		t.Fatalf("tasks run %d", res.TasksRun)
+	}
+	if math.Abs(res.Utilization-1) > 1e-12 {
+		t.Fatalf("uniform load should use all cores fully: %f", res.Utilization)
+	}
+}
+
+func TestHeterogeneousTasksFIFO(t *testing.T) {
+	// durations 3,1,1,1 on 2 slots, FIFO: slot0=3, slot1=1+1+1=3.
+	cl := newCluster(t, 1, 2)
+	tasks := []Task{{Duration: 3}, {Duration: 1}, {Duration: 1}, {Duration: 1}}
+	res := cl.RunStage(0, tasks)
+	if math.Abs(res.Elapsed-3) > 1e-12 {
+		t.Fatalf("elapsed %f, want 3", res.Elapsed)
+	}
+}
+
+// TestStageMatchesMakespanClosedForm: the event-driven scheduler must
+// agree with the arithmetic FIFO makespan for random task sets.
+func TestStageMatchesMakespanClosedForm(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := noise.NewRNG(seed, 2)
+		slots := 1 + rng.Intn(6)
+		n := 1 + rng.Intn(40)
+		tasks := make([]Task, n)
+		durations := make([]float64, n)
+		for i := range tasks {
+			d := rng.Float64() * 10
+			tasks[i] = Task{Duration: d}
+			durations[i] = d
+		}
+		cl, err := New(Config{Executors: 1, CoresPerExecutor: slots}, &simtime.Clock{})
+		if err != nil {
+			return false
+		}
+		res := cl.RunStage(0, tasks)
+		want := Makespan(durations, slots)
+		return math.Abs(res.Elapsed-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialStagesAccumulateTime(t *testing.T) {
+	cl := newCluster(t, 1, 1)
+	r1 := cl.RunStage(1, UniformTasks(2, 1)) // ends at 3
+	r2 := cl.RunStage(1, UniformTasks(1, 1)) // 3 → 5
+	if r1.End != 3 || r2.Start != 3 || r2.End != 5 {
+		t.Fatalf("stage boundaries wrong: %f %f %f", r1.End, r2.Start, r2.End)
+	}
+}
+
+func TestTaskRunCallbacksExecute(t *testing.T) {
+	cl := newCluster(t, 2, 2)
+	ran := make([]bool, 6)
+	tasks := make([]Task, 6)
+	for i := range tasks {
+		i := i
+		tasks[i] = Task{Duration: 1, Run: func() { ran[i] = true }}
+	}
+	cl.RunStage(0, tasks)
+	for i, r := range ran {
+		if !r {
+			t.Fatalf("task %d callback never ran", i)
+		}
+	}
+}
+
+func TestTaskOverheadCharged(t *testing.T) {
+	cl, err := New(Config{Executors: 1, CoresPerExecutor: 1, TaskOverhead: 0.5}, &simtime.Clock{})
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	res := cl.RunStage(0, UniformTasks(4, 1))
+	if math.Abs(res.Elapsed-6) > 1e-12 {
+		t.Fatalf("elapsed %f, want 6 (4×1.5)", res.Elapsed)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for _, cfg := range []Config{
+		{Executors: 0, CoresPerExecutor: 1},
+		{Executors: 1, CoresPerExecutor: 0},
+		{Executors: 1, CoresPerExecutor: 1, TaskOverhead: -1},
+	} {
+		if _, err := New(cfg, &simtime.Clock{}); err == nil {
+			t.Fatalf("config %+v should be rejected", cfg)
+		}
+	}
+	if (Config{Executors: 3, CoresPerExecutor: 4}).Slots() != 12 {
+		t.Fatal("slots arithmetic wrong")
+	}
+}
+
+// TestDeterminism: same inputs, same virtual times, independent of host
+// scheduling (everything is single-goroutine by construction).
+func TestDeterminism(t *testing.T) {
+	run := func() float64 {
+		cl := newCluster(t, 2, 3)
+		rng := noise.NewRNG(7, 7)
+		tasks := make([]Task, 30)
+		for i := range tasks {
+			tasks[i] = Task{Duration: rng.Float64()}
+		}
+		return cl.RunStage(0.2, tasks).Elapsed
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("virtual elapsed differs across runs: %f vs %f", a, b)
+	}
+}

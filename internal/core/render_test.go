@@ -1,0 +1,87 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"seaice/internal/metrics"
+	"seaice/internal/raster"
+)
+
+// fakeCell builds a Cell with a simple diagonal-dominant confusion.
+func fakeCell(acc float64) Cell {
+	c := metrics.NewConfusion(int(raster.NumClasses))
+	diag := int64(acc * 1000)
+	off := (1000 - diag) / 2
+	for i := 0; i < 3; i++ {
+		c.Count[i][i] = diag
+		c.Count[i][(i+1)%3] = off
+		c.Count[i][(i+2)%3] = 1000 - diag - off
+	}
+	return cellFrom(c)
+}
+
+func fakeResult() *AccuracyResult {
+	r := &AccuracyResult{
+		ManOrig: fakeCell(0.91), AutoOrig: fakeCell(0.90),
+		ManFilt: fakeCell(0.98), AutoFilt: fakeCell(0.99),
+		CloudyManOrig: fakeCell(0.88), CloudyAutoOrig: fakeCell(0.80),
+		CloudyManFilt: fakeCell(0.99), CloudyAutoFilt: fakeCell(0.99),
+		ClearManOrig: fakeCell(0.92), ClearAutoOrig: fakeCell(0.93),
+		ClearManFilt: fakeCell(0.98), ClearAutoFilt: fakeCell(0.98),
+		SSIMOriginal: 0.89, SSIMFiltered: 0.99,
+	}
+	return r
+}
+
+func TestTable4ReportContainsPaperAndOurs(t *testing.T) {
+	s := Table4Report(fakeResult()).String()
+	for _, want := range []string{"91.39%", "98.97%", "91.00%", "99.00%", "original S2 images"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("table IV missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTable5ReportStructure(t *testing.T) {
+	s := Table5Report(fakeResult()).String()
+	for _, want := range []string{">10% cloud/shadow", "<10% cloud/shadow", "79.91%", "filtered"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("table V missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFig13ReportHasSixPanels(t *testing.T) {
+	s := Fig13Report(fakeResult())
+	if n := strings.Count(s, "true\\pred"); n != 6 {
+		t.Fatalf("fig 13 has %d panels, want 6:\n%s", n, s)
+	}
+}
+
+func TestSSIMReportValues(t *testing.T) {
+	s := SSIMReport(fakeResult()).String()
+	if !strings.Contains(s, "0.89") || !strings.Contains(s, "0.9964") {
+		t.Fatalf("ssim report missing values:\n%s", s)
+	}
+}
+
+func TestTable1ReportRendersModel(t *testing.T) {
+	rows, err := RunTable1(nil, false)
+	if err != nil {
+		t.Fatalf("table1: %v", err)
+	}
+	s := Table1Report(rows).String()
+	if !strings.Contains(s, "17.40") || !strings.Contains(s, "4.58") {
+		t.Fatalf("table I report incomplete:\n%s", s)
+	}
+}
+
+func TestTable3ReportRendersPaperColumn(t *testing.T) {
+	rows := make([]Table3Row, len(Table3Paper))
+	copy(rows, Table3Paper)
+	s := Table3Report(rows).String()
+	if !strings.Contains(s, "280.72") || !strings.Contains(s, "7.21") {
+		t.Fatalf("table III report incomplete:\n%s", s)
+	}
+}

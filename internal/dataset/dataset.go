@@ -1,0 +1,232 @@
+// Package dataset assembles the experiment datasets: it runs the
+// thin-cloud/shadow filter and the auto-labeler over a scene campaign,
+// splits scenes into tiles (the paper cuts 66 scenes into 4224 tiles),
+// pairs every tile with its manual (ground-truth) and auto labels, tracks
+// per-tile cloud coverage for Table V's buckets, and produces the
+// train/test split and train.Sample views the U-Net experiments consume.
+package dataset
+
+import (
+	"fmt"
+
+	"seaice/internal/autolabel"
+	"seaice/internal/cloudfilter"
+	"seaice/internal/noise"
+	"seaice/internal/pool"
+	"seaice/internal/raster"
+	"seaice/internal/scene"
+	"seaice/internal/train"
+)
+
+// Tile is one dataset entry with every view the experiments need.
+type Tile struct {
+	// Original is the observed tile, clouds and all.
+	Original *raster.RGB
+	// Filtered is the thin-cloud/shadow-filtered tile.
+	Filtered *raster.RGB
+	// Manual holds ground-truth labels (the paper's manually labeled
+	// data).
+	Manual *raster.Labels
+	// Auto holds color-segmentation labels derived from the filtered
+	// imagery (the paper's auto-labeling pipeline).
+	Auto *raster.Labels
+	// CloudFraction is the tile's true disturbed-pixel fraction.
+	CloudFraction float64
+	// Scene is the source scene index.
+	Scene int
+}
+
+// Set is a full tile dataset.
+type Set struct {
+	Tiles    []Tile
+	TileSize int
+}
+
+// BuildConfig controls dataset assembly.
+type BuildConfig struct {
+	TileSize int
+	Filter   cloudfilter.Config
+	Labels   autolabel.Thresholds
+	// Workers parallelizes per-scene processing (pool size); <=0 uses
+	// GOMAXPROCS.
+	Workers int
+}
+
+// DefaultBuild returns the experiment-scale configuration: 64² tiles so a
+// 66-scene campaign of 512² scenes yields the paper's 4224 tiles.
+func DefaultBuild() BuildConfig {
+	return BuildConfig{
+		TileSize: 64,
+		Filter:   cloudfilter.DefaultConfig(),
+		Labels:   autolabel.PaperThresholds(),
+	}
+}
+
+// Build processes every scene — filter, auto-label, tile — in parallel
+// over the pool.
+func Build(scenes []*scene.Scene, cfg BuildConfig) (*Set, error) {
+	if cfg.TileSize <= 0 {
+		return nil, fmt.Errorf("dataset: tile size %d", cfg.TileSize)
+	}
+	perScene := make([][]Tile, len(scenes))
+	p := pool.New(cfg.Workers)
+	err := p.Map(len(scenes), func(i int) error {
+		tiles, err := buildScene(scenes[i], i, cfg)
+		if err != nil {
+			return fmt.Errorf("dataset: scene %d: %w", i, err)
+		}
+		perScene[i] = tiles
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	set := &Set{TileSize: cfg.TileSize}
+	for _, tiles := range perScene {
+		set.Tiles = append(set.Tiles, tiles...)
+	}
+	return set, nil
+}
+
+// buildScene filters and labels one scene at full scene scale (the
+// filter's neighborhood statistics need more context than a single tile)
+// and then cuts every product into tiles.
+func buildScene(sc *scene.Scene, index int, cfg BuildConfig) ([]Tile, error) {
+	res := cloudfilter.Filter(sc.Image, cfg.Filter)
+	auto, err := autolabel.Label(res.Image, cfg.Labels)
+	if err != nil {
+		return nil, err
+	}
+
+	origTiles, _, err := raster.Split(sc.Image, cfg.TileSize, cfg.TileSize)
+	if err != nil {
+		return nil, err
+	}
+	filtTiles, _, err := raster.Split(res.Image, cfg.TileSize, cfg.TileSize)
+	if err != nil {
+		return nil, err
+	}
+	manTiles, _, err := raster.SplitLabels(sc.Truth, cfg.TileSize, cfg.TileSize)
+	if err != nil {
+		return nil, err
+	}
+	autoTiles, _, err := raster.SplitLabels(auto, cfg.TileSize, cfg.TileSize)
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]Tile, len(origTiles))
+	for i := range origTiles {
+		// Per-tile cloud coverage from the scene's ground truth mask.
+		col, row := origTiles[i].Col, origTiles[i].Row
+		disturbed := 0
+		for y := 0; y < cfg.TileSize; y++ {
+			off := (row*cfg.TileSize+y)*sc.CloudMask.W + col*cfg.TileSize
+			for x := 0; x < cfg.TileSize; x++ {
+				if sc.CloudMask.Pix[off+x] != 0 {
+					disturbed++
+				}
+			}
+		}
+		out[i] = Tile{
+			Original:      origTiles[i].Image,
+			Filtered:      filtTiles[i].Image,
+			Manual:        manTiles[i],
+			Auto:          autoTiles[i],
+			CloudFraction: float64(disturbed) / float64(cfg.TileSize*cfg.TileSize),
+			Scene:         index,
+		}
+	}
+	return out, nil
+}
+
+// Split divides the tiles deterministically into train and test subsets
+// (the paper uses 80/20).
+func (s *Set) Split(trainFrac float64, seed uint64) (trainSet, testSet []Tile, err error) {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		return nil, nil, fmt.Errorf("dataset: train fraction %.2f outside (0,1)", trainFrac)
+	}
+	rng := noise.NewRNG(seed, 0x5117)
+	perm := rng.Perm(len(s.Tiles))
+	nTrain := int(float64(len(s.Tiles)) * trainFrac)
+	for i, idx := range perm {
+		if i < nTrain {
+			trainSet = append(trainSet, s.Tiles[idx])
+		} else {
+			testSet = append(testSet, s.Tiles[idx])
+		}
+	}
+	return trainSet, testSet, nil
+}
+
+// CloudBuckets partitions tiles by cloud coverage around the paper's
+// "about 10%" boundary (Table V).
+func CloudBuckets(tiles []Tile, boundary float64) (cloudy, clear []Tile) {
+	for _, t := range tiles {
+		if t.CloudFraction > boundary {
+			cloudy = append(cloudy, t)
+		} else {
+			clear = append(clear, t)
+		}
+	}
+	return cloudy, clear
+}
+
+// ImageKind selects which imagery view feeds the model.
+type ImageKind int
+
+// LabelKind selects which labels supervise training.
+type LabelKind int
+
+// The paper's four dataset views: original vs filtered imagery, manual
+// vs auto labels.
+const (
+	OriginalImages ImageKind = iota
+	FilteredImages
+)
+const (
+	ManualLabels LabelKind = iota
+	AutoLabels
+)
+
+// Samples converts tiles into training samples with the chosen image and
+// label views.
+func Samples(tiles []Tile, img ImageKind, lab LabelKind) []train.Sample {
+	out := make([]train.Sample, len(tiles))
+	for i, t := range tiles {
+		s := train.Sample{}
+		switch img {
+		case FilteredImages:
+			s.Image = t.Filtered
+		default:
+			s.Image = t.Original
+		}
+		switch lab {
+		case AutoLabels:
+			s.Labels = t.Auto
+		default:
+			s.Labels = t.Manual
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Subsample returns every k-th tile of a deterministic shuffle — the
+// stratification used to fit single-core training budgets while keeping
+// scene and cloud-cover diversity.
+func Subsample(tiles []Tile, n int, seed uint64) []Tile {
+	if n >= len(tiles) {
+		return tiles
+	}
+	if n <= 0 {
+		return nil
+	}
+	rng := noise.NewRNG(seed, 0x5ab5)
+	perm := rng.Perm(len(tiles))
+	out := make([]Tile, n)
+	for i := 0; i < n; i++ {
+		out[i] = tiles[perm[i]]
+	}
+	return out
+}

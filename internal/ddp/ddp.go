@@ -1,0 +1,218 @@
+// Package ddp is the Horovod analogue: synchronous data-parallel U-Net
+// training across N workers with ring all-reduce gradient averaging
+// (§III-C1). Each worker is a goroutine owning a full model replica — the
+// stand-in for one GPU of the paper's DGX A100 — and every step follows
+// Horovod's protocol:
+//
+//  1. rank 0 broadcasts initial weights (BroadcastGlobalVariables),
+//  2. each rank computes gradients on its shard of the global batch,
+//  3. gradients are averaged with the bandwidth-optimal ring all-reduce,
+//  4. every rank applies an identical Adam update, keeping replicas
+//     bit-synchronized.
+//
+// Because this host has a single core, the *wall-clock* speedup of real
+// goroutines is ~1×; Table III's timing is therefore reported through the
+// calibrated perfmodel.Horovod virtual clock, while the gradient math is
+// real and the equivalence theorem "K-worker DDP step == single-model
+// step on the merged batch" is verified in the tests.
+package ddp
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"seaice/internal/nn"
+	"seaice/internal/perfmodel"
+	"seaice/internal/ring"
+	"seaice/internal/train"
+	"seaice/internal/unet"
+)
+
+// Config controls a distributed training run.
+type Config struct {
+	// Workers is the number of simulated GPUs (the paper sweeps
+	// 1,2,4,6,8).
+	Workers int
+	// BatchPerWorker is the per-GPU batch size (paper: 32 per node).
+	BatchPerWorker int
+	Epochs         int
+	LR             float64
+	Seed           uint64
+	// Timing supplies the virtual clock for reported epoch times; the
+	// zero value disables virtual timing.
+	Timing perfmodel.Horovod
+	// Progress, if non-nil, receives per-epoch mean loss.
+	Progress func(epoch int, loss float64)
+}
+
+// EpochStat records one epoch's timing and loss.
+type EpochStat struct {
+	Loss           float64
+	VirtualSeconds float64
+	RealSeconds    float64
+}
+
+// Result summarizes the run.
+type Result struct {
+	Epochs       []EpochStat
+	VirtualTotal float64
+	RealTotal    float64
+	// Throughput is images/second against the virtual clock (the
+	// paper's "Data/s" column).
+	Throughput float64
+}
+
+// Trainer owns the worker replicas.
+type Trainer struct {
+	cfg      Config
+	replicas []*unet.Model
+	opts     []*nn.Adam
+}
+
+// New builds a trainer whose rank-0 replica is initialized from the model
+// configuration; ranks 1..N-1 receive rank 0's weights by broadcast.
+func New(modelCfg unet.Config, cfg Config) (*Trainer, error) {
+	if cfg.Workers <= 0 {
+		return nil, fmt.Errorf("ddp: workers %d", cfg.Workers)
+	}
+	if cfg.BatchPerWorker <= 0 || cfg.Epochs <= 0 {
+		return nil, fmt.Errorf("ddp: invalid batch %d or epochs %d", cfg.BatchPerWorker, cfg.Epochs)
+	}
+	t := &Trainer{cfg: cfg}
+	for r := 0; r < cfg.Workers; r++ {
+		mc := modelCfg
+		// Distinct dropout streams per rank; weights are broadcast
+		// from rank 0 below, so only regularization noise differs.
+		mc.Seed = modelCfg.Seed + uint64(r)*0x9e37
+		m, err := unet.New(mc)
+		if err != nil {
+			return nil, err
+		}
+		t.replicas = append(t.replicas, m)
+		t.opts = append(t.opts, nn.NewAdam(cfg.LR))
+	}
+	for r := 1; r < cfg.Workers; r++ {
+		if err := t.replicas[r].CopyWeightsFrom(t.replicas[0]); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Replica exposes a rank's model (rank 0 is the canonical result).
+func (t *Trainer) Replica(rank int) *unet.Model { return t.replicas[rank] }
+
+// Step runs one synchronous data-parallel step: shards[r] is rank r's
+// mini-batch. It returns the mean loss across ranks.
+func (t *Trainer) Step(shards [][]train.Sample) (float64, error) {
+	p := len(t.replicas)
+	if len(shards) != p {
+		return 0, fmt.Errorf("ddp: %d shards for %d workers", len(shards), p)
+	}
+
+	losses := make([]float64, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for r := 0; r < p; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			m := t.replicas[rank]
+			nn.ZeroGrads(m.Params())
+			if len(shards[rank]) == 0 {
+				return // rank idles this step; contributes zero grads
+			}
+			x, labels, err := train.ToTensor(shards[rank])
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			losses[rank], errs[rank] = m.LossAndGrad(x, labels)
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+
+	// Ring all-reduce each parameter's gradient across ranks.
+	params := make([][]*nn.Param, p)
+	for r := 0; r < p; r++ {
+		params[r] = t.replicas[r].Params()
+	}
+	for j := range params[0] {
+		vectors := make([][]float64, p)
+		for r := 0; r < p; r++ {
+			vectors[r] = params[r][j].Grad.Data
+		}
+		if err := ring.AllReduceMean(vectors); err != nil {
+			return 0, err
+		}
+	}
+
+	// Identical optimizer updates keep replicas synchronized.
+	for r := 0; r < p; r++ {
+		t.opts[r].Step(params[r])
+	}
+
+	total := 0.0
+	for _, l := range losses {
+		total += l
+	}
+	return total / float64(p), nil
+}
+
+// Fit trains for the configured epochs over the dataset, sharding each
+// global batch of Workers×BatchPerWorker samples across ranks.
+func (t *Trainer) Fit(samples []train.Sample) (*Result, error) {
+	globalBatch := t.cfg.Workers * t.cfg.BatchPerWorker
+	batcher, err := train.NewBatcher(samples, globalBatch, t.cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	for epoch := 0; epoch < t.cfg.Epochs; epoch++ {
+		start := time.Now()
+		totalLoss, nSteps := 0.0, 0
+		for _, batch := range batcher.Epoch(epoch) {
+			shards := shard(batch, t.cfg.Workers)
+			loss, err := t.Step(shards)
+			if err != nil {
+				return nil, err
+			}
+			totalLoss += loss
+			nSteps++
+		}
+		stat := EpochStat{
+			Loss:        totalLoss / float64(nSteps),
+			RealSeconds: time.Since(start).Seconds(),
+		}
+		if t.cfg.Timing.Compute > 0 {
+			stat.VirtualSeconds = t.cfg.Timing.EpochTime(t.cfg.Workers)
+		}
+		res.Epochs = append(res.Epochs, stat)
+		res.RealTotal += stat.RealSeconds
+		res.VirtualTotal += stat.VirtualSeconds
+		if t.cfg.Progress != nil {
+			t.cfg.Progress(epoch, stat.Loss)
+		}
+	}
+	if res.VirtualTotal > 0 {
+		res.Throughput = float64(len(samples)*t.cfg.Epochs) / res.VirtualTotal
+	}
+	return res, nil
+}
+
+// shard splits a batch round-robin across ranks; with batch =
+// Workers×BatchPerWorker every rank gets exactly BatchPerWorker samples.
+func shard(batch []train.Sample, workers int) [][]train.Sample {
+	out := make([][]train.Sample, workers)
+	for i, s := range batch {
+		r := i % workers
+		out[r] = append(out[r], s)
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package ddp
+
+import (
+	"math"
+	"testing"
+
+	"seaice/internal/nn"
+	"seaice/internal/noise"
+	"seaice/internal/perfmodel"
+	"seaice/internal/raster"
+	"seaice/internal/train"
+	"seaice/internal/unet"
+)
+
+// syntheticSamples builds deterministic random tiles with random labels.
+func syntheticSamples(seed uint64, n, size int) []train.Sample {
+	rng := noise.NewRNG(seed, 1)
+	out := make([]train.Sample, n)
+	for i := range out {
+		img := raster.NewRGB(size, size)
+		for j := range img.Pix {
+			img.Pix[j] = uint8(rng.Intn(256))
+		}
+		lab := raster.NewLabels(size, size)
+		for j := range lab.Pix {
+			lab.Pix[j] = raster.Class(rng.Intn(3))
+		}
+		out[i] = train.Sample{Image: img, Labels: lab}
+	}
+	return out
+}
+
+func noDropoutConfig(seed uint64) unet.Config {
+	return unet.Config{Depth: 2, BaseChannels: 4, InChannels: 3, Classes: 3, DropoutRate: 0, Seed: seed}
+}
+
+// TestDDPStepMatchesSingleModel is the core synchronous-data-parallel
+// equivalence theorem: a K-worker step over equal shards must produce the
+// same weights as one step of a single model on the merged batch (with
+// dropout disabled so stochastic masks cannot differ).
+func TestDDPStepMatchesSingleModel(t *testing.T) {
+	const workers = 4
+	const perWorker = 2
+	samples := syntheticSamples(77, workers*perWorker, 8)
+
+	// reference: single model, merged batch
+	ref, err := unet.New(noDropoutConfig(5))
+	if err != nil {
+		t.Fatalf("ref model: %v", err)
+	}
+	refOpt := nn.NewAdam(0.01)
+	x, labels, err := train.ToTensor(samples)
+	if err != nil {
+		t.Fatalf("tensor: %v", err)
+	}
+	nn.ZeroGrads(ref.Params())
+	if _, err := ref.LossAndGrad(x, labels); err != nil {
+		t.Fatalf("ref loss: %v", err)
+	}
+	refOpt.Step(ref.Params())
+
+	// ddp: same init (same seed), round-robin shards
+	tr, err := New(noDropoutConfig(5), Config{Workers: workers, BatchPerWorker: perWorker, Epochs: 1, LR: 0.01, Seed: 9})
+	if err != nil {
+		t.Fatalf("trainer: %v", err)
+	}
+	shards := make([][]train.Sample, workers)
+	for i, s := range samples {
+		shards[i%workers] = append(shards[i%workers], s)
+	}
+	if _, err := tr.Step(shards); err != nil {
+		t.Fatalf("step: %v", err)
+	}
+
+	// Weight comparison. The DDP gradient is the mean over workers of
+	// per-worker means; with equal shard sizes that equals the merged-
+	// batch mean, so weights must match to numerical precision.
+	refParams := ref.Params()
+	for r := 0; r < workers; r++ {
+		got := tr.Replica(r).Params()
+		for j := range refParams {
+			for i := range refParams[j].W.Data {
+				d := math.Abs(refParams[j].W.Data[i] - got[j].W.Data[i])
+				if d > 1e-9 {
+					t.Fatalf("rank %d param %s[%d] differs from single-model step by %g", r, refParams[j].Name, i, d)
+				}
+			}
+		}
+	}
+}
+
+// TestReplicasStaySynchronized: after several steps all replicas hold
+// bit-identical weights.
+func TestReplicasStaySynchronized(t *testing.T) {
+	const workers = 3
+	samples := syntheticSamples(88, 12, 8)
+	tr, err := New(noDropoutConfig(6), Config{Workers: workers, BatchPerWorker: 2, Epochs: 2, LR: 0.01, Seed: 10})
+	if err != nil {
+		t.Fatalf("trainer: %v", err)
+	}
+	if _, err := tr.Fit(samples); err != nil {
+		t.Fatalf("fit: %v", err)
+	}
+	p0 := tr.Replica(0).Params()
+	for r := 1; r < workers; r++ {
+		pr := tr.Replica(r).Params()
+		for j := range p0 {
+			for i := range p0[j].W.Data {
+				if p0[j].W.Data[i] != pr[j].W.Data[i] {
+					t.Fatalf("rank %d param %s[%d] diverged", r, p0[j].Name, i)
+				}
+			}
+		}
+	}
+}
+
+// TestDDPLossDecreases: distributed training must actually learn.
+func TestDDPLossDecreases(t *testing.T) {
+	samples := syntheticSamples(99, 8, 8)
+	tr, err := New(noDropoutConfig(7), Config{Workers: 2, BatchPerWorker: 4, Epochs: 8, LR: 0.02, Seed: 11})
+	if err != nil {
+		t.Fatalf("trainer: %v", err)
+	}
+	res, err := tr.Fit(samples)
+	if err != nil {
+		t.Fatalf("fit: %v", err)
+	}
+	first := res.Epochs[0].Loss
+	last := res.Epochs[len(res.Epochs)-1].Loss
+	t.Logf("ddp loss %f → %f", first, last)
+	if last >= first {
+		t.Fatalf("ddp training did not reduce loss: %f → %f", first, last)
+	}
+}
+
+// TestVirtualTiming: with the paper's DGX model attached, reported
+// virtual epoch times must follow the calibrated curve.
+func TestVirtualTiming(t *testing.T) {
+	samples := syntheticSamples(111, 8, 8)
+	model := perfmodel.PaperDGX()
+	tr, err := New(noDropoutConfig(8), Config{
+		Workers: 4, BatchPerWorker: 2, Epochs: 2, LR: 0.01, Seed: 12, Timing: model,
+	})
+	if err != nil {
+		t.Fatalf("trainer: %v", err)
+	}
+	res, err := tr.Fit(samples)
+	if err != nil {
+		t.Fatalf("fit: %v", err)
+	}
+	want := model.EpochTime(4) * 2
+	if math.Abs(res.VirtualTotal-want) > 1e-9 {
+		t.Fatalf("virtual total %f, want %f", res.VirtualTotal, want)
+	}
+	if res.Throughput <= 0 {
+		t.Fatalf("throughput not computed")
+	}
+}
+
+// TestConfigErrors rejects invalid configurations.
+func TestConfigErrors(t *testing.T) {
+	for _, cfg := range []Config{
+		{Workers: 0, BatchPerWorker: 1, Epochs: 1},
+		{Workers: 1, BatchPerWorker: 0, Epochs: 1},
+		{Workers: 1, BatchPerWorker: 1, Epochs: 0},
+	} {
+		if _, err := New(noDropoutConfig(1), cfg); err == nil {
+			t.Fatalf("config %+v should be rejected", cfg)
+		}
+	}
+}

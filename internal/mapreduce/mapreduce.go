@@ -1,0 +1,219 @@
+// Package mapreduce is a PySpark-like data-parallel engine: datasets are
+// partitioned, transformations (Map, Filter) are lazy and only recorded in
+// the lineage, and actions (Collect, Reduce, Count) trigger a stage that
+// executes every partition on a Runner. It reproduces the execution
+// semantics the paper relies on for distributed auto-labeling (§III-B:
+// "we create a Spark user-defined function for our auto-labeling method,
+// then apply the Map transformation … the Reduce function then collects
+// all the auto-labeled S2 data from multiple machines").
+//
+// Two runners are provided in runner.go: LocalRunner executes partitions
+// on real goroutines (correctness; real speedup where cores exist), and
+// SimRunner executes them on the simulated Dataproc cluster of
+// internal/cluster with the calibrated Table II cost models — only the
+// clock is virtual, the computation is real.
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Dataset is a lazily evaluated, partitioned collection. The compute
+// function materializes one partition by applying the recorded lineage to
+// the source data.
+type Dataset[T any] struct {
+	numParts int
+	lineage  string
+	compute  func(p int) ([]T, error)
+}
+
+// NumPartitions reports the partition count.
+func (d *Dataset[T]) NumPartitions() int { return d.numParts }
+
+// Lineage describes the transformation chain, for diagnostics.
+func (d *Dataset[T]) Lineage() string { return d.lineage }
+
+// Parallelize distributes items across numParts partitions in contiguous
+// ranges (Spark's default slicing for parallelize).
+func Parallelize[T any](items []T, numParts int) (*Dataset[T], error) {
+	if numParts <= 0 {
+		return nil, fmt.Errorf("mapreduce: numParts must be positive, got %d", numParts)
+	}
+	n := len(items)
+	return &Dataset[T]{
+		numParts: numParts,
+		lineage:  fmt.Sprintf("parallelize[%d items, %d parts]", n, numParts),
+		compute: func(p int) ([]T, error) {
+			lo := p * n / numParts
+			hi := (p + 1) * n / numParts
+			return items[lo:hi], nil
+		},
+	}, nil
+}
+
+// Generate creates a dataset whose items are produced on demand by gen —
+// the analogue of reading source imagery from distributed storage. Each
+// partition generates its contiguous index range.
+func Generate[T any](n, numParts int, gen func(i int) (T, error)) (*Dataset[T], error) {
+	if numParts <= 0 {
+		return nil, fmt.Errorf("mapreduce: numParts must be positive, got %d", numParts)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("mapreduce: negative item count %d", n)
+	}
+	return &Dataset[T]{
+		numParts: numParts,
+		lineage:  fmt.Sprintf("generate[%d items, %d parts]", n, numParts),
+		compute: func(p int) ([]T, error) {
+			lo := p * n / numParts
+			hi := (p + 1) * n / numParts
+			out := make([]T, 0, hi-lo)
+			for i := lo; i < hi; i++ {
+				v, err := gen(i)
+				if err != nil {
+					return nil, fmt.Errorf("mapreduce: generate item %d: %w", i, err)
+				}
+				out = append(out, v)
+			}
+			return out, nil
+		},
+	}, nil
+}
+
+// Map records a lazy element-wise transformation (the paper's UDF applied
+// with the Map transformation). No work happens until an action runs.
+func Map[T, U any](d *Dataset[T], fn func(T) (U, error)) *Dataset[U] {
+	return &Dataset[U]{
+		numParts: d.numParts,
+		lineage:  d.lineage + " → map",
+		compute: func(p int) ([]U, error) {
+			in, err := d.compute(p)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]U, len(in))
+			for i, v := range in {
+				u, err := fn(v)
+				if err != nil {
+					return nil, fmt.Errorf("mapreduce: map: %w", err)
+				}
+				out[i] = u
+			}
+			return out, nil
+		},
+	}
+}
+
+// Filter records a lazy predicate transformation.
+func Filter[T any](d *Dataset[T], keep func(T) bool) *Dataset[T] {
+	return &Dataset[T]{
+		numParts: d.numParts,
+		lineage:  d.lineage + " → filter",
+		compute: func(p int) ([]T, error) {
+			in, err := d.compute(p)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]T, 0, len(in))
+			for _, v := range in {
+				if keep(v) {
+					out = append(out, v)
+				}
+			}
+			return out, nil
+		},
+	}
+}
+
+// ErrEmptyDataset is returned by Reduce on a dataset with no elements.
+var ErrEmptyDataset = errors.New("mapreduce: reduce of empty dataset")
+
+// Collect runs the lineage on every partition via the runner and returns
+// all elements in partition order — the action the paper's workflow uses
+// to gather auto-labeled tiles at the driver.
+func Collect[T any](d *Dataset[T], r Runner) ([]T, StageStats, error) {
+	parts := make([][]T, d.numParts)
+	stats, err := r.RunStage(d.numParts, func(p int) (int, error) {
+		out, err := d.compute(p)
+		if err != nil {
+			return 0, err
+		}
+		parts[p] = out
+		return len(out), nil
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	var all []T
+	for _, p := range parts {
+		all = append(all, p...)
+	}
+	return all, stats, nil
+}
+
+// Reduce folds every partition with fn on the executors, then folds the
+// per-partition results at the driver. fn must be associative.
+func Reduce[T any](d *Dataset[T], r Runner, fn func(a, b T) T) (T, StageStats, error) {
+	type partial struct {
+		ok  bool
+		val T
+	}
+	partials := make([]partial, d.numParts)
+	stats, err := r.RunStage(d.numParts, func(p int) (int, error) {
+		items, err := d.compute(p)
+		if err != nil {
+			return 0, err
+		}
+		if len(items) == 0 {
+			return 0, nil
+		}
+		acc := items[0]
+		for _, v := range items[1:] {
+			acc = fn(acc, v)
+		}
+		partials[p] = partial{ok: true, val: acc}
+		return len(items), nil
+	})
+	var zero T
+	if err != nil {
+		return zero, stats, err
+	}
+	acc := zero
+	have := false
+	for _, p := range partials {
+		if !p.ok {
+			continue
+		}
+		if !have {
+			acc, have = p.val, true
+		} else {
+			acc = fn(acc, p.val)
+		}
+	}
+	if !have {
+		return zero, stats, ErrEmptyDataset
+	}
+	return acc, stats, nil
+}
+
+// Count returns the number of elements.
+func Count[T any](d *Dataset[T], r Runner) (int, StageStats, error) {
+	counts := make([]int, d.numParts)
+	stats, err := r.RunStage(d.numParts, func(p int) (int, error) {
+		items, err := d.compute(p)
+		if err != nil {
+			return 0, err
+		}
+		counts[p] = len(items)
+		return len(items), nil
+	})
+	if err != nil {
+		return 0, stats, err
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return total, stats, nil
+}

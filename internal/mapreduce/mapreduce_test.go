@@ -1,0 +1,211 @@
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"seaice/internal/perfmodel"
+)
+
+func ints(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// TestCollectEqualsSerial: for any partitioning and either runner, the
+// engine must produce exactly the serial map result in order.
+func TestCollectEqualsSerial(t *testing.T) {
+	f := func(nRaw, pRaw uint8) bool {
+		n := int(nRaw) % 200
+		parts := int(pRaw)%8 + 1
+		ds, err := Parallelize(ints(n), parts)
+		if err != nil {
+			return false
+		}
+		mapped := Map(ds, func(v int) (int, error) { return v*3 + 1, nil })
+		got, _, err := Collect(mapped, LocalRunner{Parallelism: 3})
+		if err != nil {
+			return false
+		}
+		if len(got) != n {
+			return false
+		}
+		for i, v := range got {
+			if v != i*3+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectSimRunnerEqualsSerial(t *testing.T) {
+	ds, _ := Parallelize(ints(100), 7)
+	mapped := Map(ds, func(v int) (int, error) { return v * v, nil })
+	r, err := NewSimRunner(2, 2, StageCost{PerItem: 0.001})
+	if err != nil {
+		t.Fatalf("runner: %v", err)
+	}
+	got, stats, err := Collect(mapped, r)
+	if err != nil {
+		t.Fatalf("collect: %v", err)
+	}
+	if !stats.Virtual || stats.Items != 100 {
+		t.Fatalf("stats wrong: %+v", stats)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapIsLazy(t *testing.T) {
+	calls := 0
+	ds, _ := Parallelize(ints(10), 2)
+	_ = Map(ds, func(v int) (int, error) {
+		calls++
+		return v, nil
+	})
+	if calls != 0 {
+		t.Fatalf("map ran %d items before any action (must be lazy)", calls)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	ds, _ := Parallelize(ints(20), 3)
+	evens := Filter(ds, func(v int) bool { return v%2 == 0 })
+	got, _, err := Collect(evens, LocalRunner{})
+	if err != nil {
+		t.Fatalf("collect: %v", err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("kept %d, want 10", len(got))
+	}
+	n, _, err := Count(evens, LocalRunner{})
+	if err != nil || n != 10 {
+		t.Fatalf("count %d err %v", n, err)
+	}
+}
+
+func TestReduceAssociativeFold(t *testing.T) {
+	ds, _ := Parallelize(ints(101), 5)
+	sum, _, err := Reduce(ds, LocalRunner{}, func(a, b int) int { return a + b })
+	if err != nil {
+		t.Fatalf("reduce: %v", err)
+	}
+	if sum != 101*100/2 {
+		t.Fatalf("sum %d, want %d", sum, 101*100/2)
+	}
+}
+
+func TestReduceEmptyDataset(t *testing.T) {
+	ds, _ := Parallelize([]int{}, 3)
+	_, _, err := Reduce(ds, LocalRunner{}, func(a, b int) int { return a + b })
+	if !errors.Is(err, ErrEmptyDataset) {
+		t.Fatalf("got %v, want ErrEmptyDataset", err)
+	}
+}
+
+func TestErrorPropagatesFromUDF(t *testing.T) {
+	ds, _ := Parallelize(ints(10), 2)
+	bad := Map(ds, func(v int) (int, error) {
+		if v == 7 {
+			return 0, fmt.Errorf("udf failed on %d", v)
+		}
+		return v, nil
+	})
+	if _, _, err := Collect(bad, LocalRunner{}); err == nil {
+		t.Fatal("expected UDF error from local runner")
+	}
+	r, _ := NewSimRunner(1, 2, StageCost{PerItem: 0.01})
+	if _, _, err := Collect(bad, r); err == nil {
+		t.Fatal("expected UDF error from sim runner")
+	}
+}
+
+func TestGenerateDataset(t *testing.T) {
+	ds, err := Generate(25, 4, func(i int) (int, error) { return i * 10, nil })
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	got, _, err := Collect(ds, LocalRunner{})
+	if err != nil {
+		t.Fatalf("collect: %v", err)
+	}
+	for i, v := range got {
+		if v != i*10 {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestLineageDescribesChain(t *testing.T) {
+	ds, _ := Parallelize(ints(5), 2)
+	m := Map(ds, func(v int) (int, error) { return v, nil })
+	f := Filter(m, func(int) bool { return true })
+	if f.Lineage() != "parallelize[5 items, 2 parts] → map → filter" {
+		t.Fatalf("lineage %q", f.Lineage())
+	}
+	if f.NumPartitions() != 2 {
+		t.Fatalf("partitions %d", f.NumPartitions())
+	}
+}
+
+func TestInvalidPartitions(t *testing.T) {
+	if _, err := Parallelize(ints(5), 0); err == nil {
+		t.Fatal("expected partition-count error")
+	}
+	if _, err := Generate(5, -1, func(i int) (int, error) { return 0, nil }); err == nil {
+		t.Fatal("expected partition-count error")
+	}
+	if _, err := Generate(-5, 1, func(i int) (int, error) { return 0, nil }); err == nil {
+		t.Fatal("expected item-count error")
+	}
+}
+
+// TestSimRunnerVirtualTimeMatchesModel: with the calibrated Table II
+// reduce model and even partitions, the virtual stage time must land on
+// the analytic SparkStage prediction.
+func TestSimRunnerVirtualTimeMatchesModel(t *testing.T) {
+	const items = 4224
+	stage := perfmodel.PaperReduceStage()
+	cost := CostFromSparkStage(stage, items)
+	for _, tc := range []struct{ e, c int }{{1, 1}, {1, 4}, {2, 2}, {4, 4}} {
+		r, err := NewSimRunner(tc.e, tc.c, cost)
+		if err != nil {
+			t.Fatalf("runner: %v", err)
+		}
+		ds, _ := Generate(items, tc.e*tc.c*4, func(i int) (int, error) { return i, nil })
+		_, stats, err := Collect(ds, r)
+		if err != nil {
+			t.Fatalf("collect: %v", err)
+		}
+		want := stage.Time(tc.e, tc.c)
+		// Partition rounding introduces tiny deviations.
+		if math.Abs(stats.Elapsed-want) > want*0.02 {
+			t.Fatalf("%dx%d: virtual %f, model %f", tc.e, tc.c, stats.Elapsed, want)
+		}
+	}
+}
+
+// TestStageStatsItems counts processed elements.
+func TestStageStatsItems(t *testing.T) {
+	ds, _ := Parallelize(ints(42), 5)
+	_, stats, err := Collect(ds, LocalRunner{})
+	if err != nil {
+		t.Fatalf("collect: %v", err)
+	}
+	if stats.Items != 42 || stats.Virtual {
+		t.Fatalf("stats %+v", stats)
+	}
+}

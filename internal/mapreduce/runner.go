@@ -1,0 +1,136 @@
+package mapreduce
+
+import (
+	"fmt"
+	"time"
+
+	"seaice/internal/cluster"
+	"seaice/internal/perfmodel"
+	"seaice/internal/pool"
+	"seaice/internal/simtime"
+)
+
+// StageStats reports how a stage executed.
+type StageStats struct {
+	// Elapsed is wall-clock seconds: real for LocalRunner, virtual for
+	// SimRunner.
+	Elapsed float64
+	// Items is the total number of elements processed.
+	Items int
+	// Utilization is busy-time / (slots × span); only SimRunner fills
+	// it.
+	Utilization float64
+	// Virtual marks simulated time.
+	Virtual bool
+}
+
+// Runner executes the partitions of one stage. work(p) computes partition
+// p and returns the number of items it processed.
+type Runner interface {
+	RunStage(nParts int, work func(p int) (int, error)) (StageStats, error)
+}
+
+// LocalRunner executes partitions on real goroutines — the engine's
+// correctness baseline, and a real speedup path on multi-core hosts.
+type LocalRunner struct {
+	Parallelism int // goroutines; <=0 means GOMAXPROCS
+}
+
+// RunStage implements Runner.
+func (r LocalRunner) RunStage(nParts int, work func(p int) (int, error)) (StageStats, error) {
+	counts := make([]int, nParts)
+	p := pool.New(r.Parallelism)
+	start := time.Now()
+	err := p.Map(nParts, func(i int) error {
+		n, err := work(i)
+		if err != nil {
+			return err
+		}
+		counts[i] = n
+		return nil
+	})
+	stats := StageStats{Elapsed: time.Since(start).Seconds()}
+	for _, c := range counts {
+		stats.Items += c
+	}
+	return stats, err
+}
+
+// StageCost converts item counts into modeled task durations for the
+// simulated cluster. It is the per-task form of perfmodel.SparkStage:
+// a task over k items on a cluster with s slots costs
+//
+//	k · PerItem · (1 + ContentionK/s)
+//
+// and the stage pays DriverSerial once at the driver.
+type StageCost struct {
+	DriverSerial float64
+	PerItem      float64
+	ContentionK  float64
+}
+
+// CostFromSparkStage converts the calibrated whole-stage model into a
+// per-item cost, given the workload size the model was fitted on.
+func CostFromSparkStage(m perfmodel.SparkStage, totalItems int) StageCost {
+	if totalItems <= 0 {
+		totalItems = 1
+	}
+	return StageCost{
+		DriverSerial: m.Serial,
+		PerItem:      m.Work / float64(totalItems),
+		ContentionK:  m.Contention,
+	}
+}
+
+// SimRunner executes partitions as tasks on the simulated Dataproc
+// cluster. The partition computations actually run (on this goroutine, at
+// task-dispatch virtual times); only the reported Elapsed is virtual.
+type SimRunner struct {
+	Cluster *cluster.Cluster
+	Cost    StageCost
+}
+
+// NewSimRunner builds a cluster of the given topology on a fresh virtual
+// clock.
+func NewSimRunner(executors, cores int, cost StageCost) (*SimRunner, error) {
+	cl, err := cluster.New(cluster.Config{Executors: executors, CoresPerExecutor: cores}, &simtime.Clock{})
+	if err != nil {
+		return nil, err
+	}
+	return &SimRunner{Cluster: cl, Cost: cost}, nil
+}
+
+// RunStage implements Runner. The partitions' real work runs first (the
+// host has one core; ordering cannot change the results of pure
+// per-partition computations), and the stage is then scheduled on the
+// virtual cluster with per-task durations priced from the true item
+// counts. Elapsed is the virtual makespan including driver serial time.
+func (r *SimRunner) RunStage(nParts int, work func(p int) (int, error)) (StageStats, error) {
+	if r.Cluster == nil {
+		return StageStats{}, fmt.Errorf("mapreduce: SimRunner has no cluster")
+	}
+	counts := make([]int, nParts)
+	for p := 0; p < nParts; p++ {
+		n, err := work(p)
+		if err != nil {
+			return StageStats{Virtual: true}, err
+		}
+		counts[p] = n
+	}
+
+	slots := r.Cluster.Config().Slots()
+	contention := 1 + r.Cost.ContentionK/float64(slots)
+	tasks := make([]cluster.Task, nParts)
+	items := 0
+	for p, c := range counts {
+		tasks[p] = cluster.Task{Duration: float64(c) * r.Cost.PerItem * contention}
+		items += c
+	}
+	result := r.Cluster.RunStage(r.Cost.DriverSerial, tasks)
+	return StageStats{
+		Elapsed:     result.Elapsed,
+		Items:       items,
+		Utilization: result.Utilization,
+		Virtual:     true,
+	}, nil
+}

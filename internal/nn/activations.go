@@ -1,0 +1,230 @@
+package nn
+
+import (
+	"fmt"
+
+	"seaice/internal/noise"
+	"seaice/internal/tensor"
+)
+
+// ReLU is the rectified linear activation used after every convolution in
+// the paper's architecture.
+type ReLU struct {
+	name string
+	mask []bool
+}
+
+// NewReLU returns a ReLU layer.
+func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return r.name }
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Forward clamps negatives to zero, remembering the active set.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := x.Clone()
+	if cap(r.mask) < len(y.Data) {
+		r.mask = make([]bool, len(y.Data))
+	}
+	r.mask = r.mask[:len(y.Data)]
+	for i, v := range y.Data {
+		if v > 0 {
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+			y.Data[i] = 0
+		}
+	}
+	return y
+}
+
+// Backward passes gradients only through the active set.
+func (r *ReLU) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	dx := dy.Clone()
+	for i := range dx.Data {
+		if !r.mask[i] {
+			dx.Data[i] = 0
+		}
+	}
+	return dx
+}
+
+// MaxPool2 is the 2×2 stride-2 max pooling of the contraction path.
+type MaxPool2 struct {
+	name   string
+	argmax []int32
+	inShp  []int
+}
+
+// NewMaxPool2 returns a max-pool layer.
+func NewMaxPool2(name string) *MaxPool2 { return &MaxPool2{name: name} }
+
+// Name implements Layer.
+func (m *MaxPool2) Name() string { return m.name }
+
+// Params implements Layer.
+func (m *MaxPool2) Params() []*Param { return nil }
+
+// Forward keeps the max of each 2×2 block and records its index.
+func (m *MaxPool2) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if len(x.Shape) != 4 || x.Shape[2]%2 != 0 || x.Shape[3]%2 != 0 {
+		panic(fmt.Sprintf("nn: %s needs even NCHW input, got %v", m.name, x.Shape))
+	}
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := h/2, w/2
+	m.inShp = x.Shape
+	y := tensor.New(n, c, oh, ow)
+	if cap(m.argmax) < y.Len() {
+		m.argmax = make([]int32, y.Len())
+	}
+	m.argmax = m.argmax[:y.Len()]
+
+	oi := 0
+	for nc := 0; nc < n*c; nc++ {
+		base := nc * h * w
+		for oy := 0; oy < oh; oy++ {
+			i0 := base + (2*oy)*w
+			i1 := base + (2*oy+1)*w
+			for ox := 0; ox < ow; ox++ {
+				a, b, cc, d := i0+2*ox, i0+2*ox+1, i1+2*ox, i1+2*ox+1
+				best, bv := a, x.Data[a]
+				if x.Data[b] > bv {
+					best, bv = b, x.Data[b]
+				}
+				if x.Data[cc] > bv {
+					best, bv = cc, x.Data[cc]
+				}
+				if x.Data[d] > bv {
+					best, bv = d, x.Data[d]
+				}
+				y.Data[oi] = bv
+				m.argmax[oi] = int32(best)
+				oi++
+			}
+		}
+	}
+	return y
+}
+
+// Backward routes each gradient to the block's argmax position.
+func (m *MaxPool2) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(m.inShp...)
+	for i, v := range dy.Data {
+		dx.Data[m.argmax[i]] += v
+	}
+	return dx
+}
+
+// Dropout zeroes a fraction of activations during training and scales the
+// survivors (inverted dropout), the regularization the paper inserts
+// between convolutional layers.
+type Dropout struct {
+	name string
+	Rate float64
+	rng  *noise.RNG
+	keep []bool
+}
+
+// NewDropout builds a dropout layer with its own deterministic stream.
+func NewDropout(name string, rate float64, rng *noise.RNG) *Dropout {
+	if rate < 0 || rate >= 1 {
+		panic(fmt.Sprintf("nn: %s invalid dropout rate %f", name, rate))
+	}
+	return &Dropout{name: name, Rate: rate, rng: rng}
+}
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return d.name }
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }
+
+// Forward applies inverted dropout in training mode and is the identity
+// at inference.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.Rate == 0 {
+		d.keep = nil
+		return x.Clone()
+	}
+	y := x.Clone()
+	if cap(d.keep) < len(y.Data) {
+		d.keep = make([]bool, len(y.Data))
+	}
+	d.keep = d.keep[:len(y.Data)]
+	scale := 1 / (1 - d.Rate)
+	for i := range y.Data {
+		if d.rng.Float64() < d.Rate {
+			d.keep[i] = false
+			y.Data[i] = 0
+		} else {
+			d.keep[i] = true
+			y.Data[i] *= scale
+		}
+	}
+	return y
+}
+
+// Backward mirrors the forward mask.
+func (d *Dropout) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	if d.keep == nil {
+		return dy.Clone()
+	}
+	dx := dy.Clone()
+	scale := 1 / (1 - d.Rate)
+	for i := range dx.Data {
+		if d.keep[i] {
+			dx.Data[i] *= scale
+		} else {
+			dx.Data[i] = 0
+		}
+	}
+	return dx
+}
+
+// Concat joins two NCHW tensors along the channel axis — the U-Net skip
+// connection that concatenates encoder features onto the upsampled
+// decoder features.
+type Concat struct {
+	name   string
+	aC, bC int
+}
+
+// NewConcat returns a channel-concatenation "layer" with a two-input
+// Join/backward-split API instead of the single-input Layer interface.
+func NewConcat(name string) *Concat { return &Concat{name: name} }
+
+// Name identifies the join in diagnostics.
+func (c *Concat) Name() string { return c.name }
+
+// Join concatenates a and b along channels.
+func (c *Concat) Join(a, b *tensor.Tensor) *tensor.Tensor {
+	if len(a.Shape) != 4 || len(b.Shape) != 4 ||
+		a.Shape[0] != b.Shape[0] || a.Shape[2] != b.Shape[2] || a.Shape[3] != b.Shape[3] {
+		panic(fmt.Sprintf("nn: %s cannot concat %v and %v", c.name, a.Shape, b.Shape))
+	}
+	n, h, w := a.Shape[0], a.Shape[2], a.Shape[3]
+	c.aC, c.bC = a.Shape[1], b.Shape[1]
+	y := tensor.New(n, c.aC+c.bC, h, w)
+	plane := h * w
+	for img := 0; img < n; img++ {
+		copy(y.Data[img*(c.aC+c.bC)*plane:], a.Data[img*c.aC*plane:(img+1)*c.aC*plane])
+		copy(y.Data[(img*(c.aC+c.bC)+c.aC)*plane:], b.Data[img*c.bC*plane:(img+1)*c.bC*plane])
+	}
+	return y
+}
+
+// Split divides the joined gradient back into the two inputs' gradients.
+func (c *Concat) Split(dy *tensor.Tensor) (da, db *tensor.Tensor) {
+	n, h, w := dy.Shape[0], dy.Shape[2], dy.Shape[3]
+	plane := h * w
+	da = tensor.New(n, c.aC, h, w)
+	db = tensor.New(n, c.bC, h, w)
+	for img := 0; img < n; img++ {
+		copy(da.Data[img*c.aC*plane:(img+1)*c.aC*plane], dy.Data[img*(c.aC+c.bC)*plane:])
+		copy(db.Data[img*c.bC*plane:(img+1)*c.bC*plane], dy.Data[(img*(c.aC+c.bC)+c.aC)*plane:])
+	}
+	return da, db
+}

@@ -1,0 +1,59 @@
+package nn
+
+import (
+	"math"
+
+	"seaice/internal/tensor"
+)
+
+// Adam implements the Adam optimizer (Kingma & Ba), the optimizer the
+// paper trains its U-Net with. One instance owns the moment estimates for
+// a fixed parameter set.
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+
+	t int
+	m []*tensor.Tensor
+	v []*tensor.Tensor
+}
+
+// NewAdam returns an optimizer with the conventional defaults
+// (β1=0.9, β2=0.999, ε=1e-8).
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8}
+}
+
+// Step applies one update to the parameters using their accumulated
+// gradients, then the caller typically zeroes the grads. Moment tensors
+// are allocated lazily on first use and tracked by position, so the same
+// parameter slice (same order) must be passed every step.
+func (a *Adam) Step(params []*Param) {
+	if a.m == nil {
+		a.m = make([]*tensor.Tensor, len(params))
+		a.v = make([]*tensor.Tensor, len(params))
+		for i, p := range params {
+			a.m[i] = tensor.New(p.W.Shape...)
+			a.v[i] = tensor.New(p.W.Shape...)
+		}
+	}
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+
+	for i, p := range params {
+		m, v := a.m[i], a.v[i]
+		for j, g := range p.Grad.Data {
+			m.Data[j] = a.Beta1*m.Data[j] + (1-a.Beta1)*g
+			v.Data[j] = a.Beta2*v.Data[j] + (1-a.Beta2)*g*g
+			mh := m.Data[j] / bc1
+			vh := v.Data[j] / bc2
+			p.W.Data[j] -= a.LR * mh / (math.Sqrt(vh) + a.Epsilon)
+		}
+	}
+}
+
+// Steps reports how many updates have been applied.
+func (a *Adam) Steps() int { return a.t }

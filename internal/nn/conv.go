@@ -1,0 +1,245 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"seaice/internal/noise"
+	"seaice/internal/tensor"
+)
+
+// Conv2D is a same-padded 2-D convolution with bias, the workhorse of the
+// U-Net's double-convolution blocks (kernel 3×3, stride 1 in the paper).
+type Conv2D struct {
+	name             string
+	InC, OutC        int
+	KH, KW           int
+	Stride, Pad      int
+	Weight           *Param // (OutC, InC·KH·KW)
+	Bias             *Param // (OutC)
+	x                *tensor.Tensor
+	cols             *tensor.Tensor
+	outH, outW, numN int
+}
+
+// NewConv2D builds a convolution with He-normal initialization (the
+// standard choice before ReLU). Pad defaults to "same" for stride 1.
+func NewConv2D(name string, inC, outC, k int, rng *noise.RNG) *Conv2D {
+	c := &Conv2D{
+		name: name,
+		InC:  inC, OutC: outC,
+		KH: k, KW: k,
+		Stride: 1, Pad: k / 2,
+	}
+	c.Weight = &Param{
+		Name: name + ".weight",
+		W:    tensor.New(outC, inC*k*k),
+		Grad: tensor.New(outC, inC*k*k),
+	}
+	std := heStd(inC * k * k)
+	c.Weight.W.FillRandn(rng, std)
+	c.Bias = &Param{
+		Name: name + ".bias",
+		W:    tensor.New(outC),
+		Grad: tensor.New(outC),
+	}
+	return c
+}
+
+func heStd(fanIn int) float64 {
+	if fanIn <= 0 {
+		return 0.01
+	}
+	return math.Sqrt(2 / float64(fanIn))
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return c.name }
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.Weight, c.Bias} }
+
+// Forward computes y = W·im2col(x) + b.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if len(x.Shape) != 4 || x.Shape[1] != c.InC {
+		panic(fmt.Sprintf("nn: %s expects (N,%d,H,W), got %v", c.name, c.InC, x.Shape))
+	}
+	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	c.x = x
+	c.cols = tensor.Im2Col(x, c.KH, c.KW, c.Stride, c.Pad)
+	c.outH = (h+2*c.Pad-c.KH)/c.Stride + 1
+	c.outW = (w+2*c.Pad-c.KW)/c.Stride + 1
+	c.numN = n
+
+	out := tensor.MatMul(c.Weight.W, c.cols) // (OutC, N·OH·OW)
+	// add bias and reorder (OutC, N, OH·OW) → (N, OutC, OH, OW)
+	y := tensor.New(n, c.OutC, c.outH, c.outW)
+	plane := c.outH * c.outW
+	for oc := 0; oc < c.OutC; oc++ {
+		b := c.Bias.W.Data[oc]
+		for img := 0; img < n; img++ {
+			src := out.Data[oc*n*plane+img*plane : oc*n*plane+(img+1)*plane]
+			dst := y.Data[(img*c.OutC+oc)*plane : (img*c.OutC+oc+1)*plane]
+			for i, v := range src {
+				dst[i] = v + b
+			}
+		}
+	}
+	return y
+}
+
+// Backward computes input, weight, and bias gradients.
+func (c *Conv2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	n, plane := c.numN, c.outH*c.outW
+	// reorder dy (N,OutC,OH,OW) → (OutC, N·OH·OW)
+	dout := tensor.New(c.OutC, n*plane)
+	for oc := 0; oc < c.OutC; oc++ {
+		for img := 0; img < n; img++ {
+			src := dy.Data[(img*c.OutC+oc)*plane : (img*c.OutC+oc+1)*plane]
+			dst := dout.Data[oc*n*plane+img*plane : oc*n*plane+(img+1)*plane]
+			copy(dst, src)
+		}
+	}
+
+	// bias gradient: sum over positions
+	for oc := 0; oc < c.OutC; oc++ {
+		sum := 0.0
+		for _, v := range dout.Data[oc*n*plane : (oc+1)*n*plane] {
+			sum += v
+		}
+		c.Bias.Grad.Data[oc] += sum
+	}
+
+	// weight gradient: dW = dout × colsᵀ
+	dw := tensor.MatMulABT(dout, c.cols)
+	c.Weight.Grad.AddInPlace(dw)
+
+	// input gradient: dcols = Wᵀ × dout, then fold back
+	dcols := tensor.MatMulATB(c.Weight.W, dout)
+	dx := tensor.Col2Im(dcols, n, c.InC, c.x.Shape[2], c.x.Shape[3], c.KH, c.KW, c.Stride, c.Pad)
+	return dx
+}
+
+// ConvTranspose2x2 is the paper's "up-convolution": a 2×2 transposed
+// convolution with stride 2 that doubles spatial resolution and halves
+// the channel count on the U-Net's expansion path.
+type ConvTranspose2x2 struct {
+	name      string
+	InC, OutC int
+	Weight    *Param // (InC, OutC·2·2)
+	Bias      *Param // (OutC)
+	x         *tensor.Tensor
+}
+
+// NewConvTranspose2x2 builds the up-convolution with He initialization.
+func NewConvTranspose2x2(name string, inC, outC int, rng *noise.RNG) *ConvTranspose2x2 {
+	u := &ConvTranspose2x2{name: name, InC: inC, OutC: outC}
+	u.Weight = &Param{
+		Name: name + ".weight",
+		W:    tensor.New(inC, outC*4),
+		Grad: tensor.New(inC, outC*4),
+	}
+	u.Weight.W.FillRandn(rng, heStd(inC))
+	u.Bias = &Param{
+		Name: name + ".bias",
+		W:    tensor.New(outC),
+		Grad: tensor.New(outC),
+	}
+	return u
+}
+
+// Name implements Layer.
+func (u *ConvTranspose2x2) Name() string { return u.name }
+
+// Params implements Layer.
+func (u *ConvTranspose2x2) Params() []*Param { return []*Param{u.Weight, u.Bias} }
+
+// Forward scatters each input pixel into a 2×2 output block: with stride
+// 2 and kernel 2 the blocks do not overlap, so the transposed convolution
+// reduces to a per-pixel linear map from InC to OutC·4.
+func (u *ConvTranspose2x2) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if len(x.Shape) != 4 || x.Shape[1] != u.InC {
+		panic(fmt.Sprintf("nn: %s expects (N,%d,H,W), got %v", u.name, u.InC, x.Shape))
+	}
+	u.x = x
+	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	y := tensor.New(n, u.OutC, 2*h, 2*w)
+	for img := 0; img < n; img++ {
+		for ic := 0; ic < u.InC; ic++ {
+			wrow := u.Weight.W.Data[ic*u.OutC*4 : (ic+1)*u.OutC*4]
+			xp := x.Data[(img*u.InC+ic)*h*w : (img*u.InC+ic+1)*h*w]
+			for oc := 0; oc < u.OutC; oc++ {
+				k := wrow[oc*4 : oc*4+4]
+				yp := y.Data[(img*u.OutC+oc)*4*h*w : (img*u.OutC+oc+1)*4*h*w]
+				for iy := 0; iy < h; iy++ {
+					row0 := yp[(2*iy)*(2*w):]
+					row1 := yp[(2*iy+1)*(2*w):]
+					xr := xp[iy*w : (iy+1)*w]
+					for ix, v := range xr {
+						row0[2*ix] += v * k[0]
+						row0[2*ix+1] += v * k[1]
+						row1[2*ix] += v * k[2]
+						row1[2*ix+1] += v * k[3]
+					}
+				}
+			}
+		}
+	}
+	// bias
+	plane := 4 * h * w
+	for img := 0; img < n; img++ {
+		for oc := 0; oc < u.OutC; oc++ {
+			b := u.Bias.W.Data[oc]
+			yp := y.Data[(img*u.OutC+oc)*plane : (img*u.OutC+oc+1)*plane]
+			for i := range yp {
+				yp[i] += b
+			}
+		}
+	}
+	return y
+}
+
+// Backward gathers gradients from each 2×2 block.
+func (u *ConvTranspose2x2) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	n, h, w := u.x.Shape[0], u.x.Shape[2], u.x.Shape[3]
+	dx := tensor.New(n, u.InC, h, w)
+	plane := 4 * h * w
+
+	for img := 0; img < n; img++ {
+		for oc := 0; oc < u.OutC; oc++ {
+			dyp := dy.Data[(img*u.OutC+oc)*plane : (img*u.OutC+oc+1)*plane]
+			sum := 0.0
+			for _, v := range dyp {
+				sum += v
+			}
+			u.Bias.Grad.Data[oc] += sum
+		}
+		for ic := 0; ic < u.InC; ic++ {
+			xp := u.x.Data[(img*u.InC+ic)*h*w : (img*u.InC+ic+1)*h*w]
+			dxp := dx.Data[(img*u.InC+ic)*h*w : (img*u.InC+ic+1)*h*w]
+			wrow := u.Weight.W.Data[ic*u.OutC*4 : (ic+1)*u.OutC*4]
+			grow := u.Weight.Grad.Data[ic*u.OutC*4 : (ic+1)*u.OutC*4]
+			for oc := 0; oc < u.OutC; oc++ {
+				k := wrow[oc*4 : oc*4+4]
+				gk := grow[oc*4 : oc*4+4]
+				dyp := dy.Data[(img*u.OutC+oc)*plane : (img*u.OutC+oc+1)*plane]
+				for iy := 0; iy < h; iy++ {
+					row0 := dyp[(2*iy)*(2*w):]
+					row1 := dyp[(2*iy+1)*(2*w):]
+					xr := xp[iy*w : (iy+1)*w]
+					dxr := dxp[iy*w : (iy+1)*w]
+					for ix := range xr {
+						g0, g1, g2, g3 := row0[2*ix], row0[2*ix+1], row1[2*ix], row1[2*ix+1]
+						dxr[ix] += g0*k[0] + g1*k[1] + g2*k[2] + g3*k[3]
+						v := xr[ix]
+						gk[0] += v * g0
+						gk[1] += v * g1
+						gk[2] += v * g2
+						gk[3] += v * g3
+					}
+				}
+			}
+		}
+	}
+	return dx
+}

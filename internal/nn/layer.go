@@ -1,0 +1,50 @@
+// Package nn implements the neural-network layers of the paper's U-Net —
+// 3×3 convolutions with ReLU, 2×2 max-pooling, 2×2 up-convolutions
+// (transposed convolutions), skip-connection concatenation, dropout, the
+// softmax + categorical cross-entropy loss, and the Adam optimizer — each
+// with a hand-derived backward pass verified against finite differences
+// in the package tests. There is no autograd: the U-Net in internal/unet
+// wires these layers into its encoder–decoder graph explicitly.
+//
+// Layers cache forward activations for the backward pass, so a layer
+// instance supports one in-flight forward/backward pair at a time; the
+// data-parallel trainer gives each simulated GPU its own model replica.
+package nn
+
+import "seaice/internal/tensor"
+
+// Param is one learnable tensor with its gradient accumulator.
+type Param struct {
+	Name string
+	W    *tensor.Tensor
+	Grad *tensor.Tensor
+}
+
+// Layer is a differentiable module.
+type Layer interface {
+	// Name identifies the layer in diagnostics and checkpoints.
+	Name() string
+	// Forward computes the output; train enables dropout.
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward consumes dL/dy and returns dL/dx, accumulating
+	// parameter gradients.
+	Backward(dy *tensor.Tensor) *tensor.Tensor
+	// Params lists learnable parameters (possibly none).
+	Params() []*Param
+}
+
+// ZeroGrads clears the gradient accumulators of all params.
+func ZeroGrads(params []*Param) {
+	for _, p := range params {
+		p.Grad.Zero()
+	}
+}
+
+// CollectParams gathers parameters from several layers.
+func CollectParams(layers ...Layer) []*Param {
+	var out []*Param
+	for _, l := range layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}

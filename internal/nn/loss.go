@@ -1,0 +1,106 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"seaice/internal/tensor"
+)
+
+// SoftmaxCrossEntropy is the per-pixel multi-class loss of the paper's
+// U-Net: a softmax over the class channel followed by categorical
+// cross-entropy against integer labels, averaged over all pixels of the
+// batch. Forward returns the mean loss; Backward returns dL/dlogits
+// (softmax − one-hot)/numPixels, the standard fused gradient.
+type SoftmaxCrossEntropy struct {
+	probs  *tensor.Tensor
+	labels []uint8
+}
+
+// Loss computes the mean cross-entropy of logits (N,C,H,W) against
+// labels (length N·H·W, class per pixel in row-major image order).
+func (s *SoftmaxCrossEntropy) Loss(logits *tensor.Tensor, labels []uint8) (float64, error) {
+	if len(logits.Shape) != 4 {
+		return 0, fmt.Errorf("nn: loss expects NCHW logits, got %v", logits.Shape)
+	}
+	n, c, h, w := logits.Shape[0], logits.Shape[1], logits.Shape[2], logits.Shape[3]
+	if len(labels) != n*h*w {
+		return 0, fmt.Errorf("nn: %d labels for %d pixels", len(labels), n*h*w)
+	}
+	plane := h * w
+	s.probs = tensor.New(n, c, h, w)
+	s.labels = labels
+
+	total := 0.0
+	for img := 0; img < n; img++ {
+		for p := 0; p < plane; p++ {
+			// softmax over channel dim with max-shift stability
+			maxv := math.Inf(-1)
+			for ch := 0; ch < c; ch++ {
+				v := logits.Data[(img*c+ch)*plane+p]
+				if v > maxv {
+					maxv = v
+				}
+			}
+			sum := 0.0
+			for ch := 0; ch < c; ch++ {
+				e := math.Exp(logits.Data[(img*c+ch)*plane+p] - maxv)
+				s.probs.Data[(img*c+ch)*plane+p] = e
+				sum += e
+			}
+			lab := int(labels[img*plane+p])
+			if lab >= c {
+				return 0, fmt.Errorf("nn: label %d out of range for %d classes", lab, c)
+			}
+			for ch := 0; ch < c; ch++ {
+				s.probs.Data[(img*c+ch)*plane+p] /= sum
+			}
+			pTrue := s.probs.Data[(img*c+lab)*plane+p]
+			if pTrue < 1e-12 {
+				pTrue = 1e-12
+			}
+			total += -math.Log(pTrue)
+		}
+	}
+	return total / float64(n*plane), nil
+}
+
+// Grad returns dL/dlogits for the last Loss call.
+func (s *SoftmaxCrossEntropy) Grad() *tensor.Tensor {
+	if s.probs == nil {
+		panic("nn: Grad before Loss")
+	}
+	n, c := s.probs.Shape[0], s.probs.Shape[1]
+	plane := s.probs.Shape[2] * s.probs.Shape[3]
+	g := s.probs.Clone()
+	inv := 1 / float64(n*plane)
+	for img := 0; img < n; img++ {
+		for p := 0; p < plane; p++ {
+			lab := int(s.labels[img*plane+p])
+			g.Data[(img*c+lab)*plane+p] -= 1
+		}
+	}
+	g.Scale(inv)
+	return g
+}
+
+// Predict returns the argmax class per pixel of logits (N,C,H,W) as a
+// flat slice in image order — U-Net inference output.
+func Predict(logits *tensor.Tensor) []uint8 {
+	n, c := logits.Shape[0], logits.Shape[1]
+	plane := logits.Shape[2] * logits.Shape[3]
+	out := make([]uint8, n*plane)
+	for img := 0; img < n; img++ {
+		for p := 0; p < plane; p++ {
+			best, bv := 0, logits.Data[img*c*plane+p]
+			for ch := 1; ch < c; ch++ {
+				v := logits.Data[(img*c+ch)*plane+p]
+				if v > bv {
+					best, bv = ch, v
+				}
+			}
+			out[img*plane+p] = uint8(best)
+		}
+	}
+	return out
+}

@@ -1,0 +1,191 @@
+// Package noise provides deterministic, seedable procedural noise used by
+// the synthetic Sentinel-2 scene generator. It implements smoothed value
+// noise, fractional Brownian motion (fBm), ridged multifractal noise, and
+// domain warping — the standard toolkit for generating natural-looking
+// ice-concentration and cloud-density fields.
+//
+// All functions are pure with respect to their seed: the same (seed, x, y)
+// always yields the same value on every platform, which keeps the entire
+// experiment pipeline reproducible.
+package noise
+
+import "math"
+
+// splitmix64 is the SplitMix64 mixing function. It is used to derive
+// high-quality per-lattice-point hashes from a seed and coordinates.
+func splitmix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// hash2 maps an integer lattice point and seed to a uniform value in [0,1).
+func hash2(seed uint64, x, y int32) float64 {
+	h := splitmix64(seed ^ splitmix64(uint64(uint32(x))<<32|uint64(uint32(y))))
+	return float64(h>>11) / float64(1<<53)
+}
+
+// smoothstep is the cubic Hermite interpolant 3t²-2t³ on [0,1].
+func smoothstep(t float64) float64 { return t * t * (3 - 2*t) }
+
+// lerp linearly interpolates between a and b by t.
+func lerp(a, b, t float64) float64 { return a + (b-a)*t }
+
+// Value returns smoothed value noise in [0,1) at continuous coordinates
+// (x, y) for the given seed. Lattice values are bilinearly blended with a
+// smoothstep fade, giving C¹-continuous output.
+func Value(seed uint64, x, y float64) float64 {
+	xf := math.Floor(x)
+	yf := math.Floor(y)
+	xi := int32(xf)
+	yi := int32(yf)
+	tx := smoothstep(x - xf)
+	ty := smoothstep(y - yf)
+
+	v00 := hash2(seed, xi, yi)
+	v10 := hash2(seed, xi+1, yi)
+	v01 := hash2(seed, xi, yi+1)
+	v11 := hash2(seed, xi+1, yi+1)
+
+	return lerp(lerp(v00, v10, tx), lerp(v01, v11, tx), ty)
+}
+
+// FBM holds parameters for fractional Brownian motion: a sum of noise
+// octaves with geometrically increasing frequency and decreasing amplitude.
+type FBM struct {
+	Seed        uint64
+	Octaves     int     // number of layers; values <1 are treated as 1
+	Frequency   float64 // base spatial frequency (cycles per unit)
+	Lacunarity  float64 // frequency multiplier per octave (typically 2)
+	Persistence float64 // amplitude multiplier per octave (typically 0.5)
+}
+
+// DefaultFBM returns an FBM with conventional parameters: 5 octaves,
+// lacunarity 2, persistence 0.5.
+func DefaultFBM(seed uint64, frequency float64) FBM {
+	return FBM{Seed: seed, Octaves: 5, Frequency: frequency, Lacunarity: 2, Persistence: 0.5}
+}
+
+// At evaluates the fBm at (x, y), normalized to [0,1).
+func (f FBM) At(x, y float64) float64 {
+	oct := f.Octaves
+	if oct < 1 {
+		oct = 1
+	}
+	freq := f.Frequency
+	amp := 1.0
+	sum := 0.0
+	norm := 0.0
+	seed := f.Seed
+	for i := 0; i < oct; i++ {
+		sum += amp * Value(seed, x*freq, y*freq)
+		norm += amp
+		freq *= f.Lacunarity
+		amp *= f.Persistence
+		seed = splitmix64(seed + 0x632be59bd9b4e019)
+	}
+	return sum / norm
+}
+
+// Ridged evaluates ridged multifractal noise in [0,1): each octave is
+// folded around its midpoint (1-|2v-1|), producing sharp crease lines.
+// It is used to carve leads (narrow linear cracks) into the ice field.
+func (f FBM) Ridged(x, y float64) float64 {
+	oct := f.Octaves
+	if oct < 1 {
+		oct = 1
+	}
+	freq := f.Frequency
+	amp := 1.0
+	sum := 0.0
+	norm := 0.0
+	seed := f.Seed
+	for i := 0; i < oct; i++ {
+		v := Value(seed, x*freq, y*freq)
+		v = 1 - math.Abs(2*v-1)
+		sum += amp * v * v
+		norm += amp
+		freq *= f.Lacunarity
+		amp *= f.Persistence
+		seed = splitmix64(seed + 0x9e3779b97f4a7c15)
+	}
+	return sum / norm
+}
+
+// Warped evaluates the fBm with domain warping: the sample point is first
+// displaced by two auxiliary fBm fields scaled by strength. Warping breaks
+// up the axis-aligned artifacts of lattice noise and yields the swirling
+// shapes characteristic of pack ice and cloud veils.
+func (f FBM) Warped(x, y, strength float64) float64 {
+	wx := FBM{Seed: splitmix64(f.Seed ^ 0xa5a5a5a5a5a5a5a5), Octaves: f.Octaves, Frequency: f.Frequency, Lacunarity: f.Lacunarity, Persistence: f.Persistence}
+	wy := FBM{Seed: splitmix64(f.Seed ^ 0x5a5a5a5a5a5a5a5a), Octaves: f.Octaves, Frequency: f.Frequency, Lacunarity: f.Lacunarity, Persistence: f.Persistence}
+	dx := (wx.At(x, y) - 0.5) * 2 * strength
+	dy := (wy.At(x, y) - 0.5) * 2 * strength
+	return f.At(x+dx, y+dy)
+}
+
+// RNG is a small, fast, seedable PCG-XSH-RR style generator used wherever
+// the pipeline needs a stream of reproducible pseudo-random numbers
+// independent of math/rand's global state.
+type RNG struct {
+	state uint64
+	inc   uint64
+}
+
+// NewRNG returns a generator seeded deterministically from seed and stream.
+// Distinct streams yield independent sequences for the same seed.
+func NewRNG(seed, stream uint64) *RNG {
+	r := &RNG{inc: stream<<1 | 1}
+	r.state = splitmix64(seed)
+	r.Uint64()
+	return r
+}
+
+// Uint64 returns the next 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	r.state = r.state*6364136223846793005 + r.inc
+	x := r.state
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}
+
+// Float64 returns a uniform value in [0,1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Intn returns a uniform value in [0,n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("noise: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// NormFloat64 returns a standard normal variate via the Box–Muller
+// transform (one value per call; the pair's second member is discarded to
+// keep the generator stateless beyond its counter).
+func (r *RNG) NormFloat64() float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Perm returns a deterministic pseudo-random permutation of [0,n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

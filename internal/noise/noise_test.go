@@ -1,0 +1,178 @@
+package noise
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueDeterministic(t *testing.T) {
+	a := Value(42, 1.5, 2.5)
+	b := Value(42, 1.5, 2.5)
+	if a != b {
+		t.Fatal("same inputs produced different noise")
+	}
+	if Value(42, 1.5, 2.5) == Value(43, 1.5, 2.5) {
+		t.Fatal("different seeds produced identical noise (suspicious)")
+	}
+}
+
+func TestValueRange(t *testing.T) {
+	f := func(seed uint64, xi, yi int16, fx, fy uint8) bool {
+		x := float64(xi) + float64(fx)/256
+		y := float64(yi) + float64(fy)/256
+		v := Value(seed, x, y)
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestValueContinuity: value noise is C¹; nearby samples must be close.
+func TestValueContinuity(t *testing.T) {
+	const eps = 1e-4
+	for i := 0; i < 100; i++ {
+		x := float64(i) * 0.37
+		y := float64(i) * 0.59
+		a := Value(7, x, y)
+		b := Value(7, x+eps, y)
+		if math.Abs(a-b) > 0.01 {
+			t.Fatalf("discontinuity at (%f,%f): %f vs %f", x, y, a, b)
+		}
+	}
+}
+
+func TestValueInterpolatesLattice(t *testing.T) {
+	// at integer lattice points, Value returns the lattice hash, and
+	// between them it stays within the hull of the corner values
+	v00 := Value(3, 10, 20)
+	v10 := Value(3, 11, 20)
+	mid := Value(3, 10.5, 20)
+	lo, hi := math.Min(v00, v10), math.Max(v00, v10)
+	// mid blends corners of the row below/above as well, so use the
+	// full 4-corner hull
+	v01 := Value(3, 10, 21)
+	v11 := Value(3, 11, 21)
+	lo = math.Min(lo, math.Min(v01, v11))
+	hi = math.Max(hi, math.Max(v01, v11))
+	if mid < lo-1e-12 || mid > hi+1e-12 {
+		t.Fatalf("interpolant %f outside corner hull [%f,%f]", mid, lo, hi)
+	}
+}
+
+func TestFBMRangeAndOctaves(t *testing.T) {
+	f := DefaultFBM(9, 0.05)
+	for i := 0; i < 200; i++ {
+		v := f.At(float64(i)*1.3, float64(i)*0.7)
+		if v < 0 || v >= 1 {
+			t.Fatalf("fbm out of range: %f", v)
+		}
+	}
+	// zero octaves treated as one
+	z := FBM{Seed: 1, Octaves: 0, Frequency: 0.1, Lacunarity: 2, Persistence: 0.5}
+	if v := z.At(3, 4); v < 0 || v >= 1 {
+		t.Fatalf("degenerate fbm out of range: %f", v)
+	}
+}
+
+func TestRidgedRange(t *testing.T) {
+	f := DefaultFBM(11, 0.03)
+	for i := 0; i < 200; i++ {
+		v := f.Ridged(float64(i)*0.9, float64(i)*1.1)
+		if v < 0 || v > 1 {
+			t.Fatalf("ridged out of range: %f", v)
+		}
+	}
+}
+
+func TestWarpedDiffersFromPlain(t *testing.T) {
+	f := DefaultFBM(13, 0.02)
+	diff := 0
+	for i := 0; i < 50; i++ {
+		x, y := float64(i)*3.1, float64(i)*2.7
+		if f.At(x, y) != f.Warped(x, y, 30) {
+			diff++
+		}
+	}
+	if diff < 40 {
+		t.Fatalf("warping changed only %d/50 samples", diff)
+	}
+}
+
+func TestRNGDeterministicStreams(t *testing.T) {
+	a := NewRNG(5, 1)
+	b := NewRNG(5, 1)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same stream diverged")
+		}
+	}
+	c := NewRNG(5, 2)
+	d := NewRNG(5, 1)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c.Uint64() == d.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams 1 and 2 collide on %d/100 outputs", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(6, 1)
+	for i := 0; i < 1000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("float64 out of range: %f", v)
+		}
+	}
+}
+
+func TestIntnBoundsAndPanic(t *testing.T) {
+	r := NewRNG(7, 1)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("intn out of range: %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) must panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(8, 1)
+	const n = 20000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.03 {
+		t.Fatalf("normal mean %f", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal variance %f", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(9, 1)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}

@@ -1,0 +1,107 @@
+// Package pool provides the single-machine parallel substrate of the
+// workflow — the Go analogue of the Python multiprocessing pool the paper
+// uses to scale auto-labeling on a 4-core workstation (§III-B, Table I).
+//
+// Work items are distributed to a fixed set of worker goroutines over a
+// channel; results are written to their original positions, so Map
+// preserves order. Errors and panics in workers are captured and
+// propagated to the caller rather than crashing the process, matching the
+// robustness of a process pool.
+package pool
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Pool runs tasks on a fixed number of workers.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool with the given worker count; n <= 0 selects
+// runtime.GOMAXPROCS(0), mirroring multiprocessing.Pool()'s default of
+// os.cpu_count().
+func New(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: n}
+}
+
+// Workers reports the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// Map applies fn to every index in [0, n) on the pool's workers and
+// returns the first error encountered (remaining work is still drained).
+// Panics inside fn are converted to errors. fn receives the item index;
+// callers capture their input and output slices, which keeps this API
+// free of reflection or generics gymnastics while preserving order.
+func (p *Pool) Map(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+
+	idx := make(chan int)
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var firstErr error
+			for i := range idx {
+				if firstErr != nil {
+					continue // drain remaining work after a failure
+				}
+				firstErr = runTask(fn, i)
+			}
+			errs <- firstErr
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runTask invokes fn(i), converting panics into errors.
+func runTask(fn func(int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("pool: task %d panicked: %v", i, r)
+		}
+	}()
+	return fn(i)
+}
+
+// MapSlice is a generic convenience over Map: it applies fn to each input
+// element and returns the outputs in input order.
+func MapSlice[In, Out any](p *Pool, in []In, fn func(In) (Out, error)) ([]Out, error) {
+	out := make([]Out, len(in))
+	err := p.Map(len(in), func(i int) error {
+		v, err := fn(in[i])
+		if err != nil {
+			return fmt.Errorf("pool: item %d: %w", i, err)
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

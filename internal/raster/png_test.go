@@ -1,0 +1,51 @@
+package raster
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestPNGRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "scene.png")
+	m := randRGB(11, 20, 14)
+	if err := m.WritePNG(path); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	back, err := ReadPNG(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if back.W != m.W || back.H != m.H {
+		t.Fatalf("size %dx%d, want %dx%d", back.W, back.H, m.W, m.H)
+	}
+	for i := range m.Pix {
+		if m.Pix[i] != back.Pix[i] {
+			t.Fatalf("pixel byte %d changed through PNG", i)
+		}
+	}
+}
+
+func TestGrayPNG(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "mask.png")
+	g := NewGray(8, 8)
+	g.Fill(200)
+	if err := g.WritePNG(path); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	back, err := ReadPNG(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	r, gg, b := back.At(3, 3)
+	if r != 200 || gg != 200 || b != 200 {
+		t.Fatalf("gray pixel came back as (%d,%d,%d)", r, gg, b)
+	}
+}
+
+func TestReadPNGMissingFile(t *testing.T) {
+	if _, err := ReadPNG(filepath.Join(t.TempDir(), "nope.png")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}

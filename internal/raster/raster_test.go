@@ -1,0 +1,242 @@
+package raster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"seaice/internal/noise"
+)
+
+func randRGB(seed uint64, w, h int) *RGB {
+	rng := noise.NewRNG(seed, 1)
+	m := NewRGB(w, h)
+	for i := range m.Pix {
+		m.Pix[i] = uint8(rng.Intn(256))
+	}
+	return m
+}
+
+func randLabels(seed uint64, w, h int) *Labels {
+	rng := noise.NewRNG(seed, 2)
+	m := NewLabels(w, h)
+	for i := range m.Pix {
+		m.Pix[i] = Class(rng.Intn(int(NumClasses)))
+	}
+	return m
+}
+
+func TestRGBSetAt(t *testing.T) {
+	m := NewRGB(4, 3)
+	m.Set(2, 1, 10, 20, 30)
+	r, g, b := m.At(2, 1)
+	if r != 10 || g != 20 || b != 30 {
+		t.Fatalf("got (%d,%d,%d)", r, g, b)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := randRGB(1, 5, 5)
+	c := m.Clone()
+	c.Pix[0] = m.Pix[0] + 1
+	if m.Pix[0] == c.Pix[0] {
+		t.Fatal("clone shares storage")
+	}
+}
+
+// TestSplitStitchIdentity: splitting a scene into tiles and stitching
+// them back must be the identity, for every divisor tile size.
+func TestSplitStitchIdentity(t *testing.T) {
+	scene := randRGB(2, 48, 32)
+	for _, ts := range []int{4, 8, 16} {
+		tiles, grid, err := Split(scene, ts, ts)
+		if err != nil {
+			t.Fatalf("split %d: %v", ts, err)
+		}
+		back, err := Stitch(tiles, grid)
+		if err != nil {
+			t.Fatalf("stitch %d: %v", ts, err)
+		}
+		for i := range scene.Pix {
+			if scene.Pix[i] != back.Pix[i] {
+				t.Fatalf("tile size %d: mismatch at %d", ts, i)
+			}
+		}
+	}
+}
+
+// TestSplitStitchLabelsIdentity mirrors the RGB round-trip for labels.
+func TestSplitStitchLabelsIdentity(t *testing.T) {
+	lab := randLabels(3, 24, 40)
+	tiles, grid, err := SplitLabels(lab, 8, 8)
+	if err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	back, err := StitchLabels(tiles, grid)
+	if err != nil {
+		t.Fatalf("stitch: %v", err)
+	}
+	for i := range lab.Pix {
+		if lab.Pix[i] != back.Pix[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestSplitRejectsIndivisible(t *testing.T) {
+	if _, _, err := Split(randRGB(4, 30, 30), 7, 7); err == nil {
+		t.Fatal("expected error for indivisible tiles")
+	}
+	if _, err := GridFor(30, 30, 0, 8); err == nil {
+		t.Fatal("expected error for zero tile size")
+	}
+}
+
+func TestStitchRejectsBadTiles(t *testing.T) {
+	scene := randRGB(5, 16, 16)
+	tiles, grid, _ := Split(scene, 8, 8)
+
+	// duplicate position
+	dup := append([]Tile(nil), tiles...)
+	dup[1] = dup[0]
+	if _, err := Stitch(dup, grid); err == nil {
+		t.Fatal("expected duplicate-tile error")
+	}
+	// wrong count
+	if _, err := Stitch(tiles[:2], grid); err == nil {
+		t.Fatal("expected count error")
+	}
+	// wrong size
+	bad := append([]Tile(nil), tiles...)
+	bad[0].Image = NewRGB(4, 4)
+	if _, err := Stitch(bad, grid); err == nil {
+		t.Fatal("expected size error")
+	}
+	// out of grid
+	oob := append([]Tile(nil), tiles...)
+	oob[0].Col = 99
+	if _, err := Stitch(oob, grid); err == nil {
+		t.Fatal("expected bounds error")
+	}
+}
+
+// TestSplitTilesPartitionScene: every pixel of the scene appears in
+// exactly one tile at the expected offset.
+func TestSplitTilesPartitionScene(t *testing.T) {
+	scene := randRGB(6, 32, 16)
+	tiles, _, err := Split(scene, 8, 8)
+	if err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	for _, tile := range tiles {
+		for y := 0; y < 8; y++ {
+			for x := 0; x < 8; x++ {
+				tr, tg, tb := tile.Image.At(x, y)
+				sr, sg, sb := scene.At(tile.Col*8+x, tile.Row*8+y)
+				if tr != sr || tg != sg || tb != sb {
+					t.Fatalf("tile (%d,%d) pixel (%d,%d) mismatch", tile.Col, tile.Row, x, y)
+				}
+			}
+		}
+	}
+}
+
+func TestDownsampleAveragesBoxes(t *testing.T) {
+	m := NewRGB(4, 4)
+	// top-left 2x2 box: values 10, 20, 30, 40 → mean 25
+	m.Set(0, 0, 10, 10, 10)
+	m.Set(1, 0, 20, 20, 20)
+	m.Set(0, 1, 30, 30, 30)
+	m.Set(1, 1, 40, 40, 40)
+	d, err := Downsample(m, 2)
+	if err != nil {
+		t.Fatalf("downsample: %v", err)
+	}
+	r, _, _ := d.At(0, 0)
+	if r != 25 {
+		t.Fatalf("box mean %d, want 25", r)
+	}
+	if d.W != 2 || d.H != 2 {
+		t.Fatalf("size %dx%d, want 2x2", d.W, d.H)
+	}
+	if _, err := Downsample(m, 3); err == nil {
+		t.Fatal("expected error for non-divisor factor")
+	}
+}
+
+func TestDownsampleLabelsMajority(t *testing.T) {
+	m := NewLabels(2, 2)
+	m.Set(0, 0, ClassWater)
+	m.Set(1, 0, ClassThickIce)
+	m.Set(0, 1, ClassThickIce)
+	m.Set(1, 1, ClassThinIce)
+	d, err := DownsampleLabels(m, 2)
+	if err != nil {
+		t.Fatalf("downsample: %v", err)
+	}
+	if d.At(0, 0) != ClassThickIce {
+		t.Fatalf("majority vote = %v, want thick-ice", d.At(0, 0))
+	}
+}
+
+func TestLabelsCountsAndRender(t *testing.T) {
+	m := randLabels(7, 10, 10)
+	counts := m.Counts()
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 100 {
+		t.Fatalf("counts sum to %d, want 100", total)
+	}
+	r := m.Render()
+	// thick ice renders red-dominant, water green-dominant, thin blue
+	for i, c := range m.Pix {
+		pr, pg, pb := r.Pix[3*i], r.Pix[3*i+1], r.Pix[3*i+2]
+		switch c {
+		case ClassThickIce:
+			if pr <= pg || pr <= pb {
+				t.Fatalf("thick ice not red at %d", i)
+			}
+		case ClassWater:
+			if pg <= pr || pg <= pb {
+				t.Fatalf("water not green at %d", i)
+			}
+		case ClassThinIce:
+			if pb <= pr || pb <= pg {
+				t.Fatalf("thin ice not blue at %d", i)
+			}
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassWater.String() != "open-water" || ClassThinIce.String() != "thin-ice" || ClassThickIce.String() != "thick-ice" {
+		t.Fatal("class names changed; reports depend on them")
+	}
+}
+
+func TestFloatGrayRoundTrip(t *testing.T) {
+	f := func(v uint8) bool {
+		g := NewGray(1, 1)
+		g.Pix[0] = v
+		return FromGray(g).ToGray().Pix[0] == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSideBySide(t *testing.T) {
+	a := randRGB(8, 4, 6)
+	b := randRGB(9, 3, 6)
+	p, err := SideBySide(a, b)
+	if err != nil {
+		t.Fatalf("panel: %v", err)
+	}
+	if p.W != 4+2+3 || p.H != 6 {
+		t.Fatalf("panel size %dx%d", p.W, p.H)
+	}
+	if _, err := SideBySide(a, randRGB(10, 3, 5)); err == nil {
+		t.Fatal("expected height-mismatch error")
+	}
+}

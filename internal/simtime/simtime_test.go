@@ -1,0 +1,119 @@
+package simtime
+
+import (
+	"testing"
+	"testing/quick"
+
+	"seaice/internal/noise"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	var c Clock
+	var order []int
+	c.After(3, func() { order = append(order, 3) })
+	c.After(1, func() { order = append(order, 1) })
+	c.After(2, func() { order = append(order, 2) })
+	end := c.Run()
+	if end != 3 {
+		t.Fatalf("final time %f, want 3", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order %v", order)
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	var c Clock
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		c.Schedule(7, func() { order = append(order, i) })
+	}
+	c.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events reordered: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	var c Clock
+	var times []float64
+	c.After(1, func() {
+		times = append(times, c.Now())
+		c.After(2, func() { times = append(times, c.Now()) })
+	})
+	end := c.Run()
+	if end != 3 || len(times) != 2 || times[0] != 1 || times[1] != 3 {
+		t.Fatalf("nested scheduling wrong: end=%f times=%v", end, times)
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	var c Clock
+	c.After(5, func() {})
+	c.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past must panic")
+		}
+	}()
+	c.Schedule(1, func() {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	var c Clock
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay must panic")
+		}
+	}()
+	c.After(-1, func() {})
+}
+
+func TestStepAndPending(t *testing.T) {
+	var c Clock
+	c.After(1, func() {})
+	c.After(2, func() {})
+	if c.Pending() != 2 {
+		t.Fatalf("pending %d, want 2", c.Pending())
+	}
+	if !c.Step() {
+		t.Fatal("step should run an event")
+	}
+	if c.Now() != 1 || c.Pending() != 1 {
+		t.Fatalf("after one step: now=%f pending=%d", c.Now(), c.Pending())
+	}
+	c.Run()
+	if c.Step() {
+		t.Fatal("step on empty queue should report false")
+	}
+}
+
+// TestMonotonicProperty: for random event sets, observed times are
+// non-decreasing and every event fires exactly once.
+func TestMonotonicProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := noise.NewRNG(seed, 1)
+		var c Clock
+		n := 1 + rng.Intn(50)
+		fired := 0
+		last := -1.0
+		for i := 0; i < n; i++ {
+			at := rng.Float64() * 100
+			c.Schedule(at, func() {
+				if c.Now() < last {
+					t.Fatalf("time went backwards: %f after %f", c.Now(), last)
+				}
+				last = c.Now()
+				fired++
+			})
+		}
+		c.Run()
+		return fired == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,90 @@
+package tensor
+
+import "fmt"
+
+// Im2Col unfolds x (N,C,H,W) into a matrix of shape
+// (C·KH·KW, N·OH·OW) for a convolution with the given kernel, stride and
+// symmetric zero padding. Column j holds the receptive field of output
+// position j, so a convolution becomes weights (Cout, C·KH·KW) × cols.
+func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
+	if len(x.Shape) != 4 {
+		panic(fmt.Sprintf("tensor: Im2Col needs NCHW input, got %v", x.Shape))
+	}
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh := (h+2*pad-kh)/stride + 1
+	ow := (w+2*pad-kw)/stride + 1
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: Im2Col output empty for input %v kernel %dx%d", x.Shape, kh, kw))
+	}
+	cols := New(c*kh*kw, n*oh*ow)
+	colW := n * oh * ow
+
+	for ch := 0; ch < c; ch++ {
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				row := ((ch*kh+ky)*kw + kx) * colW
+				for img := 0; img < n; img++ {
+					src := ((img*c + ch) * h) * w
+					dst := row + img*oh*ow
+					for oy := 0; oy < oh; oy++ {
+						iy := oy*stride + ky - pad
+						if iy < 0 || iy >= h {
+							continue // stays zero
+						}
+						srow := src + iy*w
+						drow := dst + oy*ow
+						for ox := 0; ox < ow; ox++ {
+							ix := ox*stride + kx - pad
+							if ix < 0 || ix >= w {
+								continue
+							}
+							cols.Data[drow+ox] = x.Data[srow+ix]
+						}
+					}
+				}
+			}
+		}
+	}
+	return cols
+}
+
+// Col2Im folds a column matrix back into an (N,C,H,W) tensor, summing
+// overlapping contributions — the adjoint of Im2Col, used by convolution
+// backward passes to accumulate input gradients.
+func Col2Im(cols *Tensor, n, c, h, w, kh, kw, stride, pad int) *Tensor {
+	oh := (h+2*pad-kh)/stride + 1
+	ow := (w+2*pad-kw)/stride + 1
+	if cols.Shape[0] != c*kh*kw || cols.Shape[1] != n*oh*ow {
+		panic(fmt.Sprintf("tensor: Col2Im shape %v does not match target %dx%dx%dx%d k%dx%d", cols.Shape, n, c, h, w, kh, kw))
+	}
+	x := New(n, c, h, w)
+	colW := n * oh * ow
+
+	for ch := 0; ch < c; ch++ {
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				row := ((ch*kh+ky)*kw + kx) * colW
+				for img := 0; img < n; img++ {
+					dst := ((img*c + ch) * h) * w
+					src := row + img*oh*ow
+					for oy := 0; oy < oh; oy++ {
+						iy := oy*stride + ky - pad
+						if iy < 0 || iy >= h {
+							continue
+						}
+						drow := dst + iy*w
+						srow := src + oy*ow
+						for ox := 0; ox < ow; ox++ {
+							ix := ox*stride + kx - pad
+							if ix < 0 || ix >= w {
+								continue
+							}
+							x.Data[drow+ix] += cols.Data[srow+ox]
+						}
+					}
+				}
+			}
+		}
+	}
+	return x
+}

@@ -1,0 +1,185 @@
+// Package tensor provides the dense float64 NCHW tensors underneath the
+// from-scratch U-Net. It deliberately implements only what a CNN training
+// stack needs — shape bookkeeping, a cache-aware matrix multiply, and the
+// im2col/col2im transforms that turn convolutions into matrix products —
+// with no autograd: each layer in internal/nn derives its own backward
+// pass, validated by finite-difference tests.
+package tensor
+
+import (
+	"fmt"
+
+	"seaice/internal/noise"
+)
+
+// Tensor is a dense row-major tensor.
+type Tensor struct {
+	Shape []int
+	Data  []float64
+}
+
+// New allocates a zeroed tensor with the given shape.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, s := range shape {
+		if s <= 0 {
+			panic(fmt.Sprintf("tensor: invalid dimension %d in %v", s, shape))
+		}
+		n *= s
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float64, n)}
+}
+
+// FromData wraps existing data; len(data) must match the shape volume.
+func FromData(data []float64, shape ...int) *Tensor {
+	n := 1
+	for _, s := range shape {
+		n *= s
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v", len(data), shape))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: data}
+}
+
+// Len returns the number of elements.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.Shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Zero clears all elements in place.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// SameShape reports whether two tensors have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	if len(t.Shape) != len(o.Shape) {
+		return false
+	}
+	for i := range t.Shape {
+		if t.Shape[i] != o.Shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Dim returns the size of axis i.
+func (t *Tensor) Dim(i int) int { return t.Shape[i] }
+
+// Reshape returns a view with a new shape of equal volume (shares data).
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, s := range shape {
+		n *= s
+	}
+	if n != len(t.Data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elems) to %v", t.Shape, len(t.Data), shape))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: t.Data}
+}
+
+// AddInPlace accumulates o into t element-wise.
+func (t *Tensor) AddInPlace(o *Tensor) {
+	if len(t.Data) != len(o.Data) {
+		panic(fmt.Sprintf("tensor: add size mismatch %v vs %v", t.Shape, o.Shape))
+	}
+	for i, v := range o.Data {
+		t.Data[i] += v
+	}
+}
+
+// Scale multiplies every element by s in place.
+func (t *Tensor) Scale(s float64) {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+}
+
+// FillRandn fills the tensor with N(0, std) values from a seeded RNG.
+func (t *Tensor) FillRandn(rng *noise.RNG, std float64) {
+	for i := range t.Data {
+		t.Data[i] = rng.NormFloat64() * std
+	}
+}
+
+// MatMul computes C = A×B for A (m×k) and B (k×n), writing into a fresh
+// (m×n) tensor. The ikj loop order keeps the inner loop streaming over
+// contiguous rows of B and C, which is the difference between ~100 MFLOP/s
+// and ~1 GFLOP/s for the naive triple loop on this workload.
+func MatMul(a, b *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch %v × %v", a.Shape, b.Shape))
+	}
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := c.Data[i*n : (i+1)*n]
+		for kk := 0; kk < k; kk++ {
+			av := arow[kk]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[kk*n : (kk+1)*n]
+			for j := range brow {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+	return c
+}
+
+// MatMulATB computes C = Aᵀ×B for A (k×m) and B (k×n) without forming the
+// transpose: convolution backward passes need this product shape.
+func MatMulATB(a, b *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[0] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: matmulATB shape mismatch %v × %v", a.Shape, b.Shape))
+	}
+	k, m, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	c := New(m, n)
+	for kk := 0; kk < k; kk++ {
+		arow := a.Data[kk*m : (kk+1)*m]
+		brow := b.Data[kk*n : (kk+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			crow := c.Data[i*n : (i+1)*n]
+			for j := range brow {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+	return c
+}
+
+// MatMulABT computes C = A×Bᵀ for A (m×k) and B (n×k).
+func MatMulABT(a, b *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[1] {
+		panic(fmt.Sprintf("tensor: matmulABT shape mismatch %v × %v", a.Shape, b.Shape))
+	}
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[0]
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := c.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			sum := 0.0
+			for kk := range arow {
+				sum += arow[kk] * brow[kk]
+			}
+			crow[j] = sum
+		}
+	}
+	return c
+}

@@ -1,0 +1,168 @@
+// Package train provides the training loop machinery shared by the
+// serial and distributed trainers: deterministic batch iteration over
+// tile datasets, epoch bookkeeping, and evaluation against ground truth.
+package train
+
+import (
+	"fmt"
+
+	"seaice/internal/metrics"
+	"seaice/internal/nn"
+	"seaice/internal/noise"
+	"seaice/internal/raster"
+	"seaice/internal/tensor"
+	"seaice/internal/unet"
+)
+
+// Sample is one training tile: an RGB image and its per-pixel labels.
+type Sample struct {
+	Image  *raster.RGB
+	Labels *raster.Labels
+}
+
+// ToTensor packs samples into an (N,3,H,W) input tensor (channels scaled
+// to [0,1]) and a flat label slice. All samples must share dimensions.
+func ToTensor(samples []Sample) (*tensor.Tensor, []uint8, error) {
+	if len(samples) == 0 {
+		return nil, nil, fmt.Errorf("train: empty batch")
+	}
+	w, h := samples[0].Image.W, samples[0].Image.H
+	x := tensor.New(len(samples), 3, h, w)
+	labels := make([]uint8, len(samples)*h*w)
+	plane := h * w
+	for si, s := range samples {
+		if s.Image.W != w || s.Image.H != h {
+			return nil, nil, fmt.Errorf("train: sample %d is %dx%d, batch is %dx%d", si, s.Image.W, s.Image.H, w, h)
+		}
+		if s.Labels.W != w || s.Labels.H != h {
+			return nil, nil, fmt.Errorf("train: sample %d labels are %dx%d, image is %dx%d", si, s.Labels.W, s.Labels.H, w, h)
+		}
+		for p := 0; p < plane; p++ {
+			x.Data[(si*3+0)*plane+p] = float64(s.Image.Pix[3*p]) / 255
+			x.Data[(si*3+1)*plane+p] = float64(s.Image.Pix[3*p+1]) / 255
+			x.Data[(si*3+2)*plane+p] = float64(s.Image.Pix[3*p+2]) / 255
+			labels[si*plane+p] = uint8(s.Labels.Pix[p])
+		}
+	}
+	return x, labels, nil
+}
+
+// Batcher yields shuffled mini-batches, reshuffling every epoch with a
+// deterministic per-epoch permutation (the dataloader of §IV-A).
+type Batcher struct {
+	samples   []Sample
+	batchSize int
+	seed      uint64
+}
+
+// NewBatcher wraps a dataset; batchSize must be positive.
+func NewBatcher(samples []Sample, batchSize int, seed uint64) (*Batcher, error) {
+	if batchSize <= 0 {
+		return nil, fmt.Errorf("train: batch size %d", batchSize)
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("train: empty dataset")
+	}
+	return &Batcher{samples: samples, batchSize: batchSize, seed: seed}, nil
+}
+
+// NumBatches returns batches per epoch (the final short batch is kept).
+func (b *Batcher) NumBatches() int {
+	return (len(b.samples) + b.batchSize - 1) / b.batchSize
+}
+
+// Len returns the dataset size.
+func (b *Batcher) Len() int { return len(b.samples) }
+
+// Epoch returns the shuffled batches of the given epoch.
+func (b *Batcher) Epoch(epoch int) [][]Sample {
+	rng := noise.NewRNG(b.seed, uint64(epoch)+0xba7c4)
+	perm := rng.Perm(len(b.samples))
+	var out [][]Sample
+	for lo := 0; lo < len(perm); lo += b.batchSize {
+		hi := lo + b.batchSize
+		if hi > len(perm) {
+			hi = len(perm)
+		}
+		batch := make([]Sample, hi-lo)
+		for i, idx := range perm[lo:hi] {
+			batch[i] = b.samples[idx]
+		}
+		out = append(out, batch)
+	}
+	return out
+}
+
+// Config controls serial training.
+type Config struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	Seed      uint64
+	// Progress, if non-nil, receives per-epoch mean loss.
+	Progress func(epoch int, loss float64)
+}
+
+// Result summarizes a training run.
+type Result struct {
+	EpochLosses []float64
+	Steps       int
+}
+
+// Fit trains the model on the samples with Adam — the single-GPU
+// baseline of Table III.
+func Fit(m *unet.Model, samples []Sample, cfg Config) (*Result, error) {
+	if cfg.Epochs <= 0 {
+		return nil, fmt.Errorf("train: epochs %d", cfg.Epochs)
+	}
+	batcher, err := NewBatcher(samples, cfg.BatchSize, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	params := m.Params()
+	opt := nn.NewAdam(cfg.LR)
+	res := &Result{}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		total, n := 0.0, 0
+		for _, batch := range batcher.Epoch(epoch) {
+			x, labels, err := ToTensor(batch)
+			if err != nil {
+				return nil, err
+			}
+			nn.ZeroGrads(params)
+			loss, err := m.LossAndGrad(x, labels)
+			if err != nil {
+				return nil, err
+			}
+			opt.Step(params)
+			total += loss
+			n++
+			res.Steps++
+		}
+		mean := total / float64(n)
+		res.EpochLosses = append(res.EpochLosses, mean)
+		if cfg.Progress != nil {
+			cfg.Progress(epoch, mean)
+		}
+	}
+	return res, nil
+}
+
+// Evaluate predicts every sample and accumulates a confusion matrix
+// against the provided ground truth (which may differ from the labels
+// the model was trained on — e.g. U-Net-Auto validated against manual
+// labels).
+func Evaluate(m *unet.Model, samples []Sample) (*metrics.Confusion, error) {
+	conf := metrics.NewConfusion(int(raster.NumClasses))
+	for i := range samples {
+		x, labels, err := ToTensor(samples[i : i+1])
+		if err != nil {
+			return nil, err
+		}
+		pred := m.Predict(x)
+		for p, want := range labels {
+			conf.Add(raster.Class(want), raster.Class(pred[p]))
+		}
+	}
+	return conf, nil
+}

@@ -1,0 +1,89 @@
+package unet
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// checkpoint is the on-disk format: the config plus named weight tensors.
+type checkpoint struct {
+	Config  Config
+	Weights map[string][]float64
+}
+
+// Save writes the model's configuration and weights with encoding/gob.
+func (m *Model) Save(w io.Writer) error {
+	ck := checkpoint{Config: m.cfg, Weights: make(map[string][]float64)}
+	for _, p := range m.Params() {
+		ck.Weights[p.Name] = p.W.Data
+	}
+	if err := gob.NewEncoder(w).Encode(ck); err != nil {
+		return fmt.Errorf("unet: save: %w", err)
+	}
+	return nil
+}
+
+// SaveFile writes a checkpoint file.
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("unet: %w", err)
+	}
+	defer f.Close()
+	if err := m.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load reconstructs a model from a checkpoint stream.
+func Load(r io.Reader) (*Model, error) {
+	var ck checkpoint
+	if err := gob.NewDecoder(r).Decode(&ck); err != nil {
+		return nil, fmt.Errorf("unet: load: %w", err)
+	}
+	m, err := New(ck.Config)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range m.Params() {
+		data, ok := ck.Weights[p.Name]
+		if !ok {
+			return nil, fmt.Errorf("unet: checkpoint missing weights for %s", p.Name)
+		}
+		if len(data) != p.W.Len() {
+			return nil, fmt.Errorf("unet: checkpoint weight %s has %d values, model needs %d", p.Name, len(data), p.W.Len())
+		}
+		copy(p.W.Data, data)
+	}
+	return m, nil
+}
+
+// LoadFile reads a checkpoint file.
+func LoadFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("unet: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// CopyWeightsFrom overwrites this model's parameters with src's — the
+// rank-0 broadcast of Horovod-style training. The models must share a
+// configuration (ignoring seeds).
+func (m *Model) CopyWeightsFrom(src *Model) error {
+	a, b := m.Params(), src.Params()
+	if len(a) != len(b) {
+		return fmt.Errorf("unet: parameter count mismatch %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].W.Len() != b[i].W.Len() {
+			return fmt.Errorf("unet: parameter %s size mismatch", a[i].Name)
+		}
+		copy(a[i].W.Data, b[i].W.Data)
+	}
+	return nil
+}

@@ -1,0 +1,242 @@
+// Package unet assembles the paper's U-Net semantic-segmentation model
+// (§III-C, Fig 7) from the layers in internal/nn: a contracting path of
+// double 3×3 convolutions with ReLU and 2×2 max-pooling, a bottleneck, an
+// expanding path of 2×2 up-convolutions with skip-connection
+// concatenation and double convolutions, dropout between convolutions,
+// and a final 1×1 convolution onto the three sea-ice classes.
+//
+// PaperConfig reproduces the published architecture exactly — five down
+// steps, one bottleneck, five up steps, 28 convolutional layers in total.
+// FastConfig is the reduced preset the accuracy experiments run at
+// (DESIGN.md §5): same block structure, three levels, eight base
+// channels, sized for pure-Go training on a single core.
+package unet
+
+import (
+	"fmt"
+
+	"seaice/internal/nn"
+	"seaice/internal/noise"
+	"seaice/internal/tensor"
+)
+
+// Config describes a U-Net variant.
+type Config struct {
+	// Depth is the number of down-sampling steps (paper: 5).
+	Depth int
+	// BaseChannels is the feature width of the first level (paper: 64);
+	// level l uses BaseChannels·2^l.
+	BaseChannels int
+	// InChannels is 3 for RGB tiles.
+	InChannels int
+	// Classes is 3: thick ice, thin ice, open water.
+	Classes int
+	// DropoutRate regularizes between convolutions (paper explores
+	// 0.1/0.2/0.3).
+	DropoutRate float64
+	// Seed drives weight initialization and dropout.
+	Seed uint64
+}
+
+// PaperConfig is the published architecture: 5 down steps + bottleneck +
+// 5 up steps = 28 conv layers (10 contracting + 2 bottleneck + 5 up-conv
+// + 10 expanding + 1 final 1×1).
+func PaperConfig(seed uint64) Config {
+	return Config{Depth: 5, BaseChannels: 64, InChannels: 3, Classes: 3, DropoutRate: 0.2, Seed: seed}
+}
+
+// FastConfig is the single-core experiment preset.
+func FastConfig(seed uint64) Config {
+	return Config{Depth: 3, BaseChannels: 8, InChannels: 3, Classes: 3, DropoutRate: 0.1, Seed: seed}
+}
+
+// Validate rejects impossible configurations.
+func (c Config) Validate() error {
+	if c.Depth < 1 {
+		return fmt.Errorf("unet: depth must be ≥1, got %d", c.Depth)
+	}
+	if c.BaseChannels < 1 || c.InChannels < 1 || c.Classes < 2 {
+		return fmt.Errorf("unet: invalid channels (base %d, in %d, classes %d)", c.BaseChannels, c.InChannels, c.Classes)
+	}
+	if c.DropoutRate < 0 || c.DropoutRate >= 1 {
+		return fmt.Errorf("unet: invalid dropout %f", c.DropoutRate)
+	}
+	return nil
+}
+
+// MinInputSize returns the smallest square input the network accepts
+// (spatial size must survive Depth halvings).
+func (c Config) MinInputSize() int { return 1 << c.Depth }
+
+// NumConvLayers counts convolutional layers (incl. up-convolutions and
+// the final 1×1): 2·Depth contracting + 2 bottleneck + Depth up-convs +
+// 2·Depth expanding + 1 head — 28 for PaperConfig, matching §III-C1.
+func (c Config) NumConvLayers() int { return 5*c.Depth + 3 }
+
+// block is one double-convolution group.
+type block struct {
+	conv1 *nn.Conv2D
+	relu1 *nn.ReLU
+	drop  *nn.Dropout
+	conv2 *nn.Conv2D
+	relu2 *nn.ReLU
+}
+
+func newBlock(name string, inC, outC int, rate float64, rng *noise.RNG) *block {
+	return &block{
+		conv1: nn.NewConv2D(name+".conv1", inC, outC, 3, rng),
+		relu1: nn.NewReLU(name + ".relu1"),
+		drop:  nn.NewDropout(name+".drop", rate, rng),
+		conv2: nn.NewConv2D(name+".conv2", outC, outC, 3, rng),
+		relu2: nn.NewReLU(name + ".relu2"),
+	}
+}
+
+func (b *block) forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	x = b.relu1.Forward(b.conv1.Forward(x, train), train)
+	x = b.drop.Forward(x, train)
+	return b.relu2.Forward(b.conv2.Forward(x, train), train)
+}
+
+func (b *block) backward(dy *tensor.Tensor) *tensor.Tensor {
+	dy = b.conv2.Backward(b.relu2.Backward(dy))
+	dy = b.drop.Backward(dy)
+	return b.conv1.Backward(b.relu1.Backward(dy))
+}
+
+func (b *block) params() []*nn.Param {
+	return append(b.conv1.Params(), b.conv2.Params()...)
+}
+
+// Model is an assembled U-Net.
+type Model struct {
+	cfg Config
+
+	enc        []*block
+	pools      []*nn.MaxPool2
+	bottleneck *block
+	ups        []*nn.ConvTranspose2x2
+	concats    []*nn.Concat
+	dec        []*block
+	final      *nn.Conv2D
+
+	loss nn.SoftmaxCrossEntropy
+}
+
+// New builds a model with deterministic He initialization from cfg.Seed.
+func New(cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := noise.NewRNG(cfg.Seed, 0x0de1)
+	m := &Model{cfg: cfg}
+
+	ch := cfg.BaseChannels
+	in := cfg.InChannels
+	for l := 0; l < cfg.Depth; l++ {
+		m.enc = append(m.enc, newBlock(fmt.Sprintf("enc%d", l), in, ch, cfg.DropoutRate, rng))
+		m.pools = append(m.pools, nn.NewMaxPool2(fmt.Sprintf("pool%d", l)))
+		in, ch = ch, ch*2
+	}
+	m.bottleneck = newBlock("bottleneck", in, ch, cfg.DropoutRate, rng)
+
+	for l := cfg.Depth - 1; l >= 0; l-- {
+		skipC := cfg.BaseChannels << l
+		m.ups = append(m.ups, nn.NewConvTranspose2x2(fmt.Sprintf("up%d", l), ch, skipC, rng))
+		m.concats = append(m.concats, nn.NewConcat(fmt.Sprintf("concat%d", l)))
+		m.dec = append(m.dec, newBlock(fmt.Sprintf("dec%d", l), skipC*2, skipC, cfg.DropoutRate, rng))
+		ch = skipC
+	}
+	m.final = nn.NewConv2D("final", cfg.BaseChannels, cfg.Classes, 1, rng)
+	return m, nil
+}
+
+// Config returns the model's configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// NumConvLayers counts the model's convolutional layers; see
+// Config.NumConvLayers.
+func (m *Model) NumConvLayers() int {
+	return 2*len(m.enc) + 2 + len(m.ups) + 2*len(m.dec) + 1
+}
+
+// Params lists every learnable parameter in a stable order.
+func (m *Model) Params() []*nn.Param {
+	var out []*nn.Param
+	for _, b := range m.enc {
+		out = append(out, b.params()...)
+	}
+	out = append(out, m.bottleneck.params()...)
+	for i := range m.ups {
+		out = append(out, m.ups[i].Params()...)
+		out = append(out, m.dec[i].params()...)
+	}
+	return append(out, m.final.Params()...)
+}
+
+// NumParams returns the total scalar parameter count.
+func (m *Model) NumParams() int {
+	n := 0
+	for _, p := range m.Params() {
+		n += p.W.Len()
+	}
+	return n
+}
+
+// Forward runs the network on x (N,3,H,W) and returns class logits
+// (N,Classes,H,W). H and W must be divisible by 2^Depth.
+func (m *Model) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	skips := make([]*tensor.Tensor, len(m.enc))
+	for l, b := range m.enc {
+		s := b.forward(x, train)
+		skips[l] = s
+		x = m.pools[l].Forward(s, train)
+	}
+	x = m.bottleneck.forward(x, train)
+	for i := range m.ups {
+		l := m.cfg.Depth - 1 - i
+		x = m.ups[i].Forward(x, train)
+		x = m.concats[i].Join(skips[l], x)
+		x = m.dec[i].forward(x, train)
+	}
+	return m.final.Forward(x, train)
+}
+
+// Backward propagates dL/dlogits through the whole graph, accumulating
+// parameter gradients, and returns dL/dinput.
+func (m *Model) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	dy = m.final.Backward(dy)
+	dskips := make([]*tensor.Tensor, len(m.enc))
+	for i := len(m.ups) - 1; i >= 0; i-- {
+		l := m.cfg.Depth - 1 - i
+		dy = m.dec[i].backward(dy)
+		var dskip *tensor.Tensor
+		dskip, dy = m.concats[i].Split(dy)
+		dskips[l] = dskip
+		dy = m.ups[i].Backward(dy)
+	}
+	dy = m.bottleneck.backward(dy)
+	for l := len(m.enc) - 1; l >= 0; l-- {
+		dy = m.pools[l].Backward(dy)
+		dy.AddInPlace(dskips[l])
+		dy = m.enc[l].backward(dy)
+	}
+	return dy
+}
+
+// LossAndGrad computes the softmax cross-entropy of a forward pass and
+// runs the full backward pass. It returns the mean loss.
+func (m *Model) LossAndGrad(x *tensor.Tensor, labels []uint8) (float64, error) {
+	logits := m.Forward(x, true)
+	loss, err := m.loss.Loss(logits, labels)
+	if err != nil {
+		return 0, err
+	}
+	m.Backward(m.loss.Grad())
+	return loss, nil
+}
+
+// Predict returns per-pixel class predictions for x.
+func (m *Model) Predict(x *tensor.Tensor) []uint8 {
+	return nn.Predict(m.Forward(x, false))
+}
