@@ -1,0 +1,235 @@
+// Command seaice-serve exposes trained U-Net checkpoints as an online
+// sea-ice classification service: POST a PNG to /classify and get the
+// stitched label map back, with micro-batched inference, a content-hash
+// result cache, and backpressure under overload (HTTP 429).
+//
+// Serve one or more checkpoints (the first is the default model):
+//
+//	seaice-serve -ckpt unet.ckpt
+//	seaice-serve -ckpt man=unet-man.ckpt,auto=unet-auto.ckpt -addr :8080
+//
+// Load-generator mode fires concurrent tile requests at a running
+// server and reports throughput and latency percentiles; with no
+// -target it spins up an in-process server (using -ckpt if given, else
+// a freshly initialized demo model) first:
+//
+//	seaice-serve -loadgen -n 512 -c 32
+//	seaice-serve -loadgen -target http://localhost:8080 -n 1000 -c 64
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"seaice/internal/raster"
+	"seaice/internal/scene"
+	"seaice/internal/serve"
+	"seaice/internal/unet"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("seaice-serve: ")
+
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		ckpt      = flag.String("ckpt", "", "checkpoint(s): path, or comma-separated name=path pairs")
+		tile      = flag.Int("tile", 32, "served tile size")
+		batch     = flag.Int("batch", 16, "max tiles per forward-pass micro-batch")
+		batchWait = flag.Duration("batch-wait", 2*time.Millisecond, "max wait for a micro-batch to fill")
+		workers   = flag.Int("workers", 0, "inference workers (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 256, "bounded request queue size")
+		cacheSize = flag.Int("cache", 4096, "tile result cache entries (0 disables)")
+
+		loadgen = flag.Bool("loadgen", false, "run the load generator instead of serving")
+		target  = flag.String("target", "", "loadgen: base URL of a running server (empty = in-process)")
+		n       = flag.Int("n", 256, "loadgen: total requests")
+		c       = flag.Int("c", 16, "loadgen: concurrent clients")
+		seed    = flag.Uint64("seed", 1, "loadgen: synthetic tile seed")
+	)
+	flag.Parse()
+
+	cfg := serve.DefaultConfig()
+	cfg.TileSize = *tile
+	cfg.MaxBatch = *batch
+	cfg.BatchWait = *batchWait
+	if *workers > 0 {
+		cfg.Workers = *workers
+	}
+	cfg.QueueSize = *queue
+	cfg.CacheSize = *cacheSize
+
+	if *loadgen {
+		if err := runLoadgen(cfg, *ckpt, *target, *n, *c, *seed); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if *ckpt == "" {
+		log.Fatal("serving requires -ckpt (train one with seaice-train)")
+	}
+	reg := serve.NewRegistry()
+	if err := loadCheckpoints(reg, *ckpt); err != nil {
+		log.Fatal(err)
+	}
+	srv, err := serve.NewServer(cfg, reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	log.Printf("serving models %v on %s (tile %d, batch ≤%d, %d workers, queue %d, cache %d)",
+		reg.Names(), *addr, cfg.TileSize, cfg.MaxBatch, cfg.Workers, cfg.QueueSize, cfg.CacheSize)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}
+
+// loadCheckpoints parses "path" or "name=path,name=path" into the
+// registry; an unnamed single checkpoint registers as "default".
+func loadCheckpoints(reg *serve.Registry, spec string) error {
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, path := "default", part
+		if i := strings.IndexByte(part, '='); i >= 0 {
+			name, path = part[:i], part[i+1:]
+		}
+		if err := reg.Load(name, path); err != nil {
+			return err
+		}
+		log.Printf("loaded model %q from %s", name, path)
+	}
+	return nil
+}
+
+// runLoadgen drives the /classify endpoint with concurrent synthetic
+// tiles and reports achieved throughput and latency percentiles.
+func runLoadgen(cfg serve.Config, ckpt, target string, n, c int, seed uint64) error {
+	if target == "" {
+		reg := serve.NewRegistry()
+		if ckpt != "" {
+			if err := loadCheckpoints(reg, ckpt); err != nil {
+				return err
+			}
+		} else {
+			log.Printf("no -ckpt: load-testing a freshly initialized (untrained) demo model")
+			m, err := unet.New(unet.FastConfig(seed))
+			if err != nil {
+				return err
+			}
+			if err := reg.Add("demo", m); err != nil {
+				return err
+			}
+		}
+		srv, err := serve.NewServer(cfg, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		target = ts.URL
+		log.Printf("in-process server on %s", target)
+	}
+
+	// Pre-render a pool of distinct tile PNGs from a synthetic scene.
+	sceneCfg := scene.DefaultConfig(seed)
+	sceneCfg.W, sceneCfg.H = 8*cfg.TileSize, 8*cfg.TileSize
+	sc, err := scene.Generate(sceneCfg)
+	if err != nil {
+		return err
+	}
+	tiles, _, err := raster.Split(sc.Image, cfg.TileSize, cfg.TileSize)
+	if err != nil {
+		return err
+	}
+	bodies := make([][]byte, len(tiles))
+	for i, t := range tiles {
+		var buf bytes.Buffer
+		if err := t.Image.EncodePNG(&buf); err != nil {
+			return err
+		}
+		bodies[i] = buf.Bytes()
+	}
+
+	log.Printf("firing %d requests from %d clients at %s/classify", n, c, target)
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		latencies []time.Duration
+		rejected  int
+		failed    int
+	)
+	start := time.Now()
+	perClient := (n + c - 1) / c
+	for cl := 0; cl < c; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(seed) + int64(cl)))
+			client := &http.Client{Timeout: 60 * time.Second}
+			for i := 0; i < perClient && cl*perClient+i < n; i++ {
+				body := bodies[rng.Intn(len(bodies))]
+				t0 := time.Now()
+				resp, err := client.Post(target+"/classify", "image/png", bytes.NewReader(body))
+				lat := time.Since(t0)
+				mu.Lock()
+				switch {
+				case err != nil:
+					failed++
+				case resp.StatusCode == http.StatusTooManyRequests:
+					rejected++
+				case resp.StatusCode != http.StatusOK:
+					failed++
+				default:
+					latencies = append(latencies, lat)
+				}
+				mu.Unlock()
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}(cl)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) time.Duration {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(latencies)))
+		if i >= len(latencies) {
+			i = len(latencies) - 1
+		}
+		return latencies[i]
+	}
+	fmt.Printf("requests:   %d ok, %d rejected (429), %d failed\n", len(latencies), rejected, failed)
+	fmt.Printf("elapsed:    %.2fs (%.1f req/s achieved)\n", elapsed.Seconds(), float64(len(latencies))/elapsed.Seconds())
+	fmt.Printf("latency:    p50 %v  p90 %v  p99 %v\n", pct(0.50), pct(0.90), pct(0.99))
+
+	// Pull the server-side view when available.
+	if resp, err := http.Get(target + "/statz"); err == nil {
+		defer resp.Body.Close()
+		var snap serve.Snapshot
+		if json.NewDecoder(resp.Body).Decode(&snap) == nil {
+			fmt.Printf("server:     %.1f tiles/s, avg batch %.2f, cache hit rate %.1f%%, queue depth %d\n",
+				snap.TilesPerS, snap.AvgBatchSize, 100*snap.CacheHitRate, snap.QueueDepth)
+		}
+	}
+	return nil
+}

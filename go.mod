@@ -1,0 +1,3 @@
+module seaice
+
+go 1.24

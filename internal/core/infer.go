@@ -1,0 +1,94 @@
+// Scene inference — the paper's Fig 9 workflow (tile → filter → U-Net →
+// stitch) behind a batch-oriented TilePredictor seam, so the offline CLI
+// (cmd/seaice-infer) and the online service (internal/serve) share one
+// code path while supplying different predictors (a local inference
+// session vs. a micro-batching scheduler with a result cache).
+
+package core
+
+import (
+	"fmt"
+
+	"seaice/internal/dataset"
+	"seaice/internal/raster"
+	"seaice/internal/unet"
+)
+
+// TilePredictor classifies a batch of equally-sized RGB tiles. The
+// returned slice is index-aligned with the input.
+type TilePredictor interface {
+	PredictTiles(tiles []*raster.RGB) ([]*raster.Labels, error)
+}
+
+// SessionPredictor is the local TilePredictor: a unet inference session
+// driven in fixed-size micro-batches. It is not safe for concurrent use
+// (wrap it in a serve scheduler for that).
+type SessionPredictor struct {
+	sess     *unet.Session
+	maxBatch int
+}
+
+// DefaultInferenceBatch is the micro-batch size local inference uses —
+// past ~16 tiles the per-layer amortization has flattened out.
+const DefaultInferenceBatch = 16
+
+// NewSessionPredictor wraps m in an inference session that predicts in
+// batches of up to maxBatch tiles (<= 0 selects DefaultInferenceBatch).
+func NewSessionPredictor(m *unet.Model, maxBatch int) *SessionPredictor {
+	if maxBatch <= 0 {
+		maxBatch = DefaultInferenceBatch
+	}
+	return &SessionPredictor{sess: unet.NewSession(m), maxBatch: maxBatch}
+}
+
+// PredictTiles implements TilePredictor.
+func (p *SessionPredictor) PredictTiles(tiles []*raster.RGB) ([]*raster.Labels, error) {
+	out := make([]*raster.Labels, 0, len(tiles))
+	for i := 0; i < len(tiles); i += p.maxBatch {
+		end := i + p.maxBatch
+		if end > len(tiles) {
+			end = len(tiles)
+		}
+		labels, err := p.sess.PredictTiles(tiles[i:end])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, labels...)
+	}
+	return out, nil
+}
+
+// InferScene runs the shared inference workflow on a full scene: apply
+// the thin-cloud/shadow filter at scene scale, split into tiles, classify
+// every tile through p, and stitch the predictions back to scene size.
+func InferScene(p TilePredictor, sceneImg *raster.RGB, tileSize int, build dataset.BuildConfig) (*raster.Labels, error) {
+	filtered := filterScene(sceneImg, build)
+	return InferFilteredScene(p, filtered, tileSize)
+}
+
+// InferFilteredScene is InferScene minus the filter stage, for callers
+// that already hold filtered imagery (or want raw classification).
+func InferFilteredScene(p TilePredictor, img *raster.RGB, tileSize int) (*raster.Labels, error) {
+	tiles, grid, err := raster.Split(img, tileSize, tileSize)
+	if err != nil {
+		return nil, err
+	}
+	imgs := make([]*raster.RGB, len(tiles))
+	for i, t := range tiles {
+		imgs[i] = t.Image
+	}
+	preds, err := p.PredictTiles(imgs)
+	if err != nil {
+		return nil, err
+	}
+	if len(preds) != len(imgs) {
+		return nil, fmt.Errorf("core: predictor returned %d label maps for %d tiles", len(preds), len(imgs))
+	}
+	return raster.StitchLabels(preds, grid)
+}
+
+// Inference reproduces the paper's Fig 9 workflow on a full scene with a
+// local batched session over m — the code path cmd/seaice-infer runs.
+func Inference(m *unet.Model, sceneImg *raster.RGB, tileSize int, build dataset.BuildConfig) (*raster.Labels, error) {
+	return InferScene(NewSessionPredictor(m, 0), sceneImg, tileSize, build)
+}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"path/filepath"
 
-	"seaice/internal/dataset"
 	"seaice/internal/raster"
 	"seaice/internal/report"
 	"seaice/internal/train"
@@ -161,25 +160,4 @@ func PredictTile(m *unet.Model, img *raster.RGB) (*raster.Labels, error) {
 		out.Pix[i] = raster.Class(c)
 	}
 	return out, nil
-}
-
-// Inference reproduces the paper's Fig 9 workflow on a full scene: split
-// into tiles, filter each, predict, and stitch the prediction back to
-// scene size.
-func Inference(m *unet.Model, sceneImg *raster.RGB, tileSize int, build dataset.BuildConfig) (*raster.Labels, error) {
-	// The filter needs scene-scale context, so filter first, then tile.
-	filtered := filterScene(sceneImg, build)
-	tiles, grid, err := raster.Split(filtered, tileSize, tileSize)
-	if err != nil {
-		return nil, err
-	}
-	preds := make([]*raster.Labels, len(tiles))
-	for i, t := range tiles {
-		p, err := PredictTile(m, t.Image)
-		if err != nil {
-			return nil, err
-		}
-		preds[i] = p
-	}
-	return raster.StitchLabels(preds, grid)
 }

@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"seaice/internal/raster"
+	"seaice/internal/unet"
+)
+
+// ErrOverloaded reports that the request queue is full; HTTP callers
+// translate it to 429 so overload degrades gracefully instead of piling
+// unbounded work onto the inference pool.
+var ErrOverloaded = errors.New("serve: queue full")
+
+// ErrClosed reports a submit against a scheduler that has shut down.
+var ErrClosed = errors.New("serve: scheduler closed")
+
+// request is one tile awaiting classification.
+type request struct {
+	model *unet.Model
+	tile  *raster.RGB
+	out   chan result
+}
+
+type result struct {
+	labels *raster.Labels
+	err    error
+}
+
+// Scheduler coalesces concurrent tile requests into forward-pass
+// micro-batches. A fixed pool of workers drains a bounded queue; each
+// worker owns one inference session per model (pre-allocated tensor
+// buffers that are reused across batches). The first request a worker
+// picks up becomes the batch leader and waits up to BatchWait for
+// followers with the same model and tile size, up to MaxBatch tiles.
+type Scheduler struct {
+	cfg   Config
+	queue chan *request
+	done  chan struct{}
+
+	mu       sync.Mutex
+	closed   bool
+	inflight sync.WaitGroup // Submit calls between enqueue and response
+	workers  sync.WaitGroup
+
+	stats *Stats
+}
+
+// NewScheduler starts the worker pool. stats may be nil.
+func NewScheduler(cfg Config, stats *Stats) *Scheduler {
+	s := &Scheduler{
+		cfg:   cfg,
+		queue: make(chan *request, cfg.QueueSize),
+		done:  make(chan struct{}),
+		stats: stats,
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// QueueDepth reports the number of queued (not yet running) requests.
+func (s *Scheduler) QueueDepth() int { return len(s.queue) }
+
+// Submit enqueues one tile and blocks until its prediction is ready.
+// A full queue returns ErrOverloaded immediately.
+func (s *Scheduler) Submit(m *unet.Model, tile *raster.RGB) (*raster.Labels, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	defer s.inflight.Done()
+
+	req := &request{model: m, tile: tile, out: make(chan result, 1)}
+	select {
+	case s.queue <- req:
+	default:
+		if s.stats != nil {
+			s.stats.RecordReject()
+		}
+		return nil, ErrOverloaded
+	}
+	res := <-req.out
+	return res.labels, res.err
+}
+
+// Close drains in-flight work and stops the workers. Safe to call more
+// than once.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.workers.Wait()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+
+	// No new submits can start; wait for every enqueued request to be
+	// answered (workers are still running), then stop the pool.
+	s.inflight.Wait()
+	close(s.done)
+	s.workers.Wait()
+}
+
+// worker drains the queue, forming micro-batches.
+func (s *Scheduler) worker() {
+	defer s.workers.Done()
+	sessions := make(map[*unet.Model]*unet.Session)
+	var pending *request // first request of the next batch after a mismatch
+	for {
+		var leader *request
+		if pending != nil {
+			leader, pending = pending, nil
+		} else {
+			select {
+			case <-s.done:
+				return
+			case leader = <-s.queue:
+			}
+		}
+		batch := []*request{leader}
+		if s.cfg.MaxBatch > 1 {
+			batch, pending = s.collect(batch)
+		}
+		s.run(sessions, batch)
+	}
+}
+
+// collect gathers followers for batch's leader until the batch is full,
+// BatchWait elapses, or a mismatched request arrives (returned as the
+// next leader).
+func (s *Scheduler) collect(batch []*request) ([]*request, *request) {
+	leader := batch[0]
+	timer := time.NewTimer(s.cfg.BatchWait)
+	defer timer.Stop()
+	for len(batch) < s.cfg.MaxBatch {
+		select {
+		case r := <-s.queue:
+			if r.model != leader.model || r.tile.W != leader.tile.W || r.tile.H != leader.tile.H {
+				return batch, r
+			}
+			batch = append(batch, r)
+		case <-timer.C:
+			return batch, nil
+		case <-s.done:
+			return batch, nil
+		}
+	}
+	return batch, nil
+}
+
+// run executes one batch on the worker's session for its model and
+// delivers per-request results.
+func (s *Scheduler) run(sessions map[*unet.Model]*unet.Session, batch []*request) {
+	sess, ok := sessions[batch[0].model]
+	if !ok {
+		sess = unet.NewSession(batch[0].model)
+		sessions[batch[0].model] = sess
+	}
+	tiles := make([]*raster.RGB, len(batch))
+	for i, r := range batch {
+		tiles[i] = r.tile
+	}
+	labels, err := sess.PredictTiles(tiles)
+	if s.stats != nil {
+		s.stats.RecordBatch(len(batch))
+	}
+	for i, r := range batch {
+		if err != nil {
+			r.out <- result{err: err}
+		} else {
+			r.out <- result{labels: labels[i]}
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"seaice/internal/raster"
+	"seaice/internal/unet"
+)
+
+// schedCfg returns a scheduler-oriented config for tests.
+func schedCfg() Config {
+	cfg := DefaultConfig()
+	cfg.TileSize = 16
+	cfg.Workers = 1
+	return cfg
+}
+
+// TestSchedulerCoalesces submits a burst of concurrent tiles and checks
+// that the single worker served them in fewer forward passes than tiles.
+func TestSchedulerCoalesces(t *testing.T) {
+	m := testModel(t, 2)
+	cfg := schedCfg()
+	cfg.MaxBatch = 8
+	cfg.BatchWait = 50 * time.Millisecond
+	stats := NewStats()
+	sched := NewScheduler(cfg, stats)
+	defer sched.Close()
+
+	const n = 16
+	tiles := testTiles(n, 16, 3)
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = sched.Submit(m, tiles[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	snap := stats.Snapshot(0, 0, 0)
+	if snap.Batches >= n {
+		t.Fatalf("%d batches for %d tiles — no coalescing happened", snap.Batches, n)
+	}
+	if snap.AvgBatchSize <= 1 {
+		t.Fatalf("average batch size %.2f, want > 1", snap.AvgBatchSize)
+	}
+	t.Logf("%d tiles in %d batches (avg %.2f)", n, snap.Batches, snap.AvgBatchSize)
+}
+
+// TestSchedulerMatchesSession checks batched scheduling returns exactly
+// what a plain session would.
+func TestSchedulerMatchesSession(t *testing.T) {
+	m := testModel(t, 4)
+	cfg := schedCfg()
+	sched := NewScheduler(cfg, nil)
+	defer sched.Close()
+
+	tiles := testTiles(12, 16, 8)
+	want, err := unet.NewSession(m).PredictTiles(tiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	got := make([]*raster.Labels, len(tiles))
+	errs := make([]error, len(tiles))
+	for i := range tiles {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = sched.Submit(m, tiles[i])
+		}(i)
+	}
+	wg.Wait()
+	for i := range tiles {
+		if errs[i] != nil {
+			t.Fatalf("submit %d: %v", i, errs[i])
+		}
+		for p := range want[i].Pix {
+			if got[i].Pix[p] != want[i].Pix[p] {
+				t.Fatalf("tile %d pixel %d: scheduler %d, session %d", i, p, got[i].Pix[p], want[i].Pix[p])
+			}
+		}
+	}
+}
+
+// TestSchedulerMixedShapes interleaves two tile sizes and two models;
+// every request must land on a correctly shaped batch.
+func TestSchedulerMixedShapes(t *testing.T) {
+	m1, m2 := testModel(t, 5), testModel(t, 6)
+	cfg := schedCfg()
+	cfg.MaxBatch = 4
+	cfg.BatchWait = 10 * time.Millisecond
+	sched := NewScheduler(cfg, nil)
+	defer sched.Close()
+
+	small := testTiles(6, 16, 10)
+	big := testTiles(6, 32, 11)
+	var wg sync.WaitGroup
+	errs := make([]error, 0, 24)
+	var mu sync.Mutex
+	submit := func(m *unet.Model, tile *raster.RGB, wantSize int) {
+		defer wg.Done()
+		labels, err := sched.Submit(m, tile)
+		if err == nil && (labels.W != wantSize || labels.H != wantSize) {
+			err = fmt.Errorf("labels %dx%d, want %d", labels.W, labels.H, wantSize)
+		}
+		mu.Lock()
+		errs = append(errs, err)
+		mu.Unlock()
+	}
+	for i := 0; i < 6; i++ {
+		wg.Add(4)
+		go submit(m1, small[i], 16)
+		go submit(m2, small[i], 16)
+		go submit(m1, big[i], 32)
+		go submit(m2, big[i], 32)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSchedulerBackpressure fills a tiny queue faster than one worker
+// drains it and expects ErrOverloaded, not blocking.
+func TestSchedulerBackpressure(t *testing.T) {
+	m := testModel(t, 7)
+	cfg := schedCfg()
+	cfg.QueueSize = 1
+	cfg.MaxBatch = 1
+	cfg.BatchWait = 0
+	stats := NewStats()
+	sched := NewScheduler(cfg, stats)
+	defer sched.Close()
+
+	const n = 48
+	tiles := testTiles(n, 16, 12)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var ok, overloaded int
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := sched.Submit(m, tiles[i])
+			mu.Lock()
+			defer mu.Unlock()
+			switch err {
+			case nil:
+				ok++
+			case ErrOverloaded:
+				overloaded++
+			default:
+				t.Errorf("unexpected error: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if ok == 0 {
+		t.Fatal("nothing succeeded")
+	}
+	if ok+overloaded != n {
+		t.Fatalf("accounted %d of %d requests", ok+overloaded, n)
+	}
+	snap := stats.Snapshot(0, 0, 0)
+	if snap.Rejected != int64(overloaded) {
+		t.Fatalf("stats count %d rejects, test saw %d", snap.Rejected, overloaded)
+	}
+	t.Logf("%d served, %d shed", ok, overloaded)
+}
+
+// TestSchedulerClose verifies shutdown answers in-flight work and
+// rejects later submits.
+func TestSchedulerClose(t *testing.T) {
+	m := testModel(t, 8)
+	cfg := schedCfg()
+	sched := NewScheduler(cfg, nil)
+
+	tiles := testTiles(8, 16, 13)
+	var wg sync.WaitGroup
+	errs := make([]error, len(tiles))
+	for i := range tiles {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = sched.Submit(m, tiles[i])
+		}(i)
+	}
+	wg.Wait()
+	sched.Close()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("pre-close submit %d: %v", i, err)
+		}
+	}
+	if _, err := sched.Submit(m, tiles[0]); err != ErrClosed {
+		t.Fatalf("post-close submit: %v, want ErrClosed", err)
+	}
+	sched.Close() // idempotent
+}

@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+
+	"seaice/internal/raster"
+)
+
+// CacheKey identifies a classification result: the model name plus a
+// SHA-256 over the tile's dimensions and pixel content. Identical
+// imagery (coastal scenes re-requested, overlapping campaigns, repeated
+// open-water tiles) resolves to the same key regardless of source.
+type CacheKey [sha256.Size]byte
+
+// TileKey hashes one tile for the given model name.
+func TileKey(model string, tile *raster.RGB) CacheKey {
+	h := sha256.New()
+	var dims [8]byte
+	binary.LittleEndian.PutUint32(dims[0:], uint32(tile.W))
+	binary.LittleEndian.PutUint32(dims[4:], uint32(tile.H))
+	h.Write([]byte(model))
+	h.Write(dims[:])
+	h.Write(tile.Pix)
+	var k CacheKey
+	h.Sum(k[:0])
+	return k
+}
+
+// Cache is a thread-safe LRU over tile classification results. Stored
+// label maps are shared across callers and MUST be treated as read-only.
+type Cache struct {
+	mu     sync.Mutex
+	max    int
+	ll     *list.List
+	items  map[CacheKey]*list.Element
+	hits   int64
+	misses int64
+}
+
+type cacheEntry struct {
+	key    CacheKey
+	labels *raster.Labels
+}
+
+// NewCache returns an LRU holding up to max entries; max <= 0 returns a
+// disabled cache (all lookups miss, stores are dropped).
+func NewCache(max int) *Cache {
+	return &Cache{max: max, ll: list.New(), items: make(map[CacheKey]*list.Element)}
+}
+
+// Enabled reports whether the cache stores anything at all; callers can
+// skip key hashing entirely when it does not.
+func (c *Cache) Enabled() bool { return c.max > 0 }
+
+// Get returns the cached labels for key, marking the entry most
+// recently used.
+func (c *Cache) Get(key CacheKey) (*raster.Labels, bool) {
+	if c.max <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).labels, true
+}
+
+// Put stores labels under key, evicting the least recently used entry
+// when at capacity.
+func (c *Cache) Put(key CacheKey, labels *raster.Labels) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).labels = labels
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, labels: labels})
+	if c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len reports the current entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Counters returns cumulative hit/miss counts.
+func (c *Cache) Counters() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

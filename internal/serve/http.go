@@ -1,0 +1,286 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"image/png"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"seaice/internal/core"
+	"seaice/internal/raster"
+	"seaice/internal/unet"
+)
+
+// maxBodyBytes bounds /classify uploads (a 2048² RGBA PNG is well under
+// this).
+const maxBodyBytes = 64 << 20
+
+// Server is the HTTP front end: it owns the scheduler, cache, and stats
+// and exposes the classification service over stdlib net/http.
+type Server struct {
+	cfg   Config
+	reg   *Registry
+	sched *Scheduler
+	cache *Cache
+	stats *Stats
+	mux   *http.ServeMux
+	// fanout caps how many scheduler submits one request keeps in
+	// flight, so a single large scene cannot fill the queue by itself.
+	fanout int
+}
+
+// NewServer validates cfg, warms every registered model, and starts the
+// inference worker pool. Callers must Close the server to stop the pool.
+func NewServer(cfg Config, reg *Registry) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(reg.Names()) == 0 {
+		return nil, fmt.Errorf("serve: registry has no models")
+	}
+	if err := reg.Warm(cfg.TileSize); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:   cfg,
+		reg:   reg,
+		cache: NewCache(cfg.CacheSize),
+		stats: NewStats(),
+		// Leave at least half the queue for other requests, but keep
+		// enough submits in flight to fill micro-batches.
+		fanout: max(1, min(cfg.QueueSize/2, 4*cfg.MaxBatch)),
+	}
+	s.sched = NewScheduler(cfg, s.stats)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/classify", s.handleClassify)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/statz", s.handleStatz)
+	return s, nil
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops the inference pool, draining in-flight requests.
+func (s *Server) Close() { s.sched.Close() }
+
+// Stats exposes the server's recorder (for tests and the load
+// generator).
+func (s *Server) Stats() Snapshot {
+	hits, misses := s.cache.Counters()
+	return s.stats.Snapshot(s.sched.QueueDepth(), hits, misses)
+}
+
+// classifyStats is the per-request summary returned in the
+// X-Seaice-Stats response header.
+type classifyStats struct {
+	Model      string  `json:"model"`
+	Tiles      int     `json:"tiles"`
+	CacheHits  int     `json:"cache_hits"`
+	Water      float64 `json:"water"`
+	ThinIce    float64 `json:"thin_ice"`
+	ThickIce   float64 `json:"thick_ice"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+	TileSize   int     `json:"tile_size"`
+	FilterUsed bool    `json:"filter"`
+}
+
+// handleClassify implements POST /classify: PNG scene (or single tile)
+// in, label-map PNG plus class statistics out. Unknown models 404, bad
+// inputs 400, backpressure 429.
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a PNG to /classify", http.StatusMethodNotAllowed)
+		return
+	}
+	start := time.Now()
+	modelName := r.URL.Query().Get("model")
+	model, err := s.reg.Get(modelName)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	if modelName == "" {
+		modelName = s.reg.Default()
+	}
+
+	img, errStatus, err := decodeSceneBody(r, s.cfg.TileSize)
+	if err != nil {
+		http.Error(w, err.Error(), errStatus)
+		return
+	}
+
+	pred := &servingPredictor{srv: s, model: model, modelName: modelName}
+	labels, err := core.InferScene(pred, img, s.cfg.TileSize, s.cfg.Build)
+	elapsed := time.Since(start)
+	if err != nil {
+		s.stats.RecordRequest(elapsed, pred.tiles, true)
+		if err == ErrOverloaded {
+			http.Error(w, "inference queue full, retry later", http.StatusTooManyRequests)
+		} else if err == ErrClosed {
+			http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+		} else {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	s.stats.RecordRequest(elapsed, pred.tiles, false)
+
+	counts := labels.Counts()
+	total := float64(len(labels.Pix))
+	stats := classifyStats{
+		Model:      modelName,
+		Tiles:      pred.tiles,
+		CacheHits:  pred.cacheHits,
+		Water:      float64(counts[raster.ClassWater]) / total,
+		ThinIce:    float64(counts[raster.ClassThinIce]) / total,
+		ThickIce:   float64(counts[raster.ClassThickIce]) / total,
+		ElapsedMS:  float64(elapsed) / float64(time.Millisecond),
+		TileSize:   s.cfg.TileSize,
+		FilterUsed: true,
+	}
+	hdr, _ := json.Marshal(stats)
+
+	var buf bytes.Buffer
+	if err := labels.Render().EncodePNG(&buf); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "image/png")
+	w.Header().Set("X-Seaice-Stats", string(hdr))
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf.Bytes())
+}
+
+// maxSceneDim caps accepted scene dimensions; the paper's largest
+// scenes are 2048². Checked before the full PNG decode so a tiny
+// crafted header cannot force a huge allocation.
+const maxSceneDim = 8192
+
+// decodeSceneBody reads and validates the uploaded PNG.
+func decodeSceneBody(r *http.Request, tileSize int) (*raster.RGB, int, error) {
+	body := http.MaxBytesReader(nil, r.Body, maxBodyBytes)
+	defer body.Close()
+	raw, err := io.ReadAll(body)
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return nil, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("serve: request body exceeds %d bytes", tooLarge.Limit)
+		}
+		return nil, http.StatusBadRequest, fmt.Errorf("serve: read body: %w", err)
+	}
+	cfg, err := png.DecodeConfig(bytes.NewReader(raw))
+	if err != nil {
+		return nil, http.StatusBadRequest, fmt.Errorf("serve: decode PNG: %w", err)
+	}
+	if cfg.Width < 1 || cfg.Height < 1 || cfg.Width > maxSceneDim || cfg.Height > maxSceneDim {
+		return nil, http.StatusBadRequest,
+			fmt.Errorf("serve: image %dx%d outside supported range (max %d per side)", cfg.Width, cfg.Height, maxSceneDim)
+	}
+	if cfg.Width%tileSize != 0 || cfg.Height%tileSize != 0 {
+		return nil, http.StatusBadRequest,
+			fmt.Errorf("serve: image %dx%d does not divide into %d×%d tiles", cfg.Width, cfg.Height, tileSize, tileSize)
+	}
+	decoded, err := png.Decode(bytes.NewReader(raw))
+	if err != nil {
+		return nil, http.StatusBadRequest, fmt.Errorf("serve: decode PNG: %w", err)
+	}
+	return raster.FromImage(decoded), 0, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":  "ok",
+		"models":  s.reg.Names(),
+		"default": s.reg.Default(),
+	})
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.Stats())
+}
+
+// servingPredictor is the core.TilePredictor the HTTP path plugs into
+// the shared inference workflow: cached tiles are answered from the LRU,
+// misses fan out as concurrent scheduler submits so the micro-batcher
+// can coalesce them, and fresh results are written back to the cache.
+type servingPredictor struct {
+	srv       *Server
+	model     *unet.Model
+	modelName string
+	tiles     int
+	cacheHits int
+}
+
+// PredictTiles implements core.TilePredictor.
+func (p *servingPredictor) PredictTiles(tiles []*raster.RGB) ([]*raster.Labels, error) {
+	p.tiles += len(tiles)
+	out := make([]*raster.Labels, len(tiles))
+	cached := p.srv.cache.Enabled()
+	var keys []CacheKey
+	var missed []int
+	if cached {
+		keys = make([]CacheKey, len(tiles))
+		for i, t := range tiles {
+			keys[i] = TileKey(p.modelName, t)
+			if labels, ok := p.srv.cache.Get(keys[i]); ok {
+				out[i] = labels
+				p.cacheHits++
+			} else {
+				missed = append(missed, i)
+			}
+		}
+	} else {
+		missed = make([]int, len(tiles))
+		for i := range tiles {
+			missed[i] = i
+		}
+	}
+	if len(missed) == 0 {
+		return out, nil
+	}
+
+	// Fan the misses out concurrently so the scheduler can coalesce
+	// them into micro-batches — but throttled, so one large scene
+	// cannot flood the bounded queue and reject itself: the queue must
+	// stay available to signal true cross-request overload.
+	limit := p.srv.fanout
+	if limit > len(missed) {
+		limit = len(missed)
+	}
+	sem := make(chan struct{}, limit)
+	errs := make([]error, len(missed))
+	var wg sync.WaitGroup
+	for mi, i := range missed {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(mi, i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			labels, err := p.srv.sched.Submit(p.model, tiles[i])
+			if err != nil {
+				errs[mi] = err
+				return
+			}
+			if cached {
+				p.srv.cache.Put(keys[i], labels)
+			}
+			out[i] = labels
+		}(mi, i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"seaice/internal/raster"
+	"seaice/internal/unet"
+)
+
+// Registry holds the models the service can classify with, keyed by
+// name. The first model registered becomes the default (requests that
+// name no model use it). Loading and lookup are safe for concurrent use;
+// the models themselves are only ever read after registration.
+type Registry struct {
+	mu     sync.RWMutex
+	models map[string]*unet.Model
+	def    string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{models: make(map[string]*unet.Model)}
+}
+
+// Add registers an in-memory model under name.
+func (r *Registry) Add(name string, m *unet.Model) error {
+	if name == "" {
+		return fmt.Errorf("serve: empty model name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.models[name]; dup {
+		return fmt.Errorf("serve: model %q already registered", name)
+	}
+	r.models[name] = m
+	if r.def == "" {
+		r.def = name
+	}
+	return nil
+}
+
+// Load reads a checkpoint file and registers it under name.
+func (r *Registry) Load(name, path string) error {
+	m, err := unet.LoadFile(path)
+	if err != nil {
+		return fmt.Errorf("serve: model %q: %w", name, err)
+	}
+	return r.Add(name, m)
+}
+
+// Get resolves a model by name; the empty string selects the default.
+func (r *Registry) Get(name string) (*unet.Model, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if name == "" {
+		name = r.def
+	}
+	m, ok := r.models[name]
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown model %q", name)
+	}
+	return m, nil
+}
+
+// Names lists registered model names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.models))
+	for n := range r.models {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Default returns the default model's name ("" when empty).
+func (r *Registry) Default() string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.def
+}
+
+// Warm verifies every registered model can serve the given tile size
+// and runs one throwaway batch per model, pre-faulting weight memory
+// and catching broken checkpoints at startup instead of on the first
+// request. (Worker sessions still grow their own activation buffers on
+// their first batch; that cost is per worker and unavoidable here.)
+func (r *Registry) Warm(tileSize int) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	tile := raster.NewRGB(tileSize, tileSize)
+	for name, m := range r.models {
+		if tileSize%m.Config().MinInputSize() != 0 {
+			return fmt.Errorf("serve: model %q needs tile sizes divisible by %d, serving %d",
+				name, m.Config().MinInputSize(), tileSize)
+		}
+		sess := unet.NewSession(m)
+		if _, err := sess.PredictTiles([]*raster.RGB{tile}); err != nil {
+			return fmt.Errorf("serve: warm %q: %w", name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+// Package serve turns trained U-Net checkpoints into an online sea-ice
+// classification service — the serving layer the paper's offline
+// workflow (Fig 9) stops short of. It provides:
+//
+//   - a model Registry that loads, validates, and warms checkpoints;
+//   - a Scheduler that coalesces concurrent tile-classification requests
+//     into micro-batches executed by a fixed pool of inference workers,
+//     each owning a pre-allocated unet.Session (amortizing conv cost the
+//     same way internal/train batches do);
+//   - a content-hash LRU Cache over per-tile predictions;
+//   - bounded queues with backpressure, so overload surfaces as
+//     ErrOverloaded (HTTP 429) instead of collapse;
+//   - an HTTP front end (Server) with /classify, /healthz, and /statz.
+//
+// cmd/seaice-serve is the binary wrapping this package; the tile →
+// filter → classify → stitch pipeline itself is shared with the CLI via
+// internal/core's TilePredictor seam.
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"seaice/internal/dataset"
+)
+
+// Config sizes the service.
+type Config struct {
+	// TileSize is the served tile edge; /classify inputs must divide
+	// evenly into TileSize×TileSize tiles.
+	TileSize int
+	// MaxBatch caps tiles per forward pass.
+	MaxBatch int
+	// BatchWait is how long a batch leader waits for followers before
+	// the batch is dispatched partially filled.
+	BatchWait time.Duration
+	// Workers is the number of inference workers (each owns a session
+	// per model).
+	Workers int
+	// QueueSize bounds the request queue; a full queue rejects with
+	// ErrOverloaded.
+	QueueSize int
+	// CacheSize is the tile-result LRU capacity in entries; 0 disables
+	// caching.
+	CacheSize int
+	// Build supplies the thin-cloud/shadow filter configuration of the
+	// shared inference path.
+	Build dataset.BuildConfig
+}
+
+// DefaultConfig returns production-shaped defaults for the host.
+func DefaultConfig() Config {
+	return Config{
+		TileSize:  32,
+		MaxBatch:  16,
+		BatchWait: 2 * time.Millisecond,
+		Workers:   runtime.GOMAXPROCS(0),
+		QueueSize: 256,
+		CacheSize: 4096,
+		Build:     dataset.DefaultBuild(),
+	}
+}
+
+// Validate rejects unusable configurations.
+func (c Config) Validate() error {
+	if c.TileSize < 1 {
+		return fmt.Errorf("serve: tile size must be ≥1, got %d", c.TileSize)
+	}
+	if c.MaxBatch < 1 {
+		return fmt.Errorf("serve: max batch must be ≥1, got %d", c.MaxBatch)
+	}
+	if c.BatchWait < 0 {
+		return fmt.Errorf("serve: negative batch wait %v", c.BatchWait)
+	}
+	if c.Workers < 1 {
+		return fmt.Errorf("serve: workers must be ≥1, got %d", c.Workers)
+	}
+	if c.QueueSize < 1 {
+		return fmt.Errorf("serve: queue size must be ≥1, got %d", c.QueueSize)
+	}
+	if c.CacheSize < 0 {
+		return fmt.Errorf("serve: negative cache size %d", c.CacheSize)
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package unet
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCheckpointParamsRoundTrip saves a model and reloads it, expecting
+// every named parameter back bit-for-bit.
+func TestCheckpointParamsRoundTrip(t *testing.T) {
+	m, err := New(FastConfig(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Config() != m.Config() {
+		t.Fatalf("config %+v, want %+v", got.Config(), m.Config())
+	}
+	a, b := m.Params(), got.Params()
+	if len(a) != len(b) {
+		t.Fatalf("param count %d, want %d", len(b), len(a))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			t.Fatalf("param %d name %q, want %q", i, b[i].Name, a[i].Name)
+		}
+		for j := range a[i].W.Data {
+			if a[i].W.Data[j] != b[i].W.Data[j] {
+				t.Fatalf("param %s[%d] differs after round trip", a[i].Name, j)
+			}
+		}
+	}
+}
+
+// TestCheckpointFileRoundTrip exercises SaveFile/LoadFile and confirms
+// the reloaded model predicts identically.
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	m, err := New(FastConfig(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "unet.ckpt")
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randInput(1, 3, 16, 16, 5)
+	want, have := m.Predict(x), got.Predict(x)
+	for i := range want {
+		if want[i] != have[i] {
+			t.Fatalf("pixel %d: reloaded model predicts %d, original %d", i, have[i], want[i])
+		}
+	}
+}
+
+// TestLoadFileCorrupt makes sure damaged checkpoints come back as wrapped
+// errors, not panics — the serving registry loads checkpoints at startup
+// and must fail cleanly.
+func TestLoadFileCorrupt(t *testing.T) {
+	m, err := New(FastConfig(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	dir := t.TempDir()
+	cases := map[string][]byte{
+		"empty.ckpt":     {},
+		"truncated.ckpt": full[:len(full)/2],
+		"garbage.ckpt":   []byte("definitely not a gob stream"),
+	}
+	for name, data := range cases {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadFile(path); err == nil {
+			t.Errorf("%s: expected error, got nil", name)
+		}
+	}
+
+	if _, err := LoadFile(filepath.Join(dir, "missing.ckpt")); err == nil {
+		t.Error("missing file: expected error, got nil")
+	}
+}
