@@ -9,6 +9,7 @@ package seaice_test
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -19,6 +20,7 @@ import (
 	"seaice/internal/ddp"
 	"seaice/internal/mapreduce"
 	"seaice/internal/metrics"
+	"seaice/internal/nn"
 	"seaice/internal/perfmodel"
 	"seaice/internal/pool"
 	"seaice/internal/raster"
@@ -388,6 +390,102 @@ func BenchmarkServeThroughput(b *testing.B) {
 			}
 		}
 		b.ReportMetric(float64(b.N*len(tiles))/b.Elapsed().Seconds(), "tiles/s")
+	})
+}
+
+// BenchmarkTrainStep measures one full training step (forward + backward
+// + Adam) on the FastConfig U-Net at batch 8 on 64×64 tiles — the
+// training engine's acceptance workload. "legacy-serial" is the pre-PR
+// path: serial reference GEMM/im2col kernels allocating every
+// intermediate; "engine" is the cache-blocked, buffer-reusing parallel
+// path. The recorded baseline-vs-after numbers live in BENCH_train.json.
+func BenchmarkTrainStep(b *testing.B) {
+	samples := benchSamples(b, 8, 64)
+	run := func(b *testing.B, legacy bool, workers int) {
+		prevLegacy := nn.SetLegacyKernels(legacy)
+		defer nn.SetLegacyKernels(prevLegacy)
+		pool.SetSharedWorkers(workers)
+		defer pool.SetSharedWorkers(0)
+
+		m, err := unet.New(unet.FastConfig(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		x, labels, err := train.ToTensor(samples)
+		if err != nil {
+			b.Fatal(err)
+		}
+		params := m.Params()
+		opt := nn.NewAdam(0.01)
+		step := func() {
+			nn.ZeroGrads(params)
+			if _, err := m.LossAndGrad(x, labels); err != nil {
+				b.Fatal(err)
+			}
+			opt.Step(params)
+		}
+		step() // warm the grow-only scratch buffers
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			step()
+		}
+	}
+	b.Run("legacy-serial", func(b *testing.B) { run(b, true, 1) })
+	b.Run("engine", func(b *testing.B) { run(b, false, runtime.NumCPU()) })
+}
+
+// BenchmarkMatMul measures the GEMM core on a convolution-shaped product
+// (16×72 × 72×32768, the batch-8 64²-tile encoder shape) for the serial
+// reference kernels versus the blocked parallel engine, covering all
+// three product forms the conv layers use.
+func BenchmarkMatMul(b *testing.B) {
+	fill := func(t *tensor.Tensor, phase float64) {
+		for i := range t.Data {
+			t.Data[i] = float64(i%17)*0.25 - phase
+		}
+	}
+	const m, k, n = 16, 72, 8 * 64 * 64
+	a := tensor.New(m, k)   // weights (OutC, C·KH·KW)
+	bb := tensor.New(k, n)  // im2col matrix
+	at := tensor.New(k, m)  // transposed weights for Aᵀ×B
+	big := tensor.New(m, n) // output-channel-major gradient
+	wide := tensor.New(k, n)
+	fill(a, 0.1)
+	fill(bb, 0.2)
+	fill(at, 0.3)
+	fill(big, 0.5)
+	fill(wide, 0.6)
+
+	b.Run("AB/ref", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tensor.MatMulRef(a, bb)
+		}
+	})
+	b.Run("AB/engine", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tensor.MatMul(a, bb)
+		}
+	})
+	b.Run("ATB/ref", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tensor.MatMulATBRef(at, wide)
+		}
+	})
+	b.Run("ATB/engine", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tensor.MatMulATB(at, wide)
+		}
+	})
+	b.Run("ABT/ref", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tensor.MatMulABTRef(big, wide)
+		}
+	})
+	b.Run("ABT/engine", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tensor.MatMulABT(big, wide)
+		}
 	})
 }
 

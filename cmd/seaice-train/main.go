@@ -14,10 +14,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"time"
 
 	"seaice/internal/dataset"
 	"seaice/internal/ddp"
 	"seaice/internal/perfmodel"
+	"seaice/internal/pool"
 	"seaice/internal/scene"
 	"seaice/internal/train"
 	"seaice/internal/unet"
@@ -40,8 +42,11 @@ func main() {
 		maxTiles = flag.Int("max-tiles", 256, "cap on training tiles (0 = all)")
 		seed     = flag.Uint64("seed", 7, "seed")
 		ckpt     = flag.String("ckpt", "unet.ckpt", "checkpoint output path")
+		procs    = flag.Int("procs", 0, "worker threads for the training engine's kernels (0 = all cores)")
 	)
 	flag.Parse()
+	pool.SetSharedWorkers(*procs)
+	log.Printf("training engine: %d kernel workers", pool.Shared().Workers())
 
 	var modelCfg unet.Config
 	switch *preset {
@@ -121,14 +126,21 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if _, err := train.Fit(model, samples, train.Config{
+		start := time.Now()
+		res, err := train.Fit(model, samples, train.Config{
 			Epochs: *epochs, BatchSize: *batch, LR: *lr, Seed: *seed,
 			Progress: func(epoch int, loss float64) {
 				log.Printf("epoch %d: loss %.4f", epoch, loss)
 			},
-		}); err != nil {
+		})
+		if err != nil {
 			log.Fatal(err)
 		}
+		elapsed := time.Since(start)
+		log.Printf("serial training: %d steps in %s (%.1f ms/step, %.1f tiles/s)",
+			res.Steps, elapsed.Round(time.Millisecond),
+			float64(elapsed.Milliseconds())/float64(res.Steps),
+			float64(len(samples)**epochs)/elapsed.Seconds())
 	}
 
 	// Validate on held-out tiles against manual labels.

@@ -10,8 +10,13 @@ import (
 	"fmt"
 
 	"seaice/internal/colorspace"
+	"seaice/internal/pool"
 	"seaice/internal/raster"
 )
+
+// minStripeRows is the smallest per-worker row stripe: below this the
+// per-pixel work cannot amortize the pool dispatch.
+const minStripeRows = 32
 
 // Thresholds holds the HSV box per class.
 type Thresholds struct {
@@ -67,14 +72,24 @@ type Masks struct {
 }
 
 // Segment converts the image to HSV and produces the three class masks
-// with OpenCV-style inRange tests.
+// with OpenCV-style inRange tests. Pixel rows are independent, so the
+// image is split into row stripes distributed over the shared pool — the
+// same Fig-9 parallelization the paper gets from its multiprocessing pool
+// — and the output is byte-identical at any worker count.
 func Segment(img *raster.RGB, t Thresholds) Masks {
-	hsv := colorspace.ToHSV(img)
-	return Masks{
-		ThickIce: colorspace.InRange(hsv, t.ThickIce),
-		ThinIce:  colorspace.InRange(hsv, t.ThinIce),
-		Water:    colorspace.InRange(hsv, t.Water),
+	hsv := colorspace.NewPlanes(img.W, img.H)
+	m := Masks{
+		ThickIce: raster.NewGray(img.W, img.H),
+		ThinIce:  raster.NewGray(img.W, img.H),
+		Water:    raster.NewGray(img.W, img.H),
 	}
+	pool.Shared().MustMapRanges(img.H, minStripeRows, func(y0, y1 int) {
+		colorspace.ToHSVRows(img, hsv, y0, y1)
+		colorspace.InRangeRows(hsv, t.ThickIce, m.ThickIce, y0, y1)
+		colorspace.InRangeRows(hsv, t.ThinIce, m.ThinIce, y0, y1)
+		colorspace.InRangeRows(hsv, t.Water, m.Water, y0, y1)
+	})
+	return m
 }
 
 // Merge combines the class masks into a label map. Pixels claimed by no
@@ -100,11 +115,35 @@ func Merge(m Masks) (*raster.Labels, error) {
 	return out, nil
 }
 
-// Label runs the full auto-labeling step on one image: segmentation into
-// three masks followed by the merge. This is the per-tile unit of work
-// that the multiprocessing pool and the map-reduce engine parallelize.
+// Label runs the full auto-labeling step on one image: segmentation
+// followed by the merge. This is the per-tile unit of work that the
+// multiprocessing pool and the map-reduce engine parallelize. Instead of
+// materializing the three masks it classifies each row stripe in one
+// fused pass (convert to HSV, test the three boxes, resolve
+// brightest-first with the thin-ice default), which is byte-identical to
+// Merge(Segment(img, t)) — the equivalence tests assert exactly that.
 func Label(img *raster.RGB, t Thresholds) (*raster.Labels, error) {
-	return Merge(Segment(img, t))
+	out := raster.NewLabels(img.W, img.H)
+	hsv := colorspace.NewPlanes(img.W, img.H)
+	err := pool.Shared().MapRanges(img.H, minStripeRows, func(y0, y1 int) error {
+		colorspace.ToHSVRows(img, hsv, y0, y1)
+		for i := y0 * img.W; i < y1*img.W; i++ {
+			px := colorspace.HSV{H: hsv.Hue[i], S: hsv.Sat[i], V: hsv.Val[i]}
+			switch {
+			case t.ThickIce.Contains(px):
+				out.Pix[i] = raster.ClassThickIce
+			case t.Water.Contains(px):
+				out.Pix[i] = raster.ClassWater
+			default:
+				out.Pix[i] = raster.ClassThinIce
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // LabelPaper labels with the published Ross Sea thresholds.

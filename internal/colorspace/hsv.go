@@ -113,22 +113,34 @@ type Planes struct {
 	Val  []uint8
 }
 
-// ToHSV converts an RGB raster into planar HSV channels.
-func ToHSV(img *raster.RGB) *Planes {
-	n := img.W * img.H
-	p := &Planes{
-		W: img.W, H: img.H,
+// NewPlanes allocates empty planar HSV channels for a w×h image.
+func NewPlanes(w, h int) *Planes {
+	n := w * h
+	return &Planes{
+		W: w, H: h,
 		Hue: make([]uint8, n),
 		Sat: make([]uint8, n),
 		Val: make([]uint8, n),
 	}
-	for i := 0; i < n; i++ {
+}
+
+// ToHSV converts an RGB raster into planar HSV channels.
+func ToHSV(img *raster.RGB) *Planes {
+	p := NewPlanes(img.W, img.H)
+	ToHSVRows(img, p, 0, img.H)
+	return p
+}
+
+// ToHSVRows converts pixel rows [y0, y1) of img into p, which must match
+// img's dimensions. Rows are independent, so stripe workers can convert
+// disjoint row ranges of one Planes concurrently.
+func ToHSVRows(img *raster.RGB, p *Planes, y0, y1 int) {
+	for i := y0 * img.W; i < y1*img.W; i++ {
 		px := RGBToHSV(img.Pix[3*i], img.Pix[3*i+1], img.Pix[3*i+2])
 		p.Hue[i] = px.H
 		p.Sat[i] = px.S
 		p.Val[i] = px.V
 	}
-	return p
 }
 
 // ToRGB converts planar HSV channels back into an RGB raster.
@@ -177,10 +189,19 @@ func (b Bounds) Contains(p HSV) bool {
 // planar HSV channels falling inside the bounds.
 func InRange(p *Planes, b Bounds) *raster.Gray {
 	m := raster.NewGray(p.W, p.H)
-	for i := 0; i < p.W*p.H; i++ {
+	InRangeRows(p, b, m, 0, p.H)
+	return m
+}
+
+// InRangeRows fills pixel rows [y0, y1) of the mask m, which must match
+// p's dimensions; pixels outside the bounds are written as 0, so a dirty
+// mask row range is fully overwritten.
+func InRangeRows(p *Planes, b Bounds, m *raster.Gray, y0, y1 int) {
+	for i := y0 * p.W; i < y1*p.W; i++ {
 		if b.Contains(HSV{H: p.Hue[i], S: p.Sat[i], V: p.Val[i]}) {
 			m.Pix[i] = 255
+		} else {
+			m.Pix[i] = 0
 		}
 	}
-	return m
 }

@@ -68,6 +68,11 @@ type Trainer struct {
 	cfg      Config
 	replicas []*unet.Model
 	opts     []*nn.Adam
+	// flat holds one contiguous gradient vector per replica, reused
+	// across steps: packing every parameter into one buffer lets the
+	// all-reduce run as a single chunked, pipelined operation instead of
+	// one serial ring per parameter.
+	flat [][]float64
 }
 
 // New builds a trainer whose rank-0 replica is initialized from the model
@@ -111,6 +116,11 @@ func (t *Trainer) Step(shards [][]train.Sample) (float64, error) {
 		return 0, fmt.Errorf("ddp: %d shards for %d workers", len(shards), p)
 	}
 
+	// Each replica goroutine fans its kernels out on the shared pool, so
+	// a step can enqueue up to Workers × pool-size compute goroutines.
+	// Go caps running threads at GOMAXPROCS, so this nesting costs only
+	// scheduler queuing, and it keeps all cores busy both when replicas
+	// outnumber cores and when cores outnumber replicas.
 	losses := make([]float64, p)
 	errs := make([]error, p)
 	var wg sync.WaitGroup
@@ -138,25 +148,52 @@ func (t *Trainer) Step(shards [][]train.Sample) (float64, error) {
 		}
 	}
 
-	// Ring all-reduce each parameter's gradient across ranks.
+	// Flatten every parameter gradient into one contiguous vector per
+	// replica and average them with a single chunked, concurrent ring
+	// all-reduce — early chunks travel the ring while later chunks queue,
+	// which is the communication/communication overlap Horovod gets from
+	// its fusion buffer.
 	params := make([][]*nn.Param, p)
 	for r := 0; r < p; r++ {
 		params[r] = t.replicas[r].Params()
 	}
-	for j := range params[0] {
-		vectors := make([][]float64, p)
-		for r := 0; r < p; r++ {
-			vectors[r] = params[r][j].Grad.Data
+	flatLen := 0
+	for _, prm := range params[0] {
+		flatLen += prm.Grad.Len()
+	}
+	if t.flat == nil {
+		t.flat = make([][]float64, p)
+	}
+	for r := 0; r < p; r++ {
+		if cap(t.flat[r]) < flatLen {
+			t.flat[r] = make([]float64, flatLen)
 		}
-		if err := ring.AllReduceMean(vectors); err != nil {
-			return 0, err
+		t.flat[r] = t.flat[r][:flatLen]
+		off := 0
+		for _, prm := range params[r] {
+			off += copy(t.flat[r][off:], prm.Grad.Data)
+		}
+	}
+	if err := ring.AllReduceMeanChunked(t.flat, ring.DefaultChunk); err != nil {
+		return 0, err
+	}
+	for r := 0; r < p; r++ {
+		off := 0
+		for _, prm := range params[r] {
+			off += copy(prm.Grad.Data, t.flat[r][off:off+prm.Grad.Len()])
 		}
 	}
 
-	// Identical optimizer updates keep replicas synchronized.
+	// Identical optimizer updates keep replicas synchronized; ranks are
+	// independent here, so they update concurrently.
+	wg.Add(p)
 	for r := 0; r < p; r++ {
-		t.opts[r].Step(params[r])
+		go func(rank int) {
+			defer wg.Done()
+			t.opts[rank].Step(params[rank])
+		}(r)
 	}
+	wg.Wait()
 
 	total := 0.0
 	for _, l := range losses {

@@ -10,8 +10,9 @@ import (
 // ReLU is the rectified linear activation used after every convolution in
 // the paper's architecture.
 type ReLU struct {
-	name string
-	mask []bool
+	name        string
+	mask        []bool
+	yBuf, dxBuf *tensor.Tensor
 }
 
 // NewReLU returns a ReLU layer.
@@ -23,9 +24,12 @@ func (r *ReLU) Name() string { return r.name }
 // Params implements Layer.
 func (r *ReLU) Params() []*Param { return nil }
 
-// Forward clamps negatives to zero, remembering the active set.
+// Forward clamps negatives to zero, remembering the active set. The
+// output aliases a layer-owned grow-only buffer, valid until the next
+// Forward.
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	y := x.Clone()
+	y := tensor.Grow(&r.yBuf, x.Shape...)
+	copy(y.Data, x.Data)
 	if cap(r.mask) < len(y.Data) {
 		r.mask = make([]bool, len(y.Data))
 	}
@@ -43,7 +47,8 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward passes gradients only through the active set.
 func (r *ReLU) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	dx := dy.Clone()
+	dx := tensor.Grow(&r.dxBuf, dy.Shape...)
+	copy(dx.Data, dy.Data)
 	for i := range dx.Data {
 		if !r.mask[i] {
 			dx.Data[i] = 0
@@ -54,9 +59,10 @@ func (r *ReLU) Backward(dy *tensor.Tensor) *tensor.Tensor {
 
 // MaxPool2 is the 2×2 stride-2 max pooling of the contraction path.
 type MaxPool2 struct {
-	name   string
-	argmax []int32
-	inShp  []int
+	name        string
+	argmax      []int32
+	inShp       []int
+	yBuf, dxBuf *tensor.Tensor
 }
 
 // NewMaxPool2 returns a max-pool layer.
@@ -75,8 +81,8 @@ func (m *MaxPool2) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	oh, ow := h/2, w/2
-	m.inShp = x.Shape
-	y := tensor.New(n, c, oh, ow)
+	m.inShp = append(m.inShp[:0], x.Shape...)
+	y := tensor.Grow(&m.yBuf, n, c, oh, ow)
 	if cap(m.argmax) < y.Len() {
 		m.argmax = make([]int32, y.Len())
 	}
@@ -111,7 +117,8 @@ func (m *MaxPool2) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward routes each gradient to the block's argmax position.
 func (m *MaxPool2) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	dx := tensor.New(m.inShp...)
+	dx := tensor.Grow(&m.dxBuf, m.inShp...)
+	dx.Zero()
 	for i, v := range dy.Data {
 		dx.Data[m.argmax[i]] += v
 	}
@@ -122,10 +129,11 @@ func (m *MaxPool2) Backward(dy *tensor.Tensor) *tensor.Tensor {
 // survivors (inverted dropout), the regularization the paper inserts
 // between convolutional layers.
 type Dropout struct {
-	name string
-	Rate float64
-	rng  *noise.RNG
-	keep []bool
+	name        string
+	Rate        float64
+	rng         *noise.RNG
+	keep        []bool
+	yBuf, dxBuf *tensor.Tensor
 }
 
 // NewDropout builds a dropout layer with its own deterministic stream.
@@ -145,11 +153,12 @@ func (d *Dropout) Params() []*Param { return nil }
 // Forward applies inverted dropout in training mode and is the identity
 // at inference.
 func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := tensor.Grow(&d.yBuf, x.Shape...)
+	copy(y.Data, x.Data)
 	if !train || d.Rate == 0 {
 		d.keep = nil
-		return x.Clone()
+		return y
 	}
-	y := x.Clone()
 	if cap(d.keep) < len(y.Data) {
 		d.keep = make([]bool, len(y.Data))
 	}
@@ -169,10 +178,11 @@ func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward mirrors the forward mask.
 func (d *Dropout) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.Grow(&d.dxBuf, dy.Shape...)
+	copy(dx.Data, dy.Data)
 	if d.keep == nil {
-		return dy.Clone()
+		return dx
 	}
-	dx := dy.Clone()
 	scale := 1 / (1 - d.Rate)
 	for i := range dx.Data {
 		if d.keep[i] {
@@ -188,8 +198,9 @@ func (d *Dropout) Backward(dy *tensor.Tensor) *tensor.Tensor {
 // connection that concatenates encoder features onto the upsampled
 // decoder features.
 type Concat struct {
-	name   string
-	aC, bC int
+	name               string
+	aC, bC             int
+	yBuf, daBuf, dbBuf *tensor.Tensor
 }
 
 // NewConcat returns a channel-concatenation "layer" with a two-input
@@ -207,7 +218,7 @@ func (c *Concat) Join(a, b *tensor.Tensor) *tensor.Tensor {
 	}
 	n, h, w := a.Shape[0], a.Shape[2], a.Shape[3]
 	c.aC, c.bC = a.Shape[1], b.Shape[1]
-	y := tensor.New(n, c.aC+c.bC, h, w)
+	y := tensor.Grow(&c.yBuf, n, c.aC+c.bC, h, w)
 	plane := h * w
 	for img := 0; img < n; img++ {
 		copy(y.Data[img*(c.aC+c.bC)*plane:], a.Data[img*c.aC*plane:(img+1)*c.aC*plane])
@@ -220,8 +231,8 @@ func (c *Concat) Join(a, b *tensor.Tensor) *tensor.Tensor {
 func (c *Concat) Split(dy *tensor.Tensor) (da, db *tensor.Tensor) {
 	n, h, w := dy.Shape[0], dy.Shape[2], dy.Shape[3]
 	plane := h * w
-	da = tensor.New(n, c.aC, h, w)
-	db = tensor.New(n, c.bC, h, w)
+	da = tensor.Grow(&c.daBuf, n, c.aC, h, w)
+	db = tensor.Grow(&c.dbBuf, n, c.bC, h, w)
 	for img := 0; img < n; img++ {
 		copy(da.Data[img*c.aC*plane:(img+1)*c.aC*plane], dy.Data[img*(c.aC+c.bC)*plane:])
 		copy(db.Data[img*c.bC*plane:(img+1)*c.bC*plane], dy.Data[(img*(c.aC+c.bC)+c.aC)*plane:])

@@ -3,6 +3,7 @@ package nn
 import (
 	"math"
 
+	"seaice/internal/pool"
 	"seaice/internal/tensor"
 )
 
@@ -43,16 +44,22 @@ func (a *Adam) Step(params []*Param) {
 	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
 	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
 
-	for i, p := range params {
-		m, v := a.m[i], a.v[i]
-		for j, g := range p.Grad.Data {
-			m.Data[j] = a.Beta1*m.Data[j] + (1-a.Beta1)*g
-			v.Data[j] = a.Beta2*v.Data[j] + (1-a.Beta2)*g*g
-			mh := m.Data[j] / bc1
-			vh := v.Data[j] / bc2
-			p.W.Data[j] -= a.LR * mh / (math.Sqrt(vh) + a.Epsilon)
+	// Parameters are independent, so the update fans out over the shared
+	// pool; the per-element math is unchanged, keeping updates
+	// bit-identical to a serial sweep at any worker count.
+	pool.Shared().MustMapRanges(len(params), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p := params[i]
+			m, v := a.m[i], a.v[i]
+			for j, g := range p.Grad.Data {
+				m.Data[j] = a.Beta1*m.Data[j] + (1-a.Beta1)*g
+				v.Data[j] = a.Beta2*v.Data[j] + (1-a.Beta2)*g*g
+				mh := m.Data[j] / bc1
+				vh := v.Data[j] / bc2
+				p.W.Data[j] -= a.LR * mh / (math.Sqrt(vh) + a.Epsilon)
+			}
 		}
-	}
+	})
 }
 
 // Steps reports how many updates have been applied.

@@ -5,11 +5,23 @@ import (
 	"math"
 
 	"seaice/internal/noise"
+	"seaice/internal/pool"
 	"seaice/internal/tensor"
 )
 
 // Conv2D is a same-padded 2-D convolution with bias, the workhorse of the
 // U-Net's double-convolution blocks (kernel 3×3, stride 1 in the paper).
+//
+// The training engine runs the paper's two kernel shapes — 3×3 stride-1
+// "same" and the final 1×1 — through direct NCHW kernels (kernels.go):
+// forward and the weight gradient never materialize an im2col matrix;
+// the 3×3 input gradient still builds a dcols scratch (Wᵀ×dout folded by
+// Col2Im), and other shapes fall back to im2col plus the blocked
+// parallel GEMM. All intermediates live in grow-only scratch buffers
+// owned by the layer, so steady-state training steps allocate nothing. A
+// layer supports one in-flight forward/backward pair at a time (see the
+// package comment); outputs alias layer-owned memory and are valid until
+// the layer's next Forward.
 type Conv2D struct {
 	name             string
 	InC, OutC        int
@@ -20,6 +32,11 @@ type Conv2D struct {
 	x                *tensor.Tensor
 	cols             *tensor.Tensor
 	outH, outW, numN int
+
+	// Grow-only scratch buffers, reused across steps.
+	colsBuf, outBuf, yBuf    *tensor.Tensor
+	doutBuf, dwBuf, dcolsBuf *tensor.Tensor
+	dxBuf                    *tensor.Tensor
 }
 
 // NewConv2D builds a convolution with He-normal initialization (the
@@ -59,21 +76,50 @@ func (c *Conv2D) Name() string { return c.name }
 // Params implements Layer.
 func (c *Conv2D) Params() []*Param { return []*Param{c.Weight, c.Bias} }
 
-// Forward computes y = W·im2col(x) + b.
+// direct3x3 reports whether the layer can run the fused 3×3 kernel.
+func (c *Conv2D) direct3x3() bool {
+	return c.KH == 3 && c.KW == 3 && c.Stride == 1 && c.Pad == 1
+}
+
+// direct1x1 reports whether the layer can run the fused 1×1 kernel.
+func (c *Conv2D) direct1x1() bool {
+	return c.KH == 1 && c.KW == 1 && c.Stride == 1 && c.Pad == 0
+}
+
+// Forward computes y = W·im2col(x) + b (conceptually; the common kernel
+// shapes never build the im2col matrix).
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if len(x.Shape) != 4 || x.Shape[1] != c.InC {
 		panic(fmt.Sprintf("nn: %s expects (N,%d,H,W), got %v", c.name, c.InC, x.Shape))
 	}
 	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
-	c.x = x
-	c.cols = tensor.Im2Col(x, c.KH, c.KW, c.Stride, c.Pad)
 	c.outH = (h+2*c.Pad-c.KH)/c.Stride + 1
 	c.outW = (w+2*c.Pad-c.KW)/c.Stride + 1
 	c.numN = n
+	if legacyKernels.Load() {
+		return c.forwardLegacy(x, n, h, w)
+	}
+	c.x = x
 
-	out := tensor.MatMul(c.Weight.W, c.cols) // (OutC, N·OH·OW)
-	// add bias and reorder (OutC, N, OH·OW) → (N, OutC, OH, OW)
-	y := tensor.New(n, c.OutC, c.outH, c.outW)
+	switch {
+	case c.direct3x3():
+		y := tensor.Grow(&c.yBuf, n, c.OutC, c.outH, c.outW)
+		Conv3x3Planes(pool.Shared(), c, x.Data, c.InC, nil, 0, n, h, w, y.Data, false)
+		return y
+	case c.direct1x1():
+		y := tensor.Grow(&c.yBuf, n, c.OutC, c.outH, c.outW)
+		Conv1x1Planes(pool.Shared(), c, x.Data, c.InC, n, h, w, y.Data)
+		return y
+	}
+
+	// General shape: im2col into a reused buffer, blocked GEMM, then bias
+	// and reorder (OutC, N, OH·OW) → (N, OutC, OH, OW).
+	cols := tensor.Grow(&c.colsBuf, c.InC*c.KH*c.KW, n*c.outH*c.outW)
+	tensor.Im2ColInto(cols, x, c.KH, c.KW, c.Stride, c.Pad)
+	c.cols = cols
+	out := tensor.Grow(&c.outBuf, c.OutC, n*c.outH*c.outW)
+	tensor.MatMulInto(out, c.Weight.W, cols)
+	y := tensor.Grow(&c.yBuf, n, c.OutC, c.outH, c.outW)
 	plane := c.outH * c.outW
 	for oc := 0; oc < c.OutC; oc++ {
 		b := c.Bias.W.Data[oc]
@@ -88,11 +134,15 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return y
 }
 
-// Backward computes input, weight, and bias gradients.
+// Backward computes input, weight, and bias gradients. The returned
+// gradient aliases layer-owned memory, valid until the next Backward.
 func (c *Conv2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	if legacyKernels.Load() {
+		return c.backwardLegacy(dy)
+	}
 	n, plane := c.numN, c.outH*c.outW
 	// reorder dy (N,OutC,OH,OW) → (OutC, N·OH·OW)
-	dout := tensor.New(c.OutC, n*plane)
+	dout := tensor.Grow(&c.doutBuf, c.OutC, n*plane)
 	for oc := 0; oc < c.OutC; oc++ {
 		for img := 0; img < n; img++ {
 			src := dy.Data[(img*c.OutC+oc)*plane : (img*c.OutC+oc+1)*plane]
@@ -110,25 +160,44 @@ func (c *Conv2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
 		c.Bias.Grad.Data[oc] += sum
 	}
 
-	// weight gradient: dW = dout × colsᵀ
-	dw := tensor.MatMulABT(dout, c.cols)
-	c.Weight.Grad.AddInPlace(dw)
+	h, w := c.x.Shape[2], c.x.Shape[3]
 
-	// input gradient: dcols = Wᵀ × dout, then fold back
-	dcols := tensor.MatMulATB(c.Weight.W, dout)
-	dx := tensor.Col2Im(dcols, n, c.InC, c.x.Shape[2], c.x.Shape[3], c.KH, c.KW, c.Stride, c.Pad)
+	// weight gradient
+	switch {
+	case c.direct3x3():
+		conv3x3WeightGrad(c, c.x.Data, dout.Data, n, h, w)
+	case c.direct1x1():
+		conv1x1WeightGrad(c, c.x.Data, dout.Data, n, h, w)
+	default:
+		dw := tensor.Grow(&c.dwBuf, c.OutC, c.InC*c.KH*c.KW)
+		tensor.MatMulABTInto(dw, dout, c.cols)
+		c.Weight.Grad.AddInPlace(dw)
+	}
+
+	// input gradient
+	dx := tensor.Grow(&c.dxBuf, n, c.InC, h, w)
+	if c.direct1x1() {
+		conv1x1InputGrad(c, dout.Data, n, h, w, dx.Data)
+		return dx
+	}
+	dcols := tensor.Grow(&c.dcolsBuf, c.InC*c.KH*c.KW, n*plane)
+	tensor.MatMulATBInto(dcols, c.Weight.W, dout)
+	tensor.Col2ImInto(dx, dcols, c.KH, c.KW, c.Stride, c.Pad)
 	return dx
 }
 
 // ConvTranspose2x2 is the paper's "up-convolution": a 2×2 transposed
 // convolution with stride 2 that doubles spatial resolution and halves
-// the channel count on the U-Net's expansion path.
+// the channel count on the U-Net's expansion path. Like Conv2D it owns
+// grow-only scratch buffers and allocates nothing at steady state.
 type ConvTranspose2x2 struct {
 	name      string
 	InC, OutC int
 	Weight    *Param // (InC, OutC·2·2)
 	Bias      *Param // (OutC)
 	x         *tensor.Tensor
+
+	yBuf, dxBuf *tensor.Tensor
 }
 
 // NewConvTranspose2x2 builds the up-convolution with He initialization.
@@ -161,52 +230,32 @@ func (u *ConvTranspose2x2) Forward(x *tensor.Tensor, train bool) *tensor.Tensor 
 	if len(x.Shape) != 4 || x.Shape[1] != u.InC {
 		panic(fmt.Sprintf("nn: %s expects (N,%d,H,W), got %v", u.name, u.InC, x.Shape))
 	}
+	if legacyKernels.Load() {
+		return u.forwardLegacy(x)
+	}
 	u.x = x
 	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
-	y := tensor.New(n, u.OutC, 2*h, 2*w)
-	for img := 0; img < n; img++ {
-		for ic := 0; ic < u.InC; ic++ {
-			wrow := u.Weight.W.Data[ic*u.OutC*4 : (ic+1)*u.OutC*4]
-			xp := x.Data[(img*u.InC+ic)*h*w : (img*u.InC+ic+1)*h*w]
-			for oc := 0; oc < u.OutC; oc++ {
-				k := wrow[oc*4 : oc*4+4]
-				yp := y.Data[(img*u.OutC+oc)*4*h*w : (img*u.OutC+oc+1)*4*h*w]
-				for iy := 0; iy < h; iy++ {
-					row0 := yp[(2*iy)*(2*w):]
-					row1 := yp[(2*iy+1)*(2*w):]
-					xr := xp[iy*w : (iy+1)*w]
-					for ix, v := range xr {
-						row0[2*ix] += v * k[0]
-						row0[2*ix+1] += v * k[1]
-						row1[2*ix] += v * k[2]
-						row1[2*ix+1] += v * k[3]
-					}
-				}
-			}
-		}
-	}
-	// bias
-	plane := 4 * h * w
-	for img := 0; img < n; img++ {
-		for oc := 0; oc < u.OutC; oc++ {
-			b := u.Bias.W.Data[oc]
-			yp := y.Data[(img*u.OutC+oc)*plane : (img*u.OutC+oc+1)*plane]
-			for i := range yp {
-				yp[i] += b
-			}
-		}
-	}
+	y := tensor.Grow(&u.yBuf, n, u.OutC, 2*h, 2*w)
+	ConvT2x2Planes(pool.Shared(), u, x.Data, n, h, w, y.Data)
 	return y
 }
 
-// Backward gathers gradients from each 2×2 block.
+// Backward gathers gradients from each 2×2 block. Input channels own
+// disjoint slices of the weight gradient and of dx, so the channel loop
+// runs on the shared pool; per gradient element the accumulation order
+// (images ascending, rows ascending) matches the serial reference.
 func (u *ConvTranspose2x2) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	if legacyKernels.Load() {
+		return u.backwardLegacy(dy)
+	}
 	n, h, w := u.x.Shape[0], u.x.Shape[2], u.x.Shape[3]
-	dx := tensor.New(n, u.InC, h, w)
+	dx := tensor.Grow(&u.dxBuf, n, u.InC, h, w)
+	dx.Zero()
 	plane := 4 * h * w
 
-	for img := 0; img < n; img++ {
-		for oc := 0; oc < u.OutC; oc++ {
+	// bias gradient: per out-channel, images ascending as in the reference
+	for oc := 0; oc < u.OutC; oc++ {
+		for img := 0; img < n; img++ {
 			dyp := dy.Data[(img*u.OutC+oc)*plane : (img*u.OutC+oc+1)*plane]
 			sum := 0.0
 			for _, v := range dyp {
@@ -214,15 +263,21 @@ func (u *ConvTranspose2x2) Backward(dy *tensor.Tensor) *tensor.Tensor {
 			}
 			u.Bias.Grad.Data[oc] += sum
 		}
-		for ic := 0; ic < u.InC; ic++ {
-			xp := u.x.Data[(img*u.InC+ic)*h*w : (img*u.InC+ic+1)*h*w]
+	}
+
+	xd, dyd := u.x.Data, dy.Data
+	poolMapChannels(u.InC, func(ic int) {
+		wrow := u.Weight.W.Data[ic*u.OutC*4 : (ic+1)*u.OutC*4]
+		growSlice := u.Weight.Grad.Data[ic*u.OutC*4 : (ic+1)*u.OutC*4]
+		for img := 0; img < n; img++ {
+			xp := xd[(img*u.InC+ic)*h*w : (img*u.InC+ic+1)*h*w]
 			dxp := dx.Data[(img*u.InC+ic)*h*w : (img*u.InC+ic+1)*h*w]
-			wrow := u.Weight.W.Data[ic*u.OutC*4 : (ic+1)*u.OutC*4]
-			grow := u.Weight.Grad.Data[ic*u.OutC*4 : (ic+1)*u.OutC*4]
 			for oc := 0; oc < u.OutC; oc++ {
 				k := wrow[oc*4 : oc*4+4]
-				gk := grow[oc*4 : oc*4+4]
-				dyp := dy.Data[(img*u.OutC+oc)*plane : (img*u.OutC+oc+1)*plane]
+				k0, k1, k2, k3 := k[0], k[1], k[2], k[3]
+				gk := growSlice[oc*4 : oc*4+4]
+				dyp := dyd[(img*u.OutC+oc)*plane : (img*u.OutC+oc+1)*plane]
+				g0s, g1s, g2s, g3s := gk[0], gk[1], gk[2], gk[3]
 				for iy := 0; iy < h; iy++ {
 					row0 := dyp[(2*iy)*(2*w):]
 					row1 := dyp[(2*iy+1)*(2*w):]
@@ -230,16 +285,17 @@ func (u *ConvTranspose2x2) Backward(dy *tensor.Tensor) *tensor.Tensor {
 					dxr := dxp[iy*w : (iy+1)*w]
 					for ix := range xr {
 						g0, g1, g2, g3 := row0[2*ix], row0[2*ix+1], row1[2*ix], row1[2*ix+1]
-						dxr[ix] += g0*k[0] + g1*k[1] + g2*k[2] + g3*k[3]
+						dxr[ix] += g0*k0 + g1*k1 + g2*k2 + g3*k3
 						v := xr[ix]
-						gk[0] += v * g0
-						gk[1] += v * g1
-						gk[2] += v * g2
-						gk[3] += v * g3
+						g0s += v * g0
+						g1s += v * g1
+						g2s += v * g2
+						g3s += v * g3
 					}
 				}
+				gk[0], gk[1], gk[2], gk[3] = g0s, g1s, g2s, g3s
 			}
 		}
-	}
+	})
 	return dx
 }

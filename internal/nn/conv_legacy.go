@@ -1,0 +1,156 @@
+package nn
+
+import (
+	"sync/atomic"
+
+	"seaice/internal/tensor"
+)
+
+// legacyKernels routes Conv2D and ConvTranspose2x2 through the pre-engine
+// serial, allocate-per-step implementations (tensor's *Ref kernels). It
+// exists so the loss-parity test and BenchmarkTrainStep can run the exact
+// pre-PR training path against the engine inside one binary.
+var legacyKernels atomic.Bool
+
+// SetLegacyKernels toggles the pre-engine convolution path; it returns the
+// previous value so callers can restore it.
+func SetLegacyKernels(on bool) bool { return legacyKernels.Swap(on) }
+
+// forwardLegacy is the pre-engine Conv2D.Forward: im2col then a serial
+// matrix product, allocating every intermediate.
+func (c *Conv2D) forwardLegacy(x *tensor.Tensor, n, h, w int) *tensor.Tensor {
+	c.x = x
+	c.cols = tensor.Im2ColRef(x, c.KH, c.KW, c.Stride, c.Pad)
+
+	out := tensor.MatMulRef(c.Weight.W, c.cols) // (OutC, N·OH·OW)
+	// add bias and reorder (OutC, N, OH·OW) → (N, OutC, OH, OW)
+	y := tensor.New(n, c.OutC, c.outH, c.outW)
+	plane := c.outH * c.outW
+	for oc := 0; oc < c.OutC; oc++ {
+		b := c.Bias.W.Data[oc]
+		for img := 0; img < n; img++ {
+			src := out.Data[oc*n*plane+img*plane : oc*n*plane+(img+1)*plane]
+			dst := y.Data[(img*c.OutC+oc)*plane : (img*c.OutC+oc+1)*plane]
+			for i, v := range src {
+				dst[i] = v + b
+			}
+		}
+	}
+	return y
+}
+
+// backwardLegacy is the pre-engine Conv2D.Backward.
+func (c *Conv2D) backwardLegacy(dy *tensor.Tensor) *tensor.Tensor {
+	n, plane := c.numN, c.outH*c.outW
+	// reorder dy (N,OutC,OH,OW) → (OutC, N·OH·OW)
+	dout := tensor.New(c.OutC, n*plane)
+	for oc := 0; oc < c.OutC; oc++ {
+		for img := 0; img < n; img++ {
+			src := dy.Data[(img*c.OutC+oc)*plane : (img*c.OutC+oc+1)*plane]
+			dst := dout.Data[oc*n*plane+img*plane : oc*n*plane+(img+1)*plane]
+			copy(dst, src)
+		}
+	}
+
+	// bias gradient: sum over positions
+	for oc := 0; oc < c.OutC; oc++ {
+		sum := 0.0
+		for _, v := range dout.Data[oc*n*plane : (oc+1)*n*plane] {
+			sum += v
+		}
+		c.Bias.Grad.Data[oc] += sum
+	}
+
+	// weight gradient: dW = dout × colsᵀ
+	dw := tensor.MatMulABTRef(dout, c.cols)
+	c.Weight.Grad.AddInPlace(dw)
+
+	// input gradient: dcols = Wᵀ × dout, then fold back
+	dcols := tensor.MatMulATBRef(c.Weight.W, dout)
+	return tensor.Col2ImRef(dcols, n, c.InC, c.x.Shape[2], c.x.Shape[3], c.KH, c.KW, c.Stride, c.Pad)
+}
+
+// forwardLegacy is the pre-engine ConvTranspose2x2.Forward.
+func (u *ConvTranspose2x2) forwardLegacy(x *tensor.Tensor) *tensor.Tensor {
+	u.x = x
+	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	y := tensor.New(n, u.OutC, 2*h, 2*w)
+	for img := 0; img < n; img++ {
+		for ic := 0; ic < u.InC; ic++ {
+			wrow := u.Weight.W.Data[ic*u.OutC*4 : (ic+1)*u.OutC*4]
+			xp := x.Data[(img*u.InC+ic)*h*w : (img*u.InC+ic+1)*h*w]
+			for oc := 0; oc < u.OutC; oc++ {
+				k := wrow[oc*4 : oc*4+4]
+				yp := y.Data[(img*u.OutC+oc)*4*h*w : (img*u.OutC+oc+1)*4*h*w]
+				for iy := 0; iy < h; iy++ {
+					row0 := yp[(2*iy)*(2*w):]
+					row1 := yp[(2*iy+1)*(2*w):]
+					xr := xp[iy*w : (iy+1)*w]
+					for ix, v := range xr {
+						row0[2*ix] += v * k[0]
+						row0[2*ix+1] += v * k[1]
+						row1[2*ix] += v * k[2]
+						row1[2*ix+1] += v * k[3]
+					}
+				}
+			}
+		}
+	}
+	// bias
+	plane := 4 * h * w
+	for img := 0; img < n; img++ {
+		for oc := 0; oc < u.OutC; oc++ {
+			b := u.Bias.W.Data[oc]
+			yp := y.Data[(img*u.OutC+oc)*plane : (img*u.OutC+oc+1)*plane]
+			for i := range yp {
+				yp[i] += b
+			}
+		}
+	}
+	return y
+}
+
+// backwardLegacy is the pre-engine ConvTranspose2x2.Backward.
+func (u *ConvTranspose2x2) backwardLegacy(dy *tensor.Tensor) *tensor.Tensor {
+	n, h, w := u.x.Shape[0], u.x.Shape[2], u.x.Shape[3]
+	dx := tensor.New(n, u.InC, h, w)
+	plane := 4 * h * w
+
+	for img := 0; img < n; img++ {
+		for oc := 0; oc < u.OutC; oc++ {
+			dyp := dy.Data[(img*u.OutC+oc)*plane : (img*u.OutC+oc+1)*plane]
+			sum := 0.0
+			for _, v := range dyp {
+				sum += v
+			}
+			u.Bias.Grad.Data[oc] += sum
+		}
+		for ic := 0; ic < u.InC; ic++ {
+			xp := u.x.Data[(img*u.InC+ic)*h*w : (img*u.InC+ic+1)*h*w]
+			dxp := dx.Data[(img*u.InC+ic)*h*w : (img*u.InC+ic+1)*h*w]
+			wrow := u.Weight.W.Data[ic*u.OutC*4 : (ic+1)*u.OutC*4]
+			grow := u.Weight.Grad.Data[ic*u.OutC*4 : (ic+1)*u.OutC*4]
+			for oc := 0; oc < u.OutC; oc++ {
+				k := wrow[oc*4 : oc*4+4]
+				gk := grow[oc*4 : oc*4+4]
+				dyp := dy.Data[(img*u.OutC+oc)*plane : (img*u.OutC+oc+1)*plane]
+				for iy := 0; iy < h; iy++ {
+					row0 := dyp[(2*iy)*(2*w):]
+					row1 := dyp[(2*iy+1)*(2*w):]
+					xr := xp[iy*w : (iy+1)*w]
+					dxr := dxp[iy*w : (iy+1)*w]
+					for ix := range xr {
+						g0, g1, g2, g3 := row0[2*ix], row0[2*ix+1], row1[2*ix], row1[2*ix+1]
+						dxr[ix] += g0*k[0] + g1*k[1] + g2*k[2] + g3*k[3]
+						v := xr[ix]
+						gk[0] += v * g0
+						gk[1] += v * g1
+						gk[2] += v * g2
+						gk[3] += v * g3
+					}
+				}
+			}
+		}
+	}
+	return dx
+}

@@ -1,0 +1,129 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"seaice/internal/noise"
+	"seaice/internal/pool"
+	"seaice/internal/tensor"
+)
+
+// runSteps drives a layer through full forward/backward cycles on the
+// same input, zeroing gradients between steps — the steady-state buffer
+// reuse pattern of the training loop — and returns the gradients of the
+// final step as detached copies.
+func runSteps(layer Layer, x *tensor.Tensor, steps int) (dx *tensor.Tensor, grads []*tensor.Tensor) {
+	var y *tensor.Tensor
+	for s := 0; s < steps; s++ {
+		ZeroGrads(layer.Params())
+		y = layer.Forward(x, false)
+		dx = layer.Backward(y.Clone()) // dL/dy = y for the ½Σy² loss
+	}
+	dxCopy := dx.Clone()
+	for _, p := range layer.Params() {
+		grads = append(grads, p.Grad.Clone())
+	}
+	return dxCopy, grads
+}
+
+// TestGradcheckWithBufferReuseAcrossSteps: after three consecutive
+// forward/backward cycles through the reused scratch buffers, layer
+// gradients must still match finite differences — stale buffer contents
+// must never leak into a later step.
+func TestGradcheckWithBufferReuseAcrossSteps(t *testing.T) {
+	layers := []struct {
+		name  string
+		layer Layer
+		shape []int
+	}{
+		{"conv3x3", NewConv2D("conv", 3, 4, 3, noise.NewRNG(1, 1)), []int{2, 3, 6, 5}},
+		{"conv1x1", NewConv2D("conv1x1", 4, 3, 1, noise.NewRNG(2, 1)), []int{2, 4, 5, 5}},
+		{"convT", NewConvTranspose2x2("up", 4, 2, noise.NewRNG(3, 1)), []int{2, 4, 3, 5}},
+	}
+	for _, lc := range layers {
+		t.Run(lc.name, func(t *testing.T) {
+			rng := noise.NewRNG(99, 7)
+			x := tensor.New(lc.shape...)
+			x.FillRandn(rng, 1)
+
+			dx, grads := runSteps(lc.layer, x, 3)
+
+			forwardLoss := func() float64 {
+				y := lc.layer.Forward(x, false)
+				s := 0.0
+				for _, v := range y.Data {
+					s += v * v
+				}
+				return s / 2
+			}
+			const tol = 1e-6
+			for i := 0; i < x.Len(); i += 1 + x.Len()/17 {
+				want := numGrad(x.Data, i, forwardLoss)
+				if got := dx.Data[i]; math.Abs(got-want) > tol*(1+math.Abs(want)) {
+					t.Fatalf("input grad [%d] = %.6g, finite diff %.6g", i, got, want)
+				}
+			}
+			for pi, p := range lc.layer.Params() {
+				for i := 0; i < p.W.Len(); i += 1 + p.W.Len()/13 {
+					want := numGrad(p.W.Data, i, forwardLoss)
+					if got := grads[pi].Data[i]; math.Abs(got-want) > tol*(1+math.Abs(want)) {
+						t.Fatalf("param %s grad [%d] = %.6g, finite diff %.6g", p.Name, i, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEngineStepsMatchLegacySteps: three consecutive engine steps must
+// produce bit-identical gradients to three legacy (pre-engine, serial,
+// allocate-per-step) steps for the convolution layers — the engine's
+// accumulation orders are the reference's.
+func TestEngineStepsMatchLegacySteps(t *testing.T) {
+	defer pool.SetSharedWorkers(0)
+	build := func() []Layer {
+		return []Layer{
+			NewConv2D("conv", 3, 4, 3, noise.NewRNG(11, 1)),
+			NewConv2D("conv1x1", 4, 3, 1, noise.NewRNG(12, 1)),
+			NewConvTranspose2x2("up", 4, 2, noise.NewRNG(13, 1)),
+		}
+	}
+	shapes := [][]int{{2, 3, 8, 8}, {2, 4, 7, 7}, {2, 4, 4, 6}}
+
+	legacy := build()
+	SetLegacyKernels(true)
+	var wantDx []*tensor.Tensor
+	var wantGrads [][]*tensor.Tensor
+	for li, l := range legacy {
+		x := tensor.New(shapes[li]...)
+		x.FillRandn(noise.NewRNG(uint64(li), 5), 1)
+		dx, grads := runSteps(l, x, 3)
+		wantDx = append(wantDx, dx)
+		wantGrads = append(wantGrads, grads)
+	}
+	SetLegacyKernels(false)
+
+	for _, workers := range []int{1, 4} {
+		pool.SetSharedWorkers(workers)
+		engine := build()
+		for li, l := range engine {
+			x := tensor.New(shapes[li]...)
+			x.FillRandn(noise.NewRNG(uint64(li), 5), 1)
+			dx, grads := runSteps(l, x, 3)
+			for i := range wantDx[li].Data {
+				if dx.Data[i] != wantDx[li].Data[i] {
+					t.Fatalf("workers=%d layer %s dx[%d] = %g, legacy %g", workers, l.Name(), i, dx.Data[i], wantDx[li].Data[i])
+				}
+			}
+			for pi := range grads {
+				for i := range grads[pi].Data {
+					if grads[pi].Data[i] != wantGrads[li][pi].Data[i] {
+						t.Fatalf("workers=%d layer %s param %d grad[%d] = %g, legacy %g",
+							workers, l.Name(), pi, i, grads[pi].Data[i], wantGrads[li][pi].Data[i])
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,561 @@
+package nn
+
+import "seaice/internal/pool"
+
+// Direct NCHW convolution kernels shared by the training engine (Conv2D,
+// ConvTranspose2x2) and the inference session in internal/unet. They avoid
+// materializing im2col matrices and fuse bias (and optionally ReLU) into
+// the output pass. Accumulation order per output element matches the
+// im2col matrix product exactly — channel-major, then kernel row, then
+// kernel column, bias last — with zero-padding taps skipped (those
+// contribute an exact +0 in the im2col formulation), so results are
+// bit-identical to the reference path.
+
+// Conv3x3Planes computes a same-padded 3×3 stride-1 convolution with fused
+// bias (and optionally ReLU) directly on NCHW planes. The input may be
+// split across two backing buffers to virtualize the U-Net skip
+// concatenation: channels [0, ca) read from xa, channels [ca, ca+cb) from
+// xb. Output planes are independent, so the (image, out-channel) pairs are
+// distributed over the provided pool; pass pool.Serial() from contexts
+// that supply their own concurrency (e.g. per-worker inference sessions).
+func Conv3x3Planes(p *pool.Pool, c *Conv2D, xa []float64, ca int, xb []float64, cb int, n, h, w int, dst []float64, relu bool) {
+	inC := ca + cb
+	plane := h * w
+	tasks := n * c.OutC
+	minGrain := 1
+	if g := (1 << 14) / (plane*inC + 1); g > 1 {
+		minGrain = g // keep at least ~16k tap-multiplies per task
+	}
+	if p.Workers() == 1 {
+		conv3x3Range(c, xa, ca, xb, cb, h, w, dst, relu, 0, tasks)
+		return
+	}
+	p.MustMapRanges(tasks, minGrain, func(lo, hi int) {
+		conv3x3Range(c, xa, ca, xb, cb, h, w, dst, relu, lo, hi)
+	})
+}
+
+// conv3x3Range computes (image, out-channel) pairs [lo,hi).
+func conv3x3Range(c *Conv2D, xa []float64, ca int, xb []float64, cb int, h, w int, dst []float64, relu bool, lo, hi int) {
+	inC := ca + cb
+	plane := h * w
+	wd := c.Weight.W.Data
+	for t := lo; t < hi; t++ {
+		img, oc := t/c.OutC, t%c.OutC
+		dp := dst[(img*c.OutC+oc)*plane : (img*c.OutC+oc+1)*plane]
+		for i := range dp {
+			dp[i] = 0
+		}
+		wrow := wd[oc*inC*9 : (oc+1)*inC*9]
+		for ic := 0; ic < inC; ic++ {
+			var xp []float64
+			if ic < ca {
+				xp = xa[(img*ca+ic)*plane : (img*ca+ic+1)*plane]
+			} else {
+				xp = xb[(img*cb+ic-ca)*plane : (img*cb+ic-ca+1)*plane]
+			}
+			Acc3x3(dp, xp, wrow[ic*9:ic*9+9], h, w)
+		}
+		b := c.Bias.W.Data[oc]
+		if relu {
+			for i, v := range dp {
+				v += b
+				if v < 0 {
+					v = 0
+				}
+				dp[i] = v
+			}
+		} else {
+			for i := range dp {
+				dp[i] += b
+			}
+		}
+	}
+}
+
+// Acc3x3 accumulates one input plane's 3×3 contribution into dst.
+// Taps falling into the zero padding are skipped (they contribute
+// exactly zero in the im2col formulation).
+func Acc3x3(dst, xp, k []float64, h, w int) {
+	if w < 3 || h < 1 {
+		acc3x3Small(dst, xp, k, h, w)
+		return
+	}
+	w00, w01, w02 := k[0], k[1], k[2]
+	w10, w11, w12 := k[3], k[4], k[5]
+	w20, w21, w22 := k[6], k[7], k[8]
+	for oy := 0; oy < h; oy++ {
+		d := dst[oy*w : (oy+1)*w]
+		r1 := xp[oy*w : (oy+1)*w]
+		var r0, r2 []float64
+		if oy > 0 {
+			r0 = xp[(oy-1)*w : oy*w]
+		}
+		if oy < h-1 {
+			r2 = xp[(oy+1)*w : (oy+2)*w]
+		}
+		switch {
+		case r0 != nil && r2 != nil:
+			// Interior rows: fully unrolled 9-tap kernel.
+			acc := d[0]
+			acc += w01 * r0[0]
+			acc += w02 * r0[1]
+			acc += w11 * r1[0]
+			acc += w12 * r1[1]
+			acc += w21 * r2[0]
+			acc += w22 * r2[1]
+			d[0] = acc
+			for ox := 1; ox < w-1; ox++ {
+				acc := d[ox]
+				acc += w00 * r0[ox-1]
+				acc += w01 * r0[ox]
+				acc += w02 * r0[ox+1]
+				acc += w10 * r1[ox-1]
+				acc += w11 * r1[ox]
+				acc += w12 * r1[ox+1]
+				acc += w20 * r2[ox-1]
+				acc += w21 * r2[ox]
+				acc += w22 * r2[ox+1]
+				d[ox] = acc
+			}
+			acc = d[w-1]
+			acc += w00 * r0[w-2]
+			acc += w01 * r0[w-1]
+			acc += w10 * r1[w-2]
+			acc += w11 * r1[w-1]
+			acc += w20 * r2[w-2]
+			acc += w21 * r2[w-1]
+			d[w-1] = acc
+		case r2 != nil:
+			// Top row (no r0).
+			acc := d[0]
+			acc += w11 * r1[0]
+			acc += w12 * r1[1]
+			acc += w21 * r2[0]
+			acc += w22 * r2[1]
+			d[0] = acc
+			for ox := 1; ox < w-1; ox++ {
+				acc := d[ox]
+				acc += w10 * r1[ox-1]
+				acc += w11 * r1[ox]
+				acc += w12 * r1[ox+1]
+				acc += w20 * r2[ox-1]
+				acc += w21 * r2[ox]
+				acc += w22 * r2[ox+1]
+				d[ox] = acc
+			}
+			acc = d[w-1]
+			acc += w10 * r1[w-2]
+			acc += w11 * r1[w-1]
+			acc += w20 * r2[w-2]
+			acc += w21 * r2[w-1]
+			d[w-1] = acc
+		case r0 != nil:
+			// Bottom row (no r2).
+			acc := d[0]
+			acc += w01 * r0[0]
+			acc += w02 * r0[1]
+			acc += w11 * r1[0]
+			acc += w12 * r1[1]
+			d[0] = acc
+			for ox := 1; ox < w-1; ox++ {
+				acc := d[ox]
+				acc += w00 * r0[ox-1]
+				acc += w01 * r0[ox]
+				acc += w02 * r0[ox+1]
+				acc += w10 * r1[ox-1]
+				acc += w11 * r1[ox]
+				acc += w12 * r1[ox+1]
+				d[ox] = acc
+			}
+			acc = d[w-1]
+			acc += w00 * r0[w-2]
+			acc += w01 * r0[w-1]
+			acc += w10 * r1[w-2]
+			acc += w11 * r1[w-1]
+			d[w-1] = acc
+		default:
+			// Single-row plane.
+			acc3x3Small(dst[oy*w:(oy+1)*w], r1, k, 1, w)
+		}
+	}
+}
+
+// acc3x3Small is the fully guarded fallback for planes too small for the
+// unrolled kernel.
+func acc3x3Small(dst, xp, k []float64, h, w int) {
+	for oy := 0; oy < h; oy++ {
+		for ox := 0; ox < w; ox++ {
+			acc := dst[oy*w+ox]
+			for ky := 0; ky < 3; ky++ {
+				iy := oy + ky - 1
+				if iy < 0 || iy >= h {
+					continue
+				}
+				for kx := 0; kx < 3; kx++ {
+					ix := ox + kx - 1
+					if ix < 0 || ix >= w {
+						continue
+					}
+					acc += k[ky*3+kx] * xp[iy*w+ix]
+				}
+			}
+			dst[oy*w+ox] = acc
+		}
+	}
+}
+
+// Conv1x1Planes computes a 1×1 convolution with bias on NCHW planes.
+func Conv1x1Planes(p *pool.Pool, c *Conv2D, x []float64, inC, n, h, w int, dst []float64) {
+	if p.Workers() == 1 {
+		conv1x1Range(c, x, inC, h, w, dst, 0, n*c.OutC)
+		return
+	}
+	p.MustMapRanges(n*c.OutC, 1, func(lo, hi int) {
+		conv1x1Range(c, x, inC, h, w, dst, lo, hi)
+	})
+}
+
+// conv1x1Range computes (image, out-channel) pairs [lo,hi).
+func conv1x1Range(c *Conv2D, x []float64, inC, h, w int, dst []float64, lo, hi int) {
+	plane := h * w
+	wd := c.Weight.W.Data
+	for t := lo; t < hi; t++ {
+		img, oc := t/c.OutC, t%c.OutC
+		dp := dst[(img*c.OutC+oc)*plane : (img*c.OutC+oc+1)*plane]
+		for i := range dp {
+			dp[i] = 0
+		}
+		for ic := 0; ic < inC; ic++ {
+			wv := wd[oc*inC+ic]
+			xp := x[(img*inC+ic)*plane : (img*inC+ic+1)*plane]
+			for i, v := range xp {
+				dp[i] += wv * v
+			}
+		}
+		b := c.Bias.W.Data[oc]
+		for i := range dp {
+			dp[i] += b
+		}
+	}
+}
+
+// MaxPool2Planes applies 2×2 stride-2 max pooling over nc planes of h×w.
+func MaxPool2Planes(x []float64, nc, h, w int, dst []float64) {
+	oh, ow := h/2, w/2
+	for p := 0; p < nc; p++ {
+		base := p * h * w
+		oi := p * oh * ow
+		for oy := 0; oy < oh; oy++ {
+			i0 := base + (2*oy)*w
+			i1 := base + (2*oy+1)*w
+			for ox := 0; ox < ow; ox++ {
+				bv := x[i0+2*ox]
+				if v := x[i0+2*ox+1]; v > bv {
+					bv = v
+				}
+				if v := x[i1+2*ox]; v > bv {
+					bv = v
+				}
+				if v := x[i1+2*ox+1]; v > bv {
+					bv = v
+				}
+				dst[oi] = bv
+				oi++
+			}
+		}
+	}
+}
+
+// ConvT2x2Planes computes the stride-2 2×2 transposed convolution with
+// bias on NCHW planes. With kernel 2 and stride 2 the output blocks do not
+// overlap, so each (image, out-channel) plane is independent and the pairs
+// are distributed over the provided pool; per element the input channels
+// accumulate in ascending order, bias last, matching the reference.
+func ConvT2x2Planes(p *pool.Pool, u *ConvTranspose2x2, x []float64, n, h, w int, dst []float64) {
+	if p.Workers() == 1 {
+		convT2x2Range(u, x, h, w, dst, 0, n*u.OutC)
+		return
+	}
+	p.MustMapRanges(n*u.OutC, 1, func(lo, hi int) {
+		convT2x2Range(u, x, h, w, dst, lo, hi)
+	})
+}
+
+// convT2x2Range computes (image, out-channel) planes [lo,hi).
+func convT2x2Range(u *ConvTranspose2x2, x []float64, h, w int, dst []float64, lo, hi int) {
+	plane := 4 * h * w
+	for t := lo; t < hi; t++ {
+		img, oc := t/u.OutC, t%u.OutC
+		yp := dst[(img*u.OutC+oc)*plane : (img*u.OutC+oc+1)*plane]
+		for i := range yp {
+			yp[i] = 0
+		}
+		for ic := 0; ic < u.InC; ic++ {
+			k := u.Weight.W.Data[ic*u.OutC*4+oc*4 : ic*u.OutC*4+oc*4+4]
+			k0, k1, k2, k3 := k[0], k[1], k[2], k[3]
+			xp := x[(img*u.InC+ic)*h*w : (img*u.InC+ic+1)*h*w]
+			for iy := 0; iy < h; iy++ {
+				row0 := yp[(2*iy)*(2*w):]
+				row1 := yp[(2*iy+1)*(2*w):]
+				xr := xp[iy*w : (iy+1)*w]
+				for ix, v := range xr {
+					row0[2*ix] += v * k0
+					row0[2*ix+1] += v * k1
+					row1[2*ix] += v * k2
+					row1[2*ix+1] += v * k3
+				}
+			}
+		}
+		b := u.Bias.W.Data[oc]
+		for i := range yp {
+			yp[i] += b
+		}
+	}
+}
+
+// poolMapChannels runs fn(c) for every channel in [0, n) on the shared
+// pool; channels own disjoint output slices so no synchronization is
+// needed beyond the pool's join.
+func poolMapChannels(n int, fn func(c int)) {
+	p := pool.Shared()
+	if p.Workers() == 1 {
+		for c := 0; c < n; c++ {
+			fn(c)
+		}
+		return
+	}
+	p.MustMapRanges(n, 1, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			fn(c)
+		}
+	})
+}
+
+// conv3x3WeightGrad accumulates the weight gradient of a same-padded 3×3
+// stride-1 convolution directly from the input planes and the
+// output-channel-major gradient dout (OutC, N·H·W), without an im2col
+// matrix. For each (oc, ic) pair the nine taps keep independent
+// accumulator chains over the (image, row, column ascending) order — the
+// same per-element order as dW = dout × colsᵀ, with zero-padding taps
+// skipped (exact +0 terms). Out-channel rows of the gradient are disjoint,
+// so they parallelize freely.
+func conv3x3WeightGrad(c *Conv2D, x []float64, dout []float64, n, h, w int) {
+	p := pool.Shared()
+	if p.Workers() == 1 {
+		conv3x3WeightGradRange(c, x, dout, n, h, w, 0, c.OutC)
+		return
+	}
+	p.MustMapRanges(c.OutC, 1, func(lo, hi int) {
+		conv3x3WeightGradRange(c, x, dout, n, h, w, lo, hi)
+	})
+}
+
+// conv3x3WeightGradRange accumulates the gradient rows of out-channels
+// [lo,hi).
+func conv3x3WeightGradRange(c *Conv2D, x []float64, dout []float64, n, h, w, lo, hi int) {
+	plane := h * w
+	inC := c.InC
+	gd := c.Weight.Grad.Data
+	for oc := lo; oc < hi; oc++ {
+		dbase := dout[oc*n*plane : (oc+1)*n*plane]
+		grow := gd[oc*inC*9 : (oc+1)*inC*9]
+		for ic := 0; ic < inC; ic++ {
+			var s00, s01, s02, s10, s11, s12, s20, s21, s22 float64
+			for img := 0; img < n; img++ {
+				xp := x[(img*inC+ic)*plane : (img*inC+ic+1)*plane]
+				dp := dbase[img*plane : (img+1)*plane]
+				for oy := 0; oy < h; oy++ {
+					dr := dp[oy*w : (oy+1)*w]
+					r1 := xp[oy*w : (oy+1)*w]
+					var r0, r2 []float64
+					if oy > 0 {
+						r0 = xp[(oy-1)*w : oy*w]
+					}
+					if oy < h-1 {
+						r2 = xp[(oy+1)*w : (oy+2)*w]
+					}
+					if w < 3 {
+						// Degenerate width: fully guarded taps.
+						for ox := 0; ox < w; ox++ {
+							g := dr[ox]
+							if r0 != nil {
+								if ox > 0 {
+									s00 += g * r0[ox-1]
+								}
+								s01 += g * r0[ox]
+								if ox < w-1 {
+									s02 += g * r0[ox+1]
+								}
+							}
+							if ox > 0 {
+								s10 += g * r1[ox-1]
+							}
+							s11 += g * r1[ox]
+							if ox < w-1 {
+								s12 += g * r1[ox+1]
+							}
+							if r2 != nil {
+								if ox > 0 {
+									s20 += g * r2[ox-1]
+								}
+								s21 += g * r2[ox]
+								if ox < w-1 {
+									s22 += g * r2[ox+1]
+								}
+							}
+						}
+						continue
+					}
+					// Left edge (ox = 0): no ox-1 taps.
+					g := dr[0]
+					if r0 != nil {
+						s01 += g * r0[0]
+						s02 += g * r0[1]
+					}
+					s11 += g * r1[0]
+					s12 += g * r1[1]
+					if r2 != nil {
+						s21 += g * r2[0]
+						s22 += g * r2[1]
+					}
+					// Interior: branch-free nine-tap accumulation.
+					switch {
+					case r0 != nil && r2 != nil:
+						for ox := 1; ox < w-1; ox++ {
+							g := dr[ox]
+							s00 += g * r0[ox-1]
+							s01 += g * r0[ox]
+							s02 += g * r0[ox+1]
+							s10 += g * r1[ox-1]
+							s11 += g * r1[ox]
+							s12 += g * r1[ox+1]
+							s20 += g * r2[ox-1]
+							s21 += g * r2[ox]
+							s22 += g * r2[ox+1]
+						}
+					case r2 != nil:
+						for ox := 1; ox < w-1; ox++ {
+							g := dr[ox]
+							s10 += g * r1[ox-1]
+							s11 += g * r1[ox]
+							s12 += g * r1[ox+1]
+							s20 += g * r2[ox-1]
+							s21 += g * r2[ox]
+							s22 += g * r2[ox+1]
+						}
+					case r0 != nil:
+						for ox := 1; ox < w-1; ox++ {
+							g := dr[ox]
+							s00 += g * r0[ox-1]
+							s01 += g * r0[ox]
+							s02 += g * r0[ox+1]
+							s10 += g * r1[ox-1]
+							s11 += g * r1[ox]
+							s12 += g * r1[ox+1]
+						}
+					default:
+						for ox := 1; ox < w-1; ox++ {
+							g := dr[ox]
+							s10 += g * r1[ox-1]
+							s11 += g * r1[ox]
+							s12 += g * r1[ox+1]
+						}
+					}
+					// Right edge (ox = w-1): no ox+1 taps.
+					g = dr[w-1]
+					if r0 != nil {
+						s00 += g * r0[w-2]
+						s01 += g * r0[w-1]
+					}
+					s10 += g * r1[w-2]
+					s11 += g * r1[w-1]
+					if r2 != nil {
+						s20 += g * r2[w-2]
+						s21 += g * r2[w-1]
+					}
+				}
+			}
+			gk := grow[ic*9 : ic*9+9]
+			gk[0] += s00
+			gk[1] += s01
+			gk[2] += s02
+			gk[3] += s10
+			gk[4] += s11
+			gk[5] += s12
+			gk[6] += s20
+			gk[7] += s21
+			gk[8] += s22
+		}
+	}
+}
+
+// conv1x1WeightGrad accumulates dW for a 1×1 convolution: a dot product of
+// each dout row with each input channel plane over all images.
+func conv1x1WeightGrad(c *Conv2D, x []float64, dout []float64, n, h, w int) {
+	p := pool.Shared()
+	if p.Workers() == 1 {
+		conv1x1WeightGradRange(c, x, dout, n, h, w, 0, c.OutC)
+		return
+	}
+	p.MustMapRanges(c.OutC, 1, func(lo, hi int) {
+		conv1x1WeightGradRange(c, x, dout, n, h, w, lo, hi)
+	})
+}
+
+// conv1x1WeightGradRange accumulates dW rows of out-channels [lo,hi).
+func conv1x1WeightGradRange(c *Conv2D, x []float64, dout []float64, n, h, w, lo, hi int) {
+	plane := h * w
+	inC := c.InC
+	gd := c.Weight.Grad.Data
+	for oc := lo; oc < hi; oc++ {
+		dbase := dout[oc*n*plane : (oc+1)*n*plane]
+		for ic := 0; ic < inC; ic++ {
+			var s float64
+			for img := 0; img < n; img++ {
+				xp := x[(img*inC+ic)*plane : (img*inC+ic+1)*plane]
+				dp := dbase[img*plane : img*plane+len(xp)]
+				for i, v := range xp {
+					s += dp[i] * v
+				}
+			}
+			gd[oc*inC+ic] += s
+		}
+	}
+}
+
+// conv1x1InputGrad computes dx for a 1×1 convolution directly in NCHW
+// layout: dx[ic] = Σ_oc W[oc][ic]·dout[oc], out-channels ascending —
+// exactly the dcols = Wᵀ×dout chain of the reference path.
+func conv1x1InputGrad(c *Conv2D, dout []float64, n, h, w int, dx []float64) {
+	p := pool.Shared()
+	if p.Workers() == 1 {
+		conv1x1InputGradRange(c, dout, n, h, w, dx, 0, n*c.InC)
+		return
+	}
+	p.MustMapRanges(n*c.InC, 1, func(lo, hi int) {
+		conv1x1InputGradRange(c, dout, n, h, w, dx, lo, hi)
+	})
+}
+
+// conv1x1InputGradRange computes dx planes for (image, in-channel) pairs
+// [lo,hi).
+func conv1x1InputGradRange(c *Conv2D, dout []float64, n, h, w int, dx []float64, lo, hi int) {
+	plane := h * w
+	inC := c.InC
+	wd := c.Weight.W.Data
+	for t := lo; t < hi; t++ {
+		img, ic := t/inC, t%inC
+		dp := dx[(img*inC+ic)*plane : (img*inC+ic+1)*plane]
+		for i := range dp {
+			dp[i] = 0
+		}
+		for oc := 0; oc < c.OutC; oc++ {
+			wv := wd[oc*inC+ic]
+			sp := dout[oc*n*plane+img*plane : oc*n*plane+(img+1)*plane]
+			for i, v := range sp {
+				dp[i] += wv * v
+			}
+		}
+	}
+}

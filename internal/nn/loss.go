@@ -13,8 +13,9 @@ import (
 // batch. Forward returns the mean loss; Backward returns dL/dlogits
 // (softmax − one-hot)/numPixels, the standard fused gradient.
 type SoftmaxCrossEntropy struct {
-	probs  *tensor.Tensor
-	labels []uint8
+	probs   *tensor.Tensor
+	gradBuf *tensor.Tensor
+	labels  []uint8
 }
 
 // Loss computes the mean cross-entropy of logits (N,C,H,W) against
@@ -28,7 +29,7 @@ func (s *SoftmaxCrossEntropy) Loss(logits *tensor.Tensor, labels []uint8) (float
 		return 0, fmt.Errorf("nn: %d labels for %d pixels", len(labels), n*h*w)
 	}
 	plane := h * w
-	s.probs = tensor.New(n, c, h, w)
+	s.probs = tensor.Grow(&s.probs, n, c, h, w)
 	s.labels = labels
 
 	total := 0.0
@@ -72,7 +73,8 @@ func (s *SoftmaxCrossEntropy) Grad() *tensor.Tensor {
 	}
 	n, c := s.probs.Shape[0], s.probs.Shape[1]
 	plane := s.probs.Shape[2] * s.probs.Shape[3]
-	g := s.probs.Clone()
+	g := tensor.Grow(&s.gradBuf, s.probs.Shape...)
+	copy(g.Data, s.probs.Data)
 	inv := 1 / float64(n*plane)
 	for img := 0; img < n; img++ {
 		for p := 0; p < plane; p++ {

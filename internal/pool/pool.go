@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Pool runs tasks on a fixed number of workers.
@@ -87,6 +88,87 @@ func runTask(fn func(int) error, i int) (err error) {
 	}()
 	return fn(i)
 }
+
+// MapRanges splits [0, n) into at most Workers() contiguous chunks of at
+// least minGrain items each and applies fn to every chunk on the pool.
+// Chunk boundaries depend only on n, minGrain, and the pool size, so
+// callers that need deterministic work partitioning get it for free. When
+// a single chunk results, fn runs inline on the calling goroutine.
+func (p *Pool) MapRanges(n, minGrain int, fn func(lo, hi int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if minGrain < 1 {
+		minGrain = 1
+	}
+	chunks := p.workers
+	if max := (n + minGrain - 1) / minGrain; chunks > max {
+		chunks = max
+	}
+	if chunks <= 1 {
+		return runRange(fn, 0, n)
+	}
+	return p.Map(chunks, func(i int) error {
+		lo := i * n / chunks
+		hi := (i + 1) * n / chunks
+		return runRange(fn, lo, hi)
+	})
+}
+
+// runRange invokes fn(lo, hi), converting panics into errors so inline
+// execution matches Map's worker behavior.
+func runRange(fn func(lo, hi int) error, lo, hi int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("pool: range [%d,%d) panicked: %v", lo, hi, r)
+		}
+	}()
+	return fn(lo, hi)
+}
+
+// MustMapRanges is MapRanges for callers whose fn cannot return an error:
+// a non-nil result can only be a recovered worker panic, so it is
+// re-panicked rather than silently dropped — a bug inside a stripe fails
+// as loudly as it would on the serial path.
+func (p *Pool) MustMapRanges(n, minGrain int, fn func(lo, hi int)) {
+	err := p.MapRanges(n, minGrain, func(lo, hi int) error {
+		fn(lo, hi)
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+}
+
+// shared is the process-wide pool used by the compute kernels (tensor,
+// nn, autolabel): one knob sizes the whole engine's parallelism.
+var shared atomic.Pointer[Pool]
+
+func init() { shared.Store(New(runtime.NumCPU())) }
+
+// Shared returns the process-wide pool, sized from runtime.NumCPU unless
+// overridden by SetSharedWorkers.
+func Shared() *Pool { return shared.Load() }
+
+// SetSharedWorkers resizes the shared pool; n <= 0 restores the
+// runtime.NumCPU default. Safe to call concurrently with Shared, but the
+// caller must ensure no kernel is mid-flight if determinism across the
+// switch matters (partitioning depends on the pool size).
+func SetSharedWorkers(n int) {
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	shared.Store(New(n))
+}
+
+// serial is the canonical one-worker pool.
+var serial = New(1)
+
+// Serial returns a one-worker pool: kernels invoked with it run inline on
+// the calling goroutine. Callers that provide their own concurrency —
+// e.g. one inference session per serving worker — pass this to avoid
+// nesting a fan-out inside an already-parallel context.
+func Serial() *Pool { return serial }
 
 // MapSlice is a generic convenience over Map: it applies fn to each input
 // element and returns the outputs in input order.

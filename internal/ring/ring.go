@@ -116,6 +116,73 @@ func AllReduceMean(vectors [][]float64) error {
 	return nil
 }
 
+// DefaultChunk is the per-segment element count AllReduceMeanChunked
+// uses when the caller passes chunk <= 0: 16Ki float64s ≈ 128 KiB per
+// rank per segment, small enough that several segments pipeline through
+// the ring concurrently, large enough to amortize goroutine startup.
+const DefaultChunk = 1 << 14
+
+// maxConcurrentSegments bounds how many chunk all-reduces run at once;
+// each segment spawns one goroutine per rank.
+const maxConcurrentSegments = 4
+
+// AllReduceMeanChunked splits each rank's vector into segments of at most
+// chunk elements and runs an independent ring all-reduce per segment, up
+// to maxConcurrentSegments in flight. This is how the distributed trainer
+// overlaps communication: with one flattened gradient vector per replica,
+// early chunks reduce while later chunks are still queuing instead of one
+// serial reduce per parameter. Results equal AllReduceMean's up to
+// floating-point association (the per-element rank order depends on chunk
+// geometry); all ranks still finish with identical values.
+func AllReduceMeanChunked(vectors [][]float64, chunk int) error {
+	p := len(vectors)
+	if p == 0 {
+		return fmt.Errorf("ring: no ranks")
+	}
+	n := len(vectors[0])
+	for r, v := range vectors {
+		if len(v) != n {
+			return fmt.Errorf("ring: rank %d has %d values, rank 0 has %d", r, len(v), n)
+		}
+	}
+	if chunk <= 0 {
+		chunk = DefaultChunk
+	}
+	if p == 1 || n <= chunk {
+		return AllReduceMean(vectors)
+	}
+	nseg := (n + chunk - 1) / chunk
+	sem := make(chan struct{}, maxConcurrentSegments)
+	errs := make(chan error, nseg)
+	var wg sync.WaitGroup
+	for s := 0; s < nseg; s++ {
+		lo := s * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		views := make([][]float64, p)
+		for r := range vectors {
+			views[r] = vectors[r][lo:hi]
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(views [][]float64) {
+			defer wg.Done()
+			errs <- AllReduceMean(views)
+			<-sem
+		}(views)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // NaiveAllReduceSum is the gather-broadcast baseline: rank 0 collects
 // every vector, reduces, and redistributes. It moves (p−1)·n values
 // through a single root in each direction — the bottleneck the ring

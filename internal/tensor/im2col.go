@@ -1,6 +1,13 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+
+	"seaice/internal/pool"
+)
+
+// convOut returns the output spatial size of a convolution.
+func convOut(h, kh, stride, pad int) int { return (h+2*pad-kh)/stride + 1 }
 
 // Im2Col unfolds x (N,C,H,W) into a matrix of shape
 // (C·KH·KW, N·OH·OW) for a convolution with the given kernel, stride and
@@ -11,80 +18,168 @@ func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
 		panic(fmt.Sprintf("tensor: Im2Col needs NCHW input, got %v", x.Shape))
 	}
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
-	oh := (h+2*pad-kh)/stride + 1
-	ow := (w+2*pad-kw)/stride + 1
+	oh := convOut(h, kh, stride, pad)
+	ow := convOut(w, kw, stride, pad)
 	if oh <= 0 || ow <= 0 {
 		panic(fmt.Sprintf("tensor: Im2Col output empty for input %v kernel %dx%d", x.Shape, kh, kw))
 	}
 	cols := New(c*kh*kw, n*oh*ow)
-	colW := n * oh * ow
+	Im2ColInto(cols, x, kh, kw, stride, pad)
+	return cols
+}
 
-	for ch := 0; ch < c; ch++ {
-		for ky := 0; ky < kh; ky++ {
-			for kx := 0; kx < kw; kx++ {
-				row := ((ch*kh+ky)*kw + kx) * colW
-				for img := 0; img < n; img++ {
-					src := ((img*c + ch) * h) * w
-					dst := row + img*oh*ow
-					for oy := 0; oy < oh; oy++ {
-						iy := oy*stride + ky - pad
-						if iy < 0 || iy >= h {
-							continue // stays zero
-						}
-						srow := src + iy*w
-						drow := dst + oy*ow
-						for ox := 0; ox < ow; ox++ {
-							ix := ox*stride + kx - pad
-							if ix < 0 || ix >= w {
-								continue
-							}
-							cols.Data[drow+ox] = x.Data[srow+ix]
-						}
-					}
+// Im2ColInto unfolds x into dst, which must be pre-shaped
+// (C·KH·KW, N·OH·OW). dst is fully overwritten (padding positions are
+// zeroed), so a grow-only scratch buffer can be reused across steps. Rows
+// of dst are independent, which is what the row-stripe parallelism splits.
+func Im2ColInto(dst, x *Tensor, kh, kw, stride, pad int) {
+	if len(x.Shape) != 4 {
+		panic(fmt.Sprintf("tensor: Im2Col needs NCHW input, got %v", x.Shape))
+	}
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh := convOut(h, kh, stride, pad)
+	ow := convOut(w, kw, stride, pad)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: Im2Col output empty for input %v kernel %dx%d", x.Shape, kh, kw))
+	}
+	rows := c * kh * kw
+	colW := n * oh * ow
+	if len(dst.Shape) != 2 || dst.Shape[0] != rows || dst.Shape[1] != colW {
+		panic(fmt.Sprintf("tensor: Im2Col dst %v for %d×%d unfold", dst.Shape, rows, colW))
+	}
+	p := pool.Shared()
+	if p.Workers() == 1 {
+		im2ColRows(dst.Data, x.Data, n, c, h, w, kh, kw, stride, pad, oh, ow, 0, rows)
+		return
+	}
+	p.MustMapRanges(rows, 1, func(lo, hi int) {
+		im2ColRows(dst.Data, x.Data, n, c, h, w, kh, kw, stride, pad, oh, ow, lo, hi)
+	})
+}
+
+// validRange returns the [lo, hi] output positions whose input index
+// o·stride + k − pad lands inside [0, size); hi < lo means none do. The
+// per-pixel padding guards of the naive loops become loop bounds, keeping
+// the inner loops branch-free.
+func validRange(size, k, stride, pad, outSize int) (lo, hi int) {
+	lo = 0
+	if d := pad - k; d > 0 {
+		lo = (d + stride - 1) / stride
+	}
+	top := size - 1 + pad - k
+	if top < 0 {
+		return 0, -1
+	}
+	hi = top / stride
+	if hi > outSize-1 {
+		hi = outSize - 1
+	}
+	return lo, hi
+}
+
+// im2ColRows fills rows [lo,hi) of the unfold matrix; row r corresponds to
+// the (channel, ky, kx) triple r = (ch·KH+ky)·KW+kx.
+func im2ColRows(dst, x []float64, n, c, h, w, kh, kw, stride, pad, oh, ow, lo, hi int) {
+	colW := n * oh * ow
+	for r := lo; r < hi; r++ {
+		kx := r % kw
+		ky := (r / kw) % kh
+		ch := r / (kw * kh)
+		row := dst[r*colW : (r+1)*colW]
+		for i := range row {
+			row[i] = 0
+		}
+		oyLo, oyHi := validRange(h, ky, stride, pad, oh)
+		oxLo, oxHi := validRange(w, kx, stride, pad, ow)
+		kyp, kxp := ky-pad, kx-pad
+		for img := 0; img < n; img++ {
+			src := ((img*c + ch) * h) * w
+			dstOff := img * oh * ow
+			for oy := oyLo; oy <= oyHi; oy++ {
+				srow := src + (oy*stride+kyp)*w
+				drow := dstOff + oy*ow
+				if stride == 1 {
+					copy(row[drow+oxLo:drow+oxHi+1], x[srow+oxLo+kxp:srow+oxHi+kxp+1])
+					continue
+				}
+				for ox := oxLo; ox <= oxHi; ox++ {
+					row[drow+ox] = x[srow+ox*stride+kxp]
 				}
 			}
 		}
 	}
-	return cols
 }
 
 // Col2Im folds a column matrix back into an (N,C,H,W) tensor, summing
 // overlapping contributions — the adjoint of Im2Col, used by convolution
 // backward passes to accumulate input gradients.
 func Col2Im(cols *Tensor, n, c, h, w, kh, kw, stride, pad int) *Tensor {
-	oh := (h+2*pad-kh)/stride + 1
-	ow := (w+2*pad-kw)/stride + 1
+	x := New(n, c, h, w)
+	Col2ImInto(x, cols, kh, kw, stride, pad)
+	return x
+}
+
+// Col2ImInto folds cols into dst, which must be pre-shaped (N,C,H,W) and
+// is fully overwritten. Channels write disjoint planes, so the fold is
+// parallelized per channel; within a channel the accumulation order is the
+// serial reference's (ky, kx, image, row ascending), keeping results
+// bit-identical at any worker count.
+func Col2ImInto(dst, cols *Tensor, kh, kw, stride, pad int) {
+	if len(dst.Shape) != 4 {
+		panic(fmt.Sprintf("tensor: Col2Im needs NCHW dst, got %v", dst.Shape))
+	}
+	n, c, h, w := dst.Shape[0], dst.Shape[1], dst.Shape[2], dst.Shape[3]
+	oh := convOut(h, kh, stride, pad)
+	ow := convOut(w, kw, stride, pad)
 	if cols.Shape[0] != c*kh*kw || cols.Shape[1] != n*oh*ow {
 		panic(fmt.Sprintf("tensor: Col2Im shape %v does not match target %dx%dx%dx%d k%dx%d", cols.Shape, n, c, h, w, kh, kw))
 	}
-	x := New(n, c, h, w)
-	colW := n * oh * ow
+	p := pool.Shared()
+	if p.Workers() == 1 {
+		col2ImChannels(dst.Data, cols.Data, n, c, h, w, kh, kw, stride, pad, oh, ow, 0, c)
+		return
+	}
+	p.MustMapRanges(c, 1, func(lo, hi int) {
+		col2ImChannels(dst.Data, cols.Data, n, c, h, w, kh, kw, stride, pad, oh, ow, lo, hi)
+	})
+}
 
-	for ch := 0; ch < c; ch++ {
+// col2ImChannels folds the rows belonging to channels [lo,hi).
+func col2ImChannels(x, cols []float64, n, c, h, w, kh, kw, stride, pad, oh, ow, lo, hi int) {
+	colW := n * oh * ow
+	for ch := lo; ch < hi; ch++ {
+		for img := 0; img < n; img++ {
+			plane := x[((img*c+ch)*h)*w : ((img*c+ch)*h+h)*w]
+			for i := range plane {
+				plane[i] = 0
+			}
+		}
 		for ky := 0; ky < kh; ky++ {
 			for kx := 0; kx < kw; kx++ {
 				row := ((ch*kh+ky)*kw + kx) * colW
+				oyLo, oyHi := validRange(h, ky, stride, pad, oh)
+				oxLo, oxHi := validRange(w, kx, stride, pad, ow)
+				kyp, kxp := ky-pad, kx-pad
 				for img := 0; img < n; img++ {
 					dst := ((img*c + ch) * h) * w
 					src := row + img*oh*ow
-					for oy := 0; oy < oh; oy++ {
-						iy := oy*stride + ky - pad
-						if iy < 0 || iy >= h {
+					for oy := oyLo; oy <= oyHi; oy++ {
+						drow := dst + (oy*stride+kyp)*w
+						srow := src + oy*ow
+						if stride == 1 {
+							xr := x[drow+oxLo+kxp : drow+oxHi+kxp+1]
+							cr := cols[srow+oxLo : srow+oxHi+1]
+							for i, v := range cr {
+								xr[i] += v
+							}
 							continue
 						}
-						drow := dst + iy*w
-						srow := src + oy*ow
-						for ox := 0; ox < ow; ox++ {
-							ix := ox*stride + kx - pad
-							if ix < 0 || ix >= w {
-								continue
-							}
-							x.Data[drow+ix] += cols.Data[srow+ox]
+						for ox := oxLo; ox <= oxHi; ox++ {
+							x[drow+ox*stride+kxp] += cols[srow+ox]
 						}
 					}
 				}
 			}
 		}
 	}
-	return x
 }

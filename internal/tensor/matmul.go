@@ -1,0 +1,398 @@
+package tensor
+
+import (
+	"fmt"
+
+	"seaice/internal/pool"
+)
+
+// The GEMM kernels below are the training engine's hot core. They are
+// register-blocked (4 output rows × 4 k-steps for the straight and
+// transposed-A products, 2×4 dot blocks for A×Bᵀ) and parallelized over
+// disjoint output panels on the shared pool. Every C element still
+// accumulates its k terms in ascending order through a single chain, so
+// results are bit-identical to the serial reference kernels in ref.go at
+// any worker count — the property tests assert exactly that. The one
+// deliberate semantic difference from the reference: zero entries of A are
+// multiplied rather than skipped, which only matters for ±0 and non-finite
+// inputs (the skip saved no time on dense He-initialized weights anyway).
+
+// serialCutoff is the m·k·n volume below which a product runs inline on
+// the calling goroutine: pool dispatch costs more than it saves there.
+const serialCutoff = 1 << 15
+
+// minPanel is the smallest per-task output panel width; narrower panels
+// would spend more time on goroutine handoff than arithmetic.
+const minPanel = 256
+
+// MatMul computes C = A×B for A (m×k) and B (k×n) into a fresh tensor.
+func MatMul(a, b *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch %v × %v", a.Shape, b.Shape))
+	}
+	c := New(a.Shape[0], b.Shape[1])
+	MatMulInto(c, a, b)
+	return c
+}
+
+// MatMulInto computes C = A×B into dst, which must be (m×n). dst is fully
+// overwritten; it may not alias a or b.
+func MatMulInto(dst, a, b *Tensor) {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch %v × %v", a.Shape, b.Shape))
+	}
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	if len(dst.Shape) != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: matmul dst %v for %d×%d product", dst.Shape, m, n))
+	}
+	p := pool.Shared()
+	if m*k*n <= serialCutoff || p.Workers() == 1 {
+		matMulPanel(dst.Data, a.Data, b.Data, m, k, n, 0, n)
+		return
+	}
+	p.MustMapRanges(n, minPanel, func(lo, hi int) {
+		matMulPanel(dst.Data, a.Data, b.Data, m, k, n, lo, hi)
+	})
+}
+
+// matMulPanel computes columns [jlo,jhi) of C = A×B. Rows are processed in
+// blocks of four so each loaded B value feeds four accumulator chains, and
+// k is unrolled by four so each C element is loaded and stored once per
+// four multiply-adds.
+func matMulPanel(c, a, b []float64, m, k, n, jlo, jhi int) {
+	var i int
+	for i = 0; i+4 <= m; i += 4 {
+		c0 := c[(i+0)*n+jlo : (i+0)*n+jhi]
+		c1 := c[(i+1)*n+jlo : (i+1)*n+jhi]
+		c2 := c[(i+2)*n+jlo : (i+2)*n+jhi]
+		c3 := c[(i+3)*n+jlo : (i+3)*n+jhi]
+		for j := range c0 {
+			c0[j], c1[j], c2[j], c3[j] = 0, 0, 0, 0
+		}
+		a0 := a[(i+0)*k : (i+1)*k]
+		a1 := a[(i+1)*k : (i+2)*k]
+		a2 := a[(i+2)*k : (i+3)*k]
+		a3 := a[(i+3)*k : (i+4)*k]
+		var kk int
+		for kk = 0; kk+4 <= k; kk += 4 {
+			b0 := b[(kk+0)*n+jlo : (kk+0)*n+jhi]
+			b1 := b[(kk+1)*n+jlo : (kk+1)*n+jhi]
+			b2 := b[(kk+2)*n+jlo : (kk+2)*n+jhi]
+			b3 := b[(kk+3)*n+jlo : (kk+3)*n+jhi]
+			a00, a01, a02, a03 := a0[kk], a0[kk+1], a0[kk+2], a0[kk+3]
+			a10, a11, a12, a13 := a1[kk], a1[kk+1], a1[kk+2], a1[kk+3]
+			a20, a21, a22, a23 := a2[kk], a2[kk+1], a2[kk+2], a2[kk+3]
+			a30, a31, a32, a33 := a3[kk], a3[kk+1], a3[kk+2], a3[kk+3]
+			b1, b2, b3 = b1[:len(b0)], b2[:len(b0)], b3[:len(b0)]
+			c0, c1, c2, c3 = c0[:len(b0)], c1[:len(b0)], c2[:len(b0)], c3[:len(b0)]
+			for j := range b0 {
+				bv0, bv1, bv2, bv3 := b0[j], b1[j], b2[j], b3[j]
+				s := c0[j]
+				s += a00 * bv0
+				s += a01 * bv1
+				s += a02 * bv2
+				s += a03 * bv3
+				c0[j] = s
+				s = c1[j]
+				s += a10 * bv0
+				s += a11 * bv1
+				s += a12 * bv2
+				s += a13 * bv3
+				c1[j] = s
+				s = c2[j]
+				s += a20 * bv0
+				s += a21 * bv1
+				s += a22 * bv2
+				s += a23 * bv3
+				c2[j] = s
+				s = c3[j]
+				s += a30 * bv0
+				s += a31 * bv1
+				s += a32 * bv2
+				s += a33 * bv3
+				c3[j] = s
+			}
+		}
+		for ; kk < k; kk++ {
+			brow := b[kk*n+jlo : kk*n+jhi]
+			av0, av1, av2, av3 := a0[kk], a1[kk], a2[kk], a3[kk]
+			c0, c1, c2, c3 = c0[:len(brow)], c1[:len(brow)], c2[:len(brow)], c3[:len(brow)]
+			for j := range brow {
+				bv := brow[j]
+				c0[j] += av0 * bv
+				c1[j] += av1 * bv
+				c2[j] += av2 * bv
+				c3[j] += av3 * bv
+			}
+		}
+	}
+	for ; i < m; i++ {
+		crow := c[i*n+jlo : i*n+jhi]
+		for j := range crow {
+			crow[j] = 0
+		}
+		arow := a[i*k : (i+1)*k]
+		var kk int
+		for kk = 0; kk+4 <= k; kk += 4 {
+			b0 := b[(kk+0)*n+jlo : (kk+0)*n+jhi]
+			b1 := b[(kk+1)*n+jlo : (kk+1)*n+jhi]
+			b2 := b[(kk+2)*n+jlo : (kk+2)*n+jhi]
+			b3 := b[(kk+3)*n+jlo : (kk+3)*n+jhi]
+			av0, av1, av2, av3 := arow[kk], arow[kk+1], arow[kk+2], arow[kk+3]
+			b1, b2, b3 = b1[:len(b0)], b2[:len(b0)], b3[:len(b0)]
+			crow = crow[:len(b0)]
+			for j := range b0 {
+				s := crow[j]
+				s += av0 * b0[j]
+				s += av1 * b1[j]
+				s += av2 * b2[j]
+				s += av3 * b3[j]
+				crow[j] = s
+			}
+		}
+		for ; kk < k; kk++ {
+			brow := b[kk*n+jlo : kk*n+jhi]
+			av := arow[kk]
+			for j := range brow {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// MatMulATB computes C = Aᵀ×B for A (k×m) and B (k×n) without forming the
+// transpose: convolution backward passes need this product shape.
+func MatMulATB(a, b *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[0] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: matmulATB shape mismatch %v × %v", a.Shape, b.Shape))
+	}
+	c := New(a.Shape[1], b.Shape[1])
+	MatMulATBInto(c, a, b)
+	return c
+}
+
+// MatMulATBInto computes C = Aᵀ×B into dst, which must be (m×n) for
+// A (k×m). dst is fully overwritten; it may not alias a or b.
+func MatMulATBInto(dst, a, b *Tensor) {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[0] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: matmulATB shape mismatch %v × %v", a.Shape, b.Shape))
+	}
+	k, m, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	if len(dst.Shape) != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: matmulATB dst %v for %d×%d product", dst.Shape, m, n))
+	}
+	p := pool.Shared()
+	if m*k*n <= serialCutoff || p.Workers() == 1 {
+		matMulATBPanel(dst.Data, a.Data, b.Data, k, m, n, 0, n)
+		return
+	}
+	p.MustMapRanges(n, minPanel, func(lo, hi int) {
+		matMulATBPanel(dst.Data, a.Data, b.Data, k, m, n, lo, hi)
+	})
+}
+
+// matMulATBPanel computes columns [jlo,jhi) of C = Aᵀ×B; identical
+// blocking to matMulPanel with A elements gathered through their k×m
+// layout.
+func matMulATBPanel(c, a, b []float64, k, m, n, jlo, jhi int) {
+	var i int
+	for i = 0; i+4 <= m; i += 4 {
+		c0 := c[(i+0)*n+jlo : (i+0)*n+jhi]
+		c1 := c[(i+1)*n+jlo : (i+1)*n+jhi]
+		c2 := c[(i+2)*n+jlo : (i+2)*n+jhi]
+		c3 := c[(i+3)*n+jlo : (i+3)*n+jhi]
+		for j := range c0 {
+			c0[j], c1[j], c2[j], c3[j] = 0, 0, 0, 0
+		}
+		var kk int
+		for kk = 0; kk+4 <= k; kk += 4 {
+			b0 := b[(kk+0)*n+jlo : (kk+0)*n+jhi]
+			b1 := b[(kk+1)*n+jlo : (kk+1)*n+jhi]
+			b2 := b[(kk+2)*n+jlo : (kk+2)*n+jhi]
+			b3 := b[(kk+3)*n+jlo : (kk+3)*n+jhi]
+			a00, a01, a02, a03 := a[(kk+0)*m+i], a[(kk+1)*m+i], a[(kk+2)*m+i], a[(kk+3)*m+i]
+			a10, a11, a12, a13 := a[(kk+0)*m+i+1], a[(kk+1)*m+i+1], a[(kk+2)*m+i+1], a[(kk+3)*m+i+1]
+			a20, a21, a22, a23 := a[(kk+0)*m+i+2], a[(kk+1)*m+i+2], a[(kk+2)*m+i+2], a[(kk+3)*m+i+2]
+			a30, a31, a32, a33 := a[(kk+0)*m+i+3], a[(kk+1)*m+i+3], a[(kk+2)*m+i+3], a[(kk+3)*m+i+3]
+			b1, b2, b3 = b1[:len(b0)], b2[:len(b0)], b3[:len(b0)]
+			c0, c1, c2, c3 = c0[:len(b0)], c1[:len(b0)], c2[:len(b0)], c3[:len(b0)]
+			for j := range b0 {
+				bv0, bv1, bv2, bv3 := b0[j], b1[j], b2[j], b3[j]
+				s := c0[j]
+				s += a00 * bv0
+				s += a01 * bv1
+				s += a02 * bv2
+				s += a03 * bv3
+				c0[j] = s
+				s = c1[j]
+				s += a10 * bv0
+				s += a11 * bv1
+				s += a12 * bv2
+				s += a13 * bv3
+				c1[j] = s
+				s = c2[j]
+				s += a20 * bv0
+				s += a21 * bv1
+				s += a22 * bv2
+				s += a23 * bv3
+				c2[j] = s
+				s = c3[j]
+				s += a30 * bv0
+				s += a31 * bv1
+				s += a32 * bv2
+				s += a33 * bv3
+				c3[j] = s
+			}
+		}
+		for ; kk < k; kk++ {
+			brow := b[kk*n+jlo : kk*n+jhi]
+			av0, av1, av2, av3 := a[kk*m+i], a[kk*m+i+1], a[kk*m+i+2], a[kk*m+i+3]
+			c0, c1, c2, c3 = c0[:len(brow)], c1[:len(brow)], c2[:len(brow)], c3[:len(brow)]
+			for j := range brow {
+				bv := brow[j]
+				c0[j] += av0 * bv
+				c1[j] += av1 * bv
+				c2[j] += av2 * bv
+				c3[j] += av3 * bv
+			}
+		}
+	}
+	for ; i < m; i++ {
+		crow := c[i*n+jlo : i*n+jhi]
+		for j := range crow {
+			crow[j] = 0
+		}
+		var kk int
+		for kk = 0; kk+4 <= k; kk += 4 {
+			b0 := b[(kk+0)*n+jlo : (kk+0)*n+jhi]
+			b1 := b[(kk+1)*n+jlo : (kk+1)*n+jhi]
+			b2 := b[(kk+2)*n+jlo : (kk+2)*n+jhi]
+			b3 := b[(kk+3)*n+jlo : (kk+3)*n+jhi]
+			av0, av1, av2, av3 := a[(kk+0)*m+i], a[(kk+1)*m+i], a[(kk+2)*m+i], a[(kk+3)*m+i]
+			b1, b2, b3 = b1[:len(b0)], b2[:len(b0)], b3[:len(b0)]
+			crow = crow[:len(b0)]
+			for j := range b0 {
+				s := crow[j]
+				s += av0 * b0[j]
+				s += av1 * b1[j]
+				s += av2 * b2[j]
+				s += av3 * b3[j]
+				crow[j] = s
+			}
+		}
+		for ; kk < k; kk++ {
+			brow := b[kk*n+jlo : kk*n+jhi]
+			av := a[kk*m+i]
+			for j := range brow {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// MatMulABT computes C = A×Bᵀ for A (m×k) and B (n×k).
+func MatMulABT(a, b *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[1] {
+		panic(fmt.Sprintf("tensor: matmulABT shape mismatch %v × %v", a.Shape, b.Shape))
+	}
+	c := New(a.Shape[0], b.Shape[0])
+	MatMulABTInto(c, a, b)
+	return c
+}
+
+// MatMulABTInto computes C = A×Bᵀ into dst, which must be (m×n) for
+// B (n×k). dst is fully overwritten; it may not alias a or b.
+func MatMulABTInto(dst, a, b *Tensor) {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[1] {
+		panic(fmt.Sprintf("tensor: matmulABT shape mismatch %v × %v", a.Shape, b.Shape))
+	}
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[0]
+	if len(dst.Shape) != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: matmulABT dst %v for %d×%d product", dst.Shape, m, n))
+	}
+	p := pool.Shared()
+	if m*k*n <= serialCutoff || p.Workers() == 1 {
+		matMulABTRows(dst.Data, a.Data, b.Data, m, k, n, 0, m)
+		return
+	}
+	p.MustMapRanges(m, 1, func(lo, hi int) {
+		matMulABTRows(dst.Data, a.Data, b.Data, m, k, n, lo, hi)
+	})
+}
+
+// matMulABTRows computes rows [ilo,ihi) of C = A×Bᵀ. Each C element is an
+// independent dot product; processing two A rows against four B rows gives
+// eight concurrent accumulator chains, which hides the floating-point add
+// latency that throttles the naive single-chain dot product.
+func matMulABTRows(c, a, b []float64, m, k, n, ilo, ihi int) {
+	var i int
+	for i = ilo; i+2 <= ihi; i += 2 {
+		ar0 := a[(i+0)*k : (i+1)*k]
+		ar1 := a[(i+1)*k : (i+2)*k]
+		cr0 := c[(i+0)*n : (i+1)*n]
+		cr1 := c[(i+1)*n : (i+2)*n]
+		var j int
+		for j = 0; j+4 <= n; j += 4 {
+			br0 := b[(j+0)*k : (j+1)*k]
+			br1 := b[(j+1)*k : (j+2)*k]
+			br2 := b[(j+2)*k : (j+3)*k]
+			br3 := b[(j+3)*k : (j+4)*k]
+			var s00, s01, s02, s03, s10, s11, s12, s13 float64
+			ar1b := ar1[:len(ar0)]
+			br0b, br1b, br2b, br3b := br0[:len(ar0)], br1[:len(ar0)], br2[:len(ar0)], br3[:len(ar0)]
+			for kk := range ar0 {
+				av0, av1 := ar0[kk], ar1b[kk]
+				bv0, bv1, bv2, bv3 := br0b[kk], br1b[kk], br2b[kk], br3b[kk]
+				s00 += av0 * bv0
+				s01 += av0 * bv1
+				s02 += av0 * bv2
+				s03 += av0 * bv3
+				s10 += av1 * bv0
+				s11 += av1 * bv1
+				s12 += av1 * bv2
+				s13 += av1 * bv3
+			}
+			cr0[j], cr0[j+1], cr0[j+2], cr0[j+3] = s00, s01, s02, s03
+			cr1[j], cr1[j+1], cr1[j+2], cr1[j+3] = s10, s11, s12, s13
+		}
+		for ; j < n; j++ {
+			brow := b[j*k : (j+1)*k]
+			var s0, s1 float64
+			for kk := 0; kk < k; kk++ {
+				bv := brow[kk]
+				s0 += ar0[kk] * bv
+				s1 += ar1[kk] * bv
+			}
+			cr0[j], cr1[j] = s0, s1
+		}
+	}
+	for ; i < ihi; i++ {
+		arow := a[i*k : (i+1)*k]
+		crow := c[i*n : (i+1)*n]
+		var j int
+		for j = 0; j+4 <= n; j += 4 {
+			br0 := b[(j+0)*k : (j+1)*k]
+			br1 := b[(j+1)*k : (j+2)*k]
+			br2 := b[(j+2)*k : (j+3)*k]
+			br3 := b[(j+3)*k : (j+4)*k]
+			var s0, s1, s2, s3 float64
+			br0b, br1b, br2b, br3b := br0[:len(arow)], br1[:len(arow)], br2[:len(arow)], br3[:len(arow)]
+			for kk := range arow {
+				av := arow[kk]
+				s0 += av * br0b[kk]
+				s1 += av * br1b[kk]
+				s2 += av * br2b[kk]
+				s3 += av * br3b[kk]
+			}
+			crow[j], crow[j+1], crow[j+2], crow[j+3] = s0, s1, s2, s3
+		}
+		for ; j < n; j++ {
+			brow := b[j*k : (j+1)*k]
+			var s float64
+			for kk := 0; kk < k; kk++ {
+				s += arow[kk] * brow[kk]
+			}
+			crow[j] = s
+		}
+	}
+}

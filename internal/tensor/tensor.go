@@ -23,11 +23,19 @@ func New(shape ...int) *Tensor {
 	n := 1
 	for _, s := range shape {
 		if s <= 0 {
-			panic(fmt.Sprintf("tensor: invalid dimension %d in %v", s, shape))
+			panicBadShape(s, shape)
 		}
 		n *= s
 	}
 	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float64, n)}
+}
+
+// panicBadShape reports an invalid dimension. It copies the shape before
+// formatting so the caller's variadic slice never escapes to the heap —
+// that keeps New and Grow allocation-free on their hot paths, which the
+// training engine's zero-steady-state-alloc guarantee depends on.
+func panicBadShape(dim int, shape []int) {
+	panic(fmt.Sprintf("tensor: invalid dimension %d in %v", dim, append([]int(nil), shape...)))
 }
 
 // FromData wraps existing data; len(data) must match the shape volume.
@@ -111,75 +119,25 @@ func (t *Tensor) FillRandn(rng *noise.RNG, std float64) {
 	}
 }
 
-// MatMul computes C = A×B for A (m×k) and B (k×n), writing into a fresh
-// (m×n) tensor. The ikj loop order keeps the inner loop streaming over
-// contiguous rows of B and C, which is the difference between ~100 MFLOP/s
-// and ~1 GFLOP/s for the naive triple loop on this workload.
-func MatMul(a, b *Tensor) *Tensor {
-	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[0] {
-		panic(fmt.Sprintf("tensor: matmul shape mismatch %v × %v", a.Shape, b.Shape))
-	}
-	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
-	c := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		crow := c.Data[i*n : (i+1)*n]
-		for kk := 0; kk < k; kk++ {
-			av := arow[kk]
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[kk*n : (kk+1)*n]
-			for j := range brow {
-				crow[j] += av * brow[j]
-			}
+// Grow resizes *buf to the given shape, reallocating only when the backing
+// array is too small; contents are unspecified. It is the grow-only scratch
+// buffer primitive behind the training engine's zero-steady-state-alloc
+// guarantee: layers call Grow on the same pointer every step and after the
+// first step no allocation happens. Returns *buf for convenience.
+func Grow(buf **Tensor, shape ...int) *Tensor {
+	n := 1
+	for _, s := range shape {
+		if s <= 0 {
+			panicBadShape(s, shape)
 		}
+		n *= s
 	}
-	return c
-}
-
-// MatMulATB computes C = Aᵀ×B for A (k×m) and B (k×n) without forming the
-// transpose: convolution backward passes need this product shape.
-func MatMulATB(a, b *Tensor) *Tensor {
-	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[0] != b.Shape[0] {
-		panic(fmt.Sprintf("tensor: matmulATB shape mismatch %v × %v", a.Shape, b.Shape))
+	t := *buf
+	if t == nil || cap(t.Data) < n {
+		*buf = New(shape...)
+		return *buf
 	}
-	k, m, n := a.Shape[0], a.Shape[1], b.Shape[1]
-	c := New(m, n)
-	for kk := 0; kk < k; kk++ {
-		arow := a.Data[kk*m : (kk+1)*m]
-		brow := b.Data[kk*n : (kk+1)*n]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			crow := c.Data[i*n : (i+1)*n]
-			for j := range brow {
-				crow[j] += av * brow[j]
-			}
-		}
-	}
-	return c
-}
-
-// MatMulABT computes C = A×Bᵀ for A (m×k) and B (n×k).
-func MatMulABT(a, b *Tensor) *Tensor {
-	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[1] {
-		panic(fmt.Sprintf("tensor: matmulABT shape mismatch %v × %v", a.Shape, b.Shape))
-	}
-	m, k, n := a.Shape[0], a.Shape[1], b.Shape[0]
-	c := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		crow := c.Data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			brow := b.Data[j*k : (j+1)*k]
-			sum := 0.0
-			for kk := range arow {
-				sum += arow[kk] * brow[kk]
-			}
-			crow[j] = sum
-		}
-	}
-	return c
+	t.Data = t.Data[:n]
+	t.Shape = append(t.Shape[:0], shape...)
+	return t
 }

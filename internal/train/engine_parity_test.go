@@ -1,0 +1,75 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"seaice/internal/nn"
+	"seaice/internal/noise"
+	"seaice/internal/pool"
+	"seaice/internal/raster"
+	"seaice/internal/unet"
+)
+
+// paritySamples builds a deterministic synthetic tile set.
+func paritySamples(seed uint64, n, size int) []Sample {
+	rng := noise.NewRNG(seed, 0x9a7)
+	out := make([]Sample, n)
+	for i := range out {
+		img := raster.NewRGB(size, size)
+		for j := range img.Pix {
+			img.Pix[j] = uint8(rng.Intn(256))
+		}
+		lab := raster.NewLabels(size, size)
+		for j := range lab.Pix {
+			lab.Pix[j] = raster.Class(rng.Intn(3))
+		}
+		out[i] = Sample{Image: img, Labels: lab}
+	}
+	return out
+}
+
+// TestEngineLossParityWithLegacy is the tentpole acceptance gate: two
+// epochs of training through the engine (direct kernels, buffer reuse,
+// parallel GEMM/Adam) must match two epochs through the pre-PR legacy
+// path within 1e-9 per epoch loss — at every pool size. The engine's
+// kernels preserve the reference accumulation orders, so the match is in
+// fact exact.
+func TestEngineLossParityWithLegacy(t *testing.T) {
+	defer pool.SetSharedWorkers(0)
+	samples := paritySamples(42, 16, 16)
+	cfg := Config{Epochs: 2, BatchSize: 8, LR: 0.01, Seed: 5}
+	// FastConfig exercises dropout (rate 0.1), so RNG stream alignment
+	// between the paths is covered too.
+	model := unet.FastConfig(3)
+
+	run := func(legacy bool) []float64 {
+		prev := nn.SetLegacyKernels(legacy)
+		defer nn.SetLegacyKernels(prev)
+		m, err := unet.New(model)
+		if err != nil {
+			t.Fatalf("model: %v", err)
+		}
+		res, err := Fit(m, samples, cfg)
+		if err != nil {
+			t.Fatalf("fit: %v", err)
+		}
+		return res.EpochLosses
+	}
+
+	pool.SetSharedWorkers(1)
+	want := run(true)
+	for _, workers := range []int{1, 4} {
+		pool.SetSharedWorkers(workers)
+		got := run(false)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d epochs, want %d", workers, len(got), len(want))
+		}
+		for e := range want {
+			if d := math.Abs(got[e] - want[e]); d > 1e-9 {
+				t.Fatalf("workers=%d epoch %d: engine loss %.17g vs legacy %.17g (|Δ|=%g > 1e-9)",
+					workers, e, got[e], want[e], d)
+			}
+		}
+	}
+}

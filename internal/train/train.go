@@ -151,15 +151,23 @@ func Fit(m *unet.Model, samples []Sample, cfg Config) (*Result, error) {
 // Evaluate predicts every sample and accumulates a confusion matrix
 // against the provided ground truth (which may differ from the labels
 // the model was trained on — e.g. U-Net-Auto validated against manual
-// labels).
+// labels). Prediction runs through a unet.Session — the fused-kernel
+// buffer-reusing inference engine. Tile sizes the session rejects (not
+// divisible by 2^Depth) are reported as errors; the training-path
+// forward has the identical requirement, so there is no slower shape to
+// fall back to (it would panic in the pooling layers).
 func Evaluate(m *unet.Model, samples []Sample) (*metrics.Confusion, error) {
 	conf := metrics.NewConfusion(int(raster.NumClasses))
+	sess := unet.NewSession(m)
 	for i := range samples {
 		x, labels, err := ToTensor(samples[i : i+1])
 		if err != nil {
 			return nil, err
 		}
-		pred := m.Predict(x)
+		pred, err := sess.Predict(x)
+		if err != nil {
+			return nil, err
+		}
 		for p, want := range labels {
 			conf.Add(raster.Class(want), raster.Class(pred[p]))
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"seaice/internal/nn"
+	"seaice/internal/pool"
 	"seaice/internal/raster"
 	"seaice/internal/tensor"
 )
@@ -18,7 +19,10 @@ import (
 // runs one Session per worker.
 //
 // A Session is NOT safe for concurrent use; the underlying Model's
-// weights are only read, so many Sessions may share one Model.
+// weights are only read, so many Sessions may share one Model. The
+// session runs its kernels serially (pool.Serial()): serving
+// concurrency comes from running one Session per worker, and nesting a
+// fan-out inside each worker would oversubscribe the cores.
 type Session struct {
 	m *Model
 
@@ -84,20 +88,20 @@ func (s *Session) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 	for l := 0; l < d; l++ {
 		b := m.enc[l]
 		c1 := grow(&s.encC1[l], n*b.conv1.OutC*ch*cw)
-		conv3x3(b.conv1, cur, b.conv1.InC, nil, 0, n, ch, cw, c1, true)
+		nn.Conv3x3Planes(pool.Serial(), b.conv1, cur, b.conv1.InC, nil, 0, n, ch, cw, c1, true)
 		c2 := grow(&s.encC2[l], n*b.conv2.OutC*ch*cw)
-		conv3x3(b.conv2, c1, b.conv2.InC, nil, 0, n, ch, cw, c2, true)
+		nn.Conv3x3Planes(pool.Serial(), b.conv2, c1, b.conv2.InC, nil, 0, n, ch, cw, c2, true)
 		p := grow(&s.pooled[l], n*b.conv2.OutC*(ch/2)*(cw/2))
-		maxPool2(c2, n*b.conv2.OutC, ch, cw, p)
+		nn.MaxPool2Planes(c2, n*b.conv2.OutC, ch, cw, p)
 		cur, ch, cw = p, ch/2, cw/2
 	}
 
 	// Bottleneck.
 	bb := m.bottleneck
 	c1 := grow(&s.botC1, n*bb.conv1.OutC*ch*cw)
-	conv3x3(bb.conv1, cur, bb.conv1.InC, nil, 0, n, ch, cw, c1, true)
+	nn.Conv3x3Planes(pool.Serial(), bb.conv1, cur, bb.conv1.InC, nil, 0, n, ch, cw, c1, true)
 	c2 := grow(&s.botC2, n*bb.conv2.OutC*ch*cw)
-	conv3x3(bb.conv2, c1, bb.conv2.InC, nil, 0, n, ch, cw, c2, true)
+	nn.Conv3x3Planes(pool.Serial(), bb.conv2, c1, bb.conv2.InC, nil, 0, n, ch, cw, c2, true)
 	cur = c2
 
 	// Expanding path: up-convolve, virtually concat the skip, convolve.
@@ -105,7 +109,7 @@ func (s *Session) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 		l := d - 1 - i
 		u := m.ups[i]
 		uo := grow(&s.up[i], n*u.OutC*(2*ch)*(2*cw))
-		convT2x2(u, cur, n, ch, cw, uo)
+		nn.ConvT2x2Planes(pool.Serial(), u, cur, n, ch, cw, uo)
 		ch, cw = 2*ch, 2*cw
 
 		db := m.dec[i]
@@ -113,14 +117,14 @@ func (s *Session) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 		d1 := grow(&s.decC1[i], n*db.conv1.OutC*ch*cw)
 		// conv1 input channels: [0, skipC) from the encoder skip,
 		// [skipC, 2·skipC) from the up-convolution output — no copy.
-		conv3x3(db.conv1, s.encC2[l], skipC, uo, u.OutC, n, ch, cw, d1, true)
+		nn.Conv3x3Planes(pool.Serial(), db.conv1, s.encC2[l], skipC, uo, u.OutC, n, ch, cw, d1, true)
 		d2 := grow(&s.decC2[i], n*db.conv2.OutC*ch*cw)
-		conv3x3(db.conv2, d1, db.conv2.InC, nil, 0, n, ch, cw, d2, true)
+		nn.Conv3x3Planes(pool.Serial(), db.conv2, d1, db.conv2.InC, nil, 0, n, ch, cw, d2, true)
 		cur = d2
 	}
 
 	out := grow(&s.logits, n*m.cfg.Classes*ch*cw)
-	conv1x1(m.final, cur, m.final.InC, n, ch, cw, out)
+	nn.Conv1x1Planes(pool.Serial(), m.final, cur, m.final.InC, n, ch, cw, out)
 	s.lastDim = []int{n, m.cfg.Classes, ch, cw}
 	return tensor.FromData(out, s.lastDim...), nil
 }
@@ -169,271 +173,7 @@ func (s *Session) PredictTiles(tiles []*raster.RGB) ([]*raster.Labels, error) {
 	return out, nil
 }
 
-// conv3x3 computes a same-padded 3×3 convolution with fused bias (and
-// optionally ReLU) directly on NCHW planes. The input may be split
-// across two backing buffers to virtualize the U-Net skip concatenation:
-// channels [0, ca) read from xa, channels [ca, ca+cb) from xb.
-// Accumulation order matches the training path's im2col matrix product
-// (channel-major, then kernel row, then kernel column, bias last), so
-// results are identical to Conv2D.Forward.
-func conv3x3(c *nn.Conv2D, xa []float64, ca int, xb []float64, cb int, n, h, w int, dst []float64, relu bool) {
-	inC := ca + cb
-	plane := h * w
-	wd := c.Weight.W.Data
-	for img := 0; img < n; img++ {
-		for oc := 0; oc < c.OutC; oc++ {
-			dp := dst[(img*c.OutC+oc)*plane : (img*c.OutC+oc+1)*plane]
-			for i := range dp {
-				dp[i] = 0
-			}
-			wrow := wd[oc*inC*9 : (oc+1)*inC*9]
-			for ic := 0; ic < inC; ic++ {
-				var xp []float64
-				if ic < ca {
-					xp = xa[(img*ca+ic)*plane : (img*ca+ic+1)*plane]
-				} else {
-					xp = xb[(img*cb+ic-ca)*plane : (img*cb+ic-ca+1)*plane]
-				}
-				acc3x3(dp, xp, wrow[ic*9:ic*9+9], h, w)
-			}
-			b := c.Bias.W.Data[oc]
-			if relu {
-				for i, v := range dp {
-					v += b
-					if v < 0 {
-						v = 0
-					}
-					dp[i] = v
-				}
-			} else {
-				for i := range dp {
-					dp[i] += b
-				}
-			}
-		}
-	}
-}
-
-// acc3x3 accumulates one input plane's 3×3 contribution into dst.
-// Taps falling into the zero padding are skipped (they contribute
-// exactly zero in the im2col formulation).
-func acc3x3(dst, xp, k []float64, h, w int) {
-	if w < 3 || h < 1 {
-		acc3x3Small(dst, xp, k, h, w)
-		return
-	}
-	w00, w01, w02 := k[0], k[1], k[2]
-	w10, w11, w12 := k[3], k[4], k[5]
-	w20, w21, w22 := k[6], k[7], k[8]
-	for oy := 0; oy < h; oy++ {
-		d := dst[oy*w : (oy+1)*w]
-		r1 := xp[oy*w : (oy+1)*w]
-		var r0, r2 []float64
-		if oy > 0 {
-			r0 = xp[(oy-1)*w : oy*w]
-		}
-		if oy < h-1 {
-			r2 = xp[(oy+1)*w : (oy+2)*w]
-		}
-		switch {
-		case r0 != nil && r2 != nil:
-			// Interior rows: fully unrolled 9-tap kernel.
-			acc := d[0]
-			acc += w01 * r0[0]
-			acc += w02 * r0[1]
-			acc += w11 * r1[0]
-			acc += w12 * r1[1]
-			acc += w21 * r2[0]
-			acc += w22 * r2[1]
-			d[0] = acc
-			for ox := 1; ox < w-1; ox++ {
-				acc := d[ox]
-				acc += w00 * r0[ox-1]
-				acc += w01 * r0[ox]
-				acc += w02 * r0[ox+1]
-				acc += w10 * r1[ox-1]
-				acc += w11 * r1[ox]
-				acc += w12 * r1[ox+1]
-				acc += w20 * r2[ox-1]
-				acc += w21 * r2[ox]
-				acc += w22 * r2[ox+1]
-				d[ox] = acc
-			}
-			acc = d[w-1]
-			acc += w00 * r0[w-2]
-			acc += w01 * r0[w-1]
-			acc += w10 * r1[w-2]
-			acc += w11 * r1[w-1]
-			acc += w20 * r2[w-2]
-			acc += w21 * r2[w-1]
-			d[w-1] = acc
-		case r2 != nil:
-			// Top row (no r0).
-			acc := d[0]
-			acc += w11 * r1[0]
-			acc += w12 * r1[1]
-			acc += w21 * r2[0]
-			acc += w22 * r2[1]
-			d[0] = acc
-			for ox := 1; ox < w-1; ox++ {
-				acc := d[ox]
-				acc += w10 * r1[ox-1]
-				acc += w11 * r1[ox]
-				acc += w12 * r1[ox+1]
-				acc += w20 * r2[ox-1]
-				acc += w21 * r2[ox]
-				acc += w22 * r2[ox+1]
-				d[ox] = acc
-			}
-			acc = d[w-1]
-			acc += w10 * r1[w-2]
-			acc += w11 * r1[w-1]
-			acc += w20 * r2[w-2]
-			acc += w21 * r2[w-1]
-			d[w-1] = acc
-		case r0 != nil:
-			// Bottom row (no r2).
-			acc := d[0]
-			acc += w01 * r0[0]
-			acc += w02 * r0[1]
-			acc += w11 * r1[0]
-			acc += w12 * r1[1]
-			d[0] = acc
-			for ox := 1; ox < w-1; ox++ {
-				acc := d[ox]
-				acc += w00 * r0[ox-1]
-				acc += w01 * r0[ox]
-				acc += w02 * r0[ox+1]
-				acc += w10 * r1[ox-1]
-				acc += w11 * r1[ox]
-				acc += w12 * r1[ox+1]
-				d[ox] = acc
-			}
-			acc = d[w-1]
-			acc += w00 * r0[w-2]
-			acc += w01 * r0[w-1]
-			acc += w10 * r1[w-2]
-			acc += w11 * r1[w-1]
-			d[w-1] = acc
-		default:
-			// Single-row plane.
-			acc3x3Small(dst[oy*w:(oy+1)*w], r1, k, 1, w)
-		}
-	}
-}
-
-// acc3x3Small is the fully guarded fallback for planes too small for the
-// unrolled kernel.
-func acc3x3Small(dst, xp, k []float64, h, w int) {
-	for oy := 0; oy < h; oy++ {
-		for ox := 0; ox < w; ox++ {
-			acc := dst[oy*w+ox]
-			for ky := 0; ky < 3; ky++ {
-				iy := oy + ky - 1
-				if iy < 0 || iy >= h {
-					continue
-				}
-				for kx := 0; kx < 3; kx++ {
-					ix := ox + kx - 1
-					if ix < 0 || ix >= w {
-						continue
-					}
-					acc += k[ky*3+kx] * xp[iy*w+ix]
-				}
-			}
-			dst[oy*w+ox] = acc
-		}
-	}
-}
-
-// conv1x1 computes the final 1×1 convolution with bias.
-func conv1x1(c *nn.Conv2D, x []float64, inC, n, h, w int, dst []float64) {
-	plane := h * w
-	wd := c.Weight.W.Data
-	for img := 0; img < n; img++ {
-		for oc := 0; oc < c.OutC; oc++ {
-			dp := dst[(img*c.OutC+oc)*plane : (img*c.OutC+oc+1)*plane]
-			for i := range dp {
-				dp[i] = 0
-			}
-			for ic := 0; ic < inC; ic++ {
-				wv := wd[oc*inC+ic]
-				xp := x[(img*inC+ic)*plane : (img*inC+ic+1)*plane]
-				for i, v := range xp {
-					dp[i] += wv * v
-				}
-			}
-			b := c.Bias.W.Data[oc]
-			for i := range dp {
-				dp[i] += b
-			}
-		}
-	}
-}
-
-// maxPool2 applies 2×2 stride-2 max pooling over nc planes of h×w.
-func maxPool2(x []float64, nc, h, w int, dst []float64) {
-	oh, ow := h/2, w/2
-	oi := 0
-	for p := 0; p < nc; p++ {
-		base := p * h * w
-		for oy := 0; oy < oh; oy++ {
-			i0 := base + (2*oy)*w
-			i1 := base + (2*oy+1)*w
-			for ox := 0; ox < ow; ox++ {
-				bv := x[i0+2*ox]
-				if v := x[i0+2*ox+1]; v > bv {
-					bv = v
-				}
-				if v := x[i1+2*ox]; v > bv {
-					bv = v
-				}
-				if v := x[i1+2*ox+1]; v > bv {
-					bv = v
-				}
-				dst[oi] = bv
-				oi++
-			}
-		}
-	}
-}
-
-// convT2x2 computes the stride-2 2×2 transposed convolution with bias,
-// mirroring ConvTranspose2x2.Forward into a session-owned buffer.
-func convT2x2(u *nn.ConvTranspose2x2, x []float64, n, h, w int, dst []float64) {
-	plane := 4 * h * w
-	for i := range dst[:n*u.OutC*plane] {
-		dst[i] = 0
-	}
-	for img := 0; img < n; img++ {
-		for ic := 0; ic < u.InC; ic++ {
-			wrow := u.Weight.W.Data[ic*u.OutC*4 : (ic+1)*u.OutC*4]
-			xp := x[(img*u.InC+ic)*h*w : (img*u.InC+ic+1)*h*w]
-			for oc := 0; oc < u.OutC; oc++ {
-				k := wrow[oc*4 : oc*4+4]
-				k0, k1, k2, k3 := k[0], k[1], k[2], k[3]
-				yp := dst[(img*u.OutC+oc)*plane : (img*u.OutC+oc+1)*plane]
-				for iy := 0; iy < h; iy++ {
-					row0 := yp[(2*iy)*(2*w):]
-					row1 := yp[(2*iy+1)*(2*w):]
-					xr := xp[iy*w : (iy+1)*w]
-					for ix, v := range xr {
-						row0[2*ix] += v * k0
-						row0[2*ix+1] += v * k1
-						row1[2*ix] += v * k2
-						row1[2*ix+1] += v * k3
-					}
-				}
-			}
-		}
-	}
-	for img := 0; img < n; img++ {
-		for oc := 0; oc < u.OutC; oc++ {
-			b := u.Bias.W.Data[oc]
-			yp := dst[(img*u.OutC+oc)*plane : (img*u.OutC+oc+1)*plane]
-			for i := range yp {
-				yp[i] += b
-			}
-		}
-	}
-}
+// The direct NCHW kernels the session is built on (fused 3×3 and 1×1
+// convolutions, 2×2 max-pool, 2×2 transposed convolution) live in
+// internal/nn (kernels.go) so the training engine and this inference
+// session share one implementation.
