@@ -1,7 +1,10 @@
 // Command seaice-train trains a U-Net sea-ice classifier on a synthetic
 // campaign, either serially or with Horovod-style synchronous data
 // parallelism over simulated GPUs (§III-C). It saves a checkpoint usable
-// by seaice-infer.
+// by seaice-infer. The dataset is fed through the streaming pipeline
+// (internal/pipeline), so filtering and auto-labeling overlap training;
+// cmd/seaice-pipeline exposes the full orchestration (sharding knobs,
+// per-stage resume) on top of the same machinery.
 //
 // Usage:
 //
@@ -19,6 +22,7 @@ import (
 	"seaice/internal/dataset"
 	"seaice/internal/ddp"
 	"seaice/internal/perfmodel"
+	"seaice/internal/pipeline"
 	"seaice/internal/pool"
 	"seaice/internal/scene"
 	"seaice/internal/train"
@@ -74,32 +78,55 @@ func main() {
 	cc := scene.DefaultCollection(*seed)
 	cc.Scenes = *scenes
 	cc.W, cc.H = *size, *size
-	log.Printf("generating %d scenes of %dx%d…", *scenes, *size, *size)
-	scs, err := scene.GenerateCollection(cc)
-	if err != nil {
-		log.Fatal(err)
-	}
 
+	// The streaming pipeline replaces the old generate-all → build-all
+	// sequence: scenes are generated, filtered, and labeled by
+	// concurrent stage workers while training consumes its first
+	// batches. Split, subsample, and batch order are byte-identical to
+	// the legacy batch path (see internal/pipeline parity tests).
 	build := dataset.DefaultBuild()
 	build.TileSize = *tile
-	log.Printf("filtering and auto-labeling…")
-	set, err := dataset.Build(scs, build)
+	plan := &pipeline.TrainPlan{
+		TrainFrac: 0.8, SplitSeed: *seed,
+		TrainTiles: *maxTiles, TrainSeed: *seed,
+		TestTiles: 128, TestSeed: *seed + 1,
+		Image: dataset.OriginalImages, Labels: labKind,
+		BatchSize: *batch, BatchSeed: *seed,
+	}
+	if *workers > 1 {
+		// The ddp trainer shards globally, so the global batch is the
+		// planning unit.
+		plan.BatchSize = *batch * *workers
+	}
+	log.Printf("streaming %d scenes of %dx%d through filter/label/tile…", *scenes, *size, *size)
+	st, err := pipeline.New(pipeline.CollectionSource{Cfg: cc}, pipeline.Config{
+		Build: build,
+		Plan:  plan,
+		Progress: func(ev pipeline.Event) {
+			if ev.Kind == "shard" {
+				log.Printf("labeled shard %d/%d (%d/%d scenes)", ev.Shard+1, ev.Shards, ev.ScenesDone, ev.Scenes)
+			}
+		},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	trainTiles, testTiles, err := set.Split(0.8, *seed)
+	defer st.Close()
+
+	nTrain, err := st.TrainLen()
 	if err != nil {
 		log.Fatal(err)
 	}
-	if *maxTiles > 0 {
-		trainTiles = dataset.Subsample(trainTiles, *maxTiles, *seed)
-	}
-	samples := dataset.Samples(trainTiles, dataset.OriginalImages, labKind)
 	log.Printf("training on %d tiles (%s labels), %d epochs, preset %s (%d conv layers)",
-		len(samples), *labels, *epochs, *preset, modelCfg.NumConvLayers())
+		nTrain, *labels, *epochs, *preset, modelCfg.NumConvLayers())
 
 	var model *unet.Model
 	if *workers > 1 {
+		samples, err := st.TrainSamples()
+		if err != nil {
+			log.Fatal(err)
+		}
+		nTrain = len(samples)
 		tr, err := ddp.New(modelCfg, ddp.Config{
 			Workers:        *workers,
 			BatchPerWorker: *batch,
@@ -122,12 +149,16 @@ func main() {
 			*workers, res.VirtualTotal, res.RealTotal)
 		model = tr.Replica(0)
 	} else {
+		batches, err := st.TrainBatches()
+		if err != nil {
+			log.Fatal(err)
+		}
 		model, err = unet.New(modelCfg)
 		if err != nil {
 			log.Fatal(err)
 		}
 		start := time.Now()
-		res, err := train.Fit(model, samples, train.Config{
+		res, err := train.FitStream(model, batches, train.Config{
 			Epochs: *epochs, BatchSize: *batch, LR: *lr, Seed: *seed,
 			Progress: func(epoch int, loss float64) {
 				log.Printf("epoch %d: loss %.4f", epoch, loss)
@@ -137,15 +168,16 @@ func main() {
 			log.Fatal(err)
 		}
 		elapsed := time.Since(start)
-		log.Printf("serial training: %d steps in %s (%.1f ms/step, %.1f tiles/s)",
+		log.Printf("streamed training: %d steps in %s (%.1f ms/step, %.1f tiles/s)",
 			res.Steps, elapsed.Round(time.Millisecond),
 			float64(elapsed.Milliseconds())/float64(res.Steps),
-			float64(len(samples)**epochs)/elapsed.Seconds())
+			float64(nTrain**epochs)/elapsed.Seconds())
 	}
 
 	// Validate on held-out tiles against manual labels.
-	if len(testTiles) > 128 {
-		testTiles = dataset.Subsample(testTiles, 128, *seed+1)
+	testTiles, err := st.TestTiles()
+	if err != nil {
+		log.Fatal(err)
 	}
 	conf, err := train.Evaluate(model, dataset.Samples(testTiles, dataset.FilteredImages, dataset.ManualLabels))
 	if err != nil {

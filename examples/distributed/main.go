@@ -14,6 +14,7 @@ import (
 	"seaice/internal/dataset"
 	"seaice/internal/ddp"
 	"seaice/internal/perfmodel"
+	"seaice/internal/pipeline"
 	"seaice/internal/ring"
 	"seaice/internal/scene"
 	"seaice/internal/unet"
@@ -33,17 +34,17 @@ func main() {
 	}
 	fmt.Printf("ring all-reduce mean across 3 ranks: %v\n\n", vectors[0])
 
-	// 2. Real distributed training on a small auto-labeled dataset.
+	// 2. Real distributed training on a small auto-labeled dataset,
+	// streamed through the sharded pipeline (generation, filtering, and
+	// labeling run as overlapped stages; the output is byte-identical
+	// to the batch dataset.Build path).
 	cc := scene.DefaultCollection(7)
 	cc.Scenes = 2
 	cc.W, cc.H = 128, 128
-	scenes, err := scene.GenerateCollection(cc)
-	if err != nil {
-		log.Fatal(err)
-	}
 	build := dataset.DefaultBuild()
 	build.TileSize = 16
-	set, err := dataset.Build(scenes, build)
+	builder := pipeline.StreamBuilder{Config: pipeline.Config{Build: build}}
+	set, err := builder.BuildSet(pipeline.CollectionSource{Cfg: cc})
 	if err != nil {
 		log.Fatal(err)
 	}

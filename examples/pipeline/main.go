@@ -3,6 +3,14 @@
 // validate both on manual labels (the paper's Table IV comparison) → run
 // scene-level inference with the trained model (Fig 9).
 //
+// The campaign flows through the streaming sharded pipeline
+// (internal/pipeline): core.RunAccuracy overlaps scene generation,
+// filtering, labeling, and tiling across stage workers, and the first
+// section below additionally demonstrates training that consumes its
+// first batches while later shards are still being labeled
+// (train.FitStream over Stream.TrainBatches). cmd/seaice-pipeline is the
+// full orchestrator with sharding knobs and per-stage resume.
+//
 //	go run ./examples/pipeline
 package main
 
@@ -13,11 +21,55 @@ import (
 	"seaice/internal/core"
 	"seaice/internal/dataset"
 	"seaice/internal/metrics"
+	"seaice/internal/pipeline"
 	"seaice/internal/scene"
+	"seaice/internal/train"
+	"seaice/internal/unet"
 )
 
 func main() {
 	log.SetFlags(0)
+
+	// Streamed label→train overlap on a tiny campaign: the trainer's
+	// double-buffered batch source starts fitting as soon as the scenes
+	// its first batches need are labeled.
+	cc := scene.DefaultCollection(7)
+	cc.Scenes = 4
+	cc.W, cc.H = 64, 64
+	build := dataset.DefaultBuild()
+	build.TileSize = 16
+	st, err := pipeline.New(pipeline.CollectionSource{Cfg: cc}, pipeline.Config{
+		Build: build,
+		Plan: &pipeline.TrainPlan{
+			TrainFrac: 0.8, SplitSeed: 7,
+			TrainTiles: 24, TrainSeed: 7,
+			Image: dataset.OriginalImages, Labels: dataset.AutoLabels,
+			BatchSize: 6, BatchSeed: 7,
+		},
+		Progress: func(ev pipeline.Event) {
+			if ev.Kind == "shard" {
+				log.Printf("» labeled shard %d/%d", ev.Shard+1, ev.Shards)
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+	batches, err := st.TrainBatches()
+	if err != nil {
+		log.Fatal(err)
+	}
+	demo, err := unet.New(unet.Config{Depth: 2, BaseChannels: 4, InChannels: 3, Classes: 3, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fitRes, err := train.FitStream(demo, batches, train.Config{Epochs: 2, BatchSize: 6, LR: 0.01, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("streamed label+train overlap: loss %.4f → %.4f over %d steps\n\n",
+		fitRes.EpochLosses[0], fitRes.EpochLosses[len(fitRes.EpochLosses)-1], fitRes.Steps)
 
 	cfg := core.QuickAccuracyConfig(42)
 	cfg.Progress = func(stage string) { log.Printf("» %s", stage) }

@@ -4,6 +4,12 @@
 // the authors by inspecting Ross Sea summer imagery — produce three binary
 // masks (thick/snow-covered ice, thin/young ice, open water) which are
 // merged into a per-pixel class map used as training labels for the U-Net.
+//
+// Parallelism/bit-identity guarantees: Segment and Label stripe rows
+// across pool.Shared(); every pixel's class depends only on that pixel's
+// HSV value, so the output is byte-identical to the serial path at any
+// worker count (asserted in the package tests). Label fuses the
+// three-mask classification into one pass over the image.
 package autolabel
 
 import (

@@ -158,6 +158,11 @@ func New(cfg Config) (*Catalog, error) {
 // Len reports the archive size.
 func (c *Catalog) Len() int { return len(c.scenes) }
 
+// SceneSize reports the rendered scene edge in pixels — the dimension
+// every Fetch result shares, needed by streaming consumers
+// (pipeline.CatalogSource) that must plan tile grids before fetching.
+func (c *Catalog) SceneSize() int { return c.render.W }
+
 // Query mirrors a GEE filterBounds + filterDate + cloud-metadata chain.
 type Query struct {
 	Region Region

@@ -27,6 +27,12 @@
 // The residual errors of this filter — faint veil over bright ice,
 // shadows falling only on water — are exactly the failure modes the paper
 // reports surviving its filter (Fig 13's remaining off-diagonal mass).
+//
+// Filter is a deterministic pure function of (image, config) with no
+// shared state, so the pipeline's stage workers run it concurrently on
+// different scenes with bit-identical results; it operates at full
+// scene scale because its neighborhood statistics need more context
+// than a single tile.
 package cloudfilter
 
 import (

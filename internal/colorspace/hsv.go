@@ -4,6 +4,11 @@
 // [0,180) (degrees halved to fit a byte), saturation and value in [0,255].
 // The paper's published thresholds — e.g. thick ice (0,0,205)–(185,255,255)
 // — are expressed in this convention.
+//
+// All conversions are pure per-pixel integer functions — deterministic
+// on every platform — and the *Rows variants expose half-open row
+// stripes so callers (autolabel, cloudfilter) can parallelize over
+// pool.Shared() with byte-identical output at any worker count.
 package colorspace
 
 import "seaice/internal/raster"

@@ -3,7 +3,10 @@
 // auto-labeling → dataset assembly → U-Net-Man / U-Net-Auto training →
 // evaluation. The experiment harness (cmd/seaice-bench), the examples,
 // and the top-level benchmarks all drive this package rather than wiring
-// the substrates by hand.
+// the substrates by hand. Dataset assembly flows through the streaming
+// sharded pipeline (internal/pipeline), whose output is byte-identical
+// to the batch path, so every experiment result is deterministic in its
+// AccuracyConfig regardless of stage parallelism.
 package core
 
 import (
@@ -12,6 +15,7 @@ import (
 
 	"seaice/internal/dataset"
 	"seaice/internal/metrics"
+	"seaice/internal/pipeline"
 	"seaice/internal/scene"
 	"seaice/internal/train"
 	"seaice/internal/unet"
@@ -124,14 +128,13 @@ func (cfg AccuracyConfig) progress(stage string) {
 // imagery, auto labels), then validates both on manual labels over
 // original and filtered test imagery, whole and bucketed by cloud cover.
 func RunAccuracy(cfg AccuracyConfig) (*AccuracyResult, error) {
-	cfg.progress("generating scene campaign")
-	scenes, err := scene.GenerateCollection(cfg.Campaign)
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-
-	cfg.progress("filtering, auto-labeling, tiling")
-	set, err := dataset.Build(scenes, cfg.Build)
+	// The streaming pipeline generates, filters, labels, and tiles the
+	// campaign with overlapped stages (scene generation is no longer a
+	// serial prologue); its output is byte-identical to the legacy
+	// generate-all → dataset.Build sequence it replaced.
+	cfg.progress("streaming scene campaign through filter/label/tile")
+	builder := pipeline.StreamBuilder{Config: pipeline.Config{Build: cfg.Build}}
+	set, err := builder.BuildSet(pipeline.CollectionSource{Cfg: cfg.Campaign})
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -141,7 +144,7 @@ func RunAccuracy(cfg AccuracyConfig) (*AccuracyResult, error) {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	res := &AccuracyResult{
-		Scenes: len(scenes),
+		Scenes: cfg.Campaign.Scenes,
 		Tiles:  len(set.Tiles),
 	}
 	if cfg.TrainTiles > 0 {

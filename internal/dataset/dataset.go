@@ -4,6 +4,14 @@
 // pairs every tile with its manual (ground-truth) and auto labels, tracks
 // per-tile cloud coverage for Table V's buckets, and produces the
 // train/test split and train.Sample views the U-Net experiments consume.
+//
+// Parallelism/bit-identity guarantees: Build fans scenes out over a
+// worker pool, but each scene's tiles are a pure function of (scene,
+// config) and are concatenated in scene order, so the set is identical
+// at any worker count. All split/subsample randomness is exposed as
+// index math (SplitIndices, SubsampleIndices) shared with the streaming
+// pipeline, which is how internal/pipeline stays byte-identical to this
+// batch path.
 package dataset
 
 import (
@@ -71,7 +79,7 @@ func Build(scenes []*scene.Scene, cfg BuildConfig) (*Set, error) {
 	perScene := make([][]Tile, len(scenes))
 	p := pool.New(cfg.Workers)
 	err := p.Map(len(scenes), func(i int) error {
-		tiles, err := buildScene(scenes[i], i, cfg)
+		tiles, err := BuildScene(scenes[i], i, cfg)
 		if err != nil {
 			return fmt.Errorf("dataset: scene %d: %w", i, err)
 		}
@@ -88,21 +96,37 @@ func Build(scenes []*scene.Scene, cfg BuildConfig) (*Set, error) {
 	return set, nil
 }
 
-// buildScene filters and labels one scene at full scene scale (the
-// filter's neighborhood statistics need more context than a single tile)
-// and then cuts every product into tiles.
-func buildScene(sc *scene.Scene, index int, cfg BuildConfig) ([]Tile, error) {
+// LabeledScene is the product of the filter/label stage: the scene plus
+// its scene-scale filtered imagery and auto labels, ready for tiling.
+type LabeledScene struct {
+	Scene    *scene.Scene
+	Filtered *raster.RGB
+	Auto     *raster.Labels
+}
+
+// LabelScene runs the thin-cloud/shadow filter and the auto-labeler over
+// one scene at full scene scale (the filter's neighborhood statistics
+// need more context than a single tile). It is the first stage half of
+// BuildScene, exposed so the streaming pipeline can run filtering and
+// tiling as separate overlapped stages.
+func LabelScene(sc *scene.Scene, cfg BuildConfig) (*LabeledScene, error) {
 	res := cloudfilter.Filter(sc.Image, cfg.Filter)
 	auto, err := autolabel.Label(res.Image, cfg.Labels)
 	if err != nil {
 		return nil, err
 	}
+	return &LabeledScene{Scene: sc, Filtered: res.Image, Auto: auto}, nil
+}
 
+// TileScene cuts a labeled scene's products into tiles — the second
+// stage half of BuildScene.
+func TileScene(ls *LabeledScene, index int, cfg BuildConfig) ([]Tile, error) {
+	sc := ls.Scene
 	origTiles, _, err := raster.Split(sc.Image, cfg.TileSize, cfg.TileSize)
 	if err != nil {
 		return nil, err
 	}
-	filtTiles, _, err := raster.Split(res.Image, cfg.TileSize, cfg.TileSize)
+	filtTiles, _, err := raster.Split(ls.Filtered, cfg.TileSize, cfg.TileSize)
 	if err != nil {
 		return nil, err
 	}
@@ -110,7 +134,7 @@ func buildScene(sc *scene.Scene, index int, cfg BuildConfig) ([]Tile, error) {
 	if err != nil {
 		return nil, err
 	}
-	autoTiles, _, err := raster.SplitLabels(auto, cfg.TileSize, cfg.TileSize)
+	autoTiles, _, err := raster.SplitLabels(ls.Auto, cfg.TileSize, cfg.TileSize)
 	if err != nil {
 		return nil, err
 	}
@@ -140,21 +164,47 @@ func buildScene(sc *scene.Scene, index int, cfg BuildConfig) ([]Tile, error) {
 	return out, nil
 }
 
-// Split divides the tiles deterministically into train and test subsets
-// (the paper uses 80/20).
-func (s *Set) Split(trainFrac float64, seed uint64) (trainSet, testSet []Tile, err error) {
+// BuildScene filters, labels, and tiles one scene — LabelScene followed
+// by TileScene. It is the unit of work of both Build and the streaming
+// pipeline (internal/pipeline): each scene's output depends only on the
+// scene and cfg, never on processing order or concurrency, which is what
+// makes the two paths byte-identical.
+func BuildScene(sc *scene.Scene, index int, cfg BuildConfig) ([]Tile, error) {
+	ls, err := LabelScene(sc, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return TileScene(ls, index, cfg)
+}
+
+// SplitIndices computes the deterministic train/test partition of n tiles
+// as tile indices, without needing the tiles themselves. The index math is
+// separated from Split so the streaming pipeline (internal/pipeline) can
+// plan which scenes feed which training batches before a single tile has
+// been labeled; Split is a thin wrapper, so the two paths agree by
+// construction.
+func SplitIndices(n int, trainFrac float64, seed uint64) (trainIdx, testIdx []int, err error) {
 	if trainFrac <= 0 || trainFrac >= 1 {
 		return nil, nil, fmt.Errorf("dataset: train fraction %.2f outside (0,1)", trainFrac)
 	}
 	rng := noise.NewRNG(seed, 0x5117)
-	perm := rng.Perm(len(s.Tiles))
-	nTrain := int(float64(len(s.Tiles)) * trainFrac)
-	for i, idx := range perm {
-		if i < nTrain {
-			trainSet = append(trainSet, s.Tiles[idx])
-		} else {
-			testSet = append(testSet, s.Tiles[idx])
-		}
+	perm := rng.Perm(n)
+	nTrain := int(float64(n) * trainFrac)
+	return perm[:nTrain], perm[nTrain:], nil
+}
+
+// Split divides the tiles deterministically into train and test subsets
+// (the paper uses 80/20).
+func (s *Set) Split(trainFrac float64, seed uint64) (trainSet, testSet []Tile, err error) {
+	trainIdx, testIdx, err := SplitIndices(len(s.Tiles), trainFrac, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, idx := range trainIdx {
+		trainSet = append(trainSet, s.Tiles[idx])
+	}
+	for _, idx := range testIdx {
+		testSet = append(testSet, s.Tiles[idx])
 	}
 	return trainSet, testSet, nil
 }
@@ -212,6 +262,25 @@ func Samples(tiles []Tile, img ImageKind, lab LabelKind) []train.Sample {
 	return out
 }
 
+// SubsampleIndices computes the positions Subsample would keep out of n
+// tiles: nil when keep <= 0, the identity order when keep >= n, otherwise
+// the first keep entries of a deterministic permutation. Exposed as index
+// math for the same reason as SplitIndices.
+func SubsampleIndices(n, keep int, seed uint64) []int {
+	if keep >= n {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	if keep <= 0 {
+		return nil
+	}
+	rng := noise.NewRNG(seed, 0x5ab5)
+	return rng.Perm(n)[:keep]
+}
+
 // Subsample returns every k-th tile of a deterministic shuffle — the
 // stratification used to fit single-core training budgets while keeping
 // scene and cloud-cover diversity.
@@ -222,11 +291,10 @@ func Subsample(tiles []Tile, n int, seed uint64) []Tile {
 	if n <= 0 {
 		return nil
 	}
-	rng := noise.NewRNG(seed, 0x5ab5)
-	perm := rng.Perm(len(tiles))
-	out := make([]Tile, n)
-	for i := 0; i < n; i++ {
-		out[i] = tiles[perm[i]]
+	idx := SubsampleIndices(len(tiles), n, seed)
+	out := make([]Tile, len(idx))
+	for i, j := range idx {
+		out[i] = tiles[j]
 	}
 	return out
 }

@@ -15,6 +15,11 @@
 // calibrated perfmodel.Horovod virtual clock, while the gradient math is
 // real and the equivalence theorem "K-worker DDP step == single-model
 // step on the merged batch" is verified in the tests.
+//
+// The trainer consumes materialized sample sets (each rank needs random
+// access to its shard of every global batch); streaming callers
+// materialize via pipeline.Stream.TrainSamples, which still overlaps
+// labeling with scene generation upstream.
 package ddp
 
 import (

@@ -5,6 +5,12 @@
 // normalization, binary/truncated/Otsu thresholding, and binary
 // morphology. All operators use OpenCV conventions (8-bit data, masks with
 // 0/255 values, border replication for neighborhoods).
+//
+// Every operator is a deterministic pure function of its input rasters
+// and parameters (no RNG, no global state), so compositions like the
+// cloud filter are bit-reproducible and safe to run concurrently on
+// different images — the property the pipeline's parallel label stage
+// relies on.
 package imgproc
 
 import (

@@ -12,6 +12,12 @@
 // SimRunner executes them on the simulated Dataproc cluster of
 // internal/cluster with the calibrated Table II cost models — only the
 // clock is virtual, the computation is real.
+//
+// Parallelism/bit-identity guarantees: partitioning is deterministic in
+// (dataset length, partition count), partition results are reassembled
+// in partition order, and Reduce folds partials in that same fixed
+// order — so Collect/Reduce outputs are identical on either runner at
+// any parallelism.
 package mapreduce
 
 import (

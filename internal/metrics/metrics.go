@@ -3,6 +3,10 @@
 // recall and F1, the column-normalized confusion matrix of Fig 13, and the
 // Structural Similarity Index (SSIM) used to validate auto-labels against
 // manual labels (§IV-B2).
+//
+// All measures accumulate in a fixed, input-defined order — never over a
+// map or a worker pool — so every reported number is bit-reproducible
+// across runs and platforms.
 package metrics
 
 import (

@@ -9,6 +9,14 @@
 // Layers cache forward activations for the backward pass, so a layer
 // instance supports one in-flight forward/backward pair at a time; the
 // data-parallel trainer gives each simulated GPU its own model replica.
+//
+// Parallelism/bit-identity guarantees: conv kernels take an explicit
+// pool — training passes pool.Shared(), the inference session runs them
+// serially — and accumulate in the serial reference order, so outputs
+// are bit-identical at any worker count (and identical between the
+// direct NCHW kernels and the legacy im2col path, see
+// SetLegacyKernels). Layer scratch buffers are grow-only: a
+// steady-state training step performs a handful of heap allocations.
 package nn
 
 import "seaice/internal/tensor"

@@ -7,6 +7,10 @@
 // the paper's published numbers; each fit is derived in the comments and
 // validated against the paper in the package tests.
 //
+// Determinism guarantee: every model is a closed-form function of its
+// arguments — no clocks, no randomness, no host-speed dependence — so
+// projected tables are bit-reproducible on any machine.
+//
 // The models answer "how long would this stage take on the paper's
 // hardware", and drive the virtual clock of internal/cluster and the
 // simulated GPUs of internal/ddp. The *work* the simulated components

@@ -1,0 +1,111 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"seaice/internal/dataset"
+	"seaice/internal/train"
+)
+
+// TrainBatches returns a double-buffered train.BatchSource over the
+// plan's training subset: a background assembler waits for the scenes
+// batch k+1 needs, gathers its tiles, and packs the tensor while the
+// trainer computes batch k. The batch sequence equals
+// train.Fit(dataset.Samples(...)) exactly — only the overlap differs.
+func (s *Stream) TrainBatches() (train.BatchSource, error) {
+	if s.plan == nil {
+		return nil, fmt.Errorf("pipeline: no TrainPlan configured")
+	}
+	s.ensureStarted()
+	return &batchSource{s: s}, nil
+}
+
+type batchSource struct{ s *Stream }
+
+type packed struct {
+	pb  *train.PackedBatch
+	err error
+}
+
+// Epoch implements train.BatchSource. The capacity-1 channel plus the
+// producer working one batch ahead is the double buffer: at steady state
+// one packed batch waits while the next is being assembled and the
+// trainer consumes a third.
+func (b *batchSource) Epoch(epoch int) func() (*train.PackedBatch, error) {
+	s := b.s
+	plan := *s.cfg.Plan
+	batches := train.BatchIndices(len(s.plan.trainTileIdx), plan.BatchSize, plan.BatchSeed, epoch)
+
+	ch := make(chan packed, 1)
+	go func() {
+		defer close(ch)
+		for _, idxs := range batches {
+			global := make([]int, len(idxs))
+			for i, j := range idxs {
+				global[i] = s.plan.trainTileIdx[j]
+			}
+			tiles, err := s.gather(global)
+			var pb *train.PackedBatch
+			if err == nil {
+				samples := dataset.Samples(tiles, plan.Image, plan.Labels)
+				xt, labels, terr := train.ToTensor(samples)
+				if terr != nil {
+					err = terr
+				} else {
+					pb = &train.PackedBatch{X: xt, Labels: labels}
+				}
+			}
+			select {
+			case ch <- packed{pb: pb, err: err}:
+			case <-s.quit:
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+
+	delivered := 0
+	return func() (*train.PackedBatch, error) {
+		it, ok := <-ch
+		if !ok {
+			if delivered < len(batches) {
+				return nil, s.interruptErr()
+			}
+			return nil, nil
+		}
+		if it.err != nil {
+			return nil, it.err
+		}
+		delivered++
+		return it.pb, nil
+	}
+}
+
+// interruptErr explains an epoch that ended before all its batches were
+// delivered.
+func (s *Stream) interruptErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	return fmt.Errorf("pipeline: batch stream interrupted")
+}
+
+// planSamples gathers one of the plan's subsets as training samples.
+func (s *Stream) planSamples(trainSubset bool) ([]train.Sample, error) {
+	if s.plan == nil {
+		return nil, fmt.Errorf("pipeline: no TrainPlan configured")
+	}
+	idx := s.plan.trainTileIdx
+	if !trainSubset {
+		idx = s.plan.testTileIdx
+	}
+	tiles, err := s.gather(idx)
+	if err != nil {
+		return nil, err
+	}
+	return dataset.Samples(tiles, s.cfg.Plan.Image, s.cfg.Plan.Labels), nil
+}

@@ -1,0 +1,147 @@
+package pipeline
+
+import (
+	"crypto/sha256"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"seaice/internal/dataset"
+)
+
+// shardCheckpoint is the on-disk record of one completed shard. Key ties
+// the record to the exact source content and build configuration, so a
+// resume against different data silently falls back to recomputing.
+type shardCheckpoint struct {
+	Version int
+	Key     string
+	Scenes  []int
+	Tiles   [][]dataset.Tile
+}
+
+const checkpointVersion = 1
+
+// checkpointKey fingerprints everything a shard's tiles depend on.
+func (s *Stream) checkpointKey() string {
+	h := sha256.Sum256([]byte(fmt.Sprintf(
+		"v%d|%d scenes|%dx%d|tile %d|filter %+v|labels %+v|src %s",
+		checkpointVersion, s.n, s.w, s.h, s.cfg.Build.TileSize,
+		s.cfg.Build.Filter, s.cfg.Build.Labels, s.src.Fingerprint(),
+	)))
+	return fmt.Sprintf("%x", h[:])
+}
+
+// shardPath names shard k's checkpoint file.
+func (s *Stream) shardPath(k int) string {
+	return filepath.Join(s.cfg.CheckpointDir, fmt.Sprintf("shard-%04d.gob", k))
+}
+
+// restoreShards loads every matching shard checkpoint and delivers its
+// tiles straight to the assembler, bypassing the label and tiling
+// stages. It returns the set of scene indices restored. Unreadable or
+// mismatched files are treated as cache misses, never as errors.
+func (s *Stream) restoreShards() map[int]bool {
+	restored := make(map[int]bool)
+	if s.cfg.CheckpointDir == "" {
+		return restored
+	}
+	key := s.checkpointKey()
+	for k := range s.shards {
+		cp, err := readShard(s.shardPath(k))
+		if err != nil || cp.Version != checkpointVersion || cp.Key != key {
+			continue
+		}
+		if len(cp.Scenes) != len(s.shards[k]) || len(cp.Tiles) != len(s.shards[k]) {
+			continue
+		}
+		ok := true
+		for i, idx := range cp.Scenes {
+			if idx != s.shards[k][i] || len(cp.Tiles[i]) != s.tilesPerScene {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		s.emit(Event{Kind: "resume", Shard: k, ScenesDone: s.completed()})
+		for i, idx := range cp.Scenes {
+			restored[idx] = true
+			s.deliver(idx, cp.Tiles[i], false)
+		}
+	}
+	return restored
+}
+
+// completed reads the global completion count.
+func (s *Stream) completed() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.doneCount
+}
+
+// saveShard persists a completed shard. Write failures are recorded as
+// the stream's non-fatal checkpoint error (CheckpointErr) — a broken
+// disk must not kill a compute run that can finish in memory.
+func (s *Stream) saveShard(k int) {
+	if s.cfg.CheckpointDir == "" {
+		return
+	}
+	cp := shardCheckpoint{
+		Version: checkpointVersion,
+		Key:     s.checkpointKey(),
+		Scenes:  s.shards[k],
+	}
+	s.mu.Lock()
+	for _, idx := range s.shards[k] {
+		cp.Tiles = append(cp.Tiles, s.tiles[idx])
+	}
+	s.mu.Unlock()
+
+	err := func() error {
+		if err := os.MkdirAll(s.cfg.CheckpointDir, 0o755); err != nil {
+			return err
+		}
+		tmp, err := os.CreateTemp(s.cfg.CheckpointDir, "shard-*.tmp")
+		if err != nil {
+			return err
+		}
+		defer os.Remove(tmp.Name())
+		if err := gob.NewEncoder(tmp).Encode(&cp); err != nil {
+			tmp.Close()
+			return err
+		}
+		if err := tmp.Close(); err != nil {
+			return err
+		}
+		return os.Rename(tmp.Name(), s.shardPath(k))
+	}()
+	if err != nil {
+		s.mu.Lock()
+		s.cpErr = fmt.Errorf("pipeline: checkpoint shard %d: %w", k, err)
+		s.mu.Unlock()
+	}
+}
+
+// CheckpointErr reports the last non-fatal checkpoint write failure, if
+// any; the pipeline's data products are unaffected by it.
+func (s *Stream) CheckpointErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cpErr
+}
+
+// readShard decodes one checkpoint file.
+func readShard(path string) (*shardCheckpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var cp shardCheckpoint
+	if err := gob.NewDecoder(f).Decode(&cp); err != nil {
+		return nil, err
+	}
+	return &cp, nil
+}

@@ -1,0 +1,242 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"seaice/internal/dataset"
+	"seaice/internal/pool"
+	"seaice/internal/train"
+)
+
+// sharedWorkers sizes the default stage fan-out from the shared kernel
+// pool, so `-procs` (pool.SetSharedWorkers) is the one parallelism knob.
+func sharedWorkers() int { return pool.Shared().Workers() }
+
+// labeled carries one scene between the label and tiling stages.
+type labeled struct {
+	index int
+	ls    *dataset.LabeledScene
+}
+
+// ensureStarted launches the stage goroutines exactly once.
+func (s *Stream) ensureStarted() {
+	s.start.Do(func() { go s.run() })
+}
+
+// run is the pipeline driver: it restores checkpointed shards, feeds the
+// remaining scenes to the label workers in schedule order, fans the
+// results through the bounded tiling stage, and delivers per-scene tiles
+// to the assembler.
+func (s *Stream) run() {
+	resumed := s.restoreShards()
+
+	// Scene feed, skipping scenes restored from checkpoints but keeping
+	// the priority order for the rest.
+	sceneCh := make(chan int, s.cfg.Prefetch)
+	go func() {
+		defer close(sceneCh)
+		for _, i := range s.order {
+			if resumed[i] {
+				continue
+			}
+			select {
+			case sceneCh <- i:
+			case <-s.quit:
+				return
+			}
+		}
+	}()
+
+	// Stage 1: filter + auto-label workers. Each worker's per-pixel
+	// kernels (cloudfilter, autolabel) additionally stripe across
+	// pool.Shared().
+	labeledCh := make(chan labeled, s.cfg.Prefetch)
+	go func() {
+		defer close(labeledCh)
+		p := pool.New(s.cfg.Workers)
+		// Expected errors are reported through s.fail inline (closing
+		// s.quit stops the feeder and unblocks every stage early), but
+		// the Map error must still be checked: a panic inside a worker
+		// surfaces only there, and dropping it would leave the stream
+		// hung instead of failed.
+		if err := p.Map(s.cfg.Workers, func(int) error {
+			for i := range sceneCh {
+				sc, err := s.src.SceneAt(i)
+				if err != nil {
+					s.fail(fmt.Errorf("pipeline: scene %d: %w", i, err))
+					return nil
+				}
+				// Global tile indexing assumes every scene matches the
+				// source's declared size; a mismatched scene (e.g. a
+				// mixed-size SliceSource) would silently misaddress
+				// tiles, so reject it here.
+				if sc.Image.W != s.w || sc.Image.H != s.h {
+					s.fail(fmt.Errorf("pipeline: scene %d is %dx%d, source declared %dx%d",
+						i, sc.Image.W, sc.Image.H, s.w, s.h))
+					return nil
+				}
+				ls, err := dataset.LabelScene(sc, s.cfg.Build)
+				if err != nil {
+					s.fail(fmt.Errorf("pipeline: label scene %d: %w", i, err))
+					return nil
+				}
+				select {
+				case labeledCh <- labeled{index: i, ls: ls}:
+				case <-s.quit:
+					return nil
+				}
+			}
+			return nil
+		}); err != nil {
+			s.fail(err)
+		}
+	}()
+
+	// Stage 2: tiling workers behind the bounded prefetch channel. Tiling
+	// is much cheaper than labeling, so half the stage width suffices;
+	// the bounded channels keep at most Prefetch scene products in
+	// flight between the stages, which caps memory at any shard count.
+	tilers := (s.cfg.Workers + 1) / 2
+	p := pool.New(tilers)
+	if err := p.Map(tilers, func(int) error {
+		for l := range labeledCh {
+			tiles, err := dataset.TileScene(l.ls, l.index, s.cfg.Build)
+			if err != nil {
+				s.fail(fmt.Errorf("pipeline: tile scene %d: %w", l.index, err))
+				return nil
+			}
+			s.deliver(l.index, tiles, true)
+		}
+		return nil
+	}); err != nil {
+		s.fail(err)
+	}
+}
+
+// shardOf maps a scene index to its contiguous shard.
+func (s *Stream) shardOf(scene int) int {
+	per := (s.n + s.cfg.Shards - 1) / s.cfg.Shards
+	return scene / per
+}
+
+// deliver hands one scene's tiles to the assembler, emits progress, and
+// flushes the scene's shard checkpoint when the shard completes.
+// checkpointable is false for scenes restored from disk.
+func (s *Stream) deliver(scene int, tiles []dataset.Tile, checkpointable bool) {
+	shard := s.shardOf(scene)
+
+	s.mu.Lock()
+	if s.tiles[scene] != nil {
+		s.mu.Unlock()
+		return
+	}
+	s.tiles[scene] = tiles
+	s.doneCount++
+	s.shardLeft[shard]--
+	shardDone := s.shardLeft[shard] == 0
+	done := s.doneCount
+	s.mu.Unlock()
+	s.cond.Broadcast()
+
+	s.emit(Event{Kind: "scene", Shard: shard, ScenesDone: done})
+	if shardDone {
+		if checkpointable {
+			s.saveShard(shard)
+		}
+		s.emit(Event{Kind: "shard", Shard: shard, ScenesDone: done})
+	}
+}
+
+// waitScenes blocks until every scene in idx is assembled (or the stream
+// fails). idx may contain duplicates.
+func (s *Stream) waitScenes(idx []int) error {
+	s.ensureStarted()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, i := range idx {
+		for s.tiles[i] == nil && s.err == nil {
+			s.cond.Wait()
+		}
+		if s.err != nil && s.tiles[i] == nil {
+			return s.err
+		}
+	}
+	return nil
+}
+
+// waitAll blocks until the full campaign is assembled.
+func (s *Stream) waitAll() error {
+	s.ensureStarted()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.doneCount < s.n && s.err == nil {
+		s.cond.Wait()
+	}
+	if s.doneCount == s.n {
+		return nil
+	}
+	return s.err
+}
+
+// Set drains the stream into the legacy batch product: a dataset.Set
+// with tiles in scene order, byte-identical to dataset.Build.
+func (s *Stream) Set() (*dataset.Set, error) {
+	if err := s.waitAll(); err != nil {
+		return nil, err
+	}
+	set := &dataset.Set{TileSize: s.cfg.Build.TileSize}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, tiles := range s.tiles {
+		set.Tiles = append(set.Tiles, tiles...)
+	}
+	return set, nil
+}
+
+// tileAt returns the already-assembled tile with the given global index;
+// callers must have waited on its scene.
+func (s *Stream) tileAt(global int) dataset.Tile {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tiles[global/s.tilesPerScene][global%s.tilesPerScene]
+}
+
+// gather waits for and collects the tiles with the given global indices,
+// in order.
+func (s *Stream) gather(global []int) ([]dataset.Tile, error) {
+	scenes := make([]int, len(global))
+	for i, g := range global {
+		scenes[i] = g / s.tilesPerScene
+	}
+	if err := s.waitScenes(scenes); err != nil {
+		return nil, err
+	}
+	out := make([]dataset.Tile, len(global))
+	for i, g := range global {
+		out[i] = s.tileAt(g)
+	}
+	return out, nil
+}
+
+// TrainSamples materializes the plan's training subset (in the legacy
+// order) as train.Sample views — the entry point for consumers that
+// need the whole set at once, e.g. the multi-replica ddp trainer.
+func (s *Stream) TrainSamples() ([]train.Sample, error) { return s.planSamples(true) }
+
+// TrainLen reports the planned training-sample count — known from index
+// math alone, before any scene is labeled.
+func (s *Stream) TrainLen() (int, error) {
+	if s.plan == nil {
+		return 0, fmt.Errorf("pipeline: no TrainPlan configured")
+	}
+	return len(s.plan.trainTileIdx), nil
+}
+
+// TestTiles materializes the plan's held-out subset (legacy order). It
+// waits only for the scenes the subset touches.
+func (s *Stream) TestTiles() ([]dataset.Tile, error) {
+	if s.plan == nil {
+		return nil, fmt.Errorf("pipeline: no TrainPlan configured")
+	}
+	return s.gather(s.plan.testTileIdx)
+}

@@ -7,6 +7,15 @@
 // preserves order. Errors and panics in workers are captured and
 // propagated to the caller rather than crashing the process, matching the
 // robustness of a process pool.
+//
+// Parallelism/bit-identity guarantees: Map preserves item order
+// regardless of which worker runs which item; MapRanges partitions
+// [0, n) deterministically from (n, minGrain, pool size) alone, so
+// kernels that accumulate within a stripe in serial order produce
+// bit-identical results at any worker count — the property the tensor,
+// autolabel, and pipeline engines are built on. Shared() is the one
+// process-wide knob (seaice-train/seaice-pipeline -procs) sizing every
+// kernel's fan-out.
 package pool
 
 import (

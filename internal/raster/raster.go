@@ -8,6 +8,11 @@
 // Pixels are stored row-major. RGB rasters are interleaved (3 bytes per
 // pixel) to match the memory layout the color-space and filtering code
 // iterates over.
+//
+// Split/Stitch enumerate tiles in deterministic row-major grid order —
+// the order the dataset, pipeline, and inference layers all assume when
+// they index tiles by position — and rasters carry no hidden state, so
+// concurrent readers (the pipeline's stage workers) are safe.
 package raster
 
 import "fmt"

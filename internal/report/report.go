@@ -1,6 +1,8 @@
 // Package report renders the experiment outputs: column-aligned text
 // tables in the layout of the paper's Tables I–V, paper-vs-reproduced
-// comparison rows, and CSV export for plotting.
+// comparison rows, and CSV export for plotting. Rendering is pure
+// formatting — rows appear exactly in insertion order, so reports are
+// reproducible byte for byte given the same inputs.
 package report
 
 import (

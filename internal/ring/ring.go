@@ -17,6 +17,14 @@
 // Each rank transfers 2·(p−1)/p · n values in total, which is optimal.
 // Ranks run as goroutines connected by channels; the implementation is
 // a real concurrent all-reduce, not a simulation.
+//
+// Parallelism/bit-identity guarantees: the reduce schedule (which chunk
+// a rank accumulates at which step) is a pure function of (rank count,
+// vector length, chunk size), so floating-point accumulation order —
+// and therefore every bit of the result — is identical across runs and
+// across goroutine interleavings. AllReduceMeanChunked pipelines
+// independent chunks concurrently; chunks never share elements, so
+// chunking changes wall-clock only, never the result.
 package ring
 
 import (

@@ -57,10 +57,15 @@ func GenerateCollection(cfg CollectionConfig) ([]*Scene, error) {
 }
 
 // GenerateAt renders scene index i of a campaign without materializing the
-// others; used by the parallel loaders.
+// others; used by the parallel loaders. It enforces the same campaign
+// validation as GenerateCollection, so the streaming and batch paths
+// reject identical inputs.
 func GenerateAt(cfg CollectionConfig, i int) (*Scene, error) {
 	if i < 0 || i >= cfg.Scenes {
 		return nil, fmt.Errorf("scene: index %d outside campaign of %d scenes", i, cfg.Scenes)
+	}
+	if cfg.HeavyBias > cfg.LightBias {
+		return nil, fmt.Errorf("scene: HeavyBias %.2f must not exceed LightBias %.2f", cfg.HeavyBias, cfg.LightBias)
 	}
 	rng := noise.NewRNG(cfg.Seed, uint64(i)+1)
 	sceneSeed := rng.Uint64()

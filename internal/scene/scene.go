@@ -22,7 +22,10 @@
 //     of the paper's Fig 13.
 //
 // Everything is deterministic in Config.Seed, so the whole experiment
-// suite is reproducible.
+// suite is reproducible. Generation is a pure function of its config —
+// no shared state — so the streaming pipeline's stage workers render
+// scenes concurrently (GenerateAt) with results identical to the serial
+// GenerateCollection loop.
 package scene
 
 import (

@@ -15,6 +15,12 @@
 // cmd/seaice-serve is the binary wrapping this package; the tile →
 // filter → classify → stitch pipeline itself is shared with the CLI via
 // internal/core's TilePredictor seam.
+//
+// Parallelism/bit-identity guarantees: each inference worker owns its
+// session, so requests never share mutable model state, and a tile's
+// prediction is a pure function of its pixels and the checkpoint —
+// micro-batch composition, queue order, worker count, and cache
+// hits/misses change latency, never a single output pixel.
 package serve
 
 import (

@@ -4,6 +4,12 @@
 // sleeping, so the repository reproduces the paper's wall-clock tables
 // deterministically on any host — including this single-core one — and
 // the simulations run in microseconds of real time.
+//
+// Determinism guarantee: events firing at the same virtual instant are
+// delivered in a fixed, seed-independent order (insertion order within a
+// timestamp), so simulated schedules — and every table derived from them
+// — are bit-reproducible regardless of host speed or goroutine
+// interleaving.
 package simtime
 
 import (

@@ -4,6 +4,13 @@
 // im2col/col2im transforms that turn convolutions into matrix products —
 // with no autograd: each layer in internal/nn derives its own backward
 // pass, validated by finite-difference tests.
+//
+// Parallelism/bit-identity guarantees: the GEMM and im2col/col2im
+// kernels fan out over disjoint output panels/stripes on an explicit
+// pool (pool.Shared() in training), and every output element accumulates
+// in the serial reference order — results are bit-identical at any
+// worker count, property-tested against the preserved pre-engine
+// kernels in ref.go.
 package tensor
 
 import (

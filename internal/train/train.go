@@ -1,6 +1,13 @@
 // Package train provides the training loop machinery shared by the
 // serial and distributed trainers: deterministic batch iteration over
 // tile datasets, epoch bookkeeping, and evaluation against ground truth.
+//
+// Determinism guarantees: the batch schedule is pure index math
+// (BatchIndices) seeded per epoch, and Fit is defined as FitStream over
+// the in-memory batcher — so a streamed run (internal/pipeline) and an
+// in-memory run execute the identical update sequence and produce
+// bit-identical weights; what overlaps with the optimizer steps is the
+// only difference.
 package train
 
 import (
@@ -74,19 +81,32 @@ func (b *Batcher) NumBatches() int {
 // Len returns the dataset size.
 func (b *Batcher) Len() int { return len(b.samples) }
 
-// Epoch returns the shuffled batches of the given epoch.
-func (b *Batcher) Epoch(epoch int) [][]Sample {
-	rng := noise.NewRNG(b.seed, uint64(epoch)+0xba7c4)
-	perm := rng.Perm(len(b.samples))
-	var out [][]Sample
-	for lo := 0; lo < len(perm); lo += b.batchSize {
-		hi := lo + b.batchSize
+// BatchIndices returns the deterministic sample-index batches of one
+// epoch for a dataset of n samples — the index math behind Batcher.Epoch,
+// exposed so the streaming pipeline (internal/pipeline) can compute which
+// samples batch k of epoch e needs before the data exists. Both paths use
+// this one function, so they agree by construction.
+func BatchIndices(n, batchSize int, seed uint64, epoch int) [][]int {
+	rng := noise.NewRNG(seed, uint64(epoch)+0xba7c4)
+	perm := rng.Perm(n)
+	var out [][]int
+	for lo := 0; lo < len(perm); lo += batchSize {
+		hi := lo + batchSize
 		if hi > len(perm) {
 			hi = len(perm)
 		}
-		batch := make([]Sample, hi-lo)
-		for i, idx := range perm[lo:hi] {
-			batch[i] = b.samples[idx]
+		out = append(out, perm[lo:hi])
+	}
+	return out
+}
+
+// Epoch returns the shuffled batches of the given epoch.
+func (b *Batcher) Epoch(epoch int) [][]Sample {
+	var out [][]Sample
+	for _, idx := range BatchIndices(len(b.samples), b.batchSize, b.seed, epoch) {
+		batch := make([]Sample, len(idx))
+		for i, j := range idx {
+			batch[i] = b.samples[j]
 		}
 		out = append(out, batch)
 	}
@@ -109,28 +129,82 @@ type Result struct {
 	Steps       int
 }
 
+// PackedBatch is one tensor-ready mini-batch: the (N,3,H,W) input and the
+// flat label vector ToTensor produces.
+type PackedBatch struct {
+	X      *tensor.Tensor
+	Labels []uint8
+}
+
+// BatchSource yields the deterministic mini-batch sequence of each epoch.
+// Implementations may assemble batches concurrently with consumption —
+// the streaming pipeline's double-buffered assembler packs batch k+1
+// while the trainer computes batch k — but the sequence of batches an
+// epoch yields must not depend on timing.
+type BatchSource interface {
+	// Epoch returns a pull iterator over the epoch's packed batches; the
+	// iterator returns (nil, nil) after the last batch. Each epoch must
+	// be fully drained before the next is opened.
+	Epoch(epoch int) func() (*PackedBatch, error)
+}
+
+// batcherSource adapts the in-memory Batcher to BatchSource, packing each
+// batch on demand. Fit runs on this adapter, so the streaming and
+// in-memory training paths execute the identical update sequence.
+type batcherSource struct{ b *Batcher }
+
+func (s batcherSource) Epoch(epoch int) func() (*PackedBatch, error) {
+	batches := s.b.Epoch(epoch)
+	next := 0
+	return func() (*PackedBatch, error) {
+		if next >= len(batches) {
+			return nil, nil
+		}
+		x, labels, err := ToTensor(batches[next])
+		if err != nil {
+			return nil, err
+		}
+		next++
+		return &PackedBatch{X: x, Labels: labels}, nil
+	}
+}
+
 // Fit trains the model on the samples with Adam — the single-GPU
 // baseline of Table III.
 func Fit(m *unet.Model, samples []Sample, cfg Config) (*Result, error) {
-	if cfg.Epochs <= 0 {
-		return nil, fmt.Errorf("train: epochs %d", cfg.Epochs)
-	}
 	batcher, err := NewBatcher(samples, cfg.BatchSize, cfg.Seed)
 	if err != nil {
 		return nil, err
+	}
+	return FitStream(m, batcherSource{batcher}, cfg)
+}
+
+// FitStream trains the model from a BatchSource. The batch sequence — and
+// therefore the trained weights — is identical to Fit on the equivalent
+// in-memory dataset; only where the batches come from (and what overlaps
+// with the optimizer steps) differs. cfg.BatchSize and cfg.Seed are
+// carried by the source (e.g. pipeline.TrainPlan's BatchSize/BatchSeed)
+// and ignored here.
+func FitStream(m *unet.Model, src BatchSource, cfg Config) (*Result, error) {
+	if cfg.Epochs <= 0 {
+		return nil, fmt.Errorf("train: epochs %d", cfg.Epochs)
 	}
 	params := m.Params()
 	opt := nn.NewAdam(cfg.LR)
 	res := &Result{}
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		total, n := 0.0, 0
-		for _, batch := range batcher.Epoch(epoch) {
-			x, labels, err := ToTensor(batch)
+		next := src.Epoch(epoch)
+		for {
+			batch, err := next()
 			if err != nil {
 				return nil, err
 			}
+			if batch == nil {
+				break
+			}
 			nn.ZeroGrads(params)
-			loss, err := m.LossAndGrad(x, labels)
+			loss, err := m.LossAndGrad(batch.X, batch.Labels)
 			if err != nil {
 				return nil, err
 			}
@@ -138,6 +212,9 @@ func Fit(m *unet.Model, samples []Sample, cfg Config) (*Result, error) {
 			total += loss
 			n++
 			res.Steps++
+		}
+		if n == 0 {
+			return nil, fmt.Errorf("train: epoch %d yielded no batches", epoch)
 		}
 		mean := total / float64(n)
 		res.EpochLosses = append(res.EpochLosses, mean)

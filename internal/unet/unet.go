@@ -10,6 +10,13 @@
 // FastConfig is the reduced preset the accuracy experiments run at
 // (DESIGN.md §5): same block structure, three levels, eight base
 // channels, sized for pure-Go training on a single core.
+//
+// Determinism guarantees: weight initialization and dropout are seeded
+// (Config.Seed), and the fused-kernel inference Session is
+// bit-compatible with the training-path forward — Session.Predict on a
+// tile equals Model.Forward's argmax exactly, which is asserted in the
+// infer tests. A Session reuses its buffers and serves one request at a
+// time; concurrent servers allocate one session per worker.
 package unet
 
 import (
