@@ -140,7 +140,7 @@ func BenchmarkTable3_DDPStep(b *testing.B) {
 	for _, gpus := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("gpus=%d", gpus), func(b *testing.B) {
 			samples := benchSamples(b, gpus*2, 16)
-			tr, err := ddp.New(modelCfg, ddp.Config{
+			tr, err := ddp.New[float64](modelCfg, ddp.Config{
 				Workers: gpus, BatchPerWorker: 2, Epochs: 1, LR: 0.01, Seed: 4,
 			})
 			if err != nil {
@@ -175,11 +175,11 @@ func BenchmarkTable4_UNetForward(b *testing.B) {
 		{"paper-32px", unet.PaperConfig(1), 32},
 	} {
 		b.Run(preset.name, func(b *testing.B) {
-			m, err := unet.New(preset.cfg)
+			m, err := unet.New[float64](preset.cfg)
 			if err != nil {
 				b.Fatal(err)
 			}
-			x := tensor.New(1, 3, preset.size, preset.size)
+			x := tensor.New[float64](1, 3, preset.size, preset.size)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				m.Forward(x, false)
@@ -334,11 +334,18 @@ func BenchmarkAblation_FilterStages(b *testing.B) {
 // naive per-tile forward passes (the seed's inference loop) against the
 // serving stack's micro-batched path — a fused-kernel inference session
 // driven end-to-end through the scheduler (concurrent submits, bounded
-// queue, no cache). Tiles/sec is reported as a metric; the batched path
-// sustains ≥2× the naive rate.
+// queue, no cache) — at both compute precisions. Tiles/sec is reported as
+// a metric; the batched path sustains ≥2× the naive rate, and the pure
+// float32 hot path (the serving default) sustains ≥1.6× the float64
+// batched-serve rate. Recorded rows live in BENCH_infer.json.
 func BenchmarkServeThroughput(b *testing.B) {
+	b.Run("f64", benchServeThroughput[float64])
+	b.Run("f32", benchServeThroughput[float32])
+}
+
+func benchServeThroughput[S tensor.Scalar](b *testing.B) {
 	tiles := benchTiles(b) // 64 tiles of 64²
-	m, err := unet.New(unet.FastConfig(1))
+	m, err := unet.New[S](unet.FastConfig(1))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -369,7 +376,7 @@ func BenchmarkServeThroughput(b *testing.B) {
 		cfg.TileSize = 64
 		cfg.CacheSize = 0
 		cfg.QueueSize = len(tiles) * 2
-		sched := serve.NewScheduler(cfg, nil)
+		sched := serve.NewScheduler[S](cfg, nil)
 		defer sched.Close()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -398,41 +405,56 @@ func BenchmarkServeThroughput(b *testing.B) {
 // training engine's acceptance workload. "legacy-serial" is the pre-PR
 // path: serial reference GEMM/im2col kernels allocating every
 // intermediate; "engine" is the cache-blocked, buffer-reusing parallel
-// path. The recorded baseline-vs-after numbers live in BENCH_train.json.
+// float64 path; "engine-f32" runs the same kernels in float32 and
+// "engine-f32-mixed" adds the float64 master-weight Adam (the training
+// default). The recorded baseline-vs-after numbers live in
+// BENCH_train.json; the f32 mixed path sustains ≥1.4× the f64 engine.
 func BenchmarkTrainStep(b *testing.B) {
 	samples := benchSamples(b, 8, 64)
-	run := func(b *testing.B, legacy bool, workers int) {
-		prevLegacy := nn.SetLegacyKernels(legacy)
-		defer nn.SetLegacyKernels(prevLegacy)
-		pool.SetSharedWorkers(workers)
-		defer pool.SetSharedWorkers(0)
+	b.Run("legacy-serial", func(b *testing.B) {
+		benchTrainStep[float64](b, samples, true, 1, false)
+	})
+	b.Run("engine", func(b *testing.B) {
+		benchTrainStep[float64](b, samples, false, runtime.NumCPU(), false)
+	})
+	b.Run("engine-f32", func(b *testing.B) {
+		benchTrainStep[float32](b, samples, false, runtime.NumCPU(), false)
+	})
+	b.Run("engine-f32-mixed", func(b *testing.B) {
+		benchTrainStep[float32](b, samples, false, runtime.NumCPU(), true)
+	})
+}
 
-		m, err := unet.New(unet.FastConfig(1))
-		if err != nil {
-			b.Fatal(err)
-		}
-		x, labels, err := train.ToTensor(samples)
-		if err != nil {
-			b.Fatal(err)
-		}
-		params := m.Params()
-		opt := nn.NewAdam(0.01)
-		step := func() {
-			nn.ZeroGrads(params)
-			if _, err := m.LossAndGrad(x, labels); err != nil {
-				b.Fatal(err)
-			}
-			opt.Step(params)
-		}
-		step() // warm the grow-only scratch buffers
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			step()
-		}
+func benchTrainStep[S tensor.Scalar](b *testing.B, samples []train.Sample, legacy bool, workers int, master bool) {
+	prevLegacy := nn.SetLegacyKernels(legacy)
+	defer nn.SetLegacyKernels(prevLegacy)
+	pool.SetSharedWorkers(workers)
+	defer pool.SetSharedWorkers(0)
+
+	m, err := unet.New[S](unet.FastConfig(1))
+	if err != nil {
+		b.Fatal(err)
 	}
-	b.Run("legacy-serial", func(b *testing.B) { run(b, true, 1) })
-	b.Run("engine", func(b *testing.B) { run(b, false, runtime.NumCPU()) })
+	x, labels, err := train.ToTensor[S](samples)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := m.Params()
+	opt := nn.NewAdam[S](0.01)
+	opt.Master = master
+	step := func() {
+		nn.ZeroGrads(params)
+		if _, err := m.LossAndGrad(x, labels); err != nil {
+			b.Fatal(err)
+		}
+		opt.Step(params)
+	}
+	step() // warm the grow-only scratch buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step()
+	}
 }
 
 // BenchmarkMatMul measures the GEMM core on a convolution-shaped product
@@ -440,17 +462,22 @@ func BenchmarkTrainStep(b *testing.B) {
 // reference kernels versus the blocked parallel engine, covering all
 // three product forms the conv layers use.
 func BenchmarkMatMul(b *testing.B) {
-	fill := func(t *tensor.Tensor, phase float64) {
+	b.Run("f64", benchMatMul[float64])
+	b.Run("f32", benchMatMul[float32])
+}
+
+func benchMatMul[S tensor.Scalar](b *testing.B) {
+	fill := func(t *tensor.Tensor[S], phase float64) {
 		for i := range t.Data {
-			t.Data[i] = float64(i%17)*0.25 - phase
+			t.Data[i] = S(float64(i%17)*0.25 - phase)
 		}
 	}
 	const m, k, n = 16, 72, 8 * 64 * 64
-	a := tensor.New(m, k)   // weights (OutC, C·KH·KW)
-	bb := tensor.New(k, n)  // im2col matrix
-	at := tensor.New(k, m)  // transposed weights for Aᵀ×B
-	big := tensor.New(m, n) // output-channel-major gradient
-	wide := tensor.New(k, n)
+	a := tensor.New[S](m, k)   // weights (OutC, C·KH·KW)
+	bb := tensor.New[S](k, n)  // im2col matrix
+	at := tensor.New[S](k, m)  // transposed weights for Aᵀ×B
+	big := tensor.New[S](m, n) // output-channel-major gradient
+	wide := tensor.New[S](k, n)
 	fill(a, 0.1)
 	fill(bb, 0.2)
 	fill(at, 0.3)

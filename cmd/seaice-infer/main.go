@@ -8,6 +8,10 @@
 //
 //	seaice-infer -ckpt unet.ckpt -seed 99 -out pred.png
 //	seaice-infer -ckpt unet.ckpt -in scene.png -out pred.png
+//	seaice-infer -ckpt unet.ckpt -precision f64   # float64 reference numerics
+//
+// Inference runs in float32 by default (the serving hot path's
+// precision); checkpoints of either precision load into either.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"seaice/internal/metrics"
 	"seaice/internal/raster"
 	"seaice/internal/scene"
+	"seaice/internal/tensor"
 	"seaice/internal/unet"
 )
 
@@ -28,16 +33,30 @@ func main() {
 	log.SetPrefix("seaice-infer: ")
 
 	var (
-		ckpt = flag.String("ckpt", "unet.ckpt", "U-Net checkpoint from seaice-train")
-		in   = flag.String("in", "", "input scene PNG (empty: generate a synthetic scene)")
-		size = flag.Int("size", 256, "generated scene size (when -in is empty)")
-		tile = flag.Int("tile", 32, "inference tile size")
-		seed = flag.Uint64("seed", 99, "generated scene seed")
-		out  = flag.String("out", "prediction.png", "output label-map PNG")
+		ckpt      = flag.String("ckpt", "unet.ckpt", "U-Net checkpoint from seaice-train")
+		in        = flag.String("in", "", "input scene PNG (empty: generate a synthetic scene)")
+		size      = flag.Int("size", 256, "generated scene size (when -in is empty)")
+		tile      = flag.Int("tile", 32, "inference tile size")
+		seed      = flag.Uint64("seed", 99, "generated scene seed")
+		out       = flag.String("out", "prediction.png", "output label-map PNG")
+		precision = flag.String("precision", "f32", "inference precision: f32 | f64")
 	)
 	flag.Parse()
 
-	model, err := unet.LoadFile(*ckpt)
+	switch *precision {
+	case "f32":
+		run[float32](*ckpt, *in, *size, *tile, *seed, *out)
+	case "f64":
+		run[float64](*ckpt, *in, *size, *tile, *seed, *out)
+	default:
+		log.Fatalf("unknown precision %q (want f32 or f64)", *precision)
+	}
+}
+
+// run loads the checkpoint and performs the Fig 9 workflow in the chosen
+// compute precision.
+func run[S tensor.Scalar](ckpt, in string, size, tile int, seed uint64, out string) {
+	model, err := unet.LoadFile[S](ckpt)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,14 +64,14 @@ func main() {
 
 	var img *raster.RGB
 	var truth *raster.Labels
-	if *in != "" {
-		img, err = raster.ReadPNG(*in)
+	if in != "" {
+		img, err = raster.ReadPNG(in)
 		if err != nil {
 			log.Fatal(err)
 		}
 	} else {
-		cfg := scene.DefaultConfig(*seed)
-		cfg.W, cfg.H = *size, *size
+		cfg := scene.DefaultConfig(seed)
+		cfg.W, cfg.H = size, size
 		sc, err := scene.Generate(cfg)
 		if err != nil {
 			log.Fatal(err)
@@ -61,14 +80,14 @@ func main() {
 		log.Printf("generated synthetic scene (cloud fraction %.1f%%)", 100*sc.CloudFraction)
 	}
 
-	pred, err := core.Inference(model, img, *tile, dataset.DefaultBuild())
+	pred, err := core.Inference(model, img, tile, dataset.DefaultBuild())
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := pred.Render().WritePNG(*out); err != nil {
+	if err := pred.Render().WritePNG(out); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("prediction written to %s\n", *out)
+	fmt.Printf("prediction written to %s\n", out)
 
 	if truth != nil {
 		acc, err := metrics.PixelAccuracy(truth, pred)

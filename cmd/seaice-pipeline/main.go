@@ -143,9 +143,9 @@ func main() {
 	modelKey := fmt.Sprintf("preset=%s seed=%d scenes=%d size=%d tile=%d labels=%s epochs=%d batch=%d lr=%g train-frac=%g max-tiles=%d",
 		*preset, *seed, *scenes, *size, *tile, *labels, *epochs, *batch, *lr, *trainFrac, *maxTiles)
 	keyPath := modelPath + ".key"
-	var model *unet.Model
+	var model *unet.Model[float64]
 	if prev, readErr := os.ReadFile(keyPath); *state != "" && readErr == nil && string(prev) == modelKey {
-		model, err = unet.LoadFile(modelPath)
+		model, err = unet.LoadFile[float64](modelPath)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -158,7 +158,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		model, err = unet.New(modelCfg)
+		model, err = unet.New[float64](modelCfg)
 		if err != nil {
 			log.Fatal(err)
 		}

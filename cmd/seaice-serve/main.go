@@ -8,6 +8,11 @@
 //	seaice-serve -ckpt unet.ckpt
 //	seaice-serve -ckpt man=unet-man.ckpt,auto=unet-auto.ckpt -addr :8080
 //
+// Inference runs in pure float32 by default — the bandwidth-saving hot
+// path; pass -precision f64 for the float64 reference numerics.
+// Checkpoints from either precision load into either (the versioned
+// header converts on load).
+//
 // Load-generator mode fires concurrent tile requests at a running
 // server and reports throughput and latency percentiles; with no
 // -target it spins up an in-process server (using -ckpt if given, else
@@ -35,6 +40,7 @@ import (
 	"seaice/internal/raster"
 	"seaice/internal/scene"
 	"seaice/internal/serve"
+	"seaice/internal/tensor"
 	"seaice/internal/unet"
 )
 
@@ -51,6 +57,8 @@ func main() {
 		workers   = flag.Int("workers", 0, "inference workers (0 = GOMAXPROCS)")
 		queue     = flag.Int("queue", 256, "bounded request queue size")
 		cacheSize = flag.Int("cache", 4096, "tile result cache entries (0 disables)")
+
+		precision = flag.String("precision", "f32", "inference precision: f32 | f64")
 
 		loadgen = flag.Bool("loadgen", false, "run the load generator instead of serving")
 		target  = flag.String("target", "", "loadgen: base URL of a running server (empty = in-process)")
@@ -70,18 +78,30 @@ func main() {
 	cfg.QueueSize = *queue
 	cfg.CacheSize = *cacheSize
 
-	if *loadgen {
-		if err := runLoadgen(cfg, *ckpt, *target, *n, *c, *seed); err != nil {
+	switch *precision {
+	case "f32":
+		runMain[float32](cfg, *addr, *ckpt, *loadgen, *target, *n, *c, *seed)
+	case "f64":
+		runMain[float64](cfg, *addr, *ckpt, *loadgen, *target, *n, *c, *seed)
+	default:
+		log.Fatalf("unknown precision %q (want f32 or f64)", *precision)
+	}
+}
+
+// runMain dispatches serving or load generation in the chosen precision.
+func runMain[S tensor.Scalar](cfg serve.Config, addr, ckpt string, loadgen bool, target string, n, c int, seed uint64) {
+	if loadgen {
+		if err := runLoadgen[S](cfg, ckpt, target, n, c, seed); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
 
-	if *ckpt == "" {
+	if ckpt == "" {
 		log.Fatal("serving requires -ckpt (train one with seaice-train)")
 	}
-	reg := serve.NewRegistry()
-	if err := loadCheckpoints(reg, *ckpt); err != nil {
+	reg := serve.NewRegistry[S]()
+	if err := loadCheckpoints(reg, ckpt); err != nil {
 		log.Fatal(err)
 	}
 	srv, err := serve.NewServer(cfg, reg)
@@ -90,13 +110,13 @@ func main() {
 	}
 	defer srv.Close()
 	log.Printf("serving models %v on %s (tile %d, batch ≤%d, %d workers, queue %d, cache %d)",
-		reg.Names(), *addr, cfg.TileSize, cfg.MaxBatch, cfg.Workers, cfg.QueueSize, cfg.CacheSize)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+		reg.Names(), addr, cfg.TileSize, cfg.MaxBatch, cfg.Workers, cfg.QueueSize, cfg.CacheSize)
+	log.Fatal(http.ListenAndServe(addr, srv.Handler()))
 }
 
 // loadCheckpoints parses "path" or "name=path,name=path" into the
 // registry; an unnamed single checkpoint registers as "default".
-func loadCheckpoints(reg *serve.Registry, spec string) error {
+func loadCheckpoints[S tensor.Scalar](reg *serve.Registry[S], spec string) error {
 	for _, part := range strings.Split(spec, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
@@ -116,16 +136,16 @@ func loadCheckpoints(reg *serve.Registry, spec string) error {
 
 // runLoadgen drives the /classify endpoint with concurrent synthetic
 // tiles and reports achieved throughput and latency percentiles.
-func runLoadgen(cfg serve.Config, ckpt, target string, n, c int, seed uint64) error {
+func runLoadgen[S tensor.Scalar](cfg serve.Config, ckpt, target string, n, c int, seed uint64) error {
 	if target == "" {
-		reg := serve.NewRegistry()
+		reg := serve.NewRegistry[S]()
 		if ckpt != "" {
 			if err := loadCheckpoints(reg, ckpt); err != nil {
 				return err
 			}
 		} else {
 			log.Printf("no -ckpt: load-testing a freshly initialized (untrained) demo model")
-			m, err := unet.New(unet.FastConfig(seed))
+			m, err := unet.New[S](unet.FastConfig(seed))
 			if err != nil {
 				return err
 			}

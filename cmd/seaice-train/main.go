@@ -6,11 +6,16 @@
 // cmd/seaice-pipeline exposes the full orchestration (sharding knobs,
 // per-stage resume) on top of the same machinery.
 //
+// Training defaults to float32 mixed precision (float32 compute with
+// float64 master weights in Adam) — the bandwidth-saving path; pass
+// -precision f64 for the bit-exact master/reference engine.
+//
 // Usage:
 //
 //	seaice-train -preset fast -epochs 8 -labels auto -ckpt unet-auto.ckpt
 //	seaice-train -workers 4 -epochs 4          # distributed (ring all-reduce)
 //	seaice-train -preset paper -epochs 1       # full 28-conv-layer variant
+//	seaice-train -precision f64                # float64 reference numerics
 package main
 
 import (
@@ -25,59 +30,92 @@ import (
 	"seaice/internal/pipeline"
 	"seaice/internal/pool"
 	"seaice/internal/scene"
+	"seaice/internal/tensor"
 	"seaice/internal/train"
 	"seaice/internal/unet"
 )
+
+// options carries the parsed flags into the precision-generic run.
+type options struct {
+	preset   string
+	scenes   int
+	size     int
+	tile     int
+	labels   string
+	epochs   int
+	batch    int
+	lr       float64
+	workers  int
+	maxTiles int
+	seed     uint64
+	ckpt     string
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("seaice-train: ")
 
 	var (
-		preset   = flag.String("preset", "fast", "model preset: fast | paper")
-		scenes   = flag.Int("scenes", 12, "scenes in the training campaign")
-		size     = flag.Int("size", 256, "scene size")
-		tile     = flag.Int("tile", 32, "tile size")
-		labels   = flag.String("labels", "auto", "training labels: manual | auto")
-		epochs   = flag.Int("epochs", 8, "training epochs")
-		batch    = flag.Int("batch", 8, "batch size (per worker when -workers > 1)")
-		lr       = flag.Float64("lr", 0.01, "Adam learning rate")
-		workers  = flag.Int("workers", 1, "simulated GPUs for distributed training")
-		maxTiles = flag.Int("max-tiles", 256, "cap on training tiles (0 = all)")
-		seed     = flag.Uint64("seed", 7, "seed")
-		ckpt     = flag.String("ckpt", "unet.ckpt", "checkpoint output path")
-		procs    = flag.Int("procs", 0, "worker threads for the training engine's kernels (0 = all cores)")
+		o         options
+		precision = flag.String("precision", "f32", "compute precision: f32 (mixed, f64 master weights) | f64 (reference)")
+		procs     = flag.Int("procs", 0, "worker threads for the training engine's kernels (0 = all cores)")
 	)
+	flag.StringVar(&o.preset, "preset", "fast", "model preset: fast | paper")
+	flag.IntVar(&o.scenes, "scenes", 12, "scenes in the training campaign")
+	flag.IntVar(&o.size, "size", 256, "scene size")
+	flag.IntVar(&o.tile, "tile", 32, "tile size")
+	flag.StringVar(&o.labels, "labels", "auto", "training labels: manual | auto")
+	flag.IntVar(&o.epochs, "epochs", 8, "training epochs")
+	flag.IntVar(&o.batch, "batch", 8, "batch size (per worker when -workers > 1)")
+	flag.Float64Var(&o.lr, "lr", 0.01, "Adam learning rate")
+	flag.IntVar(&o.workers, "workers", 1, "simulated GPUs for distributed training")
+	flag.IntVar(&o.maxTiles, "max-tiles", 256, "cap on training tiles (0 = all)")
+	flag.Uint64Var(&o.seed, "seed", 7, "seed")
+	flag.StringVar(&o.ckpt, "ckpt", "unet.ckpt", "checkpoint output path")
 	flag.Parse()
 	pool.SetSharedWorkers(*procs)
-	log.Printf("training engine: %d kernel workers", pool.Shared().Workers())
+	log.Printf("training engine: %d kernel workers, %s precision", pool.Shared().Workers(), *precision)
 
-	var modelCfg unet.Config
-	switch *preset {
-	case "fast":
-		modelCfg = unet.FastConfig(*seed)
-	case "paper":
-		modelCfg = unet.PaperConfig(*seed)
+	switch *precision {
+	case "f32":
+		run[float32](o, true)
+	case "f64":
+		run[float64](o, false)
 	default:
-		log.Fatalf("unknown preset %q", *preset)
+		log.Fatalf("unknown precision %q (want f32 or f64)", *precision)
 	}
-	if *tile < modelCfg.MinInputSize() {
-		log.Fatalf("tile size %d below the %s preset's minimum %d", *tile, *preset, modelCfg.MinInputSize())
+}
+
+// run executes the whole train → evaluate → checkpoint flow in the chosen
+// compute precision. master enables float64 master weights in Adam (the
+// mixed-precision default for f32; a no-op for f64).
+func run[S tensor.Scalar](o options, master bool) {
+	var modelCfg unet.Config
+	switch o.preset {
+	case "fast":
+		modelCfg = unet.FastConfig(o.seed)
+	case "paper":
+		modelCfg = unet.PaperConfig(o.seed)
+	default:
+		log.Fatalf("unknown preset %q", o.preset)
+	}
+	if o.tile < modelCfg.MinInputSize() {
+		log.Fatalf("tile size %d below the %s preset's minimum %d", o.tile, o.preset, modelCfg.MinInputSize())
 	}
 
 	var labKind dataset.LabelKind
-	switch *labels {
+	switch o.labels {
 	case "manual":
 		labKind = dataset.ManualLabels
 	case "auto":
 		labKind = dataset.AutoLabels
 	default:
-		log.Fatalf("unknown label kind %q", *labels)
+		log.Fatalf("unknown label kind %q", o.labels)
 	}
 
-	cc := scene.DefaultCollection(*seed)
-	cc.Scenes = *scenes
-	cc.W, cc.H = *size, *size
+	cc := scene.DefaultCollection(o.seed)
+	cc.Scenes = o.scenes
+	cc.W, cc.H = o.size, o.size
 
 	// The streaming pipeline replaces the old generate-all → build-all
 	// sequence: scenes are generated, filtered, and labeled by
@@ -85,20 +123,20 @@ func main() {
 	// batches. Split, subsample, and batch order are byte-identical to
 	// the legacy batch path (see internal/pipeline parity tests).
 	build := dataset.DefaultBuild()
-	build.TileSize = *tile
+	build.TileSize = o.tile
 	plan := &pipeline.TrainPlan{
-		TrainFrac: 0.8, SplitSeed: *seed,
-		TrainTiles: *maxTiles, TrainSeed: *seed,
-		TestTiles: 128, TestSeed: *seed + 1,
+		TrainFrac: 0.8, SplitSeed: o.seed,
+		TrainTiles: o.maxTiles, TrainSeed: o.seed,
+		TestTiles: 128, TestSeed: o.seed + 1,
 		Image: dataset.OriginalImages, Labels: labKind,
-		BatchSize: *batch, BatchSeed: *seed,
+		BatchSize: o.batch, BatchSeed: o.seed,
 	}
-	if *workers > 1 {
+	if o.workers > 1 {
 		// The ddp trainer shards globally, so the global batch is the
 		// planning unit.
-		plan.BatchSize = *batch * *workers
+		plan.BatchSize = o.batch * o.workers
 	}
-	log.Printf("streaming %d scenes of %dx%d through filter/label/tile…", *scenes, *size, *size)
+	log.Printf("streaming %d scenes of %dx%d through filter/label/tile…", o.scenes, o.size, o.size)
 	st, err := pipeline.New(pipeline.CollectionSource{Cfg: cc}, pipeline.Config{
 		Build: build,
 		Plan:  plan,
@@ -118,21 +156,22 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("training on %d tiles (%s labels), %d epochs, preset %s (%d conv layers)",
-		nTrain, *labels, *epochs, *preset, modelCfg.NumConvLayers())
+		nTrain, o.labels, o.epochs, o.preset, modelCfg.NumConvLayers())
 
-	var model *unet.Model
-	if *workers > 1 {
+	var model *unet.Model[S]
+	if o.workers > 1 {
 		samples, err := st.TrainSamples()
 		if err != nil {
 			log.Fatal(err)
 		}
 		nTrain = len(samples)
-		tr, err := ddp.New(modelCfg, ddp.Config{
-			Workers:        *workers,
-			BatchPerWorker: *batch,
-			Epochs:         *epochs,
-			LR:             *lr,
-			Seed:           *seed,
+		tr, err := ddp.New[S](modelCfg, ddp.Config{
+			Workers:        o.workers,
+			BatchPerWorker: o.batch,
+			Epochs:         o.epochs,
+			LR:             o.lr,
+			Seed:           o.seed,
+			MasterWeights:  master,
 			Timing:         perfmodel.PaperDGX(),
 			Progress: func(epoch int, loss float64) {
 				log.Printf("epoch %d: loss %.4f", epoch, loss)
@@ -146,20 +185,21 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("distributed training: %d workers, virtual DGX time %.2f s, real %.2f s",
-			*workers, res.VirtualTotal, res.RealTotal)
+			o.workers, res.VirtualTotal, res.RealTotal)
 		model = tr.Replica(0)
 	} else {
-		batches, err := st.TrainBatches()
+		batches, err := pipeline.TrainBatchesOf[S](st)
 		if err != nil {
 			log.Fatal(err)
 		}
-		model, err = unet.New(modelCfg)
+		model, err = unet.New[S](modelCfg)
 		if err != nil {
 			log.Fatal(err)
 		}
 		start := time.Now()
 		res, err := train.FitStream(model, batches, train.Config{
-			Epochs: *epochs, BatchSize: *batch, LR: *lr, Seed: *seed,
+			Epochs: o.epochs, BatchSize: o.batch, LR: o.lr, Seed: o.seed,
+			MasterWeights: master,
 			Progress: func(epoch int, loss float64) {
 				log.Printf("epoch %d: loss %.4f", epoch, loss)
 			},
@@ -171,7 +211,7 @@ func main() {
 		log.Printf("streamed training: %d steps in %s (%.1f ms/step, %.1f tiles/s)",
 			res.Steps, elapsed.Round(time.Millisecond),
 			float64(elapsed.Milliseconds())/float64(res.Steps),
-			float64(nTrain**epochs)/elapsed.Seconds())
+			float64(nTrain*o.epochs)/elapsed.Seconds())
 	}
 
 	// Validate on held-out tiles against manual labels.
@@ -186,8 +226,8 @@ func main() {
 	fmt.Printf("validation accuracy (filtered imagery, manual labels): %.2f%%\n", 100*conf.Accuracy())
 	fmt.Println(conf)
 
-	if err := model.SaveFile(*ckpt); err != nil {
+	if err := model.SaveFile(o.ckpt); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("checkpoint written to %s\n", *ckpt)
+	fmt.Printf("checkpoint written to %s\n", o.ckpt)
 }

@@ -51,7 +51,7 @@ func main() {
 	samples := dataset.Samples(dataset.Subsample(set.Tiles, 24, 1), dataset.OriginalImages, dataset.AutoLabels)
 
 	modelCfg := unet.Config{Depth: 2, BaseChannels: 4, InChannels: 3, Classes: 3, DropoutRate: 0, Seed: 11}
-	trainer, err := ddp.New(modelCfg, ddp.Config{
+	trainer, err := ddp.New[float64](modelCfg, ddp.Config{
 		Workers:        4,
 		BatchPerWorker: 3,
 		Epochs:         3,

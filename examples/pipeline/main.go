@@ -60,7 +60,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	demo, err := unet.New(unet.Config{Depth: 2, BaseChannels: 4, InChannels: 3, Classes: 3, Seed: 11})
+	demo, err := unet.New[float64](unet.Config{Depth: 2, BaseChannels: 4, InChannels: 3, Classes: 3, Seed: 11})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -111,7 +111,7 @@ type AccuracyResult struct {
 	// Dataset bookkeeping.
 	Scenes, Tiles, TrainTiles, TestTiles, CloudyTest, ClearTest int
 	// The trained models, for Fig 14 renderings and reuse.
-	UNetMan, UNetAuto *unet.Model
+	UNetMan, UNetAuto *unet.Model[float64]
 	// The evaluated test tiles, for qualitative panels.
 	Test []dataset.Tile
 }
@@ -166,7 +166,7 @@ func RunAccuracy(cfg AccuracyConfig) (*AccuracyResult, error) {
 	trainCfg := train.Config{Epochs: cfg.Epochs, BatchSize: cfg.BatchSize, LR: cfg.LR, Seed: cfg.Seed}
 
 	cfg.progress("training U-Net-Man")
-	man, err := unet.New(cfg.Model)
+	man, err := unet.New[float64](cfg.Model)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -178,7 +178,7 @@ func RunAccuracy(cfg AccuracyConfig) (*AccuracyResult, error) {
 	cfg.progress("training U-Net-Auto")
 	autoCfg := cfg.Model
 	autoCfg.Seed = cfg.Model.Seed + 1
-	auto, err := unet.New(autoCfg)
+	auto, err := unet.New[float64](autoCfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -191,7 +191,7 @@ func RunAccuracy(cfg AccuracyConfig) (*AccuracyResult, error) {
 	cloudy, clear := dataset.CloudBuckets(testTiles, 0.10)
 	res.CloudyTest, res.ClearTest = len(cloudy), len(clear)
 
-	eval := func(m *unet.Model, tiles []dataset.Tile, img dataset.ImageKind) (Cell, error) {
+	eval := func(m *unet.Model[float64], tiles []dataset.Tile, img dataset.ImageKind) (Cell, error) {
 		if len(tiles) == 0 {
 			return Cell{}, nil
 		}
@@ -205,7 +205,7 @@ func RunAccuracy(cfg AccuracyConfig) (*AccuracyResult, error) {
 
 	type slot struct {
 		dst   *Cell
-		model *unet.Model
+		model *unet.Model[float64]
 		tiles []dataset.Tile
 		img   dataset.ImageKind
 	}

@@ -11,6 +11,7 @@ import (
 
 	"seaice/internal/dataset"
 	"seaice/internal/raster"
+	"seaice/internal/tensor"
 	"seaice/internal/unet"
 )
 
@@ -23,8 +24,8 @@ type TilePredictor interface {
 // SessionPredictor is the local TilePredictor: a unet inference session
 // driven in fixed-size micro-batches. It is not safe for concurrent use
 // (wrap it in a serve scheduler for that).
-type SessionPredictor struct {
-	sess     *unet.Session
+type SessionPredictor[S tensor.Scalar] struct {
+	sess     *unet.Session[S]
 	maxBatch int
 }
 
@@ -34,15 +35,15 @@ const DefaultInferenceBatch = 16
 
 // NewSessionPredictor wraps m in an inference session that predicts in
 // batches of up to maxBatch tiles (<= 0 selects DefaultInferenceBatch).
-func NewSessionPredictor(m *unet.Model, maxBatch int) *SessionPredictor {
+func NewSessionPredictor[S tensor.Scalar](m *unet.Model[S], maxBatch int) *SessionPredictor[S] {
 	if maxBatch <= 0 {
 		maxBatch = DefaultInferenceBatch
 	}
-	return &SessionPredictor{sess: unet.NewSession(m), maxBatch: maxBatch}
+	return &SessionPredictor[S]{sess: unet.NewSession(m), maxBatch: maxBatch}
 }
 
 // PredictTiles implements TilePredictor.
-func (p *SessionPredictor) PredictTiles(tiles []*raster.RGB) ([]*raster.Labels, error) {
+func (p *SessionPredictor[S]) PredictTiles(tiles []*raster.RGB) ([]*raster.Labels, error) {
 	out := make([]*raster.Labels, 0, len(tiles))
 	for i := 0; i < len(tiles); i += p.maxBatch {
 		end := i + p.maxBatch
@@ -89,6 +90,6 @@ func InferFilteredScene(p TilePredictor, img *raster.RGB, tileSize int) (*raster
 
 // Inference reproduces the paper's Fig 9 workflow on a full scene with a
 // local batched session over m — the code path cmd/seaice-infer runs.
-func Inference(m *unet.Model, sceneImg *raster.RGB, tileSize int, build dataset.BuildConfig) (*raster.Labels, error) {
+func Inference[S tensor.Scalar](m *unet.Model[S], sceneImg *raster.RGB, tileSize int, build dataset.BuildConfig) (*raster.Labels, error) {
 	return InferScene(NewSessionPredictor(m, 0), sceneImg, tileSize, build)
 }

@@ -106,7 +106,7 @@ func TestInferenceRoundTrip(t *testing.T) {
 
 // TestPredictTileShape checks the tile-level prediction helper.
 func TestPredictTileShape(t *testing.T) {
-	m, err := unet.New(unet.Config{Depth: 2, BaseChannels: 4, InChannels: 3, Classes: 3, Seed: 1})
+	m, err := unet.New[float64](unet.Config{Depth: 2, BaseChannels: 4, InChannels: 3, Classes: 3, Seed: 1})
 	if err != nil {
 		t.Fatalf("model: %v", err)
 	}

@@ -274,7 +274,7 @@ func RunTable3(cfg Table3Config) ([]Table3Row, error) {
 	copy(rows, Table3Paper)
 	for i := range rows {
 		p := rows[i].GPUs
-		tr, err := ddp.New(cfg.Model, ddp.Config{
+		tr, err := ddp.New[float64](cfg.Model, ddp.Config{
 			Workers:        p,
 			BatchPerWorker: cfg.BatchPer,
 			Epochs:         cfg.RealEpochs,

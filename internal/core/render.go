@@ -6,6 +6,7 @@ import (
 
 	"seaice/internal/raster"
 	"seaice/internal/report"
+	"seaice/internal/tensor"
 	"seaice/internal/train"
 	"seaice/internal/unet"
 )
@@ -149,8 +150,8 @@ func WriteFig14Panels(r *AccuracyResult, dir string, n int) ([]string, error) {
 
 // PredictTile runs a trained model on one RGB tile and returns the
 // predicted label map.
-func PredictTile(m *unet.Model, img *raster.RGB) (*raster.Labels, error) {
-	x, _, err := train.ToTensor([]train.Sample{{Image: img, Labels: raster.NewLabels(img.W, img.H)}})
+func PredictTile[S tensor.Scalar](m *unet.Model[S], img *raster.RGB) (*raster.Labels, error) {
+	x, _, err := train.ToTensor[S]([]train.Sample{{Image: img, Labels: raster.NewLabels(img.W, img.H)}})
 	if err != nil {
 		return nil, err
 	}

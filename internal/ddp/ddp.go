@@ -20,6 +20,12 @@
 // access to its shard of every global batch); streaming callers
 // materialize via pipeline.Stream.TrainSamples, which still overlaps
 // labeling with scene generation upstream.
+//
+// The trainer is generic over the compute precision: float64 replicas
+// reproduce the reference engine bit-for-bit, float32 replicas halve
+// every ring hop's wire bytes and may enable float64 master weights
+// (Config.MasterWeights) for mixed-precision stability; either
+// instantiation is bit-deterministic across runs and worker counts.
 package ddp
 
 import (
@@ -30,6 +36,7 @@ import (
 	"seaice/internal/nn"
 	"seaice/internal/perfmodel"
 	"seaice/internal/ring"
+	"seaice/internal/tensor"
 	"seaice/internal/train"
 	"seaice/internal/unet"
 )
@@ -44,6 +51,10 @@ type Config struct {
 	Epochs         int
 	LR             float64
 	Seed           uint64
+	// MasterWeights keeps float64 master copies of the weights in each
+	// rank's Adam — the mixed-precision recipe for float32 replicas; it
+	// has no effect on float64 replicas.
+	MasterWeights bool
 	// Timing supplies the virtual clock for reported epoch times; the
 	// zero value disables virtual timing.
 	Timing perfmodel.Horovod
@@ -68,39 +79,43 @@ type Result struct {
 	Throughput float64
 }
 
-// Trainer owns the worker replicas.
-type Trainer struct {
+// Trainer owns the worker replicas, generic over the compute precision
+// of the replicas and the reduced gradient vectors (float32 halves the
+// bytes every ring hop moves).
+type Trainer[S tensor.Scalar] struct {
 	cfg      Config
-	replicas []*unet.Model
-	opts     []*nn.Adam
+	replicas []*unet.Model[S]
+	opts     []*nn.Adam[S]
 	// flat holds one contiguous gradient vector per replica, reused
 	// across steps: packing every parameter into one buffer lets the
 	// all-reduce run as a single chunked, pipelined operation instead of
 	// one serial ring per parameter.
-	flat [][]float64
+	flat [][]S
 }
 
 // New builds a trainer whose rank-0 replica is initialized from the model
 // configuration; ranks 1..N-1 receive rank 0's weights by broadcast.
-func New(modelCfg unet.Config, cfg Config) (*Trainer, error) {
+func New[S tensor.Scalar](modelCfg unet.Config, cfg Config) (*Trainer[S], error) {
 	if cfg.Workers <= 0 {
 		return nil, fmt.Errorf("ddp: workers %d", cfg.Workers)
 	}
 	if cfg.BatchPerWorker <= 0 || cfg.Epochs <= 0 {
 		return nil, fmt.Errorf("ddp: invalid batch %d or epochs %d", cfg.BatchPerWorker, cfg.Epochs)
 	}
-	t := &Trainer{cfg: cfg}
+	t := &Trainer[S]{cfg: cfg}
 	for r := 0; r < cfg.Workers; r++ {
 		mc := modelCfg
 		// Distinct dropout streams per rank; weights are broadcast
 		// from rank 0 below, so only regularization noise differs.
 		mc.Seed = modelCfg.Seed + uint64(r)*0x9e37
-		m, err := unet.New(mc)
+		m, err := unet.New[S](mc)
 		if err != nil {
 			return nil, err
 		}
 		t.replicas = append(t.replicas, m)
-		t.opts = append(t.opts, nn.NewAdam(cfg.LR))
+		opt := nn.NewAdam[S](cfg.LR)
+		opt.Master = cfg.MasterWeights
+		t.opts = append(t.opts, opt)
 	}
 	for r := 1; r < cfg.Workers; r++ {
 		if err := t.replicas[r].CopyWeightsFrom(t.replicas[0]); err != nil {
@@ -111,11 +126,11 @@ func New(modelCfg unet.Config, cfg Config) (*Trainer, error) {
 }
 
 // Replica exposes a rank's model (rank 0 is the canonical result).
-func (t *Trainer) Replica(rank int) *unet.Model { return t.replicas[rank] }
+func (t *Trainer[S]) Replica(rank int) *unet.Model[S] { return t.replicas[rank] }
 
 // Step runs one synchronous data-parallel step: shards[r] is rank r's
 // mini-batch. It returns the mean loss across ranks.
-func (t *Trainer) Step(shards [][]train.Sample) (float64, error) {
+func (t *Trainer[S]) Step(shards [][]train.Sample) (float64, error) {
 	p := len(t.replicas)
 	if len(shards) != p {
 		return 0, fmt.Errorf("ddp: %d shards for %d workers", len(shards), p)
@@ -138,7 +153,7 @@ func (t *Trainer) Step(shards [][]train.Sample) (float64, error) {
 			if len(shards[rank]) == 0 {
 				return // rank idles this step; contributes zero grads
 			}
-			x, labels, err := train.ToTensor(shards[rank])
+			x, labels, err := train.ToTensor[S](shards[rank])
 			if err != nil {
 				errs[rank] = err
 				return
@@ -158,7 +173,7 @@ func (t *Trainer) Step(shards [][]train.Sample) (float64, error) {
 	// all-reduce — early chunks travel the ring while later chunks queue,
 	// which is the communication/communication overlap Horovod gets from
 	// its fusion buffer.
-	params := make([][]*nn.Param, p)
+	params := make([][]*nn.Param[S], p)
 	for r := 0; r < p; r++ {
 		params[r] = t.replicas[r].Params()
 	}
@@ -167,11 +182,11 @@ func (t *Trainer) Step(shards [][]train.Sample) (float64, error) {
 		flatLen += prm.Grad.Len()
 	}
 	if t.flat == nil {
-		t.flat = make([][]float64, p)
+		t.flat = make([][]S, p)
 	}
 	for r := 0; r < p; r++ {
 		if cap(t.flat[r]) < flatLen {
-			t.flat[r] = make([]float64, flatLen)
+			t.flat[r] = make([]S, flatLen)
 		}
 		t.flat[r] = t.flat[r][:flatLen]
 		off := 0
@@ -209,7 +224,7 @@ func (t *Trainer) Step(shards [][]train.Sample) (float64, error) {
 
 // Fit trains for the configured epochs over the dataset, sharding each
 // global batch of Workers×BatchPerWorker samples across ranks.
-func (t *Trainer) Fit(samples []train.Sample) (*Result, error) {
+func (t *Trainer[S]) Fit(samples []train.Sample) (*Result, error) {
 	globalBatch := t.cfg.Workers * t.cfg.BatchPerWorker
 	batcher, err := train.NewBatcher(samples, globalBatch, t.cfg.Seed)
 	if err != nil {

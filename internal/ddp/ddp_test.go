@@ -44,12 +44,12 @@ func TestDDPStepMatchesSingleModel(t *testing.T) {
 	samples := syntheticSamples(77, workers*perWorker, 8)
 
 	// reference: single model, merged batch
-	ref, err := unet.New(noDropoutConfig(5))
+	ref, err := unet.New[float64](noDropoutConfig(5))
 	if err != nil {
 		t.Fatalf("ref model: %v", err)
 	}
-	refOpt := nn.NewAdam(0.01)
-	x, labels, err := train.ToTensor(samples)
+	refOpt := nn.NewAdam[float64](0.01)
+	x, labels, err := train.ToTensor[float64](samples)
 	if err != nil {
 		t.Fatalf("tensor: %v", err)
 	}
@@ -60,7 +60,7 @@ func TestDDPStepMatchesSingleModel(t *testing.T) {
 	refOpt.Step(ref.Params())
 
 	// ddp: same init (same seed), round-robin shards
-	tr, err := New(noDropoutConfig(5), Config{Workers: workers, BatchPerWorker: perWorker, Epochs: 1, LR: 0.01, Seed: 9})
+	tr, err := New[float64](noDropoutConfig(5), Config{Workers: workers, BatchPerWorker: perWorker, Epochs: 1, LR: 0.01, Seed: 9})
 	if err != nil {
 		t.Fatalf("trainer: %v", err)
 	}
@@ -94,7 +94,7 @@ func TestDDPStepMatchesSingleModel(t *testing.T) {
 func TestReplicasStaySynchronized(t *testing.T) {
 	const workers = 3
 	samples := syntheticSamples(88, 12, 8)
-	tr, err := New(noDropoutConfig(6), Config{Workers: workers, BatchPerWorker: 2, Epochs: 2, LR: 0.01, Seed: 10})
+	tr, err := New[float64](noDropoutConfig(6), Config{Workers: workers, BatchPerWorker: 2, Epochs: 2, LR: 0.01, Seed: 10})
 	if err != nil {
 		t.Fatalf("trainer: %v", err)
 	}
@@ -117,7 +117,7 @@ func TestReplicasStaySynchronized(t *testing.T) {
 // TestDDPLossDecreases: distributed training must actually learn.
 func TestDDPLossDecreases(t *testing.T) {
 	samples := syntheticSamples(99, 8, 8)
-	tr, err := New(noDropoutConfig(7), Config{Workers: 2, BatchPerWorker: 4, Epochs: 8, LR: 0.02, Seed: 11})
+	tr, err := New[float64](noDropoutConfig(7), Config{Workers: 2, BatchPerWorker: 4, Epochs: 8, LR: 0.02, Seed: 11})
 	if err != nil {
 		t.Fatalf("trainer: %v", err)
 	}
@@ -138,7 +138,7 @@ func TestDDPLossDecreases(t *testing.T) {
 func TestVirtualTiming(t *testing.T) {
 	samples := syntheticSamples(111, 8, 8)
 	model := perfmodel.PaperDGX()
-	tr, err := New(noDropoutConfig(8), Config{
+	tr, err := New[float64](noDropoutConfig(8), Config{
 		Workers: 4, BatchPerWorker: 2, Epochs: 2, LR: 0.01, Seed: 12, Timing: model,
 	})
 	if err != nil {
@@ -164,7 +164,7 @@ func TestConfigErrors(t *testing.T) {
 		{Workers: 1, BatchPerWorker: 0, Epochs: 1},
 		{Workers: 1, BatchPerWorker: 1, Epochs: 0},
 	} {
-		if _, err := New(noDropoutConfig(1), cfg); err == nil {
+		if _, err := New[float64](noDropoutConfig(1), cfg); err == nil {
 			t.Fatalf("config %+v should be rejected", cfg)
 		}
 	}

@@ -9,25 +9,25 @@ import (
 
 // ReLU is the rectified linear activation used after every convolution in
 // the paper's architecture.
-type ReLU struct {
+type ReLU[S tensor.Scalar] struct {
 	name        string
 	mask        []bool
-	yBuf, dxBuf *tensor.Tensor
+	yBuf, dxBuf *tensor.Tensor[S]
 }
 
 // NewReLU returns a ReLU layer.
-func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+func NewReLU[S tensor.Scalar](name string) *ReLU[S] { return &ReLU[S]{name: name} }
 
 // Name implements Layer.
-func (r *ReLU) Name() string { return r.name }
+func (r *ReLU[S]) Name() string { return r.name }
 
 // Params implements Layer.
-func (r *ReLU) Params() []*Param { return nil }
+func (r *ReLU[S]) Params() []*Param[S] { return nil }
 
 // Forward clamps negatives to zero, remembering the active set. The
 // output aliases a layer-owned grow-only buffer, valid until the next
 // Forward.
-func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+func (r *ReLU[S]) Forward(x *tensor.Tensor[S], train bool) *tensor.Tensor[S] {
 	y := tensor.Grow(&r.yBuf, x.Shape...)
 	copy(y.Data, x.Data)
 	if cap(r.mask) < len(y.Data) {
@@ -46,7 +46,7 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward passes gradients only through the active set.
-func (r *ReLU) Backward(dy *tensor.Tensor) *tensor.Tensor {
+func (r *ReLU[S]) Backward(dy *tensor.Tensor[S]) *tensor.Tensor[S] {
 	dx := tensor.Grow(&r.dxBuf, dy.Shape...)
 	copy(dx.Data, dy.Data)
 	for i := range dx.Data {
@@ -58,24 +58,24 @@ func (r *ReLU) Backward(dy *tensor.Tensor) *tensor.Tensor {
 }
 
 // MaxPool2 is the 2×2 stride-2 max pooling of the contraction path.
-type MaxPool2 struct {
+type MaxPool2[S tensor.Scalar] struct {
 	name        string
 	argmax      []int32
 	inShp       []int
-	yBuf, dxBuf *tensor.Tensor
+	yBuf, dxBuf *tensor.Tensor[S]
 }
 
 // NewMaxPool2 returns a max-pool layer.
-func NewMaxPool2(name string) *MaxPool2 { return &MaxPool2{name: name} }
+func NewMaxPool2[S tensor.Scalar](name string) *MaxPool2[S] { return &MaxPool2[S]{name: name} }
 
 // Name implements Layer.
-func (m *MaxPool2) Name() string { return m.name }
+func (m *MaxPool2[S]) Name() string { return m.name }
 
 // Params implements Layer.
-func (m *MaxPool2) Params() []*Param { return nil }
+func (m *MaxPool2[S]) Params() []*Param[S] { return nil }
 
 // Forward keeps the max of each 2×2 block and records its index.
-func (m *MaxPool2) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+func (m *MaxPool2[S]) Forward(x *tensor.Tensor[S], train bool) *tensor.Tensor[S] {
 	if len(x.Shape) != 4 || x.Shape[2]%2 != 0 || x.Shape[3]%2 != 0 {
 		panic(fmt.Sprintf("nn: %s needs even NCHW input, got %v", m.name, x.Shape))
 	}
@@ -116,7 +116,7 @@ func (m *MaxPool2) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward routes each gradient to the block's argmax position.
-func (m *MaxPool2) Backward(dy *tensor.Tensor) *tensor.Tensor {
+func (m *MaxPool2[S]) Backward(dy *tensor.Tensor[S]) *tensor.Tensor[S] {
 	dx := tensor.Grow(&m.dxBuf, m.inShp...)
 	dx.Zero()
 	for i, v := range dy.Data {
@@ -128,31 +128,31 @@ func (m *MaxPool2) Backward(dy *tensor.Tensor) *tensor.Tensor {
 // Dropout zeroes a fraction of activations during training and scales the
 // survivors (inverted dropout), the regularization the paper inserts
 // between convolutional layers.
-type Dropout struct {
+type Dropout[S tensor.Scalar] struct {
 	name        string
 	Rate        float64
 	rng         *noise.RNG
 	keep        []bool
-	yBuf, dxBuf *tensor.Tensor
+	yBuf, dxBuf *tensor.Tensor[S]
 }
 
 // NewDropout builds a dropout layer with its own deterministic stream.
-func NewDropout(name string, rate float64, rng *noise.RNG) *Dropout {
+func NewDropout[S tensor.Scalar](name string, rate float64, rng *noise.RNG) *Dropout[S] {
 	if rate < 0 || rate >= 1 {
 		panic(fmt.Sprintf("nn: %s invalid dropout rate %f", name, rate))
 	}
-	return &Dropout{name: name, Rate: rate, rng: rng}
+	return &Dropout[S]{name: name, Rate: rate, rng: rng}
 }
 
 // Name implements Layer.
-func (d *Dropout) Name() string { return d.name }
+func (d *Dropout[S]) Name() string { return d.name }
 
 // Params implements Layer.
-func (d *Dropout) Params() []*Param { return nil }
+func (d *Dropout[S]) Params() []*Param[S] { return nil }
 
 // Forward applies inverted dropout in training mode and is the identity
 // at inference.
-func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+func (d *Dropout[S]) Forward(x *tensor.Tensor[S], train bool) *tensor.Tensor[S] {
 	y := tensor.Grow(&d.yBuf, x.Shape...)
 	copy(y.Data, x.Data)
 	if !train || d.Rate == 0 {
@@ -170,14 +170,14 @@ func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			y.Data[i] = 0
 		} else {
 			d.keep[i] = true
-			y.Data[i] *= scale
+			y.Data[i] *= S(scale)
 		}
 	}
 	return y
 }
 
 // Backward mirrors the forward mask.
-func (d *Dropout) Backward(dy *tensor.Tensor) *tensor.Tensor {
+func (d *Dropout[S]) Backward(dy *tensor.Tensor[S]) *tensor.Tensor[S] {
 	dx := tensor.Grow(&d.dxBuf, dy.Shape...)
 	copy(dx.Data, dy.Data)
 	if d.keep == nil {
@@ -186,7 +186,7 @@ func (d *Dropout) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	scale := 1 / (1 - d.Rate)
 	for i := range dx.Data {
 		if d.keep[i] {
-			dx.Data[i] *= scale
+			dx.Data[i] *= S(scale)
 		} else {
 			dx.Data[i] = 0
 		}
@@ -197,21 +197,21 @@ func (d *Dropout) Backward(dy *tensor.Tensor) *tensor.Tensor {
 // Concat joins two NCHW tensors along the channel axis — the U-Net skip
 // connection that concatenates encoder features onto the upsampled
 // decoder features.
-type Concat struct {
+type Concat[S tensor.Scalar] struct {
 	name               string
 	aC, bC             int
-	yBuf, daBuf, dbBuf *tensor.Tensor
+	yBuf, daBuf, dbBuf *tensor.Tensor[S]
 }
 
 // NewConcat returns a channel-concatenation "layer" with a two-input
 // Join/backward-split API instead of the single-input Layer interface.
-func NewConcat(name string) *Concat { return &Concat{name: name} }
+func NewConcat[S tensor.Scalar](name string) *Concat[S] { return &Concat[S]{name: name} }
 
 // Name identifies the join in diagnostics.
-func (c *Concat) Name() string { return c.name }
+func (c *Concat[S]) Name() string { return c.name }
 
 // Join concatenates a and b along channels.
-func (c *Concat) Join(a, b *tensor.Tensor) *tensor.Tensor {
+func (c *Concat[S]) Join(a, b *tensor.Tensor[S]) *tensor.Tensor[S] {
 	if len(a.Shape) != 4 || len(b.Shape) != 4 ||
 		a.Shape[0] != b.Shape[0] || a.Shape[2] != b.Shape[2] || a.Shape[3] != b.Shape[3] {
 		panic(fmt.Sprintf("nn: %s cannot concat %v and %v", c.name, a.Shape, b.Shape))
@@ -228,7 +228,7 @@ func (c *Concat) Join(a, b *tensor.Tensor) *tensor.Tensor {
 }
 
 // Split divides the joined gradient back into the two inputs' gradients.
-func (c *Concat) Split(dy *tensor.Tensor) (da, db *tensor.Tensor) {
+func (c *Concat[S]) Split(dy *tensor.Tensor[S]) (da, db *tensor.Tensor[S]) {
 	n, h, w := dy.Shape[0], dy.Shape[2], dy.Shape[3]
 	plane := h * w
 	da = tensor.Grow(&c.daBuf, n, c.aC, h, w)

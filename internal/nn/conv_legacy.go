@@ -18,13 +18,13 @@ func SetLegacyKernels(on bool) bool { return legacyKernels.Swap(on) }
 
 // forwardLegacy is the pre-engine Conv2D.Forward: im2col then a serial
 // matrix product, allocating every intermediate.
-func (c *Conv2D) forwardLegacy(x *tensor.Tensor, n, h, w int) *tensor.Tensor {
+func (c *Conv2D[S]) forwardLegacy(x *tensor.Tensor[S], n, h, w int) *tensor.Tensor[S] {
 	c.x = x
 	c.cols = tensor.Im2ColRef(x, c.KH, c.KW, c.Stride, c.Pad)
 
 	out := tensor.MatMulRef(c.Weight.W, c.cols) // (OutC, N·OH·OW)
 	// add bias and reorder (OutC, N, OH·OW) → (N, OutC, OH, OW)
-	y := tensor.New(n, c.OutC, c.outH, c.outW)
+	y := tensor.New[S](n, c.OutC, c.outH, c.outW)
 	plane := c.outH * c.outW
 	for oc := 0; oc < c.OutC; oc++ {
 		b := c.Bias.W.Data[oc]
@@ -40,10 +40,10 @@ func (c *Conv2D) forwardLegacy(x *tensor.Tensor, n, h, w int) *tensor.Tensor {
 }
 
 // backwardLegacy is the pre-engine Conv2D.Backward.
-func (c *Conv2D) backwardLegacy(dy *tensor.Tensor) *tensor.Tensor {
+func (c *Conv2D[S]) backwardLegacy(dy *tensor.Tensor[S]) *tensor.Tensor[S] {
 	n, plane := c.numN, c.outH*c.outW
 	// reorder dy (N,OutC,OH,OW) → (OutC, N·OH·OW)
-	dout := tensor.New(c.OutC, n*plane)
+	dout := tensor.New[S](c.OutC, n*plane)
 	for oc := 0; oc < c.OutC; oc++ {
 		for img := 0; img < n; img++ {
 			src := dy.Data[(img*c.OutC+oc)*plane : (img*c.OutC+oc+1)*plane]
@@ -54,7 +54,7 @@ func (c *Conv2D) backwardLegacy(dy *tensor.Tensor) *tensor.Tensor {
 
 	// bias gradient: sum over positions
 	for oc := 0; oc < c.OutC; oc++ {
-		sum := 0.0
+		var sum S
 		for _, v := range dout.Data[oc*n*plane : (oc+1)*n*plane] {
 			sum += v
 		}
@@ -71,10 +71,10 @@ func (c *Conv2D) backwardLegacy(dy *tensor.Tensor) *tensor.Tensor {
 }
 
 // forwardLegacy is the pre-engine ConvTranspose2x2.Forward.
-func (u *ConvTranspose2x2) forwardLegacy(x *tensor.Tensor) *tensor.Tensor {
+func (u *ConvTranspose2x2[S]) forwardLegacy(x *tensor.Tensor[S]) *tensor.Tensor[S] {
 	u.x = x
 	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
-	y := tensor.New(n, u.OutC, 2*h, 2*w)
+	y := tensor.New[S](n, u.OutC, 2*h, 2*w)
 	for img := 0; img < n; img++ {
 		for ic := 0; ic < u.InC; ic++ {
 			wrow := u.Weight.W.Data[ic*u.OutC*4 : (ic+1)*u.OutC*4]
@@ -111,15 +111,15 @@ func (u *ConvTranspose2x2) forwardLegacy(x *tensor.Tensor) *tensor.Tensor {
 }
 
 // backwardLegacy is the pre-engine ConvTranspose2x2.Backward.
-func (u *ConvTranspose2x2) backwardLegacy(dy *tensor.Tensor) *tensor.Tensor {
+func (u *ConvTranspose2x2[S]) backwardLegacy(dy *tensor.Tensor[S]) *tensor.Tensor[S] {
 	n, h, w := u.x.Shape[0], u.x.Shape[2], u.x.Shape[3]
-	dx := tensor.New(n, u.InC, h, w)
+	dx := tensor.New[S](n, u.InC, h, w)
 	plane := 4 * h * w
 
 	for img := 0; img < n; img++ {
 		for oc := 0; oc < u.OutC; oc++ {
 			dyp := dy.Data[(img*u.OutC+oc)*plane : (img*u.OutC+oc+1)*plane]
-			sum := 0.0
+			var sum S
 			for _, v := range dyp {
 				sum += v
 			}

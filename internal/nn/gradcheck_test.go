@@ -22,7 +22,7 @@ func numGrad(data []float64, i int, loss func() float64) float64 {
 
 // scalarLoss reduces a tensor to ½Σy² so dL/dy = y, giving a simple,
 // well-conditioned target for gradient checks.
-func scalarLoss(y *tensor.Tensor) float64 {
+func scalarLoss(y *tensor.F64) float64 {
 	s := 0.0
 	for _, v := range y.Data {
 		s += v * v
@@ -32,10 +32,10 @@ func scalarLoss(y *tensor.Tensor) float64 {
 
 // checkLayerGradients validates input and parameter gradients of a layer
 // against finite differences on a random input of the given shape.
-func checkLayerGradients(t *testing.T, layer Layer, shape []int, tol float64) {
+func checkLayerGradients(t *testing.T, layer Layer[float64], shape []int, tol float64) {
 	t.Helper()
 	rng := noise.NewRNG(99, 7)
-	x := tensor.New(shape...)
+	x := tensor.New[float64](shape...)
 	x.FillRandn(rng, 1)
 
 	forwardLoss := func() float64 { return scalarLoss(layer.Forward(x, false)) }
@@ -67,33 +67,33 @@ func checkLayerGradients(t *testing.T, layer Layer, shape []int, tol float64) {
 
 func TestConv2DGradients(t *testing.T) {
 	rng := noise.NewRNG(1, 1)
-	checkLayerGradients(t, NewConv2D("conv", 3, 4, 3, rng), []int{2, 3, 6, 5}, 1e-6)
+	checkLayerGradients(t, NewConv2D[float64]("conv", 3, 4, 3, rng), []int{2, 3, 6, 5}, 1e-6)
 }
 
 func TestConv2D1x1Gradients(t *testing.T) {
 	rng := noise.NewRNG(2, 1)
-	checkLayerGradients(t, NewConv2D("conv1x1", 4, 3, 1, rng), []int{2, 4, 5, 5}, 1e-6)
+	checkLayerGradients(t, NewConv2D[float64]("conv1x1", 4, 3, 1, rng), []int{2, 4, 5, 5}, 1e-6)
 }
 
 func TestConvTransposeGradients(t *testing.T) {
 	rng := noise.NewRNG(3, 1)
-	checkLayerGradients(t, NewConvTranspose2x2("up", 4, 2, rng), []int{2, 4, 3, 5}, 1e-6)
+	checkLayerGradients(t, NewConvTranspose2x2[float64]("up", 4, 2, rng), []int{2, 4, 3, 5}, 1e-6)
 }
 
 func TestReLUGradients(t *testing.T) {
-	checkLayerGradients(t, NewReLU("relu"), []int{2, 3, 4, 4}, 1e-5)
+	checkLayerGradients(t, NewReLU[float64]("relu"), []int{2, 3, 4, 4}, 1e-5)
 }
 
 func TestMaxPoolGradients(t *testing.T) {
-	checkLayerGradients(t, NewMaxPool2("pool"), []int{2, 3, 6, 4}, 1e-5)
+	checkLayerGradients(t, NewMaxPool2[float64]("pool"), []int{2, 3, 6, 4}, 1e-5)
 }
 
 // TestDropoutInference: dropout must be the identity at inference and
 // preserve expectation during training.
 func TestDropoutInference(t *testing.T) {
 	rng := noise.NewRNG(4, 1)
-	d := NewDropout("drop", 0.4, rng)
-	x := tensor.New(1, 2, 8, 8)
+	d := NewDropout[float64]("drop", 0.4, rng)
+	x := tensor.New[float64](1, 2, 8, 8)
 	x.FillRandn(noise.NewRNG(5, 1), 1)
 
 	y := d.Forward(x, false)
@@ -121,13 +121,13 @@ func TestDropoutInference(t *testing.T) {
 // TestDropoutBackwardMask: the backward mask must match the forward mask.
 func TestDropoutBackwardMask(t *testing.T) {
 	rng := noise.NewRNG(6, 1)
-	d := NewDropout("drop", 0.5, rng)
-	x := tensor.New(1, 1, 8, 8)
+	d := NewDropout[float64]("drop", 0.5, rng)
+	x := tensor.New[float64](1, 1, 8, 8)
 	for i := range x.Data {
 		x.Data[i] = 1
 	}
 	y := d.Forward(x, true)
-	dy := tensor.New(1, 1, 8, 8)
+	dy := tensor.New[float64](1, 1, 8, 8)
 	for i := range dy.Data {
 		dy.Data[i] = 1
 	}
@@ -140,10 +140,10 @@ func TestDropoutBackwardMask(t *testing.T) {
 }
 
 func TestConcatJoinSplit(t *testing.T) {
-	c := NewConcat("cat")
+	c := NewConcat[float64]("cat")
 	rng := noise.NewRNG(7, 1)
-	a := tensor.New(2, 3, 4, 4)
-	b := tensor.New(2, 5, 4, 4)
+	a := tensor.New[float64](2, 3, 4, 4)
+	b := tensor.New[float64](2, 5, 4, 4)
 	a.FillRandn(rng, 1)
 	b.FillRandn(rng, 1)
 
@@ -167,7 +167,7 @@ func TestConcatJoinSplit(t *testing.T) {
 // TestSoftmaxCrossEntropyGrad validates the fused loss gradient.
 func TestSoftmaxCrossEntropyGrad(t *testing.T) {
 	rng := noise.NewRNG(8, 1)
-	logits := tensor.New(2, 3, 4, 4)
+	logits := tensor.New[float64](2, 3, 4, 4)
 	logits.FillRandn(rng, 1)
 	labels := make([]uint8, 2*4*4)
 	lr := noise.NewRNG(9, 1)
@@ -175,7 +175,7 @@ func TestSoftmaxCrossEntropyGrad(t *testing.T) {
 		labels[i] = uint8(lr.Intn(3))
 	}
 
-	var s SoftmaxCrossEntropy
+	var s SoftmaxCrossEntropy[float64]
 	lossFn := func() float64 {
 		l, err := s.Loss(logits, labels)
 		if err != nil {
@@ -198,11 +198,11 @@ func TestSoftmaxCrossEntropyGrad(t *testing.T) {
 // classes sums to zero (probabilities sum to one).
 func TestSoftmaxGradSumsToZero(t *testing.T) {
 	rng := noise.NewRNG(10, 1)
-	logits := tensor.New(1, 3, 4, 4)
+	logits := tensor.New[float64](1, 3, 4, 4)
 	logits.FillRandn(rng, 2)
 	labels := make([]uint8, 16)
 
-	var s SoftmaxCrossEntropy
+	var s SoftmaxCrossEntropy[float64]
 	if _, err := s.Loss(logits, labels); err != nil {
 		t.Fatalf("loss: %v", err)
 	}
@@ -218,18 +218,18 @@ func TestSoftmaxGradSumsToZero(t *testing.T) {
 
 // TestAdamConvergesOnQuadratic: Adam must minimize a simple quadratic.
 func TestAdamConvergesOnQuadratic(t *testing.T) {
-	w := tensor.New(4)
+	w := tensor.New[float64](4)
 	for i := range w.Data {
 		w.Data[i] = float64(i) + 1
 	}
-	p := &Param{Name: "w", W: w, Grad: tensor.New(4)}
-	opt := NewAdam(0.1)
+	p := &Param[float64]{Name: "w", W: w, Grad: tensor.New[float64](4)}
+	opt := NewAdam[float64](0.1)
 	for step := 0; step < 500; step++ {
 		for i := range w.Data {
 			p.Grad.Data[i] = w.Data[i] // d/dw ½w² = w
 		}
-		opt.Step([]*Param{p})
-		ZeroGrads([]*Param{p})
+		opt.Step([]*Param[float64]{p})
+		ZeroGrads([]*Param[float64]{p})
 	}
 	for i, v := range w.Data {
 		if math.Abs(v) > 1e-3 {
@@ -240,7 +240,7 @@ func TestAdamConvergesOnQuadratic(t *testing.T) {
 
 // TestPredictArgmax: Predict must return the channel-wise argmax.
 func TestPredictArgmax(t *testing.T) {
-	logits := tensor.New(1, 3, 2, 2)
+	logits := tensor.New[float64](1, 3, 2, 2)
 	// pixel 0 → class 2, pixel 1 → class 0, pixel 2 → class 1, pixel 3 → class 2
 	set := func(ch, p int, v float64) { logits.Data[ch*4+p] = v }
 	set(2, 0, 5)

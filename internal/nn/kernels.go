@@ -1,6 +1,9 @@
 package nn
 
-import "seaice/internal/pool"
+import (
+	"seaice/internal/pool"
+	"seaice/internal/tensor"
+)
 
 // Direct NCHW convolution kernels shared by the training engine (Conv2D,
 // ConvTranspose2x2) and the inference session in internal/unet. They avoid
@@ -18,7 +21,7 @@ import "seaice/internal/pool"
 // xb. Output planes are independent, so the (image, out-channel) pairs are
 // distributed over the provided pool; pass pool.Serial() from contexts
 // that supply their own concurrency (e.g. per-worker inference sessions).
-func Conv3x3Planes(p *pool.Pool, c *Conv2D, xa []float64, ca int, xb []float64, cb int, n, h, w int, dst []float64, relu bool) {
+func Conv3x3Planes[S tensor.Scalar](p *pool.Pool, c *Conv2D[S], xa []S, ca int, xb []S, cb int, n, h, w int, dst []S, relu bool) {
 	inC := ca + cb
 	plane := h * w
 	tasks := n * c.OutC
@@ -36,7 +39,7 @@ func Conv3x3Planes(p *pool.Pool, c *Conv2D, xa []float64, ca int, xb []float64, 
 }
 
 // conv3x3Range computes (image, out-channel) pairs [lo,hi).
-func conv3x3Range(c *Conv2D, xa []float64, ca int, xb []float64, cb int, h, w int, dst []float64, relu bool, lo, hi int) {
+func conv3x3Range[S tensor.Scalar](c *Conv2D[S], xa []S, ca int, xb []S, cb int, h, w int, dst []S, relu bool, lo, hi int) {
 	inC := ca + cb
 	plane := h * w
 	wd := c.Weight.W.Data
@@ -48,7 +51,7 @@ func conv3x3Range(c *Conv2D, xa []float64, ca int, xb []float64, cb int, h, w in
 		}
 		wrow := wd[oc*inC*9 : (oc+1)*inC*9]
 		for ic := 0; ic < inC; ic++ {
-			var xp []float64
+			var xp []S
 			if ic < ca {
 				xp = xa[(img*ca+ic)*plane : (img*ca+ic+1)*plane]
 			} else {
@@ -76,7 +79,7 @@ func conv3x3Range(c *Conv2D, xa []float64, ca int, xb []float64, cb int, h, w in
 // Acc3x3 accumulates one input plane's 3×3 contribution into dst.
 // Taps falling into the zero padding are skipped (they contribute
 // exactly zero in the im2col formulation).
-func Acc3x3(dst, xp, k []float64, h, w int) {
+func Acc3x3[S tensor.Scalar](dst, xp, k []S, h, w int) {
 	if w < 3 || h < 1 {
 		acc3x3Small(dst, xp, k, h, w)
 		return
@@ -87,7 +90,7 @@ func Acc3x3(dst, xp, k []float64, h, w int) {
 	for oy := 0; oy < h; oy++ {
 		d := dst[oy*w : (oy+1)*w]
 		r1 := xp[oy*w : (oy+1)*w]
-		var r0, r2 []float64
+		var r0, r2 []S
 		if oy > 0 {
 			r0 = xp[(oy-1)*w : oy*w]
 		}
@@ -183,7 +186,7 @@ func Acc3x3(dst, xp, k []float64, h, w int) {
 
 // acc3x3Small is the fully guarded fallback for planes too small for the
 // unrolled kernel.
-func acc3x3Small(dst, xp, k []float64, h, w int) {
+func acc3x3Small[S tensor.Scalar](dst, xp, k []S, h, w int) {
 	for oy := 0; oy < h; oy++ {
 		for ox := 0; ox < w; ox++ {
 			acc := dst[oy*w+ox]
@@ -206,7 +209,7 @@ func acc3x3Small(dst, xp, k []float64, h, w int) {
 }
 
 // Conv1x1Planes computes a 1×1 convolution with bias on NCHW planes.
-func Conv1x1Planes(p *pool.Pool, c *Conv2D, x []float64, inC, n, h, w int, dst []float64) {
+func Conv1x1Planes[S tensor.Scalar](p *pool.Pool, c *Conv2D[S], x []S, inC, n, h, w int, dst []S) {
 	if p.Workers() == 1 {
 		conv1x1Range(c, x, inC, h, w, dst, 0, n*c.OutC)
 		return
@@ -217,7 +220,7 @@ func Conv1x1Planes(p *pool.Pool, c *Conv2D, x []float64, inC, n, h, w int, dst [
 }
 
 // conv1x1Range computes (image, out-channel) pairs [lo,hi).
-func conv1x1Range(c *Conv2D, x []float64, inC, h, w int, dst []float64, lo, hi int) {
+func conv1x1Range[S tensor.Scalar](c *Conv2D[S], x []S, inC, h, w int, dst []S, lo, hi int) {
 	plane := h * w
 	wd := c.Weight.W.Data
 	for t := lo; t < hi; t++ {
@@ -241,7 +244,7 @@ func conv1x1Range(c *Conv2D, x []float64, inC, h, w int, dst []float64, lo, hi i
 }
 
 // MaxPool2Planes applies 2×2 stride-2 max pooling over nc planes of h×w.
-func MaxPool2Planes(x []float64, nc, h, w int, dst []float64) {
+func MaxPool2Planes[S tensor.Scalar](x []S, nc, h, w int, dst []S) {
 	oh, ow := h/2, w/2
 	for p := 0; p < nc; p++ {
 		base := p * h * w
@@ -272,7 +275,7 @@ func MaxPool2Planes(x []float64, nc, h, w int, dst []float64) {
 // overlap, so each (image, out-channel) plane is independent and the pairs
 // are distributed over the provided pool; per element the input channels
 // accumulate in ascending order, bias last, matching the reference.
-func ConvT2x2Planes(p *pool.Pool, u *ConvTranspose2x2, x []float64, n, h, w int, dst []float64) {
+func ConvT2x2Planes[S tensor.Scalar](p *pool.Pool, u *ConvTranspose2x2[S], x []S, n, h, w int, dst []S) {
 	if p.Workers() == 1 {
 		convT2x2Range(u, x, h, w, dst, 0, n*u.OutC)
 		return
@@ -283,7 +286,7 @@ func ConvT2x2Planes(p *pool.Pool, u *ConvTranspose2x2, x []float64, n, h, w int,
 }
 
 // convT2x2Range computes (image, out-channel) planes [lo,hi).
-func convT2x2Range(u *ConvTranspose2x2, x []float64, h, w int, dst []float64, lo, hi int) {
+func convT2x2Range[S tensor.Scalar](u *ConvTranspose2x2[S], x []S, h, w int, dst []S, lo, hi int) {
 	plane := 4 * h * w
 	for t := lo; t < hi; t++ {
 		img, oc := t/u.OutC, t%u.OutC
@@ -340,7 +343,7 @@ func poolMapChannels(n int, fn func(c int)) {
 // same per-element order as dW = dout × colsᵀ, with zero-padding taps
 // skipped (exact +0 terms). Out-channel rows of the gradient are disjoint,
 // so they parallelize freely.
-func conv3x3WeightGrad(c *Conv2D, x []float64, dout []float64, n, h, w int) {
+func conv3x3WeightGrad[S tensor.Scalar](c *Conv2D[S], x []S, dout []S, n, h, w int) {
 	p := pool.Shared()
 	if p.Workers() == 1 {
 		conv3x3WeightGradRange(c, x, dout, n, h, w, 0, c.OutC)
@@ -353,7 +356,7 @@ func conv3x3WeightGrad(c *Conv2D, x []float64, dout []float64, n, h, w int) {
 
 // conv3x3WeightGradRange accumulates the gradient rows of out-channels
 // [lo,hi).
-func conv3x3WeightGradRange(c *Conv2D, x []float64, dout []float64, n, h, w, lo, hi int) {
+func conv3x3WeightGradRange[S tensor.Scalar](c *Conv2D[S], x []S, dout []S, n, h, w, lo, hi int) {
 	plane := h * w
 	inC := c.InC
 	gd := c.Weight.Grad.Data
@@ -361,14 +364,14 @@ func conv3x3WeightGradRange(c *Conv2D, x []float64, dout []float64, n, h, w, lo,
 		dbase := dout[oc*n*plane : (oc+1)*n*plane]
 		grow := gd[oc*inC*9 : (oc+1)*inC*9]
 		for ic := 0; ic < inC; ic++ {
-			var s00, s01, s02, s10, s11, s12, s20, s21, s22 float64
+			var s00, s01, s02, s10, s11, s12, s20, s21, s22 S
 			for img := 0; img < n; img++ {
 				xp := x[(img*inC+ic)*plane : (img*inC+ic+1)*plane]
 				dp := dbase[img*plane : (img+1)*plane]
 				for oy := 0; oy < h; oy++ {
 					dr := dp[oy*w : (oy+1)*w]
 					r1 := xp[oy*w : (oy+1)*w]
-					var r0, r2 []float64
+					var r0, r2 []S
 					if oy > 0 {
 						r0 = xp[(oy-1)*w : oy*w]
 					}
@@ -492,7 +495,7 @@ func conv3x3WeightGradRange(c *Conv2D, x []float64, dout []float64, n, h, w, lo,
 
 // conv1x1WeightGrad accumulates dW for a 1×1 convolution: a dot product of
 // each dout row with each input channel plane over all images.
-func conv1x1WeightGrad(c *Conv2D, x []float64, dout []float64, n, h, w int) {
+func conv1x1WeightGrad[S tensor.Scalar](c *Conv2D[S], x []S, dout []S, n, h, w int) {
 	p := pool.Shared()
 	if p.Workers() == 1 {
 		conv1x1WeightGradRange(c, x, dout, n, h, w, 0, c.OutC)
@@ -504,14 +507,14 @@ func conv1x1WeightGrad(c *Conv2D, x []float64, dout []float64, n, h, w int) {
 }
 
 // conv1x1WeightGradRange accumulates dW rows of out-channels [lo,hi).
-func conv1x1WeightGradRange(c *Conv2D, x []float64, dout []float64, n, h, w, lo, hi int) {
+func conv1x1WeightGradRange[S tensor.Scalar](c *Conv2D[S], x []S, dout []S, n, h, w, lo, hi int) {
 	plane := h * w
 	inC := c.InC
 	gd := c.Weight.Grad.Data
 	for oc := lo; oc < hi; oc++ {
 		dbase := dout[oc*n*plane : (oc+1)*n*plane]
 		for ic := 0; ic < inC; ic++ {
-			var s float64
+			var s S
 			for img := 0; img < n; img++ {
 				xp := x[(img*inC+ic)*plane : (img*inC+ic+1)*plane]
 				dp := dbase[img*plane : img*plane+len(xp)]
@@ -527,7 +530,7 @@ func conv1x1WeightGradRange(c *Conv2D, x []float64, dout []float64, n, h, w, lo,
 // conv1x1InputGrad computes dx for a 1×1 convolution directly in NCHW
 // layout: dx[ic] = Σ_oc W[oc][ic]·dout[oc], out-channels ascending —
 // exactly the dcols = Wᵀ×dout chain of the reference path.
-func conv1x1InputGrad(c *Conv2D, dout []float64, n, h, w int, dx []float64) {
+func conv1x1InputGrad[S tensor.Scalar](c *Conv2D[S], dout []S, n, h, w int, dx []S) {
 	p := pool.Shared()
 	if p.Workers() == 1 {
 		conv1x1InputGradRange(c, dout, n, h, w, dx, 0, n*c.InC)
@@ -540,7 +543,7 @@ func conv1x1InputGrad(c *Conv2D, dout []float64, n, h, w int, dx []float64) {
 
 // conv1x1InputGradRange computes dx planes for (image, in-channel) pairs
 // [lo,hi).
-func conv1x1InputGradRange(c *Conv2D, dout []float64, n, h, w int, dx []float64, lo, hi int) {
+func conv1x1InputGradRange[S tensor.Scalar](c *Conv2D[S], dout []S, n, h, w int, dx []S, lo, hi int) {
 	plane := h * w
 	inC := c.InC
 	wd := c.Weight.W.Data

@@ -11,16 +11,20 @@ import (
 // U-Net: a softmax over the class channel followed by categorical
 // cross-entropy against integer labels, averaged over all pixels of the
 // batch. Forward returns the mean loss; Backward returns dL/dlogits
-// (softmax − one-hot)/numPixels, the standard fused gradient.
-type SoftmaxCrossEntropy struct {
-	probs   *tensor.Tensor
-	gradBuf *tensor.Tensor
+// (softmax − one-hot)/numPixels, the standard fused gradient. The
+// exponentials and the loss accumulation always run in float64 — only
+// the stored probabilities and the returned gradient take the layer
+// precision S, so the float32 loss differs from float64 by rounding of
+// per-pixel probabilities, not by unstable exp/log arithmetic.
+type SoftmaxCrossEntropy[S tensor.Scalar] struct {
+	probs   *tensor.Tensor[S]
+	gradBuf *tensor.Tensor[S]
 	labels  []uint8
 }
 
 // Loss computes the mean cross-entropy of logits (N,C,H,W) against
 // labels (length N·H·W, class per pixel in row-major image order).
-func (s *SoftmaxCrossEntropy) Loss(logits *tensor.Tensor, labels []uint8) (float64, error) {
+func (s *SoftmaxCrossEntropy[S]) Loss(logits *tensor.Tensor[S], labels []uint8) (float64, error) {
 	if len(logits.Shape) != 4 {
 		return 0, fmt.Errorf("nn: loss expects NCHW logits, got %v", logits.Shape)
 	}
@@ -38,15 +42,15 @@ func (s *SoftmaxCrossEntropy) Loss(logits *tensor.Tensor, labels []uint8) (float
 			// softmax over channel dim with max-shift stability
 			maxv := math.Inf(-1)
 			for ch := 0; ch < c; ch++ {
-				v := logits.Data[(img*c+ch)*plane+p]
+				v := float64(logits.Data[(img*c+ch)*plane+p])
 				if v > maxv {
 					maxv = v
 				}
 			}
 			sum := 0.0
 			for ch := 0; ch < c; ch++ {
-				e := math.Exp(logits.Data[(img*c+ch)*plane+p] - maxv)
-				s.probs.Data[(img*c+ch)*plane+p] = e
+				e := math.Exp(float64(logits.Data[(img*c+ch)*plane+p]) - maxv)
+				s.probs.Data[(img*c+ch)*plane+p] = S(e)
 				sum += e
 			}
 			lab := int(labels[img*plane+p])
@@ -54,9 +58,9 @@ func (s *SoftmaxCrossEntropy) Loss(logits *tensor.Tensor, labels []uint8) (float
 				return 0, fmt.Errorf("nn: label %d out of range for %d classes", lab, c)
 			}
 			for ch := 0; ch < c; ch++ {
-				s.probs.Data[(img*c+ch)*plane+p] /= sum
+				s.probs.Data[(img*c+ch)*plane+p] = S(float64(s.probs.Data[(img*c+ch)*plane+p]) / sum)
 			}
-			pTrue := s.probs.Data[(img*c+lab)*plane+p]
+			pTrue := float64(s.probs.Data[(img*c+lab)*plane+p])
 			if pTrue < 1e-12 {
 				pTrue = 1e-12
 			}
@@ -67,7 +71,7 @@ func (s *SoftmaxCrossEntropy) Loss(logits *tensor.Tensor, labels []uint8) (float
 }
 
 // Grad returns dL/dlogits for the last Loss call.
-func (s *SoftmaxCrossEntropy) Grad() *tensor.Tensor {
+func (s *SoftmaxCrossEntropy[S]) Grad() *tensor.Tensor[S] {
 	if s.probs == nil {
 		panic("nn: Grad before Loss")
 	}
@@ -82,13 +86,13 @@ func (s *SoftmaxCrossEntropy) Grad() *tensor.Tensor {
 			g.Data[(img*c+lab)*plane+p] -= 1
 		}
 	}
-	g.Scale(inv)
+	g.Scale(S(inv))
 	return g
 }
 
 // Predict returns the argmax class per pixel of logits (N,C,H,W) as a
 // flat slice in image order — U-Net inference output.
-func Predict(logits *tensor.Tensor) []uint8 {
+func Predict[S tensor.Scalar](logits *tensor.Tensor[S]) []uint8 {
 	n, c := logits.Shape[0], logits.Shape[1]
 	plane := logits.Shape[2] * logits.Shape[3]
 	out := make([]uint8, n*plane)

@@ -1,0 +1,111 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"seaice/internal/noise"
+	"seaice/internal/pool"
+	"seaice/internal/tensor"
+)
+
+// convToF32 builds a float32 twin of a float64 layer by seeding it
+// identically: FillRandn draws in float64 and rounds, so the f32 weights
+// are exactly the rounded f64 weights.
+func convPair(k int) (*Conv2D[float64], *Conv2D[float32]) {
+	return NewConv2D[float64]("c", 3, 4, k, noise.NewRNG(21, 1)),
+		NewConv2D[float32]("c", 3, 4, k, noise.NewRNG(21, 1))
+}
+
+// TestF32ConvWithinToleranceOfF64: the float32 conv layers must match
+// the float64 path within the documented bound
+// tensor.PrecisionTolerance · accLen (accLen = InC·KH·KW + bias + input
+// rounding) at every worker count — times a transform-amplification
+// factor of 32 for the 3×3 case, whose float32 path runs the Winograd
+// F(4×4,3×3) fast path (the Bᵀ/Aᵀ stencils scale intermediates by up to
+// ~10 per 1-D pass before cancellation). This is the cross-precision
+// tolerance guarantee; the float64 engine is bit-identical to its own
+// reference (TestEngineStepsMatchLegacySteps).
+func TestF32ConvWithinToleranceOfF64(t *testing.T) {
+	defer pool.SetSharedWorkers(0)
+	for _, k := range []int{1, 3} {
+		c64, c32 := convPair(k)
+		x64 := tensor.New[float64](2, 3, 8, 8)
+		x64.FillRandn(noise.NewRNG(31, 2), 1)
+		x32 := tensor.Convert[float32](x64)
+
+		want := c64.Forward(x64, false)
+		accLen := 3*k*k + 2
+		tol := tensor.PrecisionTolerance * float64(accLen)
+		if k == 3 {
+			tol *= 32 // Winograd transform amplification headroom
+		}
+		for _, workers := range []int{1, 3, 8} {
+			pool.SetSharedWorkers(workers)
+			got := c32.Forward(x32, false)
+			if len(got.Data) != len(want.Data) {
+				t.Fatalf("k=%d workers=%d: %d outputs, want %d", k, workers, len(got.Data), len(want.Data))
+			}
+			for i := range want.Data {
+				w := want.Data[i]
+				if diff := math.Abs(float64(got.Data[i]) - w); diff > tol*math.Max(math.Abs(w), 1) {
+					t.Fatalf("k=%d workers=%d: out[%d] = %g, f64 %g (diff %g > tol)", k, workers, i, got.Data[i], w, diff)
+				}
+			}
+		}
+	}
+}
+
+// TestAdamMasterWeightsRetainSmallUpdates: with float32 weights, updates
+// far below the weight's float32 ulp must still accumulate through the
+// float64 master copy — the reason mixed-precision training keeps one.
+func TestAdamMasterWeightsRetainSmallUpdates(t *testing.T) {
+	run := func(master bool) float32 {
+		w := tensor.New[float32](1)
+		w.Data[0] = 64 // ulp(64) = 2^-17 ≈ 7.6e-6 in float32
+		p := &Param[float32]{Name: "w", W: w, Grad: tensor.New[float32](1)}
+		// Per-step update ~1e-8 ≪ ulp, but 2000 accumulated steps ≈ 2e-5,
+		// which is visible in float32 only if something integrated them.
+		opt := NewAdam[float32](1e-8)
+		opt.Master = master
+		for i := 0; i < 2000; i++ {
+			p.Grad.Data[0] = 1
+			opt.Step([]*Param[float32]{p})
+		}
+		return w.Data[0]
+	}
+	if got := run(false); got != 64 {
+		t.Fatalf("without master weights the sub-ulp updates should vanish, got %g", got)
+	}
+	if got := run(true); got >= 64 {
+		t.Fatalf("master weights failed to accumulate sub-ulp updates: %g", got)
+	}
+}
+
+// TestAdamF64MasterIsIdentity: for float64 parameters, enabling Master
+// must not change a single bit of the trajectory (master copy ≡ weights).
+func TestAdamF64MasterIsIdentity(t *testing.T) {
+	run := func(master bool) []float64 {
+		w := tensor.New[float64](8)
+		g := tensor.New[float64](8)
+		p := &Param[float64]{Name: "w", W: w, Grad: g}
+		for i := range w.Data {
+			w.Data[i] = float64(i)*0.25 - 1
+		}
+		opt := NewAdam[float64](0.05)
+		opt.Master = master
+		for s := 0; s < 50; s++ {
+			for i := range g.Data {
+				g.Data[i] = w.Data[i] * 0.5
+			}
+			opt.Step([]*Param[float64]{p})
+		}
+		return append([]float64(nil), w.Data...)
+	}
+	a, b := run(false), run(true)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("f64 master path diverged at %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,552 @@
+package nn
+
+import (
+	"sync"
+
+	"seaice/internal/pool"
+	"seaice/internal/tensor"
+)
+
+// Winograd convolution — the reduced-multiplication algorithms the
+// float32 compute path runs its same-padded 3×3 convolutions through.
+// F(4×4,3×3) computes each 4×4 output tile from a 6×6 input window with
+// 36 multiplies per (ic, oc) pair — 2.25× fewer than the direct kernel —
+// and F(2×2,3×3) covers planes divisible by two but not four. The
+// transform-domain accumulations are independent (OutC×InC)×(InC×tiles)
+// matrix products, which reuse the register-blocked GEMM in
+// internal/tensor; on a scalar core that GEMM is FP-throughput-bound, so
+// the multiply reduction converts directly into wall-clock.
+//
+// Precision policy: Winograd reassociates the arithmetic, so its outputs
+// are NOT bit-identical to the direct kernels — they agree within the
+// float32 tolerance bound (see tensor.PrecisionTolerance; the F(2×2)
+// constants are exact in binary, the F(4×4) constants round at eps).
+// That is why only the float32 path uses it: the float64 master path
+// keeps the direct kernels' exact per-element accumulation order
+// everywhere. The algorithm itself is deterministic and its batch
+// parallelism splits disjoint images with disjoint scratch, so results
+// are bit-identical at any worker count — the same worker-count
+// guarantee as the direct engine, just scoped to the f32 algebra.
+type Winograd[S tensor.Scalar] struct {
+	// Static marks weights as frozen (inference sessions): filter
+	// transforms are computed once per layer and cached. Training
+	// instances leave it false and re-transform every call — the
+	// transform is O(OutC·InC) against O(OutC·InC·H·W) conv work.
+	Static bool
+
+	u  map[*Conv2D[S]]*tensor.Tensor[S] // F(2×2,3×3) cache: (16, OutC, InC)
+	u4 map[*Conv2D[S]]*tensor.Tensor[S] // F(4×4,3×3) cache: (36, OutC, InC)
+
+	// Grow-only scratch: filter transform (non-static), and the serial
+	// path's transform-domain V/M rows.
+	ubuf, v, m *tensor.Tensor[S]
+
+	// scratch recycles per-task V/M row buffers for the batch-parallel
+	// paths; sync.Pool keeps steady-state allocation near zero without
+	// needing worker identities from the pool.
+	scratch sync.Pool
+}
+
+// rowScratch is one task's transform-domain scratch (V then M rows).
+type rowScratch[S tensor.Scalar] struct{ v, m []S }
+
+// getScratch returns a scratch pair with at least the requested sizes.
+func (wg *Winograd[S]) getScratch(vsz, msz int) *rowScratch[S] {
+	rs, _ := wg.scratch.Get().(*rowScratch[S])
+	if rs == nil {
+		rs = &rowScratch[S]{}
+	}
+	if cap(rs.v) < vsz {
+		rs.v = make([]S, vsz)
+	}
+	if cap(rs.m) < msz {
+		rs.m = make([]S, msz)
+	}
+	rs.v, rs.m = rs.v[:vsz], rs.m[:msz]
+	return rs
+}
+
+// NewWinograd returns an empty transform engine; static marks the
+// weights as frozen (see Static).
+func NewWinograd[S tensor.Scalar](static bool) *Winograd[S] {
+	return &Winograd[S]{
+		Static: static,
+		u:      make(map[*Conv2D[S]]*tensor.Tensor[S]),
+		u4:     make(map[*Conv2D[S]]*tensor.Tensor[S]),
+	}
+}
+
+// Usable reports whether the layer/shape combination can run a Winograd
+// transform: a same-padded 3×3 stride-1 convolution on an even-sized
+// plane.
+func (wg *Winograd[S]) Usable(c *Conv2D[S], h, w int) bool {
+	return c.KH == 3 && c.KW == 3 && c.Stride == 1 && c.Pad == 1 && h%2 == 0 && w%2 == 0 && h > 0 && w > 0
+}
+
+// usable4 reports whether the F(4×4,3×3) tiling covers the plane.
+func usable4(h, w int) bool { return h%4 == 0 && w%4 == 0 }
+
+// convSrc locates input planes: channels [0, ca) in xa, [ca, ca+cb) in
+// xb (the virtualized skip concatenation). chanMajor selects the
+// (C, N, plane) layout of the backward pass's dout instead of NCHW.
+type convSrc[S tensor.Scalar] struct {
+	xa, xb    []S
+	ca, cb    int
+	chanMajor bool
+}
+
+// plane returns channel ic of image img.
+func (s convSrc[S]) plane(ic, img, n, plane int) []S {
+	buf, c, k := s.xa, s.ca, ic
+	if ic >= s.ca {
+		buf, c, k = s.xb, s.cb, ic-s.ca
+	}
+	var base int
+	if s.chanMajor {
+		base = (k*n + img) * plane
+	} else {
+		base = (img*c + k) * plane
+	}
+	return buf[base : base+plane]
+}
+
+// filterTransform computes U = G·g·Gᵀ for F(2×2,3×3), laid out as 16
+// contiguous (OutC, InC) GEMM A-operands.
+func (wg *Winograd[S]) filterTransform(c *Conv2D[S]) *tensor.Tensor[S] {
+	if wg.Static {
+		if u, ok := wg.u[c]; ok {
+			return u
+		}
+	}
+	outC, inC := c.OutC, c.InC
+	var u *tensor.Tensor[S]
+	if wg.Static {
+		u = tensor.New[S](16, outC, inC)
+		wg.u[c] = u
+	} else {
+		u = tensor.Grow(&wg.ubuf, 16, outC, inC)
+	}
+	wd := c.Weight.W.Data
+	var gg [12]S // G·g, 4×3
+	for oc := 0; oc < outC; oc++ {
+		for ic := 0; ic < inC; ic++ {
+			g := wd[oc*inC*9+ic*9 : oc*inC*9+ic*9+9]
+			for col := 0; col < 3; col++ {
+				g0, g1, g2 := g[col], g[3+col], g[6+col]
+				gg[col] = g0
+				gg[3+col] = (g0 + g1 + g2) / 2
+				gg[6+col] = (g0 - g1 + g2) / 2
+				gg[9+col] = g2
+			}
+			for row := 0; row < 4; row++ {
+				t0, t1, t2 := gg[row*3], gg[row*3+1], gg[row*3+2]
+				base := (row * 4 * outC * inC)
+				u.Data[base+oc*inC+ic] = t0
+				u.Data[base+outC*inC+oc*inC+ic] = (t0 + t1 + t2) / 2
+				u.Data[base+2*outC*inC+oc*inC+ic] = (t0 - t1 + t2) / 2
+				u.Data[base+3*outC*inC+oc*inC+ic] = t2
+			}
+		}
+	}
+	return u
+}
+
+// g4Row applies the 1-D F(4×4,3×3) G stencil to one 3-tap row.
+func g4Row[S tensor.Scalar](a, b, c S) (r0, r1, r2, r3, r4, r5 S) {
+	r0 = a / 4
+	r1 = -(a + b + c) / 6
+	r2 = (-a + b - c) / 6
+	r3 = a/24 + b/12 + c/6
+	r4 = a/24 - b/12 + c/6
+	r5 = c
+	return
+}
+
+// filterTransform4Into computes the F(4×4,3×3) filter transform
+// U = G·g·Gᵀ into dst (36, outRows, inRows). tap selects the 3×3 taps:
+// the forward conv reads W[oc][ic] directly; the input-gradient conv
+// reads the transposed, 180°-rotated filter.
+func filterTransform4Into[S tensor.Scalar](dst []S, outRows, inRows int, tap func(o, i, ky, kx int) S) {
+	var t [18]S // G·g, 6×3
+	for o := 0; o < outRows; o++ {
+		for i := 0; i < inRows; i++ {
+			for col := 0; col < 3; col++ {
+				r0, r1, r2, r3, r4, r5 := g4Row(tap(o, i, 0, col), tap(o, i, 1, col), tap(o, i, 2, col))
+				t[col], t[3+col], t[6+col] = r0, r1, r2
+				t[9+col], t[12+col], t[15+col] = r3, r4, r5
+			}
+			for row := 0; row < 6; row++ {
+				u0, u1, u2, u3, u4, u5 := g4Row(t[row*3], t[row*3+1], t[row*3+2])
+				base := row * 6 * outRows * inRows
+				step := outRows * inRows
+				dst[base+o*inRows+i] = u0
+				dst[base+step+o*inRows+i] = u1
+				dst[base+2*step+o*inRows+i] = u2
+				dst[base+3*step+o*inRows+i] = u3
+				dst[base+4*step+o*inRows+i] = u4
+				dst[base+5*step+o*inRows+i] = u5
+			}
+		}
+	}
+}
+
+// filterTransform4 returns the forward F(4×4,3×3) filter transform,
+// cached when Static.
+func (wg *Winograd[S]) filterTransform4(c *Conv2D[S]) []S {
+	if wg.Static {
+		if u, ok := wg.u4[c]; ok {
+			return u.Data
+		}
+	}
+	outC, inC := c.OutC, c.InC
+	wd := c.Weight.W.Data
+	var dst []S
+	if wg.Static {
+		u := tensor.New[S](36, outC, inC)
+		wg.u4[c] = u
+		dst = u.Data
+	} else {
+		dst = tensor.Grow(&wg.ubuf, 36, outC, inC).Data
+	}
+	filterTransform4Into(dst, outC, inC, func(o, i, ky, kx int) S {
+		return wd[o*inC*9+i*9+ky*3+kx]
+	})
+	return dst
+}
+
+// gradFilterTransform4 returns the transform of the transposed,
+// 180°-rotated filter — the kernel of dx = conv(dy, rot180(W)ᵀ). Always
+// recomputed: it is only used on the training path, where weights move
+// every step.
+func (wg *Winograd[S]) gradFilterTransform4(c *Conv2D[S]) []S {
+	outC, inC := c.OutC, c.InC
+	wd := c.Weight.W.Data
+	dst := tensor.Grow(&wg.ubuf, 36, inC, outC).Data
+	filterTransform4Into(dst, inC, outC, func(o, i, ky, kx int) S {
+		return wd[i*inC*9+o*9+(2-ky)*3+(2-kx)]
+	})
+	return dst
+}
+
+// Conv computes the same-padded 3×3 convolution with fused bias (and
+// optionally ReLU) through the Winograd transform, serially — inference
+// sessions own their worker. Planes divisible by four run F(4×4,3×3);
+// the rest run F(2×2,3×3).
+func (wg *Winograd[S]) Conv(c *Conv2D[S], xa []S, ca int, xb []S, cb int, n, h, w int, dst []S, relu bool) {
+	src := convSrc[S]{xa: xa, xb: xb, ca: ca, cb: cb}
+	if usable4(h, w) {
+		u := wg.filterTransform4(c)
+		inC, outC := ca+cb, c.OutC
+		th, tw := h/4, w/4
+		v := tensor.Grow(&wg.v, 36, inC, tw)
+		m := tensor.Grow(&wg.m, 36, outC, tw)
+		for img := 0; img < n; img++ {
+			for ty := 0; ty < th; ty++ {
+				wg.conv4Row(u, c.Bias.W.Data, src, img, ty, n, h, w, inC, outC, dst, relu, v.Data, m.Data)
+			}
+		}
+		return
+	}
+	wg.conv2(c, src, n, h, w, dst, relu)
+}
+
+// ConvBatch is Conv parallelized over (image, tile-row) tasks on the
+// given pool — the training forward. Tasks write disjoint output rows
+// and draw scratch from a recycling pool, so results are bit-identical
+// at any worker count and a single large image still fans out. The
+// caller must have checked Usable and plane divisibility by four.
+func (wg *Winograd[S]) ConvBatch(p *pool.Pool, c *Conv2D[S], x []S, n, h, w int, dst []S, relu bool) {
+	src := convSrc[S]{xa: x, ca: c.InC}
+	u := wg.filterTransform4(c)
+	wg.runTasks(p, u, c.Bias.W.Data, src, n, h, w, c.InC, c.OutC, dst, relu)
+}
+
+// InputGradBatch computes dx = conv(dy, rot180(W)ᵀ) — the input gradient
+// of a same-padded 3×3 convolution — through F(4×4,3×3), parallel over
+// (image, tile-row) tasks. dout is the backward pass's channel-major
+// (OutC, N, plane) gradient; dx is written NCHW. The caller must have
+// checked plane divisibility by four.
+func (wg *Winograd[S]) InputGradBatch(p *pool.Pool, c *Conv2D[S], dout []S, n, h, w int, dx []S) {
+	src := convSrc[S]{xa: dout, ca: c.OutC, chanMajor: true}
+	u := wg.gradFilterTransform4(c)
+	// in/out roles swap for the gradient conv.
+	wg.runTasks(p, u, nil, src, n, h, w, c.OutC, c.InC, dx, false)
+}
+
+// runTasks fans (image, tile-row) tasks out on the pool. Each range call
+// borrows one scratch pair; task outputs are disjoint dst rows, so any
+// partitioning yields bit-identical results.
+func (wg *Winograd[S]) runTasks(p *pool.Pool, u, bias []S, src convSrc[S], n, h, w, inC, outC int, dst []S, relu bool) {
+	th, tw := h/4, w/4
+	vsz, msz := 36*inC*tw, 36*outC*tw
+	run := func(lo, hi int) {
+		rs := wg.getScratch(vsz, msz)
+		for t := lo; t < hi; t++ {
+			wg.conv4Row(u, bias, src, t/th, t%th, n, h, w, inC, outC, dst, relu, rs.v, rs.m)
+		}
+		wg.scratch.Put(rs)
+	}
+	if p.Workers() == 1 {
+		run(0, n*th)
+		return
+	}
+	p.MustMapRanges(n*th, 1, run)
+}
+
+// bt4Row applies the 1-D F(4×4,3×3) Bᵀ stencil to six samples.
+func bt4Row[S tensor.Scalar](d0, d1, d2, d3, d4, d5 S) (t0, t1, t2, t3, t4, t5 S) {
+	t0 = 4*d0 - 5*d2 + d4
+	t1 = -4*d1 - 4*d2 + d3 + d4
+	t2 = 4*d1 - 4*d2 - d3 + d4
+	t3 = -2*d1 - d2 + 2*d3 + d4
+	t4 = 2*d1 - d2 - 2*d3 + d4
+	t5 = 4*d1 - 5*d3 + d5
+	return
+}
+
+// at4Row applies the 1-D F(4×4,3×3) Aᵀ stencil to six samples.
+func at4Row[S tensor.Scalar](m0, m1, m2, m3, m4, m5 S) (y0, y1, y2, y3 S) {
+	y0 = m0 + m1 + m2 + m3 + m4
+	y1 = m1 - m2 + 2*m3 - 2*m4
+	y2 = m1 + m2 + 4*m3 + 4*m4
+	y3 = m1 - m2 + 8*m3 - 8*m4 + m5
+	return
+}
+
+// conv4Row runs the F(4×4,3×3) pipeline for one tile row of one image:
+// 4×4 output tiles from 6×6 input windows, 36 multiplies per 16
+// outputs. The V and M scratch for a row is a few tens of KB, so the 36
+// transform component streams and the 36 small GEMMs all run over
+// L1/L2-resident memory instead of thrashing plane-sized buffers
+// through DRAM. bias may be nil (the gradient conv has none).
+func (wg *Winograd[S]) conv4Row(u, bias []S, src convSrc[S], img, ty, n, h, w, inC, outC int, dst []S, relu bool, vbuf, mbuf []S) {
+	tw := w / 4
+	plane := h * w
+	var vr [36][]S
+	var mr [36][]S
+	{
+		y0 := 4*ty - 1
+		interiorY := y0 >= 0 && y0+6 <= h
+
+		// Input transform: V[u][ic][tx] = (Bᵀ·d·B)[u]. Interior tiles
+		// take a branch-free fast path on six row slices.
+		for ic := 0; ic < inC; ic++ {
+			xsrc := src.plane(ic, img, n, plane)
+			for idx := 0; idx < 36; idx++ {
+				vr[idx] = vbuf[(idx*inC+ic)*tw : (idx*inC+ic)*tw+tw]
+			}
+			for tx := 0; tx < tw; tx++ {
+				x0 := 4*tx - 1
+				var d [36]S
+				if interiorY && x0 >= 0 && x0+6 <= w {
+					p := y0*w + x0
+					for r := 0; r < 6; r++ {
+						row := xsrc[p+r*w : p+r*w+6 : p+r*w+6]
+						d[r*6+0], d[r*6+1], d[r*6+2] = row[0], row[1], row[2]
+						d[r*6+3], d[r*6+4], d[r*6+5] = row[3], row[4], row[5]
+					}
+				} else {
+					for r := 0; r < 6; r++ {
+						iy := y0 + r
+						if iy < 0 || iy >= h {
+							continue
+						}
+						row := xsrc[iy*w : iy*w+w]
+						for cc := 0; cc < 6; cc++ {
+							ix := x0 + cc
+							if ix >= 0 && ix < w {
+								d[r*6+cc] = row[ix]
+							}
+						}
+					}
+				}
+				// Bᵀ·d (column ops) …
+				var t [36]S
+				for cc := 0; cc < 6; cc++ {
+					t0, t1, t2, t3, t4, t5 := bt4Row(d[cc], d[6+cc], d[12+cc], d[18+cc], d[24+cc], d[30+cc])
+					t[cc], t[6+cc], t[12+cc] = t0, t1, t2
+					t[18+cc], t[24+cc], t[30+cc] = t3, t4, t5
+				}
+				// … then ·B (row ops), one write stream per component.
+				for r := 0; r < 6; r++ {
+					t0, t1, t2, t3, t4, t5 := bt4Row(t[r*6], t[r*6+1], t[r*6+2], t[r*6+3], t[r*6+4], t[r*6+5])
+					vr[r*6+0][tx], vr[r*6+1][tx], vr[r*6+2][tx] = t0, t1, t2
+					vr[r*6+3][tx], vr[r*6+4][tx], vr[r*6+5][tx] = t3, t4, t5
+				}
+			}
+		}
+
+		// Transform-domain accumulation: 36 small GEMMs over the hot row
+		// scratch, serial within the image (batch parallelism is outside).
+		for idx := 0; idx < 36; idx++ {
+			tensor.GemmSerial(
+				mbuf[idx*outC*tw:(idx+1)*outC*tw],
+				u[idx*outC*inC:(idx+1)*outC*inC],
+				vbuf[idx*inC*tw:(idx+1)*inC*tw],
+				outC, inC, tw)
+		}
+
+		// Output transform: Y = Aᵀ·M·A (4×4 per tile) + bias (+ReLU).
+		for oc := 0; oc < outC; oc++ {
+			var b S
+			if bias != nil {
+				b = bias[oc]
+			}
+			dp := dst[(img*outC+oc)*plane : (img*outC+oc+1)*plane]
+			for idx := 0; idx < 36; idx++ {
+				mr[idx] = mbuf[(idx*outC+oc)*tw : (idx*outC+oc)*tw+tw]
+			}
+			var outRow [4][]S
+			for r := 0; r < 4; r++ {
+				outRow[r] = dp[(4*ty+r)*w : (4*ty+r)*w+w]
+			}
+			for tx := 0; tx < tw; tx++ {
+				var e [24]S // Aᵀ·M, 4×6
+				for cc := 0; cc < 6; cc++ {
+					y0, y1, y2, y3 := at4Row(mr[cc][tx], mr[6+cc][tx], mr[12+cc][tx], mr[18+cc][tx], mr[24+cc][tx], mr[30+cc][tx])
+					e[cc], e[6+cc], e[12+cc], e[18+cc] = y0, y1, y2, y3
+				}
+				for r := 0; r < 4; r++ {
+					y0, y1, y2, y3 := at4Row(e[r*6], e[r*6+1], e[r*6+2], e[r*6+3], e[r*6+4], e[r*6+5])
+					y0, y1, y2, y3 = y0+b, y1+b, y2+b, y3+b
+					if relu {
+						if y0 < 0 {
+							y0 = 0
+						}
+						if y1 < 0 {
+							y1 = 0
+						}
+						if y2 < 0 {
+							y2 = 0
+						}
+						if y3 < 0 {
+							y3 = 0
+						}
+					}
+					o := outRow[r]
+					o[4*tx], o[4*tx+1], o[4*tx+2], o[4*tx+3] = y0, y1, y2, y3
+				}
+			}
+		}
+	}
+}
+
+// conv2 is the F(2×2,3×3) pipeline, covering even planes not divisible
+// by four (serial; only the inference session reaches it).
+func (wg *Winograd[S]) conv2(c *Conv2D[S], src convSrc[S], n, h, w int, dst []S, relu bool) {
+	inC := src.ca + src.cb
+	outC := c.OutC
+	th, tw := h/2, w/2
+	u := wg.filterTransform(c)
+	v := tensor.Grow(&wg.v, 16, inC, tw)
+	m := tensor.Grow(&wg.m, 16, outC, tw)
+	plane := h * w
+
+	var vr [16][]S
+	var mr [16][]S
+	for img := 0; img < n; img++ {
+		for ty := 0; ty < th; ty++ {
+			y0 := 2*ty - 1
+			interiorY := ty >= 1 && ty <= th-2
+
+			for ic := 0; ic < inC; ic++ {
+				xsrc := src.plane(ic, img, n, plane)
+				for idx := 0; idx < 16; idx++ {
+					vr[idx] = v.Data[(idx*inC+ic)*tw : (idx*inC+ic)*tw+tw]
+				}
+				for tx := 0; tx < tw; tx++ {
+					x0 := 2*tx - 1
+					var d00, d01, d02, d03, d10, d11, d12, d13 S
+					var d20, d21, d22, d23, d30, d31, d32, d33 S
+					if interiorY && tx >= 1 && tx <= tw-2 {
+						p := y0*w + x0
+						r0 := xsrc[p : p+4 : p+4]
+						r1 := xsrc[p+w : p+w+4 : p+w+4]
+						r2 := xsrc[p+2*w : p+2*w+4 : p+2*w+4]
+						r3 := xsrc[p+3*w : p+3*w+4 : p+3*w+4]
+						d00, d01, d02, d03 = r0[0], r0[1], r0[2], r0[3]
+						d10, d11, d12, d13 = r1[0], r1[1], r1[2], r1[3]
+						d20, d21, d22, d23 = r2[0], r2[1], r2[2], r2[3]
+						d30, d31, d32, d33 = r3[0], r3[1], r3[2], r3[3]
+					} else {
+						var d [16]S
+						for r := 0; r < 4; r++ {
+							iy := y0 + r
+							if iy < 0 || iy >= h {
+								continue
+							}
+							row := xsrc[iy*w : iy*w+w]
+							for cc := 0; cc < 4; cc++ {
+								ix := x0 + cc
+								if ix >= 0 && ix < w {
+									d[r*4+cc] = row[ix]
+								}
+							}
+						}
+						d00, d01, d02, d03 = d[0], d[1], d[2], d[3]
+						d10, d11, d12, d13 = d[4], d[5], d[6], d[7]
+						d20, d21, d22, d23 = d[8], d[9], d[10], d[11]
+						d30, d31, d32, d33 = d[12], d[13], d[14], d[15]
+					}
+					// Bᵀ·d (column ops), then ·B (row ops).
+					t00, t01, t02, t03 := d00-d20, d01-d21, d02-d22, d03-d23
+					t10, t11, t12, t13 := d10+d20, d11+d21, d12+d22, d13+d23
+					t20, t21, t22, t23 := d20-d10, d21-d11, d22-d12, d23-d13
+					t30, t31, t32, t33 := d10-d30, d11-d31, d12-d32, d13-d33
+					vr[0][tx], vr[1][tx], vr[2][tx], vr[3][tx] = t00-t02, t01+t02, t02-t01, t01-t03
+					vr[4][tx], vr[5][tx], vr[6][tx], vr[7][tx] = t10-t12, t11+t12, t12-t11, t11-t13
+					vr[8][tx], vr[9][tx], vr[10][tx], vr[11][tx] = t20-t22, t21+t22, t22-t21, t21-t23
+					vr[12][tx], vr[13][tx], vr[14][tx], vr[15][tx] = t30-t32, t31+t32, t32-t31, t31-t33
+				}
+			}
+
+			for idx := 0; idx < 16; idx++ {
+				tensor.GemmSerial(
+					m.Data[idx*outC*tw:(idx+1)*outC*tw],
+					u.Data[idx*outC*inC:(idx+1)*outC*inC],
+					v.Data[idx*inC*tw:(idx+1)*inC*tw],
+					outC, inC, tw)
+			}
+
+			// Output transform: Y = Aᵀ·M·A per tile, plus bias (+ReLU).
+			for oc := 0; oc < outC; oc++ {
+				b := c.Bias.W.Data[oc]
+				dp := dst[(img*outC+oc)*plane : (img*outC+oc+1)*plane]
+				out0 := dp[(2*ty)*w : (2*ty)*w+w]
+				out1 := dp[(2*ty+1)*w : (2*ty+1)*w+w]
+				for idx := 0; idx < 16; idx++ {
+					mr[idx] = m.Data[(idx*outC+oc)*tw : (idx*outC+oc)*tw+tw]
+				}
+				for tx := 0; tx < tw; tx++ {
+					m00, m01, m02, m03 := mr[0][tx], mr[1][tx], mr[2][tx], mr[3][tx]
+					m10, m11, m12, m13 := mr[4][tx], mr[5][tx], mr[6][tx], mr[7][tx]
+					m20, m21, m22, m23 := mr[8][tx], mr[9][tx], mr[10][tx], mr[11][tx]
+					m30, m31, m32, m33 := mr[12][tx], mr[13][tx], mr[14][tx], mr[15][tx]
+					// Aᵀ·M (column ops), then ·A (row ops).
+					r00, r01, r02, r03 := m00+m10+m20, m01+m11+m21, m02+m12+m22, m03+m13+m23
+					r10, r11, r12, r13 := m10-m20-m30, m11-m21-m31, m12-m22-m32, m13-m23-m33
+					y00 := r00 + r01 + r02 + b
+					y01 := r01 - r02 - r03 + b
+					y10 := r10 + r11 + r12 + b
+					y11 := r11 - r12 - r13 + b
+					if relu {
+						if y00 < 0 {
+							y00 = 0
+						}
+						if y01 < 0 {
+							y01 = 0
+						}
+						if y10 < 0 {
+							y10 = 0
+						}
+						if y11 < 0 {
+							y11 = 0
+						}
+					}
+					out0[2*tx], out0[2*tx+1] = y00, y01
+					out1[2*tx], out1[2*tx+1] = y10, y11
+				}
+			}
+		}
+	}
+}

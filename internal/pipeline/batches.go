@@ -4,26 +4,38 @@ import (
 	"fmt"
 
 	"seaice/internal/dataset"
+	"seaice/internal/tensor"
 	"seaice/internal/train"
 )
 
 // TrainBatches returns a double-buffered train.BatchSource over the
-// plan's training subset: a background assembler waits for the scenes
-// batch k+1 needs, gathers its tiles, and packs the tensor while the
-// trainer computes batch k. The batch sequence equals
-// train.Fit(dataset.Samples(...)) exactly — only the overlap differs.
-func (s *Stream) TrainBatches() (train.BatchSource, error) {
+// plan's training subset in the float64 reference precision; see
+// TrainBatchesOf for the precision-generic form. The batch sequence
+// equals train.Fit(dataset.Samples(...)) exactly — only the overlap
+// differs.
+func (s *Stream) TrainBatches() (train.BatchSource[float64], error) {
+	return TrainBatchesOf[float64](s)
+}
+
+// TrainBatchesOf returns the stream's double-buffered batch source packed
+// in the requested compute precision: a background assembler waits for
+// the scenes batch k+1 needs, gathers its tiles, and packs the tensor
+// while the trainer computes batch k. Which samples land in which batch
+// is precision-independent (pure index math); only the packed tensor's
+// element type differs, so a float32 training run streams half the batch
+// bytes through the double buffer.
+func TrainBatchesOf[S tensor.Scalar](s *Stream) (train.BatchSource[S], error) {
 	if s.plan == nil {
 		return nil, fmt.Errorf("pipeline: no TrainPlan configured")
 	}
 	s.ensureStarted()
-	return &batchSource{s: s}, nil
+	return &batchSource[S]{s: s}, nil
 }
 
-type batchSource struct{ s *Stream }
+type batchSource[S tensor.Scalar] struct{ s *Stream }
 
-type packed struct {
-	pb  *train.PackedBatch
+type packed[S tensor.Scalar] struct {
+	pb  *train.PackedBatch[S]
 	err error
 }
 
@@ -31,12 +43,12 @@ type packed struct {
 // producer working one batch ahead is the double buffer: at steady state
 // one packed batch waits while the next is being assembled and the
 // trainer consumes a third.
-func (b *batchSource) Epoch(epoch int) func() (*train.PackedBatch, error) {
+func (b *batchSource[S]) Epoch(epoch int) func() (*train.PackedBatch[S], error) {
 	s := b.s
 	plan := *s.cfg.Plan
 	batches := train.BatchIndices(len(s.plan.trainTileIdx), plan.BatchSize, plan.BatchSeed, epoch)
 
-	ch := make(chan packed, 1)
+	ch := make(chan packed[S], 1)
 	go func() {
 		defer close(ch)
 		for _, idxs := range batches {
@@ -45,18 +57,18 @@ func (b *batchSource) Epoch(epoch int) func() (*train.PackedBatch, error) {
 				global[i] = s.plan.trainTileIdx[j]
 			}
 			tiles, err := s.gather(global)
-			var pb *train.PackedBatch
+			var pb *train.PackedBatch[S]
 			if err == nil {
 				samples := dataset.Samples(tiles, plan.Image, plan.Labels)
-				xt, labels, terr := train.ToTensor(samples)
+				xt, labels, terr := train.ToTensor[S](samples)
 				if terr != nil {
 					err = terr
 				} else {
-					pb = &train.PackedBatch{X: xt, Labels: labels}
+					pb = &train.PackedBatch[S]{X: xt, Labels: labels}
 				}
 			}
 			select {
-			case ch <- packed{pb: pb, err: err}:
+			case ch <- packed[S]{pb: pb, err: err}:
 			case <-s.quit:
 				return
 			}
@@ -67,7 +79,7 @@ func (b *batchSource) Epoch(epoch int) func() (*train.PackedBatch, error) {
 	}()
 
 	delivered := 0
-	return func() (*train.PackedBatch, error) {
+	return func() (*train.PackedBatch[S], error) {
 		it, ok := <-ch
 		if !ok {
 			if delivered < len(batches) {

@@ -226,9 +226,9 @@ func BenchmarkPipelineOverlap(b *testing.B) {
 	}
 }
 
-func mustModel(b *testing.B, cfg unet.Config) *unet.Model {
+func mustModel(b *testing.B, cfg unet.Config) *unet.Model[float64] {
 	b.Helper()
-	m, err := unet.New(cfg)
+	m, err := unet.New[float64](cfg)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -196,7 +196,7 @@ func TestStreamedTrainingParity(t *testing.T) {
 	modelCfg := unet.Config{Depth: 2, BaseChannels: 4, InChannels: 3, Classes: 3, DropoutRate: 0, Seed: 11}
 	trainCfg := train.Config{Epochs: 2, BatchSize: plan.BatchSize, LR: 0.01, Seed: plan.BatchSeed}
 
-	ref, err := unet.New(modelCfg)
+	ref, err := unet.New[float64](modelCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +214,7 @@ func TestStreamedTrainingParity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := unet.New(modelCfg)
+	got, err := unet.New[float64](modelCfg)
 	if err != nil {
 		t.Fatal(err)
 	}

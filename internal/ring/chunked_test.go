@@ -49,7 +49,7 @@ func TestAllReduceMeanChunkedMatchesMean(t *testing.T) {
 // TestAllReduceMeanChunkedRejectsMismatch mirrors the length validation of
 // the unchunked entry points.
 func TestAllReduceMeanChunkedRejectsMismatch(t *testing.T) {
-	if err := AllReduceMeanChunked(nil, 8); err == nil {
+	if err := AllReduceMeanChunked[float64](nil, 8); err == nil {
 		t.Fatalf("empty rank set accepted")
 	}
 	if err := AllReduceMeanChunked([][]float64{make([]float64, 4), make([]float64, 5)}, 2); err == nil {

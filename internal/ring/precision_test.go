@@ -1,0 +1,45 @@
+package ring
+
+import (
+	"math"
+	"testing"
+)
+
+// TestAllReduceMeanChunkedF32: the float32 ring (half the wire bytes per
+// reduce) must leave every rank with identical values, matching the
+// float64 mean of the same inputs within float32 accumulation tolerance.
+func TestAllReduceMeanChunkedF32(t *testing.T) {
+	const p, n = 4, 1000
+	f32 := make([][]float32, p)
+	f64 := make([][]float64, p)
+	for r := 0; r < p; r++ {
+		f32[r] = make([]float32, n)
+		f64[r] = make([]float64, n)
+		for i := 0; i < n; i++ {
+			v := float32(r*31+i%17)*0.25 - 3
+			f32[r][i] = v
+			f64[r][i] = float64(v)
+		}
+	}
+	if err := AllReduceMeanChunked(f32, 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := AllReduceMeanChunked(f64, 64); err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < p; r++ {
+		for i := range f32[0] {
+			if f32[r][i] != f32[0][i] {
+				t.Fatalf("rank %d diverges from rank 0 at %d", r, i)
+			}
+		}
+	}
+	// p summands + the mean division: (p+1)·eps32 bound.
+	tol := float64(p+1) * 1.2e-7
+	for i := range f64[0] {
+		w := f64[0][i]
+		if d := math.Abs(float64(f32[0][i]) - w); d > tol*math.Max(math.Abs(w), 1) {
+			t.Fatalf("element %d: f32 %g vs f64 %g", i, f32[0][i], w)
+		}
+	}
+}

@@ -22,7 +22,9 @@
 // a rank accumulates at which step) is a pure function of (rank count,
 // vector length, chunk size), so floating-point accumulation order —
 // and therefore every bit of the result — is identical across runs and
-// across goroutine interleavings. AllReduceMeanChunked pipelines
+// across goroutine interleavings, for either element precision (the
+// ring is generic over Scalar; float32 gradients move half the bytes
+// per hop). AllReduceMeanChunked pipelines
 // independent chunks concurrently; chunks never share elements, so
 // chunking changes wall-clock only, never the result.
 package ring
@@ -32,11 +34,19 @@ import (
 	"sync"
 )
 
+// Scalar is the element constraint: the ring reduces float32 gradient
+// vectors (half the wire bytes per reduce) or float64 reference vectors.
+// It matches tensor.Scalar; it is redeclared here so the communication
+// substrate has no dependency on the tensor package.
+type Scalar interface {
+	float32 | float64
+}
+
 // AllReduceSum performs an in-place ring all-reduce (sum) across the
 // vectors; vectors[r] is rank r's input and, on return, every vector
 // holds the element-wise sum. All vectors must share one length.
 // AllReduceSum blocks until every rank finishes.
-func AllReduceSum(vectors [][]float64) error {
+func AllReduceSum[S Scalar](vectors [][]S) error {
 	p := len(vectors)
 	if p == 0 {
 		return fmt.Errorf("ring: no ranks")
@@ -61,9 +71,9 @@ func AllReduceSum(vectors [][]float64) error {
 	// buffer of 1 lets every rank send before receiving, which is how
 	// hardware rings pipeline; with unbuffered channels the uniform
 	// send-then-receive schedule would deadlock.
-	links := make([]chan []float64, p)
+	links := make([]chan []S, p)
 	for r := range links {
-		links[r] = make(chan []float64, 1)
+		links[r] = make(chan []S, 1)
 	}
 
 	var wg sync.WaitGroup
@@ -79,7 +89,7 @@ func AllReduceSum(vectors [][]float64) error {
 			for s := 0; s < p-1; s++ {
 				sendChunk := ((rank-s)%p + p) % p
 				lo, hi := bounds[sendChunk], bounds[sendChunk+1]
-				buf := make([]float64, hi-lo)
+				buf := make([]S, hi-lo)
 				copy(buf, vec[lo:hi])
 				next <- buf
 
@@ -94,7 +104,7 @@ func AllReduceSum(vectors [][]float64) error {
 			for s := 0; s < p-1; s++ {
 				sendChunk := ((rank+1-s)%p + p) % p
 				lo, hi := bounds[sendChunk], bounds[sendChunk+1]
-				buf := make([]float64, hi-lo)
+				buf := make([]S, hi-lo)
 				copy(buf, vec[lo:hi])
 				next <- buf
 
@@ -111,11 +121,11 @@ func AllReduceSum(vectors [][]float64) error {
 
 // AllReduceMean sums across ranks then divides by the rank count — the
 // gradient-averaging step of synchronous data-parallel SGD.
-func AllReduceMean(vectors [][]float64) error {
+func AllReduceMean[S Scalar](vectors [][]S) error {
 	if err := AllReduceSum(vectors); err != nil {
 		return err
 	}
-	inv := 1 / float64(len(vectors))
+	inv := S(1) / S(len(vectors))
 	for _, v := range vectors {
 		for i := range v {
 			v[i] *= inv
@@ -142,7 +152,7 @@ const maxConcurrentSegments = 4
 // serial reduce per parameter. Results equal AllReduceMean's up to
 // floating-point association (the per-element rank order depends on chunk
 // geometry); all ranks still finish with identical values.
-func AllReduceMeanChunked(vectors [][]float64, chunk int) error {
+func AllReduceMeanChunked[S Scalar](vectors [][]S, chunk int) error {
 	p := len(vectors)
 	if p == 0 {
 		return fmt.Errorf("ring: no ranks")
@@ -169,13 +179,13 @@ func AllReduceMeanChunked(vectors [][]float64, chunk int) error {
 		if hi > n {
 			hi = n
 		}
-		views := make([][]float64, p)
+		views := make([][]S, p)
 		for r := range vectors {
 			views[r] = vectors[r][lo:hi]
 		}
 		wg.Add(1)
 		sem <- struct{}{}
-		go func(views [][]float64) {
+		go func(views [][]S) {
 			defer wg.Done()
 			errs <- AllReduceMean(views)
 			<-sem
@@ -195,7 +205,7 @@ func AllReduceMeanChunked(vectors [][]float64, chunk int) error {
 // every vector, reduces, and redistributes. It moves (p−1)·n values
 // through a single root in each direction — the bottleneck the ring
 // removes — and exists for the ablation benchmarks.
-func NaiveAllReduceSum(vectors [][]float64) error {
+func NaiveAllReduceSum[S Scalar](vectors [][]S) error {
 	p := len(vectors)
 	if p == 0 {
 		return fmt.Errorf("ring: no ranks")
@@ -220,7 +230,7 @@ func NaiveAllReduceSum(vectors [][]float64) error {
 
 // Broadcast copies rank 0's vector to every other rank (Horovod's
 // BroadcastGlobalVariables at training start).
-func Broadcast(vectors [][]float64) error {
+func Broadcast[S Scalar](vectors [][]S) error {
 	if len(vectors) == 0 {
 		return fmt.Errorf("ring: no ranks")
 	}

@@ -132,7 +132,7 @@ func TestBroadcast(t *testing.T) {
 }
 
 func TestAllReduceErrors(t *testing.T) {
-	if err := AllReduceSum(nil); err == nil {
+	if err := AllReduceSum[float64](nil); err == nil {
 		t.Fatal("expected error for zero ranks")
 	}
 	if err := AllReduceSum([][]float64{{1, 2}, {1}}); err == nil {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"seaice/internal/raster"
+	"seaice/internal/tensor"
 	"seaice/internal/unet"
 )
 
@@ -18,8 +19,8 @@ var ErrOverloaded = errors.New("serve: queue full")
 var ErrClosed = errors.New("serve: scheduler closed")
 
 // request is one tile awaiting classification.
-type request struct {
-	model *unet.Model
+type request[S tensor.Scalar] struct {
+	model *unet.Model[S]
 	tile  *raster.RGB
 	out   chan result
 }
@@ -35,9 +36,9 @@ type result struct {
 // buffers that are reused across batches). The first request a worker
 // picks up becomes the batch leader and waits up to BatchWait for
 // followers with the same model and tile size, up to MaxBatch tiles.
-type Scheduler struct {
+type Scheduler[S tensor.Scalar] struct {
 	cfg   Config
-	queue chan *request
+	queue chan *request[S]
 	done  chan struct{}
 
 	mu       sync.Mutex
@@ -49,10 +50,10 @@ type Scheduler struct {
 }
 
 // NewScheduler starts the worker pool. stats may be nil.
-func NewScheduler(cfg Config, stats *Stats) *Scheduler {
-	s := &Scheduler{
+func NewScheduler[S tensor.Scalar](cfg Config, stats *Stats) *Scheduler[S] {
+	s := &Scheduler[S]{
 		cfg:   cfg,
-		queue: make(chan *request, cfg.QueueSize),
+		queue: make(chan *request[S], cfg.QueueSize),
 		done:  make(chan struct{}),
 		stats: stats,
 	}
@@ -64,11 +65,11 @@ func NewScheduler(cfg Config, stats *Stats) *Scheduler {
 }
 
 // QueueDepth reports the number of queued (not yet running) requests.
-func (s *Scheduler) QueueDepth() int { return len(s.queue) }
+func (s *Scheduler[S]) QueueDepth() int { return len(s.queue) }
 
 // Submit enqueues one tile and blocks until its prediction is ready.
 // A full queue returns ErrOverloaded immediately.
-func (s *Scheduler) Submit(m *unet.Model, tile *raster.RGB) (*raster.Labels, error) {
+func (s *Scheduler[S]) Submit(m *unet.Model[S], tile *raster.RGB) (*raster.Labels, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -78,7 +79,7 @@ func (s *Scheduler) Submit(m *unet.Model, tile *raster.RGB) (*raster.Labels, err
 	s.mu.Unlock()
 	defer s.inflight.Done()
 
-	req := &request{model: m, tile: tile, out: make(chan result, 1)}
+	req := &request[S]{model: m, tile: tile, out: make(chan result, 1)}
 	select {
 	case s.queue <- req:
 	default:
@@ -93,7 +94,7 @@ func (s *Scheduler) Submit(m *unet.Model, tile *raster.RGB) (*raster.Labels, err
 
 // Close drains in-flight work and stops the workers. Safe to call more
 // than once.
-func (s *Scheduler) Close() {
+func (s *Scheduler[S]) Close() {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -111,12 +112,12 @@ func (s *Scheduler) Close() {
 }
 
 // worker drains the queue, forming micro-batches.
-func (s *Scheduler) worker() {
+func (s *Scheduler[S]) worker() {
 	defer s.workers.Done()
-	sessions := make(map[*unet.Model]*unet.Session)
-	var pending *request // first request of the next batch after a mismatch
+	sessions := make(map[*unet.Model[S]]*unet.Session[S])
+	var pending *request[S] // first request of the next batch after a mismatch
 	for {
-		var leader *request
+		var leader *request[S]
 		if pending != nil {
 			leader, pending = pending, nil
 		} else {
@@ -126,7 +127,7 @@ func (s *Scheduler) worker() {
 			case leader = <-s.queue:
 			}
 		}
-		batch := []*request{leader}
+		batch := []*request[S]{leader}
 		if s.cfg.MaxBatch > 1 {
 			batch, pending = s.collect(batch)
 		}
@@ -137,7 +138,7 @@ func (s *Scheduler) worker() {
 // collect gathers followers for batch's leader until the batch is full,
 // BatchWait elapses, or a mismatched request arrives (returned as the
 // next leader).
-func (s *Scheduler) collect(batch []*request) ([]*request, *request) {
+func (s *Scheduler[S]) collect(batch []*request[S]) ([]*request[S], *request[S]) {
 	leader := batch[0]
 	timer := time.NewTimer(s.cfg.BatchWait)
 	defer timer.Stop()
@@ -159,7 +160,7 @@ func (s *Scheduler) collect(batch []*request) ([]*request, *request) {
 
 // run executes one batch on the worker's session for its model and
 // delivers per-request results.
-func (s *Scheduler) run(sessions map[*unet.Model]*unet.Session, batch []*request) {
+func (s *Scheduler[S]) run(sessions map[*unet.Model[S]]*unet.Session[S], batch []*request[S]) {
 	sess, ok := sessions[batch[0].model]
 	if !ok {
 		sess = unet.NewSession(batch[0].model)

@@ -26,7 +26,7 @@ func TestSchedulerCoalesces(t *testing.T) {
 	cfg.MaxBatch = 8
 	cfg.BatchWait = 50 * time.Millisecond
 	stats := NewStats()
-	sched := NewScheduler(cfg, stats)
+	sched := NewScheduler[float64](cfg, stats)
 	defer sched.Close()
 
 	const n = 16
@@ -61,7 +61,7 @@ func TestSchedulerCoalesces(t *testing.T) {
 func TestSchedulerMatchesSession(t *testing.T) {
 	m := testModel(t, 4)
 	cfg := schedCfg()
-	sched := NewScheduler(cfg, nil)
+	sched := NewScheduler[float64](cfg, nil)
 	defer sched.Close()
 
 	tiles := testTiles(12, 16, 8)
@@ -99,7 +99,7 @@ func TestSchedulerMixedShapes(t *testing.T) {
 	cfg := schedCfg()
 	cfg.MaxBatch = 4
 	cfg.BatchWait = 10 * time.Millisecond
-	sched := NewScheduler(cfg, nil)
+	sched := NewScheduler[float64](cfg, nil)
 	defer sched.Close()
 
 	small := testTiles(6, 16, 10)
@@ -107,7 +107,7 @@ func TestSchedulerMixedShapes(t *testing.T) {
 	var wg sync.WaitGroup
 	errs := make([]error, 0, 24)
 	var mu sync.Mutex
-	submit := func(m *unet.Model, tile *raster.RGB, wantSize int) {
+	submit := func(m *unet.Model[float64], tile *raster.RGB, wantSize int) {
 		defer wg.Done()
 		labels, err := sched.Submit(m, tile)
 		if err == nil && (labels.W != wantSize || labels.H != wantSize) {
@@ -141,7 +141,7 @@ func TestSchedulerBackpressure(t *testing.T) {
 	cfg.MaxBatch = 1
 	cfg.BatchWait = 0
 	stats := NewStats()
-	sched := NewScheduler(cfg, stats)
+	sched := NewScheduler[float64](cfg, stats)
 	defer sched.Close()
 
 	const n = 48
@@ -185,7 +185,7 @@ func TestSchedulerBackpressure(t *testing.T) {
 func TestSchedulerClose(t *testing.T) {
 	m := testModel(t, 8)
 	cfg := schedCfg()
-	sched := NewScheduler(cfg, nil)
+	sched := NewScheduler[float64](cfg, nil)
 
 	tiles := testTiles(8, 16, 13)
 	var wg sync.WaitGroup

@@ -117,7 +117,7 @@ func TestRegistry(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	r := NewRegistry()
+	r := NewRegistry[float64]()
 	if err := r.Load("man", good); err != nil {
 		t.Fatal(err)
 	}

@@ -13,6 +13,7 @@ import (
 
 	"seaice/internal/core"
 	"seaice/internal/raster"
+	"seaice/internal/tensor"
 	"seaice/internal/unet"
 )
 
@@ -22,10 +23,10 @@ const maxBodyBytes = 64 << 20
 
 // Server is the HTTP front end: it owns the scheduler, cache, and stats
 // and exposes the classification service over stdlib net/http.
-type Server struct {
+type Server[S tensor.Scalar] struct {
 	cfg   Config
-	reg   *Registry
-	sched *Scheduler
+	reg   *Registry[S]
+	sched *Scheduler[S]
 	cache *Cache
 	stats *Stats
 	mux   *http.ServeMux
@@ -36,7 +37,7 @@ type Server struct {
 
 // NewServer validates cfg, warms every registered model, and starts the
 // inference worker pool. Callers must Close the server to stop the pool.
-func NewServer(cfg Config, reg *Registry) (*Server, error) {
+func NewServer[S tensor.Scalar](cfg Config, reg *Registry[S]) (*Server[S], error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -46,7 +47,7 @@ func NewServer(cfg Config, reg *Registry) (*Server, error) {
 	if err := reg.Warm(cfg.TileSize); err != nil {
 		return nil, err
 	}
-	s := &Server{
+	s := &Server[S]{
 		cfg:   cfg,
 		reg:   reg,
 		cache: NewCache(cfg.CacheSize),
@@ -55,7 +56,7 @@ func NewServer(cfg Config, reg *Registry) (*Server, error) {
 		// enough submits in flight to fill micro-batches.
 		fanout: max(1, min(cfg.QueueSize/2, 4*cfg.MaxBatch)),
 	}
-	s.sched = NewScheduler(cfg, s.stats)
+	s.sched = NewScheduler[S](cfg, s.stats)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/classify", s.handleClassify)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -64,14 +65,14 @@ func NewServer(cfg Config, reg *Registry) (*Server, error) {
 }
 
 // Handler returns the HTTP handler tree.
-func (s *Server) Handler() http.Handler { return s.mux }
+func (s *Server[S]) Handler() http.Handler { return s.mux }
 
 // Close stops the inference pool, draining in-flight requests.
-func (s *Server) Close() { s.sched.Close() }
+func (s *Server[S]) Close() { s.sched.Close() }
 
 // Stats exposes the server's recorder (for tests and the load
 // generator).
-func (s *Server) Stats() Snapshot {
+func (s *Server[S]) Stats() Snapshot {
 	hits, misses := s.cache.Counters()
 	return s.stats.Snapshot(s.sched.QueueDepth(), hits, misses)
 }
@@ -93,7 +94,7 @@ type classifyStats struct {
 // handleClassify implements POST /classify: PNG scene (or single tile)
 // in, label-map PNG plus class statistics out. Unknown models 404, bad
 // inputs 400, backpressure 429.
-func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+func (s *Server[S]) handleClassify(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST a PNG to /classify", http.StatusMethodNotAllowed)
 		return
@@ -115,7 +116,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	pred := &servingPredictor{srv: s, model: model, modelName: modelName}
+	pred := &servingPredictor[S]{srv: s, model: model, modelName: modelName}
 	labels, err := core.InferScene(pred, img, s.cfg.TileSize, s.cfg.Build)
 	elapsed := time.Since(start)
 	if err != nil {
@@ -194,7 +195,7 @@ func decodeSceneBody(r *http.Request, tileSize int) (*raster.RGB, int, error) {
 	return raster.FromImage(decoded), 0, nil
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+func (s *Server[S]) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{
 		"status":  "ok",
@@ -203,7 +204,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+func (s *Server[S]) handleStatz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(s.Stats())
 }
@@ -212,16 +213,16 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 // the shared inference workflow: cached tiles are answered from the LRU,
 // misses fan out as concurrent scheduler submits so the micro-batcher
 // can coalesce them, and fresh results are written back to the cache.
-type servingPredictor struct {
-	srv       *Server
-	model     *unet.Model
+type servingPredictor[S tensor.Scalar] struct {
+	srv       *Server[S]
+	model     *unet.Model[S]
 	modelName string
 	tiles     int
 	cacheHits int
 }
 
 // PredictTiles implements core.TilePredictor.
-func (p *servingPredictor) PredictTiles(tiles []*raster.RGB) ([]*raster.Labels, error) {
+func (p *servingPredictor[S]) PredictTiles(tiles []*raster.RGB) ([]*raster.Labels, error) {
 	p.tiles += len(tiles)
 	out := make([]*raster.Labels, len(tiles))
 	cached := p.srv.cache.Enabled()

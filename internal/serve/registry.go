@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"seaice/internal/raster"
+	"seaice/internal/tensor"
 	"seaice/internal/unet"
 )
 
@@ -13,19 +14,19 @@ import (
 // name. The first model registered becomes the default (requests that
 // name no model use it). Loading and lookup are safe for concurrent use;
 // the models themselves are only ever read after registration.
-type Registry struct {
+type Registry[S tensor.Scalar] struct {
 	mu     sync.RWMutex
-	models map[string]*unet.Model
+	models map[string]*unet.Model[S]
 	def    string
 }
 
 // NewRegistry returns an empty registry.
-func NewRegistry() *Registry {
-	return &Registry{models: make(map[string]*unet.Model)}
+func NewRegistry[S tensor.Scalar]() *Registry[S] {
+	return &Registry[S]{models: make(map[string]*unet.Model[S])}
 }
 
 // Add registers an in-memory model under name.
-func (r *Registry) Add(name string, m *unet.Model) error {
+func (r *Registry[S]) Add(name string, m *unet.Model[S]) error {
 	if name == "" {
 		return fmt.Errorf("serve: empty model name")
 	}
@@ -42,8 +43,8 @@ func (r *Registry) Add(name string, m *unet.Model) error {
 }
 
 // Load reads a checkpoint file and registers it under name.
-func (r *Registry) Load(name, path string) error {
-	m, err := unet.LoadFile(path)
+func (r *Registry[S]) Load(name, path string) error {
+	m, err := unet.LoadFile[S](path)
 	if err != nil {
 		return fmt.Errorf("serve: model %q: %w", name, err)
 	}
@@ -51,7 +52,7 @@ func (r *Registry) Load(name, path string) error {
 }
 
 // Get resolves a model by name; the empty string selects the default.
-func (r *Registry) Get(name string) (*unet.Model, error) {
+func (r *Registry[S]) Get(name string) (*unet.Model[S], error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	if name == "" {
@@ -65,7 +66,7 @@ func (r *Registry) Get(name string) (*unet.Model, error) {
 }
 
 // Names lists registered model names in sorted order.
-func (r *Registry) Names() []string {
+func (r *Registry[S]) Names() []string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	names := make([]string, 0, len(r.models))
@@ -77,7 +78,7 @@ func (r *Registry) Names() []string {
 }
 
 // Default returns the default model's name ("" when empty).
-func (r *Registry) Default() string {
+func (r *Registry[S]) Default() string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return r.def
@@ -88,7 +89,7 @@ func (r *Registry) Default() string {
 // and catching broken checkpoints at startup instead of on the first
 // request. (Worker sessions still grow their own activation buffers on
 // their first batch; that cost is per worker and unavoidable here.)
-func (r *Registry) Warm(tileSize int) error {
+func (r *Registry[S]) Warm(tileSize int) error {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	tile := raster.NewRGB(tileSize, tileSize)

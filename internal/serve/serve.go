@@ -16,11 +16,17 @@
 // filter → classify → stitch pipeline itself is shared with the CLI via
 // internal/core's TilePredictor seam.
 //
-// Parallelism/bit-identity guarantees: each inference worker owns its
+// The stack is generic over the compute precision: cmd/seaice-serve
+// defaults to pure float32 inference (the bandwidth- and
+// multiply-reduced hot path) with -precision f64 selecting the
+// reference numerics.
+//
+// Parallelism/determinism guarantees: each inference worker owns its
 // session, so requests never share mutable model state, and a tile's
-// prediction is a pure function of its pixels and the checkpoint —
-// micro-batch composition, queue order, worker count, and cache
-// hits/misses change latency, never a single output pixel.
+// prediction is a pure function of its pixels, the checkpoint, and the
+// serving precision — micro-batch composition, queue order, worker
+// count, and cache hits/misses change latency, never a single output
+// pixel.
 package serve
 
 import (

@@ -21,9 +21,9 @@ import (
 )
 
 // testModel builds a small deterministic model.
-func testModel(t testing.TB, seed uint64) *unet.Model {
+func testModel(t testing.TB, seed uint64) *unet.Model[float64] {
 	t.Helper()
-	m, err := unet.New(unet.FastConfig(seed))
+	m, err := unet.New[float64](unet.FastConfig(seed))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,9 +45,9 @@ func testTiles(n, size int, seed uint64) []*raster.RGB {
 }
 
 // testServer spins up a ready-to-use server around one model.
-func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+func testServer(t *testing.T, cfg Config) (*Server[float64], *httptest.Server) {
 	t.Helper()
-	reg := NewRegistry()
+	reg := NewRegistry[float64]()
 	if err := reg.Add("default", testModel(t, 1)); err != nil {
 		t.Fatal(err)
 	}

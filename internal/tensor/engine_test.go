@@ -12,14 +12,14 @@ import (
 // engine kernels multiply zero A entries where the reference skips them —
 // identical except for ±0 bit patterns — so the bit-for-bit properties are
 // asserted on dense data, which is what weights and activations are.
-func fillDense(t *Tensor, seed uint64) {
+func fillDense[S Scalar](t *Tensor[S], seed uint64) {
 	rng := noise.NewRNG(seed, 0xe6e)
 	for i := range t.Data {
 		v := rng.NormFloat64()
 		if v == 0 {
 			v = 0.5
 		}
-		t.Data[i] = v
+		t.Data[i] = S(v)
 	}
 }
 
@@ -33,22 +33,23 @@ func withWorkers(t *testing.T, fn func(workers int)) {
 	}
 }
 
-func bitEqual(t *testing.T, label string, workers int, got, want *Tensor) {
+func bitEqual[S Scalar](t *testing.T, label string, workers int, got, want *Tensor[S]) {
 	t.Helper()
 	if !got.SameShape(want) {
 		t.Fatalf("%s (workers=%d): shape %v, want %v", label, workers, got.Shape, want.Shape)
 	}
 	for i := range want.Data {
 		if got.Data[i] != want.Data[i] {
-			t.Fatalf("%s (workers=%d): element %d = %g, reference %g", label, workers, i, got.Data[i], want.Data[i])
+			t.Fatalf("%s (workers=%d): element %d = %g, reference %g", label, workers, i, float64(got.Data[i]), float64(want.Data[i]))
 		}
 	}
 }
 
-// TestMatMulMatchesReference: the blocked/parallel GEMM must reproduce the
+// testMatMulMatchesReference: the blocked/parallel GEMM must reproduce the
 // serial reference bit-for-bit across degenerate, odd, non-square, and
-// block-boundary-crossing shapes, at every pool size.
-func TestMatMulMatchesReference(t *testing.T) {
+// block-boundary-crossing shapes, at every pool size — per precision; the
+// bit-identity guarantee is precision-scoped.
+func testMatMulMatchesReference[S Scalar](t *testing.T) {
 	shapes := []struct{ m, k, n int }{
 		{1, 1, 1},
 		{1, 3, 2},
@@ -63,10 +64,10 @@ func TestMatMulMatchesReference(t *testing.T) {
 		{9, 27, 640},
 	}
 	for _, s := range shapes {
-		a := New(s.m, s.k)
-		b := New(s.k, s.n)
-		at := New(s.k, s.m)
-		bt := New(s.n, s.k)
+		a := New[S](s.m, s.k)
+		b := New[S](s.k, s.n)
+		at := New[S](s.k, s.m)
+		bt := New[S](s.n, s.k)
 		fillDense(a, uint64(s.m*1000+s.k))
 		fillDense(b, uint64(s.k*1000+s.n))
 		fillDense(at, uint64(s.m*77+s.n))
@@ -83,16 +84,21 @@ func TestMatMulMatchesReference(t *testing.T) {
 	}
 }
 
+func TestMatMulMatchesReference(t *testing.T) {
+	t.Run("f64", testMatMulMatchesReference[float64])
+	t.Run("f32", testMatMulMatchesReference[float32])
+}
+
 // TestMatMulIntoReusesBuffer: Into variants must fully overwrite a dirty
 // destination and not allocate when the buffer already fits.
 func TestMatMulIntoReusesBuffer(t *testing.T) {
-	a := New(5, 9)
-	b := New(9, 21)
+	a := New[float64](5, 9)
+	b := New[float64](9, 21)
 	fillDense(a, 1)
 	fillDense(b, 2)
 	want := MatMulRef(a, b)
 
-	var buf *Tensor
+	var buf *F64
 	dst := Grow(&buf, 5, 21)
 	for i := range dst.Data {
 		dst.Data[i] = 1e300 // poison: stale values must not leak through
@@ -107,10 +113,11 @@ func TestMatMulIntoReusesBuffer(t *testing.T) {
 	}
 }
 
-// TestIm2ColCol2ImMatchReference: the striped unfold/fold must match the
+// testIm2ColCol2ImMatchReference: the striped unfold/fold must match the
 // serial reference bit-for-bit across 1×1 images, non-square shapes,
-// pad > 0, stride 2, and asymmetric kernels, at every pool size.
-func TestIm2ColCol2ImMatchReference(t *testing.T) {
+// pad > 0, stride 2, and asymmetric kernels, at every pool size — per
+// precision.
+func testIm2ColCol2ImMatchReference[S Scalar](t *testing.T) {
 	cases := []struct{ n, c, h, w, kh, kw, stride, pad int }{
 		{1, 1, 1, 1, 1, 1, 1, 0},
 		{1, 1, 1, 1, 3, 3, 1, 1},
@@ -123,7 +130,7 @@ func TestIm2ColCol2ImMatchReference(t *testing.T) {
 		{2, 2, 8, 8, 5, 5, 1, 2},
 	}
 	for _, cs := range cases {
-		x := New(cs.n, cs.c, cs.h, cs.w)
+		x := New[S](cs.n, cs.c, cs.h, cs.w)
 		fillDense(x, uint64(cs.c*100+cs.h*10+cs.w))
 		wantCols := Im2ColRef(x, cs.kh, cs.kw, cs.stride, cs.pad)
 		cols := wantCols.Clone()
@@ -135,14 +142,14 @@ func TestIm2ColCol2ImMatchReference(t *testing.T) {
 			bitEqual(t, "col2im "+label, workers, Col2Im(cols, cs.n, cs.c, cs.h, cs.w, cs.kh, cs.kw, cs.stride, cs.pad), wantFold)
 
 			// Into variants over poisoned reusable buffers.
-			var colsBuf, foldBuf *Tensor
+			var colsBuf, foldBuf *Tensor[S]
 			dc := Grow(&colsBuf, wantCols.Shape...)
 			df := Grow(&foldBuf, cs.n, cs.c, cs.h, cs.w)
 			for i := range dc.Data {
-				dc.Data[i] = 1e300
+				dc.Data[i] = S(1e30)
 			}
 			for i := range df.Data {
-				df.Data[i] = 1e300
+				df.Data[i] = S(1e30)
 			}
 			Im2ColInto(dc, x, cs.kh, cs.kw, cs.stride, cs.pad)
 			Col2ImInto(df, cols, cs.kh, cs.kw, cs.stride, cs.pad)
@@ -150,4 +157,9 @@ func TestIm2ColCol2ImMatchReference(t *testing.T) {
 			bitEqual(t, "col2imInto "+label, workers, df, wantFold)
 		})
 	}
+}
+
+func TestIm2ColCol2ImMatchReference(t *testing.T) {
+	t.Run("f64", testIm2ColCol2ImMatchReference[float64])
+	t.Run("f32", testIm2ColCol2ImMatchReference[float32])
 }

@@ -13,7 +13,7 @@ func convOut(h, kh, stride, pad int) int { return (h+2*pad-kh)/stride + 1 }
 // (C·KH·KW, N·OH·OW) for a convolution with the given kernel, stride and
 // symmetric zero padding. Column j holds the receptive field of output
 // position j, so a convolution becomes weights (Cout, C·KH·KW) × cols.
-func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
+func Im2Col[S Scalar](x *Tensor[S], kh, kw, stride, pad int) *Tensor[S] {
 	if len(x.Shape) != 4 {
 		panic(fmt.Sprintf("tensor: Im2Col needs NCHW input, got %v", x.Shape))
 	}
@@ -23,7 +23,7 @@ func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
 	if oh <= 0 || ow <= 0 {
 		panic(fmt.Sprintf("tensor: Im2Col output empty for input %v kernel %dx%d", x.Shape, kh, kw))
 	}
-	cols := New(c*kh*kw, n*oh*ow)
+	cols := New[S](c*kh*kw, n*oh*ow)
 	Im2ColInto(cols, x, kh, kw, stride, pad)
 	return cols
 }
@@ -32,7 +32,7 @@ func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
 // (C·KH·KW, N·OH·OW). dst is fully overwritten (padding positions are
 // zeroed), so a grow-only scratch buffer can be reused across steps. Rows
 // of dst are independent, which is what the row-stripe parallelism splits.
-func Im2ColInto(dst, x *Tensor, kh, kw, stride, pad int) {
+func Im2ColInto[S Scalar](dst, x *Tensor[S], kh, kw, stride, pad int) {
 	if len(x.Shape) != 4 {
 		panic(fmt.Sprintf("tensor: Im2Col needs NCHW input, got %v", x.Shape))
 	}
@@ -79,7 +79,7 @@ func validRange(size, k, stride, pad, outSize int) (lo, hi int) {
 
 // im2ColRows fills rows [lo,hi) of the unfold matrix; row r corresponds to
 // the (channel, ky, kx) triple r = (ch·KH+ky)·KW+kx.
-func im2ColRows(dst, x []float64, n, c, h, w, kh, kw, stride, pad, oh, ow, lo, hi int) {
+func im2ColRows[S Scalar](dst, x []S, n, c, h, w, kh, kw, stride, pad, oh, ow, lo, hi int) {
 	colW := n * oh * ow
 	for r := lo; r < hi; r++ {
 		kx := r % kw
@@ -113,8 +113,8 @@ func im2ColRows(dst, x []float64, n, c, h, w, kh, kw, stride, pad, oh, ow, lo, h
 // Col2Im folds a column matrix back into an (N,C,H,W) tensor, summing
 // overlapping contributions — the adjoint of Im2Col, used by convolution
 // backward passes to accumulate input gradients.
-func Col2Im(cols *Tensor, n, c, h, w, kh, kw, stride, pad int) *Tensor {
-	x := New(n, c, h, w)
+func Col2Im[S Scalar](cols *Tensor[S], n, c, h, w, kh, kw, stride, pad int) *Tensor[S] {
+	x := New[S](n, c, h, w)
 	Col2ImInto(x, cols, kh, kw, stride, pad)
 	return x
 }
@@ -124,7 +124,7 @@ func Col2Im(cols *Tensor, n, c, h, w, kh, kw, stride, pad int) *Tensor {
 // parallelized per channel; within a channel the accumulation order is the
 // serial reference's (ky, kx, image, row ascending), keeping results
 // bit-identical at any worker count.
-func Col2ImInto(dst, cols *Tensor, kh, kw, stride, pad int) {
+func Col2ImInto[S Scalar](dst, cols *Tensor[S], kh, kw, stride, pad int) {
 	if len(dst.Shape) != 4 {
 		panic(fmt.Sprintf("tensor: Col2Im needs NCHW dst, got %v", dst.Shape))
 	}
@@ -145,7 +145,7 @@ func Col2ImInto(dst, cols *Tensor, kh, kw, stride, pad int) {
 }
 
 // col2ImChannels folds the rows belonging to channels [lo,hi).
-func col2ImChannels(x, cols []float64, n, c, h, w, kh, kw, stride, pad, oh, ow, lo, hi int) {
+func col2ImChannels[S Scalar](x, cols []S, n, c, h, w, kh, kw, stride, pad, oh, ow, lo, hi int) {
 	colW := n * oh * ow
 	for ch := lo; ch < hi; ch++ {
 		for img := 0; img < n; img++ {

@@ -6,13 +6,16 @@ import (
 	"seaice/internal/pool"
 )
 
-// The GEMM kernels below are the training engine's hot core. They are
-// register-blocked (4 output rows × 4 k-steps for the straight and
-// transposed-A products, 2×4 dot blocks for A×Bᵀ) and parallelized over
-// disjoint output panels on the shared pool. Every C element still
-// accumulates its k terms in ascending order through a single chain, so
-// results are bit-identical to the serial reference kernels in ref.go at
-// any worker count — the property tests assert exactly that. The one
+// The GEMM kernels below are the training engine's hot core, generic over
+// the compute precision. They are register-blocked (4 output rows × 4
+// k-steps for the straight and transposed-A products, 2×4 dot blocks for
+// A×Bᵀ) and parallelized over disjoint output panels on the shared pool.
+// Every C element still accumulates its k terms in ascending order through
+// a single chain, so within one precision results are bit-identical to the
+// serial reference kernels in ref.go at any worker count — the property
+// tests assert exactly that for both instantiations. The float32
+// instantiation moves half the bytes per block through the same blocking,
+// which is where its speedup on a bandwidth-bound CPU comes from. The one
 // deliberate semantic difference from the reference: zero entries of A are
 // multiplied rather than skipped, which only matters for ±0 and non-finite
 // inputs (the skip saved no time on dense He-initialized weights anyway).
@@ -26,18 +29,18 @@ const serialCutoff = 1 << 15
 const minPanel = 256
 
 // MatMul computes C = A×B for A (m×k) and B (k×n) into a fresh tensor.
-func MatMul(a, b *Tensor) *Tensor {
+func MatMul[S Scalar](a, b *Tensor[S]) *Tensor[S] {
 	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[0] {
 		panic(fmt.Sprintf("tensor: matmul shape mismatch %v × %v", a.Shape, b.Shape))
 	}
-	c := New(a.Shape[0], b.Shape[1])
+	c := New[S](a.Shape[0], b.Shape[1])
 	MatMulInto(c, a, b)
 	return c
 }
 
 // MatMulInto computes C = A×B into dst, which must be (m×n). dst is fully
 // overwritten; it may not alias a or b.
-func MatMulInto(dst, a, b *Tensor) {
+func MatMulInto[S Scalar](dst, a, b *Tensor[S]) {
 	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[0] {
 		panic(fmt.Sprintf("tensor: matmul shape mismatch %v × %v", a.Shape, b.Shape))
 	}
@@ -59,7 +62,7 @@ func MatMulInto(dst, a, b *Tensor) {
 // blocks of four so each loaded B value feeds four accumulator chains, and
 // k is unrolled by four so each C element is loaded and stored once per
 // four multiply-adds.
-func matMulPanel(c, a, b []float64, m, k, n, jlo, jhi int) {
+func matMulPanel[S Scalar](c, a, b []S, m, k, n, jlo, jhi int) {
 	var i int
 	for i = 0; i+4 <= m; i += 4 {
 		c0 := c[(i+0)*n+jlo : (i+0)*n+jhi]
@@ -160,20 +163,46 @@ func matMulPanel(c, a, b []float64, m, k, n, jlo, jhi int) {
 	}
 }
 
+// MatMulSerialInto computes C = A×B into dst entirely on the calling
+// goroutine — the same blocked kernel as MatMulInto without the pool
+// dispatch. Inference sessions use it: they run one session per serving
+// worker, so fanning a session's products out on the shared pool would
+// oversubscribe the cores. Results are bit-identical to MatMulInto.
+func MatMulSerialInto[S Scalar](dst, a, b *Tensor[S]) {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch %v × %v", a.Shape, b.Shape))
+	}
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	if len(dst.Shape) != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: matmul dst %v for %d×%d product", dst.Shape, m, n))
+	}
+	matMulPanel(dst.Data, a.Data, b.Data, m, k, n, 0, n)
+}
+
+// GemmSerial computes C = A×B on raw row-major slices (A m×k, B k×n, C
+// m×n, C fully overwritten) entirely on the calling goroutine — the
+// blocked panel kernel without shape bookkeeping. It exists for callers
+// that run many small products over hot scratch (the Winograd transform
+// domain) where per-call tensor headers would dominate. Results are
+// bit-identical to MatMulInto on the same operands.
+func GemmSerial[S Scalar](c, a, b []S, m, k, n int) {
+	matMulPanel(c, a, b, m, k, n, 0, n)
+}
+
 // MatMulATB computes C = Aᵀ×B for A (k×m) and B (k×n) without forming the
 // transpose: convolution backward passes need this product shape.
-func MatMulATB(a, b *Tensor) *Tensor {
+func MatMulATB[S Scalar](a, b *Tensor[S]) *Tensor[S] {
 	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[0] != b.Shape[0] {
 		panic(fmt.Sprintf("tensor: matmulATB shape mismatch %v × %v", a.Shape, b.Shape))
 	}
-	c := New(a.Shape[1], b.Shape[1])
+	c := New[S](a.Shape[1], b.Shape[1])
 	MatMulATBInto(c, a, b)
 	return c
 }
 
 // MatMulATBInto computes C = Aᵀ×B into dst, which must be (m×n) for
 // A (k×m). dst is fully overwritten; it may not alias a or b.
-func MatMulATBInto(dst, a, b *Tensor) {
+func MatMulATBInto[S Scalar](dst, a, b *Tensor[S]) {
 	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[0] != b.Shape[0] {
 		panic(fmt.Sprintf("tensor: matmulATB shape mismatch %v × %v", a.Shape, b.Shape))
 	}
@@ -194,7 +223,7 @@ func MatMulATBInto(dst, a, b *Tensor) {
 // matMulATBPanel computes columns [jlo,jhi) of C = Aᵀ×B; identical
 // blocking to matMulPanel with A elements gathered through their k×m
 // layout.
-func matMulATBPanel(c, a, b []float64, k, m, n, jlo, jhi int) {
+func matMulATBPanel[S Scalar](c, a, b []S, k, m, n, jlo, jhi int) {
 	var i int
 	for i = 0; i+4 <= m; i += 4 {
 		c0 := c[(i+0)*n+jlo : (i+0)*n+jhi]
@@ -291,18 +320,18 @@ func matMulATBPanel(c, a, b []float64, k, m, n, jlo, jhi int) {
 }
 
 // MatMulABT computes C = A×Bᵀ for A (m×k) and B (n×k).
-func MatMulABT(a, b *Tensor) *Tensor {
+func MatMulABT[S Scalar](a, b *Tensor[S]) *Tensor[S] {
 	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[1] {
 		panic(fmt.Sprintf("tensor: matmulABT shape mismatch %v × %v", a.Shape, b.Shape))
 	}
-	c := New(a.Shape[0], b.Shape[0])
+	c := New[S](a.Shape[0], b.Shape[0])
 	MatMulABTInto(c, a, b)
 	return c
 }
 
 // MatMulABTInto computes C = A×Bᵀ into dst, which must be (m×n) for
 // B (n×k). dst is fully overwritten; it may not alias a or b.
-func MatMulABTInto(dst, a, b *Tensor) {
+func MatMulABTInto[S Scalar](dst, a, b *Tensor[S]) {
 	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[1] {
 		panic(fmt.Sprintf("tensor: matmulABT shape mismatch %v × %v", a.Shape, b.Shape))
 	}
@@ -324,7 +353,7 @@ func MatMulABTInto(dst, a, b *Tensor) {
 // independent dot product; processing two A rows against four B rows gives
 // eight concurrent accumulator chains, which hides the floating-point add
 // latency that throttles the naive single-chain dot product.
-func matMulABTRows(c, a, b []float64, m, k, n, ilo, ihi int) {
+func matMulABTRows[S Scalar](c, a, b []S, m, k, n, ilo, ihi int) {
 	var i int
 	for i = ilo; i+2 <= ihi; i += 2 {
 		ar0 := a[(i+0)*k : (i+1)*k]
@@ -337,7 +366,7 @@ func matMulABTRows(c, a, b []float64, m, k, n, ilo, ihi int) {
 			br1 := b[(j+1)*k : (j+2)*k]
 			br2 := b[(j+2)*k : (j+3)*k]
 			br3 := b[(j+3)*k : (j+4)*k]
-			var s00, s01, s02, s03, s10, s11, s12, s13 float64
+			var s00, s01, s02, s03, s10, s11, s12, s13 S
 			ar1b := ar1[:len(ar0)]
 			br0b, br1b, br2b, br3b := br0[:len(ar0)], br1[:len(ar0)], br2[:len(ar0)], br3[:len(ar0)]
 			for kk := range ar0 {
@@ -357,7 +386,7 @@ func matMulABTRows(c, a, b []float64, m, k, n, ilo, ihi int) {
 		}
 		for ; j < n; j++ {
 			brow := b[j*k : (j+1)*k]
-			var s0, s1 float64
+			var s0, s1 S
 			for kk := 0; kk < k; kk++ {
 				bv := brow[kk]
 				s0 += ar0[kk] * bv
@@ -375,7 +404,7 @@ func matMulABTRows(c, a, b []float64, m, k, n, ilo, ihi int) {
 			br1 := b[(j+1)*k : (j+2)*k]
 			br2 := b[(j+2)*k : (j+3)*k]
 			br3 := b[(j+3)*k : (j+4)*k]
-			var s0, s1, s2, s3 float64
+			var s0, s1, s2, s3 S
 			br0b, br1b, br2b, br3b := br0[:len(arow)], br1[:len(arow)], br2[:len(arow)], br3[:len(arow)]
 			for kk := range arow {
 				av := arow[kk]
@@ -388,7 +417,7 @@ func matMulABTRows(c, a, b []float64, m, k, n, ilo, ihi int) {
 		}
 		for ; j < n; j++ {
 			brow := b[j*k : (j+1)*k]
-			var s float64
+			var s S
 			for kk := 0; kk < k; kk++ {
 				s += arow[kk] * brow[kk]
 			}

@@ -9,12 +9,12 @@ import "fmt"
 // boring: no blocking, no unrolling, no parallelism.
 
 // MatMulRef is the pre-engine serial C = A×B (ikj loop order).
-func MatMulRef(a, b *Tensor) *Tensor {
+func MatMulRef[S Scalar](a, b *Tensor[S]) *Tensor[S] {
 	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[0] {
 		panic(fmt.Sprintf("tensor: matmul shape mismatch %v × %v", a.Shape, b.Shape))
 	}
 	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
-	c := New(m, n)
+	c := New[S](m, n)
 	for i := 0; i < m; i++ {
 		arow := a.Data[i*k : (i+1)*k]
 		crow := c.Data[i*n : (i+1)*n]
@@ -33,12 +33,12 @@ func MatMulRef(a, b *Tensor) *Tensor {
 }
 
 // MatMulATBRef is the pre-engine serial C = Aᵀ×B.
-func MatMulATBRef(a, b *Tensor) *Tensor {
+func MatMulATBRef[S Scalar](a, b *Tensor[S]) *Tensor[S] {
 	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[0] != b.Shape[0] {
 		panic(fmt.Sprintf("tensor: matmulATB shape mismatch %v × %v", a.Shape, b.Shape))
 	}
 	k, m, n := a.Shape[0], a.Shape[1], b.Shape[1]
-	c := New(m, n)
+	c := New[S](m, n)
 	for kk := 0; kk < k; kk++ {
 		arow := a.Data[kk*m : (kk+1)*m]
 		brow := b.Data[kk*n : (kk+1)*n]
@@ -56,18 +56,18 @@ func MatMulATBRef(a, b *Tensor) *Tensor {
 }
 
 // MatMulABTRef is the pre-engine serial C = A×Bᵀ.
-func MatMulABTRef(a, b *Tensor) *Tensor {
+func MatMulABTRef[S Scalar](a, b *Tensor[S]) *Tensor[S] {
 	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[1] {
 		panic(fmt.Sprintf("tensor: matmulABT shape mismatch %v × %v", a.Shape, b.Shape))
 	}
 	m, k, n := a.Shape[0], a.Shape[1], b.Shape[0]
-	c := New(m, n)
+	c := New[S](m, n)
 	for i := 0; i < m; i++ {
 		arow := a.Data[i*k : (i+1)*k]
 		crow := c.Data[i*n : (i+1)*n]
 		for j := 0; j < n; j++ {
 			brow := b.Data[j*k : (j+1)*k]
-			sum := 0.0
+			var sum S
 			for kk := range arow {
 				sum += arow[kk] * brow[kk]
 			}
@@ -78,7 +78,7 @@ func MatMulABTRef(a, b *Tensor) *Tensor {
 }
 
 // Im2ColRef is the pre-engine serial unfold.
-func Im2ColRef(x *Tensor, kh, kw, stride, pad int) *Tensor {
+func Im2ColRef[S Scalar](x *Tensor[S], kh, kw, stride, pad int) *Tensor[S] {
 	if len(x.Shape) != 4 {
 		panic(fmt.Sprintf("tensor: Im2Col needs NCHW input, got %v", x.Shape))
 	}
@@ -88,7 +88,7 @@ func Im2ColRef(x *Tensor, kh, kw, stride, pad int) *Tensor {
 	if oh <= 0 || ow <= 0 {
 		panic(fmt.Sprintf("tensor: Im2Col output empty for input %v kernel %dx%d", x.Shape, kh, kw))
 	}
-	cols := New(c*kh*kw, n*oh*ow)
+	cols := New[S](c*kh*kw, n*oh*ow)
 	colW := n * oh * ow
 
 	for ch := 0; ch < c; ch++ {
@@ -121,13 +121,13 @@ func Im2ColRef(x *Tensor, kh, kw, stride, pad int) *Tensor {
 }
 
 // Col2ImRef is the pre-engine serial fold.
-func Col2ImRef(cols *Tensor, n, c, h, w, kh, kw, stride, pad int) *Tensor {
+func Col2ImRef[S Scalar](cols *Tensor[S], n, c, h, w, kh, kw, stride, pad int) *Tensor[S] {
 	oh := (h+2*pad-kh)/stride + 1
 	ow := (w+2*pad-kw)/stride + 1
 	if cols.Shape[0] != c*kh*kw || cols.Shape[1] != n*oh*ow {
 		panic(fmt.Sprintf("tensor: Col2Im shape %v does not match target %dx%dx%dx%d k%dx%d", cols.Shape, n, c, h, w, kh, kw))
 	}
-	x := New(n, c, h, w)
+	x := New[S](n, c, h, w)
 	colW := n * oh * ow
 
 	for ch := 0; ch < c; ch++ {

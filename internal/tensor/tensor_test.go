@@ -9,7 +9,7 @@ import (
 )
 
 func TestNewShapeAndLen(t *testing.T) {
-	x := New(2, 3, 4)
+	x := New[float64](2, 3, 4)
 	if x.Len() != 24 || x.Dim(1) != 3 {
 		t.Fatalf("shape bookkeeping wrong: %v len %d", x.Shape, x.Len())
 	}
@@ -21,7 +21,7 @@ func TestNewRejectsBadShape(t *testing.T) {
 			t.Fatal("zero dimension must panic")
 		}
 	}()
-	New(2, 0, 3)
+	New[float64](2, 0, 3)
 }
 
 func TestFromDataValidates(t *testing.T) {
@@ -34,7 +34,7 @@ func TestFromDataValidates(t *testing.T) {
 }
 
 func TestReshapeSharesData(t *testing.T) {
-	x := New(2, 6)
+	x := New[float64](2, 6)
 	y := x.Reshape(3, 4)
 	y.Data[0] = 42
 	if x.Data[0] != 42 {
@@ -43,7 +43,7 @@ func TestReshapeSharesData(t *testing.T) {
 }
 
 func TestCloneAndZero(t *testing.T) {
-	x := New(4)
+	x := New[float64](4)
 	x.Data[2] = 7
 	c := x.Clone()
 	x.Zero()
@@ -62,9 +62,9 @@ func TestAddScale(t *testing.T) {
 	}
 }
 
-func matmulRef(a, b *Tensor) *Tensor {
+func matmulRef(a, b *F64) *F64 {
 	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
-	c := New(m, n)
+	c := New[float64](m, n)
 	for i := 0; i < m; i++ {
 		for j := 0; j < n; j++ {
 			s := 0.0
@@ -77,8 +77,8 @@ func matmulRef(a, b *Tensor) *Tensor {
 	return c
 }
 
-func randT(seed uint64, shape ...int) *Tensor {
-	x := New(shape...)
+func randT(seed uint64, shape ...int) *F64 {
+	x := New[float64](shape...)
 	x.FillRandn(noise.NewRNG(seed, 1), 1)
 	return x
 }
@@ -94,7 +94,7 @@ func TestMatMulVariantsAgree(t *testing.T) {
 
 		c1 := MatMul(a, b)
 		// Aᵀ form: build at (k×m) with at[kk][i] = a[i][kk]
-		at := New(k, m)
+		at := New[float64](k, m)
 		for i := 0; i < m; i++ {
 			for kk := 0; kk < k; kk++ {
 				at.Data[kk*m+i] = a.Data[i*k+kk]
@@ -102,7 +102,7 @@ func TestMatMulVariantsAgree(t *testing.T) {
 		}
 		c2 := MatMulATB(at, b)
 		// Bᵀ form
-		bt := New(n, k)
+		bt := New[float64](n, k)
 		for kk := 0; kk < k; kk++ {
 			for j := 0; j < n; j++ {
 				bt.Data[j*k+kk] = b.Data[kk*n+j]
@@ -130,7 +130,7 @@ func TestMatMulShapePanics(t *testing.T) {
 			t.Fatal("shape mismatch must panic")
 		}
 	}()
-	MatMul(New(2, 3), New(4, 2))
+	MatMul(New[float64](2, 3), New[float64](4, 2))
 }
 
 // TestIm2ColIdentityKernel: with a 1×1 kernel, im2col is a reshape.

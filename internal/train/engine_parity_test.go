@@ -46,7 +46,7 @@ func TestEngineLossParityWithLegacy(t *testing.T) {
 	run := func(legacy bool) []float64 {
 		prev := nn.SetLegacyKernels(legacy)
 		defer nn.SetLegacyKernels(prev)
-		m, err := unet.New(model)
+		m, err := unet.New[float64](model)
 		if err != nil {
 			t.Fatalf("model: %v", err)
 		}

@@ -2,12 +2,17 @@
 // serial and distributed trainers: deterministic batch iteration over
 // tile datasets, epoch bookkeeping, and evaluation against ground truth.
 //
-// Determinism guarantees: the batch schedule is pure index math
-// (BatchIndices) seeded per epoch, and Fit is defined as FitStream over
-// the in-memory batcher — so a streamed run (internal/pipeline) and an
-// in-memory run execute the identical update sequence and produce
-// bit-identical weights; what overlaps with the optimizer steps is the
-// only difference.
+// Determinism guarantees (precision-scoped): the batch schedule is pure
+// index math (BatchIndices) seeded per epoch, and Fit is defined as
+// FitStream over the in-memory batcher — so a streamed run
+// (internal/pipeline) and an in-memory run at the same precision execute
+// the identical update sequence and produce bit-identical weights; what
+// overlaps with the optimizer steps is the only difference. Training is
+// generic over the compute precision: float64 is the reference path, and
+// float32 (with Config.MasterWeights keeping float64 master copies in
+// Adam — mixed precision) tracks it within the tolerance asserted by
+// TestMixedPrecisionLossParity while remaining bit-deterministic at any
+// worker count.
 package train
 
 import (
@@ -29,12 +34,12 @@ type Sample struct {
 
 // ToTensor packs samples into an (N,3,H,W) input tensor (channels scaled
 // to [0,1]) and a flat label slice. All samples must share dimensions.
-func ToTensor(samples []Sample) (*tensor.Tensor, []uint8, error) {
+func ToTensor[S tensor.Scalar](samples []Sample) (*tensor.Tensor[S], []uint8, error) {
 	if len(samples) == 0 {
 		return nil, nil, fmt.Errorf("train: empty batch")
 	}
 	w, h := samples[0].Image.W, samples[0].Image.H
-	x := tensor.New(len(samples), 3, h, w)
+	x := tensor.New[S](len(samples), 3, h, w)
 	labels := make([]uint8, len(samples)*h*w)
 	plane := h * w
 	for si, s := range samples {
@@ -45,9 +50,9 @@ func ToTensor(samples []Sample) (*tensor.Tensor, []uint8, error) {
 			return nil, nil, fmt.Errorf("train: sample %d labels are %dx%d, image is %dx%d", si, s.Labels.W, s.Labels.H, w, h)
 		}
 		for p := 0; p < plane; p++ {
-			x.Data[(si*3+0)*plane+p] = float64(s.Image.Pix[3*p]) / 255
-			x.Data[(si*3+1)*plane+p] = float64(s.Image.Pix[3*p+1]) / 255
-			x.Data[(si*3+2)*plane+p] = float64(s.Image.Pix[3*p+2]) / 255
+			x.Data[(si*3+0)*plane+p] = S(s.Image.Pix[3*p]) / 255
+			x.Data[(si*3+1)*plane+p] = S(s.Image.Pix[3*p+1]) / 255
+			x.Data[(si*3+2)*plane+p] = S(s.Image.Pix[3*p+2]) / 255
 			labels[si*plane+p] = uint8(s.Labels.Pix[p])
 		}
 	}
@@ -119,6 +124,10 @@ type Config struct {
 	BatchSize int
 	LR        float64
 	Seed      uint64
+	// MasterWeights keeps float64 master copies of the weights in the
+	// optimizer — the mixed-precision recipe for float32 training. It has
+	// no effect on the float64 path (the master would equal the weights).
+	MasterWeights bool
 	// Progress, if non-nil, receives per-epoch mean loss.
 	Progress func(epoch int, loss float64)
 }
@@ -131,8 +140,8 @@ type Result struct {
 
 // PackedBatch is one tensor-ready mini-batch: the (N,3,H,W) input and the
 // flat label vector ToTensor produces.
-type PackedBatch struct {
-	X      *tensor.Tensor
+type PackedBatch[S tensor.Scalar] struct {
+	X      *tensor.Tensor[S]
 	Labels []uint8
 }
 
@@ -141,42 +150,42 @@ type PackedBatch struct {
 // the streaming pipeline's double-buffered assembler packs batch k+1
 // while the trainer computes batch k — but the sequence of batches an
 // epoch yields must not depend on timing.
-type BatchSource interface {
+type BatchSource[S tensor.Scalar] interface {
 	// Epoch returns a pull iterator over the epoch's packed batches; the
 	// iterator returns (nil, nil) after the last batch. Each epoch must
 	// be fully drained before the next is opened.
-	Epoch(epoch int) func() (*PackedBatch, error)
+	Epoch(epoch int) func() (*PackedBatch[S], error)
 }
 
 // batcherSource adapts the in-memory Batcher to BatchSource, packing each
 // batch on demand. Fit runs on this adapter, so the streaming and
 // in-memory training paths execute the identical update sequence.
-type batcherSource struct{ b *Batcher }
+type batcherSource[S tensor.Scalar] struct{ b *Batcher }
 
-func (s batcherSource) Epoch(epoch int) func() (*PackedBatch, error) {
+func (s batcherSource[S]) Epoch(epoch int) func() (*PackedBatch[S], error) {
 	batches := s.b.Epoch(epoch)
 	next := 0
-	return func() (*PackedBatch, error) {
+	return func() (*PackedBatch[S], error) {
 		if next >= len(batches) {
 			return nil, nil
 		}
-		x, labels, err := ToTensor(batches[next])
+		x, labels, err := ToTensor[S](batches[next])
 		if err != nil {
 			return nil, err
 		}
 		next++
-		return &PackedBatch{X: x, Labels: labels}, nil
+		return &PackedBatch[S]{X: x, Labels: labels}, nil
 	}
 }
 
 // Fit trains the model on the samples with Adam — the single-GPU
 // baseline of Table III.
-func Fit(m *unet.Model, samples []Sample, cfg Config) (*Result, error) {
+func Fit[S tensor.Scalar](m *unet.Model[S], samples []Sample, cfg Config) (*Result, error) {
 	batcher, err := NewBatcher(samples, cfg.BatchSize, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
-	return FitStream(m, batcherSource{batcher}, cfg)
+	return FitStream(m, batcherSource[S]{batcher}, cfg)
 }
 
 // FitStream trains the model from a BatchSource. The batch sequence — and
@@ -185,12 +194,13 @@ func Fit(m *unet.Model, samples []Sample, cfg Config) (*Result, error) {
 // with the optimizer steps) differs. cfg.BatchSize and cfg.Seed are
 // carried by the source (e.g. pipeline.TrainPlan's BatchSize/BatchSeed)
 // and ignored here.
-func FitStream(m *unet.Model, src BatchSource, cfg Config) (*Result, error) {
+func FitStream[S tensor.Scalar](m *unet.Model[S], src BatchSource[S], cfg Config) (*Result, error) {
 	if cfg.Epochs <= 0 {
 		return nil, fmt.Errorf("train: epochs %d", cfg.Epochs)
 	}
 	params := m.Params()
-	opt := nn.NewAdam(cfg.LR)
+	opt := nn.NewAdam[S](cfg.LR)
+	opt.Master = cfg.MasterWeights
 	res := &Result{}
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		total, n := 0.0, 0
@@ -233,11 +243,11 @@ func FitStream(m *unet.Model, src BatchSource, cfg Config) (*Result, error) {
 // divisible by 2^Depth) are reported as errors; the training-path
 // forward has the identical requirement, so there is no slower shape to
 // fall back to (it would panic in the pooling layers).
-func Evaluate(m *unet.Model, samples []Sample) (*metrics.Confusion, error) {
+func Evaluate[S tensor.Scalar](m *unet.Model[S], samples []Sample) (*metrics.Confusion, error) {
 	conf := metrics.NewConfusion(int(raster.NumClasses))
 	sess := unet.NewSession(m)
 	for i := range samples {
-		x, labels, err := ToTensor(samples[i : i+1])
+		x, labels, err := ToTensor[S](samples[i : i+1])
 		if err != nil {
 			return nil, err
 		}

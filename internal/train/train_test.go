@@ -36,7 +36,7 @@ func synthSamples(seed uint64, n, size int) []Sample {
 
 func TestToTensorScalesAndOrders(t *testing.T) {
 	s := synthSamples(1, 2, 4)
-	x, labels, err := ToTensor(s)
+	x, labels, err := ToTensor[float64](s)
 	if err != nil {
 		t.Fatalf("totensor: %v", err)
 	}
@@ -54,17 +54,17 @@ func TestToTensorScalesAndOrders(t *testing.T) {
 }
 
 func TestToTensorErrors(t *testing.T) {
-	if _, _, err := ToTensor(nil); err == nil {
+	if _, _, err := ToTensor[float64](nil); err == nil {
 		t.Fatal("expected empty-batch error")
 	}
 	a := synthSamples(2, 1, 4)[0]
 	b := synthSamples(3, 1, 8)[0]
-	if _, _, err := ToTensor([]Sample{a, b}); err == nil {
+	if _, _, err := ToTensor[float64]([]Sample{a, b}); err == nil {
 		t.Fatal("expected size-mismatch error")
 	}
 	bad := a
 	bad.Labels = raster.NewLabels(3, 4)
-	if _, _, err := ToTensor([]Sample{bad}); err == nil {
+	if _, _, err := ToTensor[float64]([]Sample{bad}); err == nil {
 		t.Fatal("expected label-size error")
 	}
 }
@@ -112,7 +112,7 @@ func TestBatcherCoversDatasetEachEpoch(t *testing.T) {
 func TestFitLearnsBrightnessTask(t *testing.T) {
 	samples := synthSamples(5, 12, 8)
 	cfg := unet.Config{Depth: 2, BaseChannels: 4, InChannels: 3, Classes: 3, DropoutRate: 0, Seed: 7}
-	m, err := unet.New(cfg)
+	m, err := unet.New[float64](cfg)
 	if err != nil {
 		t.Fatalf("model: %v", err)
 	}
@@ -143,7 +143,7 @@ func TestFitLearnsBrightnessTask(t *testing.T) {
 func TestFitValidation(t *testing.T) {
 	samples := synthSamples(6, 2, 4)
 	cfg := unet.Config{Depth: 1, BaseChannels: 2, InChannels: 3, Classes: 3, Seed: 1}
-	m, _ := unet.New(cfg)
+	m, _ := unet.New[float64](cfg)
 	if _, err := Fit(m, samples, Config{Epochs: 0, BatchSize: 1, LR: 0.01}); err == nil {
 		t.Fatal("expected epochs error")
 	}

@@ -1,23 +1,64 @@
 package unet
 
 import (
+	"bufio"
 	"encoding/gob"
 	"fmt"
 	"io"
 	"os"
+
+	"seaice/internal/tensor"
 )
 
-// checkpoint is the on-disk format: the config plus named weight tensors.
+// Checkpoint format. Version 2 files begin with a fixed magic header
+// followed by a gob-encoded checkpointV2; weights are always stored as
+// float64 (every float32 value is exactly representable, so a float32
+// model round-trips bit-for-bit and a float64 model keeps full
+// precision). Files written before the header existed are bare gobs of
+// the legacy struct; Load sniffs the magic and falls back, so old
+// float64 checkpoints load into either precision (down-converting on
+// load for float32 models).
+
+// ckptMagic identifies a versioned checkpoint stream. The trailing byte
+// is the format version.
+const ckptMagic = "SEAICE-UNET-CKPT\x02"
+
+// checkpoint is the legacy (pre-header) on-disk format.
 type checkpoint struct {
 	Config  Config
 	Weights map[string][]float64
 }
 
-// Save writes the model's configuration and weights with encoding/gob.
-func (m *Model) Save(w io.Writer) error {
-	ck := checkpoint{Config: m.cfg, Weights: make(map[string][]float64)}
+// checkpointV2 is the versioned format: the precision records which
+// instantiation wrote the file (informational — weights always load into
+// the precision the caller requests).
+type checkpointV2 struct {
+	Precision string
+	Config    Config
+	Weights   map[string][]float64
+}
+
+// precisionName reports "float32" or "float64" for the instantiation.
+func precisionName[S tensor.Scalar]() string {
+	if tensor.IsF32[S]() {
+		return "float32"
+	}
+	return "float64"
+}
+
+// Save writes the model's configuration and weights in the versioned
+// format: the magic header, then encoding/gob.
+func (m *Model[S]) Save(w io.Writer) error {
+	ck := checkpointV2{Precision: precisionName[S](), Config: m.cfg, Weights: make(map[string][]float64)}
 	for _, p := range m.Params() {
-		ck.Weights[p.Name] = p.W.Data
+		data := make([]float64, p.W.Len())
+		for i, v := range p.W.Data {
+			data[i] = float64(v)
+		}
+		ck.Weights[p.Name] = data
+	}
+	if _, err := io.WriteString(w, ckptMagic); err != nil {
+		return fmt.Errorf("unet: save: %w", err)
 	}
 	if err := gob.NewEncoder(w).Encode(ck); err != nil {
 		return fmt.Errorf("unet: save: %w", err)
@@ -26,7 +67,7 @@ func (m *Model) Save(w io.Writer) error {
 }
 
 // SaveFile writes a checkpoint file.
-func (m *Model) SaveFile(path string) error {
+func (m *Model[S]) SaveFile(path string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("unet: %w", err)
@@ -38,13 +79,32 @@ func (m *Model) SaveFile(path string) error {
 	return f.Close()
 }
 
-// Load reconstructs a model from a checkpoint stream.
-func Load(r io.Reader) (*Model, error) {
-	var ck checkpoint
-	if err := gob.NewDecoder(r).Decode(&ck); err != nil {
+// Load reconstructs a model from a checkpoint stream in the requested
+// precision. Versioned (magic-headed) and legacy bare-gob streams both
+// load; float64 weights are rounded when S is float32.
+func Load[S tensor.Scalar](r io.Reader) (*Model[S], error) {
+	br := bufio.NewReader(r)
+	var ck checkpointV2
+	head, err := br.Peek(len(ckptMagic))
+	switch {
+	case err == nil && string(head) == ckptMagic:
+		if _, err := br.Discard(len(ckptMagic)); err != nil {
+			return nil, fmt.Errorf("unet: load: %w", err)
+		}
+		if err := gob.NewDecoder(br).Decode(&ck); err != nil {
+			return nil, fmt.Errorf("unet: load: %w", err)
+		}
+	case err == nil || err == io.EOF:
+		// No magic: a checkpoint written before the versioned header.
+		var legacy checkpoint
+		if err := gob.NewDecoder(br).Decode(&legacy); err != nil {
+			return nil, fmt.Errorf("unet: load: %w", err)
+		}
+		ck = checkpointV2{Precision: "float64", Config: legacy.Config, Weights: legacy.Weights}
+	default:
 		return nil, fmt.Errorf("unet: load: %w", err)
 	}
-	m, err := New(ck.Config)
+	m, err := New[S](ck.Config)
 	if err != nil {
 		return nil, err
 	}
@@ -56,25 +116,27 @@ func Load(r io.Reader) (*Model, error) {
 		if len(data) != p.W.Len() {
 			return nil, fmt.Errorf("unet: checkpoint weight %s has %d values, model needs %d", p.Name, len(data), p.W.Len())
 		}
-		copy(p.W.Data, data)
+		for i, v := range data {
+			p.W.Data[i] = S(v)
+		}
 	}
 	return m, nil
 }
 
-// LoadFile reads a checkpoint file.
-func LoadFile(path string) (*Model, error) {
+// LoadFile reads a checkpoint file into the requested precision.
+func LoadFile[S tensor.Scalar](path string) (*Model[S], error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("unet: %w", err)
 	}
 	defer f.Close()
-	return Load(f)
+	return Load[S](f)
 }
 
 // CopyWeightsFrom overwrites this model's parameters with src's — the
 // rank-0 broadcast of Horovod-style training. The models must share a
 // configuration (ignoring seeds).
-func (m *Model) CopyWeightsFrom(src *Model) error {
+func (m *Model[S]) CopyWeightsFrom(src *Model[S]) error {
 	a, b := m.Params(), src.Params()
 	if len(a) != len(b) {
 		return fmt.Errorf("unet: parameter count mismatch %d vs %d", len(a), len(b))

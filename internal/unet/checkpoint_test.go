@@ -10,7 +10,7 @@ import (
 // TestCheckpointParamsRoundTrip saves a model and reloads it, expecting
 // every named parameter back bit-for-bit.
 func TestCheckpointParamsRoundTrip(t *testing.T) {
-	m, err := New(FastConfig(21))
+	m, err := New[float64](FastConfig(21))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -18,7 +18,7 @@ func TestCheckpointParamsRoundTrip(t *testing.T) {
 	if err := m.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	got, err := Load(&buf)
+	got, err := Load[float64](&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +44,7 @@ func TestCheckpointParamsRoundTrip(t *testing.T) {
 // TestCheckpointFileRoundTrip exercises SaveFile/LoadFile and confirms
 // the reloaded model predicts identically.
 func TestCheckpointFileRoundTrip(t *testing.T) {
-	m, err := New(FastConfig(22))
+	m, err := New[float64](FastConfig(22))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +52,7 @@ func TestCheckpointFileRoundTrip(t *testing.T) {
 	if err := m.SaveFile(path); err != nil {
 		t.Fatal(err)
 	}
-	got, err := LoadFile(path)
+	got, err := LoadFile[float64](path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +69,7 @@ func TestCheckpointFileRoundTrip(t *testing.T) {
 // errors, not panics — the serving registry loads checkpoints at startup
 // and must fail cleanly.
 func TestLoadFileCorrupt(t *testing.T) {
-	m, err := New(FastConfig(23))
+	m, err := New[float64](FastConfig(23))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,12 +90,12 @@ func TestLoadFileCorrupt(t *testing.T) {
 		if err := os.WriteFile(path, data, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := LoadFile(path); err == nil {
+		if _, err := LoadFile[float64](path); err == nil {
 			t.Errorf("%s: expected error, got nil", name)
 		}
 	}
 
-	if _, err := LoadFile(filepath.Join(dir, "missing.ckpt")); err == nil {
+	if _, err := LoadFile[float64](filepath.Join(dir, "missing.ckpt")); err == nil {
 		t.Error("missing file: expected error, got nil")
 	}
 }

@@ -10,67 +10,93 @@ import (
 )
 
 // Session is a forward-only inference engine over a trained Model. It
-// produces the same predictions as Model.Predict while avoiding the
-// training path's costs: convolutions run directly on NCHW planes (no
-// im2col materialization), bias and ReLU are applied in a fused pass,
-// the skip-connection concatenation is virtualized instead of copied,
-// and every intermediate activation lives in a buffer owned by the
-// session and reused across calls. Micro-batched serving (internal/serve)
-// runs one Session per worker.
+// avoids the training path's costs: convolutions run directly on NCHW
+// planes (no im2col materialization), bias and ReLU are applied in a
+// fused pass, the skip-connection concatenation is virtualized instead
+// of copied, and every intermediate activation lives in a buffer owned
+// by the session and reused across calls. Micro-batched serving
+// (internal/serve) runs one Session per worker.
+//
+// A float64 session produces Model.Predict's outputs exactly; a float32
+// session additionally routes its 3×3 convolutions through the Winograd
+// engine (nn.Winograd) — deterministic, and within the documented
+// tolerance of the float64 model rather than bit-equal.
 //
 // A Session is NOT safe for concurrent use; the underlying Model's
 // weights are only read, so many Sessions may share one Model. The
 // session runs its kernels serially (pool.Serial()): serving
 // concurrency comes from running one Session per worker, and nesting a
 // fan-out inside each worker would oversubscribe the cores.
-type Session struct {
-	m *Model
+type Session[S tensor.Scalar] struct {
+	m *Model[S]
 
 	// Grow-only activation buffers, reused across Forward calls.
-	in      []float64
-	encC1   [][]float64 // conv1 output per encoder level
-	encC2   [][]float64 // conv2 output per encoder level (skip source)
-	pooled  [][]float64 // pooled output per encoder level
-	botC1   []float64
-	botC2   []float64
-	up      [][]float64 // up-convolution output per decoder step
-	decC1   [][]float64
-	decC2   [][]float64
-	logits  []float64
+	in      []S
+	encC1   [][]S // conv1 output per encoder level
+	encC2   [][]S // conv2 output per encoder level (skip source)
+	pooled  [][]S // pooled output per encoder level
+	botC1   []S
+	botC2   []S
+	up      [][]S // up-convolution output per decoder step
+	decC1   [][]S
+	decC2   [][]S
+	logits  []S
 	lastDim []int // shape of the last logits tensor
+
+	// wino is the F(2×2,3×3) reduced-multiplication conv engine; non-nil
+	// only for float32 sessions, where tolerance (not bit-identity)
+	// scopes the guarantee and the cheaper algebra is admissible. See
+	// the precision policy in nn.Winograd's doc.
+	wino *nn.Winograd[S]
 }
 
 // NewSession builds an inference session for m.
-func NewSession(m *Model) *Session {
+func NewSession[S tensor.Scalar](m *Model[S]) *Session[S] {
 	d := m.cfg.Depth
-	return &Session{
+	var wino *nn.Winograd[S]
+	if tensor.IsF32[S]() {
+		wino = nn.NewWinograd[S](true)
+	}
+	return &Session[S]{
 		m:      m,
-		encC1:  make([][]float64, d),
-		encC2:  make([][]float64, d),
-		pooled: make([][]float64, d),
-		up:     make([][]float64, d),
-		decC1:  make([][]float64, d),
-		decC2:  make([][]float64, d),
+		wino:   wino,
+		encC1:  make([][]S, d),
+		encC2:  make([][]S, d),
+		pooled: make([][]S, d),
+		up:     make([][]S, d),
+		decC1:  make([][]S, d),
+		decC2:  make([][]S, d),
 	}
 }
 
 // Model returns the session's underlying model.
-func (s *Session) Model() *Model { return s.m }
+func (s *Session[S]) Model() *Model[S] { return s.m }
 
 // grow returns buf resized to n elements, reallocating only when the
 // capacity is insufficient. Contents are NOT cleared.
-func grow(buf *[]float64, n int) []float64 {
+func grow[S tensor.Scalar](buf *[]S, n int) []S {
 	if cap(*buf) < n {
-		*buf = make([]float64, n)
+		*buf = make([]S, n)
 	}
 	*buf = (*buf)[:n]
 	return *buf
 }
 
+// conv3 dispatches one fused 3×3+ReLU convolution: the direct NCHW
+// kernel (bit-compatible with the training forward), or — on float32
+// sessions, for even plane sizes — the Winograd transform engine.
+func (s *Session[S]) conv3(c *nn.Conv2D[S], xa []S, ca int, xb []S, cb int, n, h, w int, dst []S) {
+	if s.wino != nil && s.wino.Usable(c, h, w) {
+		s.wino.Conv(c, xa, ca, xb, cb, n, h, w, dst, true)
+		return
+	}
+	nn.Conv3x3Planes(pool.Serial(), c, xa, ca, xb, cb, n, h, w, dst, true)
+}
+
 // Forward runs the U-Net on x (N, InChannels, H, W) and returns class
 // logits (N, Classes, H, W). The returned tensor aliases session-owned
 // memory and is only valid until the next Forward/Predict call.
-func (s *Session) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+func (s *Session[S]) Forward(x *tensor.Tensor[S]) (*tensor.Tensor[S], error) {
 	if len(x.Shape) != 4 || x.Shape[1] != s.m.cfg.InChannels {
 		return nil, fmt.Errorf("unet: session expects (N,%d,H,W), got %v", s.m.cfg.InChannels, x.Shape)
 	}
@@ -88,9 +114,9 @@ func (s *Session) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 	for l := 0; l < d; l++ {
 		b := m.enc[l]
 		c1 := grow(&s.encC1[l], n*b.conv1.OutC*ch*cw)
-		nn.Conv3x3Planes(pool.Serial(), b.conv1, cur, b.conv1.InC, nil, 0, n, ch, cw, c1, true)
+		s.conv3(b.conv1, cur, b.conv1.InC, nil, 0, n, ch, cw, c1)
 		c2 := grow(&s.encC2[l], n*b.conv2.OutC*ch*cw)
-		nn.Conv3x3Planes(pool.Serial(), b.conv2, c1, b.conv2.InC, nil, 0, n, ch, cw, c2, true)
+		s.conv3(b.conv2, c1, b.conv2.InC, nil, 0, n, ch, cw, c2)
 		p := grow(&s.pooled[l], n*b.conv2.OutC*(ch/2)*(cw/2))
 		nn.MaxPool2Planes(c2, n*b.conv2.OutC, ch, cw, p)
 		cur, ch, cw = p, ch/2, cw/2
@@ -99,9 +125,9 @@ func (s *Session) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 	// Bottleneck.
 	bb := m.bottleneck
 	c1 := grow(&s.botC1, n*bb.conv1.OutC*ch*cw)
-	nn.Conv3x3Planes(pool.Serial(), bb.conv1, cur, bb.conv1.InC, nil, 0, n, ch, cw, c1, true)
+	s.conv3(bb.conv1, cur, bb.conv1.InC, nil, 0, n, ch, cw, c1)
 	c2 := grow(&s.botC2, n*bb.conv2.OutC*ch*cw)
-	nn.Conv3x3Planes(pool.Serial(), bb.conv2, c1, bb.conv2.InC, nil, 0, n, ch, cw, c2, true)
+	s.conv3(bb.conv2, c1, bb.conv2.InC, nil, 0, n, ch, cw, c2)
 	cur = c2
 
 	// Expanding path: up-convolve, virtually concat the skip, convolve.
@@ -117,9 +143,9 @@ func (s *Session) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 		d1 := grow(&s.decC1[i], n*db.conv1.OutC*ch*cw)
 		// conv1 input channels: [0, skipC) from the encoder skip,
 		// [skipC, 2·skipC) from the up-convolution output — no copy.
-		nn.Conv3x3Planes(pool.Serial(), db.conv1, s.encC2[l], skipC, uo, u.OutC, n, ch, cw, d1, true)
+		s.conv3(db.conv1, s.encC2[l], skipC, uo, u.OutC, n, ch, cw, d1)
 		d2 := grow(&s.decC2[i], n*db.conv2.OutC*ch*cw)
-		nn.Conv3x3Planes(pool.Serial(), db.conv2, d1, db.conv2.InC, nil, 0, n, ch, cw, d2, true)
+		s.conv3(db.conv2, d1, db.conv2.InC, nil, 0, n, ch, cw, d2)
 		cur = d2
 	}
 
@@ -130,7 +156,7 @@ func (s *Session) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 }
 
 // Predict returns per-pixel class predictions for x, like Model.Predict.
-func (s *Session) Predict(x *tensor.Tensor) ([]uint8, error) {
+func (s *Session[S]) Predict(x *tensor.Tensor[S]) ([]uint8, error) {
 	logits, err := s.Forward(x)
 	if err != nil {
 		return nil, err
@@ -140,7 +166,7 @@ func (s *Session) Predict(x *tensor.Tensor) ([]uint8, error) {
 
 // PredictTiles classifies a batch of equally-sized RGB tiles in one
 // forward pass, amortizing per-layer cost across the batch.
-func (s *Session) PredictTiles(tiles []*raster.RGB) ([]*raster.Labels, error) {
+func (s *Session[S]) PredictTiles(tiles []*raster.RGB) ([]*raster.Labels, error) {
 	if len(tiles) == 0 {
 		return nil, fmt.Errorf("unet: empty tile batch")
 	}
@@ -153,9 +179,9 @@ func (s *Session) PredictTiles(tiles []*raster.RGB) ([]*raster.Labels, error) {
 		}
 		base := ti * 3 * plane
 		for p := 0; p < plane; p++ {
-			in[base+p] = float64(t.Pix[3*p]) / 255
-			in[base+plane+p] = float64(t.Pix[3*p+1]) / 255
-			in[base+2*plane+p] = float64(t.Pix[3*p+2]) / 255
+			in[base+p] = S(t.Pix[3*p]) / 255
+			in[base+plane+p] = S(t.Pix[3*p+1]) / 255
+			in[base+2*plane+p] = S(t.Pix[3*p+2]) / 255
 		}
 	}
 	pred, err := s.Predict(tensor.FromData(in, len(tiles), 3, h, w))

@@ -9,8 +9,8 @@ import (
 )
 
 // randInput builds a deterministic pseudo-random NCHW input.
-func randInput(n, c, h, w int, seed uint64) *tensor.Tensor {
-	x := tensor.New(n, c, h, w)
+func randInput(n, c, h, w int, seed uint64) *tensor.F64 {
+	x := tensor.New[float64](n, c, h, w)
 	rng := noise.NewRNG(seed, 0xbeef)
 	for i := range x.Data {
 		x.Data[i] = rng.Float64()
@@ -36,7 +36,7 @@ func TestSessionMatchesModel(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			m, err := New(tc.cfg)
+			m, err := New[float64](tc.cfg)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -73,7 +73,7 @@ func TestSessionMatchesModel(t *testing.T) {
 // TestSessionBufferReuse runs mixed batch shapes through one session to
 // confirm the grow-only buffers do not leak state between calls.
 func TestSessionBufferReuse(t *testing.T) {
-	m, err := New(FastConfig(3))
+	m, err := New[float64](FastConfig(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestSessionBufferReuse(t *testing.T) {
 // TestSessionPredictTiles checks the raster-level batch API against the
 // per-tile path.
 func TestSessionPredictTiles(t *testing.T) {
-	m, err := New(FastConfig(5))
+	m, err := New[float64](FastConfig(5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +129,7 @@ func TestSessionPredictTiles(t *testing.T) {
 
 // TestSessionRejectsBadInput covers the session's validation paths.
 func TestSessionRejectsBadInput(t *testing.T) {
-	m, err := New(FastConfig(1))
+	m, err := New[float64](FastConfig(1))
 	if err != nil {
 		t.Fatal(err)
 	}

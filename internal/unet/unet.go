@@ -11,12 +11,21 @@
 // (DESIGN.md §5): same block structure, three levels, eight base
 // channels, sized for pure-Go training on a single core.
 //
-// Determinism guarantees: weight initialization and dropout are seeded
-// (Config.Seed), and the fused-kernel inference Session is
-// bit-compatible with the training-path forward — Session.Predict on a
-// tile equals Model.Forward's argmax exactly, which is asserted in the
-// infer tests. A Session reuses its buffers and serves one request at a
-// time; concurrent servers allocate one session per worker.
+// The model is generic over the compute precision (tensor.Scalar):
+// Model[float64] is the master/reference instantiation, Model[float32]
+// the bandwidth-saving compute path training and serving default to.
+//
+// Determinism guarantees are precision-scoped: weight initialization and
+// dropout are seeded (Config.Seed), and the float64 fused-kernel
+// inference Session is bit-compatible with the float64 training-path
+// forward — Session.Predict on a tile equals Model.Forward's argmax
+// exactly, which is asserted in the infer tests. The float32 session
+// runs its 3×3 convolutions through Winograd transforms, so it matches
+// the float64 model within the documented tolerance bound instead
+// (TestF32SessionWithinToleranceOfF64) while remaining deterministic
+// bit-for-bit across runs. A Session reuses its buffers and serves one
+// request at a time; concurrent servers allocate one session per
+// worker.
 package unet
 
 import (
@@ -81,95 +90,95 @@ func (c Config) MinInputSize() int { return 1 << c.Depth }
 func (c Config) NumConvLayers() int { return 5*c.Depth + 3 }
 
 // block is one double-convolution group.
-type block struct {
-	conv1 *nn.Conv2D
-	relu1 *nn.ReLU
-	drop  *nn.Dropout
-	conv2 *nn.Conv2D
-	relu2 *nn.ReLU
+type block[S tensor.Scalar] struct {
+	conv1 *nn.Conv2D[S]
+	relu1 *nn.ReLU[S]
+	drop  *nn.Dropout[S]
+	conv2 *nn.Conv2D[S]
+	relu2 *nn.ReLU[S]
 }
 
-func newBlock(name string, inC, outC int, rate float64, rng *noise.RNG) *block {
-	return &block{
-		conv1: nn.NewConv2D(name+".conv1", inC, outC, 3, rng),
-		relu1: nn.NewReLU(name + ".relu1"),
-		drop:  nn.NewDropout(name+".drop", rate, rng),
-		conv2: nn.NewConv2D(name+".conv2", outC, outC, 3, rng),
-		relu2: nn.NewReLU(name + ".relu2"),
+func newBlock[S tensor.Scalar](name string, inC, outC int, rate float64, rng *noise.RNG) *block[S] {
+	return &block[S]{
+		conv1: nn.NewConv2D[S](name+".conv1", inC, outC, 3, rng),
+		relu1: nn.NewReLU[S](name + ".relu1"),
+		drop:  nn.NewDropout[S](name+".drop", rate, rng),
+		conv2: nn.NewConv2D[S](name+".conv2", outC, outC, 3, rng),
+		relu2: nn.NewReLU[S](name + ".relu2"),
 	}
 }
 
-func (b *block) forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+func (b *block[S]) forward(x *tensor.Tensor[S], train bool) *tensor.Tensor[S] {
 	x = b.relu1.Forward(b.conv1.Forward(x, train), train)
 	x = b.drop.Forward(x, train)
 	return b.relu2.Forward(b.conv2.Forward(x, train), train)
 }
 
-func (b *block) backward(dy *tensor.Tensor) *tensor.Tensor {
+func (b *block[S]) backward(dy *tensor.Tensor[S]) *tensor.Tensor[S] {
 	dy = b.conv2.Backward(b.relu2.Backward(dy))
 	dy = b.drop.Backward(dy)
 	return b.conv1.Backward(b.relu1.Backward(dy))
 }
 
-func (b *block) params() []*nn.Param {
+func (b *block[S]) params() []*nn.Param[S] {
 	return append(b.conv1.Params(), b.conv2.Params()...)
 }
 
 // Model is an assembled U-Net.
-type Model struct {
+type Model[S tensor.Scalar] struct {
 	cfg Config
 
-	enc        []*block
-	pools      []*nn.MaxPool2
-	bottleneck *block
-	ups        []*nn.ConvTranspose2x2
-	concats    []*nn.Concat
-	dec        []*block
-	final      *nn.Conv2D
+	enc        []*block[S]
+	pools      []*nn.MaxPool2[S]
+	bottleneck *block[S]
+	ups        []*nn.ConvTranspose2x2[S]
+	concats    []*nn.Concat[S]
+	dec        []*block[S]
+	final      *nn.Conv2D[S]
 
-	loss nn.SoftmaxCrossEntropy
+	loss nn.SoftmaxCrossEntropy[S]
 }
 
 // New builds a model with deterministic He initialization from cfg.Seed.
-func New(cfg Config) (*Model, error) {
+func New[S tensor.Scalar](cfg Config) (*Model[S], error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	rng := noise.NewRNG(cfg.Seed, 0x0de1)
-	m := &Model{cfg: cfg}
+	m := &Model[S]{cfg: cfg}
 
 	ch := cfg.BaseChannels
 	in := cfg.InChannels
 	for l := 0; l < cfg.Depth; l++ {
-		m.enc = append(m.enc, newBlock(fmt.Sprintf("enc%d", l), in, ch, cfg.DropoutRate, rng))
-		m.pools = append(m.pools, nn.NewMaxPool2(fmt.Sprintf("pool%d", l)))
+		m.enc = append(m.enc, newBlock[S](fmt.Sprintf("enc%d", l), in, ch, cfg.DropoutRate, rng))
+		m.pools = append(m.pools, nn.NewMaxPool2[S](fmt.Sprintf("pool%d", l)))
 		in, ch = ch, ch*2
 	}
-	m.bottleneck = newBlock("bottleneck", in, ch, cfg.DropoutRate, rng)
+	m.bottleneck = newBlock[S]("bottleneck", in, ch, cfg.DropoutRate, rng)
 
 	for l := cfg.Depth - 1; l >= 0; l-- {
 		skipC := cfg.BaseChannels << l
-		m.ups = append(m.ups, nn.NewConvTranspose2x2(fmt.Sprintf("up%d", l), ch, skipC, rng))
-		m.concats = append(m.concats, nn.NewConcat(fmt.Sprintf("concat%d", l)))
-		m.dec = append(m.dec, newBlock(fmt.Sprintf("dec%d", l), skipC*2, skipC, cfg.DropoutRate, rng))
+		m.ups = append(m.ups, nn.NewConvTranspose2x2[S](fmt.Sprintf("up%d", l), ch, skipC, rng))
+		m.concats = append(m.concats, nn.NewConcat[S](fmt.Sprintf("concat%d", l)))
+		m.dec = append(m.dec, newBlock[S](fmt.Sprintf("dec%d", l), skipC*2, skipC, cfg.DropoutRate, rng))
 		ch = skipC
 	}
-	m.final = nn.NewConv2D("final", cfg.BaseChannels, cfg.Classes, 1, rng)
+	m.final = nn.NewConv2D[S]("final", cfg.BaseChannels, cfg.Classes, 1, rng)
 	return m, nil
 }
 
 // Config returns the model's configuration.
-func (m *Model) Config() Config { return m.cfg }
+func (m *Model[S]) Config() Config { return m.cfg }
 
 // NumConvLayers counts the model's convolutional layers; see
 // Config.NumConvLayers.
-func (m *Model) NumConvLayers() int {
+func (m *Model[S]) NumConvLayers() int {
 	return 2*len(m.enc) + 2 + len(m.ups) + 2*len(m.dec) + 1
 }
 
 // Params lists every learnable parameter in a stable order.
-func (m *Model) Params() []*nn.Param {
-	var out []*nn.Param
+func (m *Model[S]) Params() []*nn.Param[S] {
+	var out []*nn.Param[S]
 	for _, b := range m.enc {
 		out = append(out, b.params()...)
 	}
@@ -182,7 +191,7 @@ func (m *Model) Params() []*nn.Param {
 }
 
 // NumParams returns the total scalar parameter count.
-func (m *Model) NumParams() int {
+func (m *Model[S]) NumParams() int {
 	n := 0
 	for _, p := range m.Params() {
 		n += p.W.Len()
@@ -192,8 +201,8 @@ func (m *Model) NumParams() int {
 
 // Forward runs the network on x (N,3,H,W) and returns class logits
 // (N,Classes,H,W). H and W must be divisible by 2^Depth.
-func (m *Model) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	skips := make([]*tensor.Tensor, len(m.enc))
+func (m *Model[S]) Forward(x *tensor.Tensor[S], train bool) *tensor.Tensor[S] {
+	skips := make([]*tensor.Tensor[S], len(m.enc))
 	for l, b := range m.enc {
 		s := b.forward(x, train)
 		skips[l] = s
@@ -211,13 +220,13 @@ func (m *Model) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward propagates dL/dlogits through the whole graph, accumulating
 // parameter gradients, and returns dL/dinput.
-func (m *Model) Backward(dy *tensor.Tensor) *tensor.Tensor {
+func (m *Model[S]) Backward(dy *tensor.Tensor[S]) *tensor.Tensor[S] {
 	dy = m.final.Backward(dy)
-	dskips := make([]*tensor.Tensor, len(m.enc))
+	dskips := make([]*tensor.Tensor[S], len(m.enc))
 	for i := len(m.ups) - 1; i >= 0; i-- {
 		l := m.cfg.Depth - 1 - i
 		dy = m.dec[i].backward(dy)
-		var dskip *tensor.Tensor
+		var dskip *tensor.Tensor[S]
 		dskip, dy = m.concats[i].Split(dy)
 		dskips[l] = dskip
 		dy = m.ups[i].Backward(dy)
@@ -233,7 +242,7 @@ func (m *Model) Backward(dy *tensor.Tensor) *tensor.Tensor {
 
 // LossAndGrad computes the softmax cross-entropy of a forward pass and
 // runs the full backward pass. It returns the mean loss.
-func (m *Model) LossAndGrad(x *tensor.Tensor, labels []uint8) (float64, error) {
+func (m *Model[S]) LossAndGrad(x *tensor.Tensor[S], labels []uint8) (float64, error) {
 	logits := m.Forward(x, true)
 	loss, err := m.loss.Loss(logits, labels)
 	if err != nil {
@@ -244,6 +253,6 @@ func (m *Model) LossAndGrad(x *tensor.Tensor, labels []uint8) (float64, error) {
 }
 
 // Predict returns per-pixel class predictions for x.
-func (m *Model) Predict(x *tensor.Tensor) []uint8 {
+func (m *Model[S]) Predict(x *tensor.Tensor[S]) []uint8 {
 	return nn.Predict(m.Forward(x, false))
 }

@@ -20,7 +20,7 @@ func TestPaperConfigHas28ConvLayers(t *testing.T) {
 	}
 	// The assembled model must agree with the config arithmetic; check
 	// on a small instance to keep the test fast.
-	m, err := New(tinyConfig(1))
+	m, err := New[float64](tinyConfig(1))
 	if err != nil {
 		t.Fatalf("new: %v", err)
 	}
@@ -30,11 +30,11 @@ func TestPaperConfigHas28ConvLayers(t *testing.T) {
 }
 
 func TestForwardShape(t *testing.T) {
-	m, err := New(tinyConfig(1))
+	m, err := New[float64](tinyConfig(1))
 	if err != nil {
 		t.Fatalf("new: %v", err)
 	}
-	x := tensor.New(2, 3, 16, 16)
+	x := tensor.New[float64](2, 3, 16, 16)
 	x.FillRandn(noise.NewRNG(1, 1), 1)
 	y := m.Forward(x, false)
 	want := []int{2, 3, 16, 16}
@@ -48,11 +48,11 @@ func TestForwardShape(t *testing.T) {
 // TestModelGradients runs a finite-difference check through the entire
 // U-Net graph — encoder, bottleneck, skip connections, decoder, head.
 func TestModelGradients(t *testing.T) {
-	m, err := New(tinyConfig(2))
+	m, err := New[float64](tinyConfig(2))
 	if err != nil {
 		t.Fatalf("new: %v", err)
 	}
-	x := tensor.New(1, 3, 8, 8)
+	x := tensor.New[float64](1, 3, 8, 8)
 	x.FillRandn(noise.NewRNG(2, 1), 1)
 	labels := make([]uint8, 64)
 	lr := noise.NewRNG(3, 1)
@@ -68,7 +68,7 @@ func TestModelGradients(t *testing.T) {
 
 	lossAt := func() float64 {
 		logits := m.Forward(x, false)
-		var s nn.SoftmaxCrossEntropy
+		var s nn.SoftmaxCrossEntropy[float64]
 		l, err := s.Loss(logits, labels)
 		if err != nil {
 			t.Fatalf("loss: %v", err)
@@ -103,11 +103,11 @@ func TestModelGradients(t *testing.T) {
 // TestTrainingReducesLoss: a few Adam steps on a fixed batch must reduce
 // the loss substantially — the end-to-end smoke test of the stack.
 func TestTrainingReducesLoss(t *testing.T) {
-	m, err := New(tinyConfig(3))
+	m, err := New[float64](tinyConfig(3))
 	if err != nil {
 		t.Fatalf("new: %v", err)
 	}
-	x := tensor.New(2, 3, 16, 16)
+	x := tensor.New[float64](2, 3, 16, 16)
 	x.FillRandn(noise.NewRNG(4, 1), 1)
 	labels := make([]uint8, 2*16*16)
 	lr := noise.NewRNG(5, 1)
@@ -116,7 +116,7 @@ func TestTrainingReducesLoss(t *testing.T) {
 	}
 
 	params := m.Params()
-	opt := nn.NewAdam(0.01)
+	opt := nn.NewAdam[float64](0.01)
 	first, last := 0.0, 0.0
 	for step := 0; step < 30; step++ {
 		nn.ZeroGrads(params)
@@ -137,7 +137,7 @@ func TestTrainingReducesLoss(t *testing.T) {
 }
 
 func TestCheckpointRoundTrip(t *testing.T) {
-	m, err := New(tinyConfig(6))
+	m, err := New[float64](tinyConfig(6))
 	if err != nil {
 		t.Fatalf("new: %v", err)
 	}
@@ -145,12 +145,12 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	if err := m.Save(&buf); err != nil {
 		t.Fatalf("save: %v", err)
 	}
-	m2, err := Load(&buf)
+	m2, err := Load[float64](&buf)
 	if err != nil {
 		t.Fatalf("load: %v", err)
 	}
 
-	x := tensor.New(1, 3, 8, 8)
+	x := tensor.New[float64](1, 3, 8, 8)
 	x.FillRandn(noise.NewRNG(7, 1), 1)
 	y1 := m.Forward(x, false)
 	y2 := m2.Forward(x, false)
@@ -162,12 +162,12 @@ func TestCheckpointRoundTrip(t *testing.T) {
 }
 
 func TestCopyWeightsBroadcast(t *testing.T) {
-	a, _ := New(tinyConfig(8))
-	b, _ := New(tinyConfig(9)) // different init
+	a, _ := New[float64](tinyConfig(8))
+	b, _ := New[float64](tinyConfig(9)) // different init
 	if err := b.CopyWeightsFrom(a); err != nil {
 		t.Fatalf("broadcast: %v", err)
 	}
-	x := tensor.New(1, 3, 8, 8)
+	x := tensor.New[float64](1, 3, 8, 8)
 	x.FillRandn(noise.NewRNG(10, 1), 1)
 	ya := a.Forward(x, false)
 	yb := b.Forward(x, false)
@@ -186,7 +186,7 @@ func TestConfigValidation(t *testing.T) {
 		{Depth: 2, BaseChannels: 4, InChannels: 3, Classes: 3, DropoutRate: 1.0},
 	}
 	for i, cfg := range bad {
-		if _, err := New(cfg); err == nil {
+		if _, err := New[float64](cfg); err == nil {
 			t.Fatalf("config %d should be rejected: %+v", i, cfg)
 		}
 	}
