@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+// TestValidatePrecision pins the -precision contract: f32/f64 accepted,
+// everything else refused with a clear error (previously a bad value was
+// silently ignored unless the table3 experiment ran).
+func TestValidatePrecision(t *testing.T) {
+	for _, ok := range []string{"f32", "f64"} {
+		if err := validatePrecision(ok); err != nil {
+			t.Errorf("validatePrecision(%q) = %v, want nil", ok, err)
+		}
+	}
+	for _, bad := range []string{"", "f16", "float64", "F32", "mixed"} {
+		if err := validatePrecision(bad); err == nil {
+			t.Errorf("validatePrecision(%q) accepted, want error", bad)
+		}
+	}
+}

@@ -13,6 +13,12 @@
 // Checkpoints from either precision load into either (the versioned
 // header converts on load).
 //
+// The inference worker pool is self-healing: a worker panic restarts the
+// worker and requeues its batch without dropping queued requests (429s
+// only past the existing queue bound). -chaos injects seeded worker
+// faults to demonstrate it; /healthz reports live_workers and
+// worker_restarts.
+//
 // Load-generator mode fires concurrent tile requests at a running
 // server and reports throughput and latency percentiles; with no
 // -target it spins up an in-process server (using -ckpt if given, else
@@ -37,6 +43,7 @@ import (
 	"sync"
 	"time"
 
+	"seaice/internal/chaos"
 	"seaice/internal/raster"
 	"seaice/internal/scene"
 	"seaice/internal/serve"
@@ -59,6 +66,7 @@ func main() {
 		cacheSize = flag.Int("cache", 4096, "tile result cache entries (0 disables)")
 
 		precision = flag.String("precision", "f32", "inference precision: f32 | f64")
+		chaosSpec = flag.String("chaos", "", `inject seeded worker faults, e.g. "7:serve@5,serve@40" (see internal/chaos)`)
 
 		loadgen = flag.Bool("loadgen", false, "run the load generator instead of serving")
 		target  = flag.String("target", "", "loadgen: base URL of a running server (empty = in-process)")
@@ -77,6 +85,15 @@ func main() {
 	}
 	cfg.QueueSize = *queue
 	cfg.CacheSize = *cacheSize
+	if *chaosSpec != "" {
+		sched, err := chaos.Parse(*chaosSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Chaos = chaos.New(sched, 0)
+		log.Printf("chaos: %d seeded worker faults armed (%s); watch worker_restarts on /healthz",
+			cfg.Chaos.Remaining(), *chaosSpec)
+	}
 
 	switch *precision {
 	case "f32":

@@ -10,20 +10,30 @@
 // float64 master weights in Adam) — the bandwidth-saving path; pass
 // -precision f64 for the bit-exact master/reference engine.
 //
+// Training is elastic and fault tolerant: -chaos injects a seeded,
+// deterministic fault schedule (replica crashes, process kills, stage
+// panics, stragglers — see internal/chaos) that the stack recovers from
+// with bit-identical results; -snapshot persists mid-epoch snapshots so
+// a killed run resumes exactly with -resume.
+//
 // Usage:
 //
 //	seaice-train -preset fast -epochs 8 -labels auto -ckpt unet-auto.ckpt
 //	seaice-train -workers 4 -epochs 4          # distributed (ring all-reduce)
 //	seaice-train -preset paper -epochs 1       # full 28-conv-layer variant
 //	seaice-train -precision f64                # float64 reference numerics
+//	seaice-train -workers 4 -chaos "7:crash@3:r1,crash@9" -snapshot unet.snap
+//	seaice-train -snapshot unet.snap -resume   # continue a killed run
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"time"
 
+	"seaice/internal/chaos"
 	"seaice/internal/dataset"
 	"seaice/internal/ddp"
 	"seaice/internal/perfmodel"
@@ -49,6 +59,12 @@ type options struct {
 	maxTiles int
 	seed     uint64
 	ckpt     string
+
+	chaos     *chaos.Injector
+	elastic   bool
+	snapshot  string
+	snapEvery int
+	resume    bool
 }
 
 func main() {
@@ -59,6 +75,7 @@ func main() {
 		o         options
 		precision = flag.String("precision", "f32", "compute precision: f32 (mixed, f64 master weights) | f64 (reference)")
 		procs     = flag.Int("procs", 0, "worker threads for the training engine's kernels (0 = all cores)")
+		chaosSpec = flag.String("chaos", "", `deterministic fault schedule, e.g. "7:crash@3:r1,kill@9" (see internal/chaos)`)
 	)
 	flag.StringVar(&o.preset, "preset", "fast", "model preset: fast | paper")
 	flag.IntVar(&o.scenes, "scenes", 12, "scenes in the training campaign")
@@ -72,9 +89,25 @@ func main() {
 	flag.IntVar(&o.maxTiles, "max-tiles", 256, "cap on training tiles (0 = all)")
 	flag.Uint64Var(&o.seed, "seed", 7, "seed")
 	flag.StringVar(&o.ckpt, "ckpt", "unet.ckpt", "checkpoint output path")
+	flag.BoolVar(&o.elastic, "elastic", false, "continue degraded over survivors after a crash instead of heal-and-retry")
+	flag.StringVar(&o.snapshot, "snapshot", "", "persist mid-epoch training snapshots to this file (enables -resume)")
+	flag.IntVar(&o.snapEvery, "snapshot-every", 0, "steps between snapshots (0 = every 8)")
+	flag.BoolVar(&o.resume, "resume", false, "resume from the -snapshot file's last snapshot")
 	flag.Parse()
 	pool.SetSharedWorkers(*procs)
 	log.Printf("training engine: %d kernel workers, %s precision", pool.Shared().Workers(), *precision)
+
+	if *chaosSpec != "" {
+		sched, err := chaos.Parse(*chaosSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		o.chaos = chaos.New(sched, o.workers)
+		log.Printf("chaos: injecting %d seeded faults (%s)", o.chaos.Remaining(), *chaosSpec)
+	}
+	if o.resume && o.snapshot == "" {
+		log.Fatal("-resume requires -snapshot <path>")
+	}
 
 	switch *precision {
 	case "f32":
@@ -131,18 +164,30 @@ func run[S tensor.Scalar](o options, master bool) {
 		Image: dataset.OriginalImages, Labels: labKind,
 		BatchSize: o.batch, BatchSeed: o.seed,
 	}
-	if o.workers > 1 {
+	// Fault-tolerant runs always use the ddp trainer (it owns the
+	// snapshot/recovery machinery), even at one worker.
+	useDDP := o.workers > 1 || o.chaos != nil || o.resume || o.snapshot != ""
+	if useDDP {
 		// The ddp trainer shards globally, so the global batch is the
 		// planning unit.
 		plan.BatchSize = o.batch * o.workers
 	}
+	// With chaos active, stage faults need a retry budget to be
+	// recoverable rather than fatal — sized from the schedule, since a
+	// spec may stack several faults on one scene.
+	retries := o.chaos.Count(chaos.StagePanic)
 	log.Printf("streaming %d scenes of %dx%d through filter/label/tile…", o.scenes, o.size, o.size)
 	st, err := pipeline.New(pipeline.CollectionSource{Cfg: cc}, pipeline.Config{
-		Build: build,
-		Plan:  plan,
+		Build:   build,
+		Plan:    plan,
+		Chaos:   o.chaos,
+		Retries: retries,
 		Progress: func(ev pipeline.Event) {
-			if ev.Kind == "shard" {
+			switch ev.Kind {
+			case "shard":
 				log.Printf("labeled shard %d/%d (%d/%d scenes)", ev.Shard+1, ev.Shards, ev.ScenesDone, ev.Scenes)
+			case "retry":
+				log.Printf("stage fault on shard %d — retrying scene", ev.Shard+1)
 			}
 		},
 	})
@@ -159,7 +204,7 @@ func run[S tensor.Scalar](o options, master bool) {
 		nTrain, o.labels, o.epochs, o.preset, modelCfg.NumConvLayers())
 
 	var model *unet.Model[S]
-	if o.workers > 1 {
+	if useDDP {
 		samples, err := st.TrainSamples()
 		if err != nil {
 			log.Fatal(err)
@@ -173,6 +218,10 @@ func run[S tensor.Scalar](o options, master bool) {
 			Seed:           o.seed,
 			MasterWeights:  master,
 			Timing:         perfmodel.PaperDGX(),
+			Chaos:          o.chaos,
+			SnapshotPath:   o.snapshot,
+			SnapshotEvery:  o.snapEvery,
+			Elastic:        o.elastic,
 			Progress: func(epoch int, loss float64) {
 				log.Printf("epoch %d: loss %.4f", epoch, loss)
 			},
@@ -180,9 +229,48 @@ func run[S tensor.Scalar](o options, master bool) {
 		if err != nil {
 			log.Fatal(err)
 		}
+		if o.resume {
+			snap, err := ddp.LoadSnapshotFile(o.snapshot)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := tr.Restore(snap); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("resumed from %s at global step %d", o.snapshot, snap.Step)
+		}
 		res, err := tr.Fit(samples)
+		if errors.Is(err, ddp.ErrKilled) {
+			for _, ev := range o.chaos.Events() {
+				log.Printf("chaos: delivered %s", ev)
+			}
+			if o.snapshot != "" && o.elastic {
+				// Elastic runs stop snapshotting once the complement
+				// degrades, so a resume replays from the last
+				// full-complement snapshot with every rank healed — a
+				// different run than the degraded one that died.
+				log.Fatalf("run killed by injected fault after %d committed steps; rerun with -snapshot %s -resume (drop -chaos) to restart from the last full-complement snapshot — elastic steps after it are not replayed",
+					res.Steps, o.snapshot)
+			}
+			if o.snapshot != "" {
+				log.Fatalf("run killed by injected fault after %d committed steps; rerun with -snapshot %s -resume (drop -chaos, or the kill re-arms and fires again) to continue bit-identically",
+					res.Steps, o.snapshot)
+			}
+			log.Fatalf("run killed by injected fault after %d committed steps; no -snapshot was set, so the training state is lost (pass -snapshot PATH to make kills resumable)",
+				res.Steps)
+		}
 		if err != nil {
 			log.Fatal(err)
+		}
+		if o.chaos != nil {
+			for _, ev := range o.chaos.Events() {
+				log.Printf("chaos: delivered %s", ev)
+			}
+			log.Printf("chaos: %d replicas healed, %d snapshot replays, %d stragglers absorbed, %d faults undelivered",
+				res.Recoveries, res.Replays, res.Stalls, o.chaos.Remaining())
+			if len(res.LostRanks) > 0 {
+				log.Printf("chaos: finished elastically without ranks %v", res.LostRanks)
+			}
 		}
 		log.Printf("distributed training: %d workers, virtual DGX time %.2f s, real %.2f s",
 			o.workers, res.VirtualTotal, res.RealTotal)

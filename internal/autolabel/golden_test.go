@@ -1,0 +1,88 @@
+package autolabel
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"seaice/internal/cloudfilter"
+	"seaice/internal/raster"
+	"seaice/internal/scene"
+)
+
+// -update regenerates the committed golden raster. Run it ONLY when an
+// intentional labeling change lands, and re-review the diff: the golden
+// file is what turns silent colorspace/autolabel drift into a test
+// failure.
+var updateGolden = flag.Bool("update", false, "rewrite the golden autolabel raster")
+
+// goldenPath is the committed label raster: the paper-threshold
+// auto-labels of the noise-seeded 96×96 scene below, filtered first
+// (the paper's pipeline order), one class byte per pixel.
+const goldenPath = "testdata/autolabel-golden-seed4242.bin"
+
+// goldenLabels runs the exact pipeline under test: deterministic
+// noise-seeded scene → cloud/shadow filter → paper-threshold HSV
+// auto-labeling.
+func goldenLabels(t *testing.T) *raster.Labels {
+	t.Helper()
+	cfg := scene.DefaultConfig(4242)
+	cfg.W, cfg.H = 96, 96
+	sc, err := scene.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := LabelPaper(cloudfilter.FilterDefault(sc.Image).Image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return labels
+}
+
+// TestGoldenAutolabelRaster byte-compares the auto-label pipeline's
+// output against the committed golden raster. Any colorspace, filter,
+// threshold, or segmentation refactor that shifts even one pixel's
+// class fails here — downstream accuracy tables are sensitive enough
+// (cf. the partial-label results this repo reproduces) that silent
+// label drift would corrupt them.
+func TestGoldenAutolabelRaster(t *testing.T) {
+	labels := goldenLabels(t)
+	got := make([]byte, len(labels.Pix))
+	for i, c := range labels.Pix {
+		got[i] = byte(c)
+	}
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden raster rewritten (%d bytes) — review the diff", len(got))
+		return
+	}
+
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("golden raster missing (regenerate with -update after reviewing): %v", err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("golden raster is %d bytes, pipeline produced %d", len(want), len(got))
+	}
+	if !bytes.Equal(got, want) {
+		diff, first := 0, -1
+		for i := range got {
+			if got[i] != want[i] {
+				diff++
+				if first < 0 {
+					first = i
+				}
+			}
+		}
+		t.Fatalf("auto-label output drifted from golden raster: %d/%d pixels differ (first at index %d: got class %d, want %d)",
+			diff, len(got), first, got[first], want[first])
+	}
+}

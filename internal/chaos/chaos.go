@@ -1,0 +1,450 @@
+// Package chaos is the deterministic fault-injection subsystem behind
+// the repository's elastic fault-tolerance stack. Production-scale runs
+// lose workers as a matter of course; this package turns "a worker died"
+// into a reproducible, seeded event so the recovery machinery in
+// internal/ddp (replica crash + heal), internal/pipeline (stage retry),
+// and internal/serve (worker restart) can be tested for *provable*
+// recovery — the bit-identity invariants in ARCHITECTURE.md are asserted
+// against schedules built here.
+//
+// A Schedule is parsed from a compact spec (the -chaos flag of
+// seaice-train and seaice-serve):
+//
+//	<seed>:<fault>[,<fault>...]
+//	fault := kind@N[:rR][:dur]
+//
+//	crash@N[:rR]      kill ddp replica R at the start of global step N
+//	kill@N            kill the whole training process at step N
+//	stage@N           panic the pipeline stage worker labeling scene N
+//	serve@N           panic the serve inference worker on batch pickup N
+//	stall@N[:rR][:D]  delay replica R by D (default 10ms) at step N
+//
+// Omitted targets are drawn from the schedule seed, so "7:crash@3" names
+// one concrete fault, not a random one. Example:
+//
+//	seaice-train -workers 4 -chaos "7:crash@3:r1,stall@5:r2:50ms,crash@9"
+//
+// Determinism guarantees: every fault fires exactly once (one-shot), at
+// an exact boundary — a (rank, step) pair for training, a scene index
+// for the pipeline, a batch-pickup ordinal for serving — never "after
+// roughly t seconds". Simulated runs instead deliver faults at exact
+// virtual instants via internal/simtime (DeliverVirtual), with the
+// clock's FIFO tie-break making simultaneous faults reproducible too.
+// The same spec therefore produces the same fault sequence on any host
+// at any parallelism, which is what lets the recovery tests compare a
+// chaos run byte-for-byte against an undisturbed one.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"seaice/internal/noise"
+	"seaice/internal/simtime"
+)
+
+// Kind enumerates the fault types the injector can deliver.
+type Kind uint8
+
+const (
+	// ReplicaCrash kills one ddp replica at a global-step boundary.
+	ReplicaCrash Kind = iota
+	// ProcessKill aborts the whole training run at a step boundary
+	// (recovery is a restart resuming from the last snapshot).
+	ProcessKill
+	// StagePanic panics the pipeline stage worker processing one scene.
+	StagePanic
+	// ServePanic panics a serve inference worker as it picks up a batch.
+	ServePanic
+	// Straggler delays one replica at a step boundary without killing it.
+	Straggler
+)
+
+// String names the kind with its spec keyword.
+func (k Kind) String() string {
+	switch k {
+	case ReplicaCrash:
+		return "crash"
+	case ProcessKill:
+		return "kill"
+	case StagePanic:
+		return "stage"
+	case ServePanic:
+		return "serve"
+	case Straggler:
+		return "stall"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// defaultStall is the straggler delay when the spec omits one.
+const defaultStall = 10 * time.Millisecond
+
+// Fault is one scheduled failure.
+type Fault struct {
+	Kind Kind
+	// Step is the boundary ordinal the fault fires at: a global training
+	// step (crash/kill/stall), a scene index (stage), or a batch-pickup
+	// ordinal counted from 0 (serve).
+	Step int
+	// Target is the victim rank for crash/stall; -1 means "derive from
+	// the schedule seed when the rank domain is known" (Injector.New).
+	Target int
+	// Delay is the straggler duration; zero means defaultStall.
+	Delay time.Duration
+}
+
+// Schedule is a parsed, seeded fault plan.
+type Schedule struct {
+	Seed   uint64
+	Faults []Fault
+}
+
+// Parse reads the -chaos spec format documented in the package comment.
+// An empty spec returns (nil, nil): chaos disabled.
+func Parse(spec string) (*Schedule, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	head, rest, ok := strings.Cut(spec, ":")
+	if !ok {
+		return nil, fmt.Errorf("chaos: spec %q missing ':' after seed (want <seed>:<fault>,...)", spec)
+	}
+	seed, err := strconv.ParseUint(head, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: bad seed %q: %w", head, err)
+	}
+	s := &Schedule{Seed: seed}
+	for _, part := range strings.Split(rest, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		f, err := parseFault(part)
+		if err != nil {
+			return nil, err
+		}
+		s.Faults = append(s.Faults, f)
+	}
+	if len(s.Faults) == 0 {
+		return nil, fmt.Errorf("chaos: spec %q names no faults", spec)
+	}
+	return s, nil
+}
+
+// parseFault reads one kind@N[:rR][:dur] clause.
+func parseFault(part string) (Fault, error) {
+	kindStr, rest, ok := strings.Cut(part, "@")
+	if !ok {
+		return Fault{}, fmt.Errorf("chaos: fault %q missing '@step'", part)
+	}
+	f := Fault{Target: -1}
+	switch kindStr {
+	case "crash":
+		f.Kind = ReplicaCrash
+	case "kill":
+		f.Kind = ProcessKill
+	case "stage":
+		f.Kind = StagePanic
+	case "serve":
+		f.Kind = ServePanic
+	case "stall":
+		f.Kind = Straggler
+	default:
+		return Fault{}, fmt.Errorf("chaos: unknown fault kind %q (want crash|kill|stage|serve|stall)", kindStr)
+	}
+	fields := strings.Split(rest, ":")
+	step, err := strconv.Atoi(fields[0])
+	if err != nil || step < 0 {
+		return Fault{}, fmt.Errorf("chaos: fault %q has bad step %q", part, fields[0])
+	}
+	f.Step = step
+	for _, field := range fields[1:] {
+		switch {
+		case strings.HasPrefix(field, "r"):
+			r, err := strconv.Atoi(field[1:])
+			if err != nil || r < 0 {
+				return Fault{}, fmt.Errorf("chaos: fault %q has bad rank %q", part, field)
+			}
+			f.Target = r
+		default:
+			d, err := time.ParseDuration(field)
+			if err != nil || d < 0 {
+				return Fault{}, fmt.Errorf("chaos: fault %q has bad duration %q", part, field)
+			}
+			f.Delay = d
+		}
+	}
+	if f.Target >= 0 && (f.Kind == ProcessKill || f.Kind == StagePanic || f.Kind == ServePanic) {
+		return Fault{}, fmt.Errorf("chaos: fault %q: %s faults take no rank target", part, f.Kind)
+	}
+	if f.Delay > 0 && f.Kind != Straggler {
+		return Fault{}, fmt.Errorf("chaos: fault %q: only stall faults take a duration", part)
+	}
+	return f, nil
+}
+
+// Event records one delivered fault for logs and assertions.
+type Event struct {
+	Kind   Kind
+	Step   int
+	Target int
+	// Virtual is the simtime instant for faults delivered by
+	// DeliverVirtual; 0 for boundary-delivered faults.
+	Virtual float64
+}
+
+// String renders the event in spec-like form.
+func (e Event) String() string {
+	s := fmt.Sprintf("%s@%d", e.Kind, e.Step)
+	if e.Target >= 0 {
+		s += fmt.Sprintf(":r%d", e.Target)
+	}
+	if e.Virtual > 0 {
+		s += fmt.Sprintf(" (t=%.6fs)", e.Virtual)
+	}
+	return s
+}
+
+// Injector delivers a schedule's faults, each exactly once. A nil
+// *Injector is valid and never fires, so instrumented call sites need no
+// nil checks. All methods are safe for concurrent use.
+type Injector struct {
+	mu      sync.Mutex
+	faults  []Fault
+	fired   []bool
+	pickups int // serve batch-pickup counter
+	log     []Event
+}
+
+// New resolves a schedule into an injector. ranks is the rank domain for
+// auto-targeted (Target < 0) crash/stall faults: each draws its victim
+// from the schedule seed, one independent stream per fault index, so the
+// same spec always names the same victims. ranks <= 0 resolves
+// auto-targets to rank 0. A nil schedule returns a nil injector (chaos
+// disabled).
+func New(s *Schedule, ranks int) *Injector {
+	if s == nil {
+		return nil
+	}
+	in := &Injector{
+		faults: make([]Fault, len(s.Faults)),
+		fired:  make([]bool, len(s.Faults)),
+	}
+	copy(in.faults, s.Faults)
+	for i := range in.faults {
+		f := &in.faults[i]
+		if f.Target >= 0 || (f.Kind != ReplicaCrash && f.Kind != Straggler) {
+			continue
+		}
+		if ranks <= 1 {
+			f.Target = 0
+			continue
+		}
+		f.Target = noise.NewRNG(s.Seed, uint64(i)+0xc4a05).Intn(ranks)
+	}
+	return in
+}
+
+// fire marks fault i delivered and logs it. Callers hold in.mu.
+func (in *Injector) fire(i int, virtual float64) {
+	in.fired[i] = true
+	in.log = append(in.log, Event{
+		Kind: in.faults[i].Kind, Step: in.faults[i].Step,
+		Target: in.faults[i].Target, Virtual: virtual,
+	})
+}
+
+// ReplicaCrash reports whether replica rank should die at the start of
+// global step. The matching fault fires at most once.
+func (in *Injector) ReplicaCrash(rank, step int) bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for i, f := range in.faults {
+		if !in.fired[i] && f.Kind == ReplicaCrash && f.Step == step && f.Target == rank {
+			in.fire(i, 0)
+			return true
+		}
+	}
+	return false
+}
+
+// ProcessKill reports whether the whole run should abort at the start of
+// global step.
+func (in *Injector) ProcessKill(step int) bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for i, f := range in.faults {
+		if !in.fired[i] && f.Kind == ProcessKill && f.Step == step {
+			in.fire(i, 0)
+			return true
+		}
+	}
+	return false
+}
+
+// StagePanic reports whether the pipeline stage worker should panic
+// while processing the given scene index.
+func (in *Injector) StagePanic(scene int) bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for i, f := range in.faults {
+		if !in.fired[i] && f.Kind == StagePanic && f.Step == scene {
+			in.fire(i, 0)
+			return true
+		}
+	}
+	return false
+}
+
+// ServePanic reports whether the serve worker picking up the next batch
+// should panic. Pickups are counted from 0 across the whole scheduler,
+// so serve@N names the Nth batch dispatch.
+func (in *Injector) ServePanic() bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	pickup := in.pickups
+	in.pickups++
+	for i, f := range in.faults {
+		if !in.fired[i] && f.Kind == ServePanic && f.Step == pickup {
+			in.fire(i, 0)
+			return true
+		}
+	}
+	return false
+}
+
+// StragglerDelay returns how long replica rank should stall at the start
+// of global step (0 = no stall scheduled).
+func (in *Injector) StragglerDelay(rank, step int) time.Duration {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for i, f := range in.faults {
+		if !in.fired[i] && f.Kind == Straggler && f.Step == step && f.Target == rank {
+			in.fire(i, 0)
+			if f.Delay > 0 {
+				return f.Delay
+			}
+			return defaultStall
+		}
+	}
+	return 0
+}
+
+// DeliverVirtual schedules every not-yet-fired fault on a simtime clock
+// at the exact virtual instant step × secondsPerStep — the delivery
+// mode for discrete-event simulations (internal/cluster-style runs and
+// the chaos tests); the real-goroutine training/serving paths consume
+// faults at step/shard boundaries via the query methods instead. fire
+// receives each fault as the clock reaches its instant; simultaneous
+// faults arrive in schedule order (simtime's FIFO tie-break). The
+// injector's event log records the virtual instants.
+func (in *Injector) DeliverVirtual(c *simtime.Clock, secondsPerStep float64, fire func(Fault)) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for i := range in.faults {
+		if in.fired[i] {
+			continue
+		}
+		i := i
+		f := in.faults[i]
+		at := float64(f.Step) * secondsPerStep
+		c.Schedule(at, func() {
+			in.mu.Lock()
+			if !in.fired[i] {
+				in.fire(i, at)
+			}
+			in.mu.Unlock()
+			if fire != nil {
+				fire(f)
+			}
+		})
+	}
+}
+
+// Events returns a copy of the delivered-fault log, in delivery order.
+func (in *Injector) Events() []Event {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]Event, len(in.log))
+	copy(out, in.log)
+	return out
+}
+
+// Count reports how many faults of the given kind the schedule holds
+// (delivered or not) — callers size retry budgets from it.
+func (in *Injector) Count(k Kind) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	n := 0
+	for _, f := range in.faults {
+		if f.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// Remaining counts faults not yet delivered — recovery tests assert it
+// reaches zero, proving the schedule was exercised rather than dodged.
+func (in *Injector) Remaining() int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	n := 0
+	for _, fired := range in.fired {
+		if !fired {
+			n++
+		}
+	}
+	return n
+}
+
+// Pending lists undelivered faults sorted by step — cmds print it when a
+// run ends with faults left over (usually a schedule outliving the run).
+func (in *Injector) Pending() []Fault {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var out []Fault
+	for i, fired := range in.fired {
+		if !fired {
+			out = append(out, in.faults[i])
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Step < out[b].Step })
+	return out
+}

@@ -1,0 +1,209 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"seaice/internal/simtime"
+)
+
+func TestParseSpec(t *testing.T) {
+	s, err := Parse("7:crash@3:r1,stall@5:r2:50ms,crash@9,kill@12,stage@2,serve@4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Seed != 7 {
+		t.Fatalf("seed = %d, want 7", s.Seed)
+	}
+	want := []Fault{
+		{Kind: ReplicaCrash, Step: 3, Target: 1},
+		{Kind: Straggler, Step: 5, Target: 2, Delay: 50 * time.Millisecond},
+		{Kind: ReplicaCrash, Step: 9, Target: -1},
+		{Kind: ProcessKill, Step: 12, Target: -1},
+		{Kind: StagePanic, Step: 2, Target: -1},
+		{Kind: ServePanic, Step: 4, Target: -1},
+	}
+	if !reflect.DeepEqual(s.Faults, want) {
+		t.Fatalf("faults = %+v\nwant %+v", s.Faults, want)
+	}
+}
+
+func TestParseEmptyDisablesChaos(t *testing.T) {
+	s, err := Parse("  ")
+	if err != nil || s != nil {
+		t.Fatalf("Parse(blank) = %v, %v; want nil, nil", s, err)
+	}
+	if in := New(nil, 4); in != nil {
+		t.Fatalf("New(nil) = %v, want nil injector", in)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"nofaults",           // no ':'
+		"x:crash@1",          // bad seed
+		"7:",                 // no faults
+		"7:boom@1",           // unknown kind
+		"7:crash",            // missing @step
+		"7:crash@-1",         // negative step
+		"7:crash@x",          // non-numeric step
+		"7:crash@1:rx",       // bad rank
+		"7:kill@1:r2",        // kill takes no rank
+		"7:stage@1:r0",       // stage takes no rank
+		"7:crash@1:50ms",     // only stall takes a duration
+		"7:stall@1:r0:-50ms", // negative duration
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+// TestChaosOneShot asserts each fault fires exactly once and the event
+// log records the delivery.
+func TestChaosOneShot(t *testing.T) {
+	s, err := Parse("1:crash@2:r0,serve@1,stage@3,stall@4:r1:5ms,kill@6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(s, 2)
+	if in.Remaining() != 5 {
+		t.Fatalf("Remaining = %d, want 5", in.Remaining())
+	}
+
+	if !in.ReplicaCrash(0, 2) {
+		t.Fatal("crash@2:r0 did not fire")
+	}
+	if in.ReplicaCrash(0, 2) {
+		t.Fatal("crash@2:r0 fired twice")
+	}
+	if in.ReplicaCrash(1, 2) || in.ReplicaCrash(0, 3) {
+		t.Fatal("crash fired for wrong rank/step")
+	}
+
+	// serve@1 fires on the second pickup (counted from 0).
+	if in.ServePanic() {
+		t.Fatal("serve fired on pickup 0")
+	}
+	if !in.ServePanic() {
+		t.Fatal("serve@1 did not fire on pickup 1")
+	}
+	if in.ServePanic() {
+		t.Fatal("serve fired twice")
+	}
+
+	if in.StagePanic(2) || !in.StagePanic(3) || in.StagePanic(3) {
+		t.Fatal("stage@3 misfired")
+	}
+	if d := in.StragglerDelay(1, 4); d != 5*time.Millisecond {
+		t.Fatalf("stall delay = %v, want 5ms", d)
+	}
+	if d := in.StragglerDelay(1, 4); d != 0 {
+		t.Fatalf("stall fired twice (%v)", d)
+	}
+	if !in.ProcessKill(6) || in.ProcessKill(6) {
+		t.Fatal("kill@6 misfired")
+	}
+
+	if in.Remaining() != 0 {
+		t.Fatalf("Remaining = %d after delivering all, want 0", in.Remaining())
+	}
+	if len(in.Events()) != 5 {
+		t.Fatalf("event log has %d entries, want 5: %v", len(in.Events()), in.Events())
+	}
+}
+
+// TestAutoTargetsDeterministic asserts seed-derived victims are stable
+// across injector constructions and differ across seeds.
+func TestAutoTargetsDeterministic(t *testing.T) {
+	spec := "42:crash@1,crash@2,crash@3,stall@4"
+	s, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victims := func(in *Injector) []int {
+		out := make([]int, len(in.faults))
+		for i, f := range in.faults {
+			out[i] = f.Target
+		}
+		return out
+	}
+	a, b := victims(New(s, 8)), victims(New(s, 8))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("auto targets differ across constructions: %v vs %v", a, b)
+	}
+	for _, r := range a {
+		if r < 0 || r >= 8 {
+			t.Fatalf("auto target %d outside rank domain", r)
+		}
+	}
+	if one := victims(New(s, 1)); !reflect.DeepEqual(one, []int{0, 0, 0, 0}) {
+		t.Fatalf("single-rank auto targets = %v, want all zero", one)
+	}
+}
+
+// TestChaosDeliverVirtual asserts faults land at exact virtual instants
+// on the simtime clock, simultaneous faults in schedule order.
+func TestChaosDeliverVirtual(t *testing.T) {
+	s, err := Parse("3:crash@4:r1,crash@2:r0,stall@2:r1,kill@8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(s, 2)
+	var clock simtime.Clock
+	type hit struct {
+		f  Fault
+		at float64
+	}
+	var got []hit
+	in.DeliverVirtual(&clock, 0.25, func(f Fault) {
+		got = append(got, hit{f, clock.Now()})
+	})
+	if end := clock.Run(); end != 2.0 {
+		t.Fatalf("final virtual time %v, want 2.0", end)
+	}
+	want := []hit{
+		{Fault{Kind: ReplicaCrash, Step: 2, Target: 0}, 0.5},
+		{Fault{Kind: Straggler, Step: 2, Target: 1}, 0.5},
+		{Fault{Kind: ReplicaCrash, Step: 4, Target: 1}, 1.0},
+		{Fault{Kind: ProcessKill, Step: 8, Target: -1}, 2.0},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("virtual delivery = %+v\nwant %+v", got, want)
+	}
+	if in.Remaining() != 0 {
+		t.Fatalf("Remaining = %d, want 0", in.Remaining())
+	}
+	for _, ev := range in.Events() {
+		if ev.Virtual == 0 {
+			t.Fatalf("event %v missing virtual instant", ev)
+		}
+	}
+}
+
+// TestNilInjectorNeverFires asserts every query is nil-safe, so
+// instrumented call sites need no guards.
+func TestNilInjectorNeverFires(t *testing.T) {
+	var in *Injector
+	if in.ReplicaCrash(0, 0) || in.ProcessKill(0) || in.StagePanic(0) || in.ServePanic() {
+		t.Fatal("nil injector fired")
+	}
+	if in.StragglerDelay(0, 0) != 0 || in.Remaining() != 0 || in.Events() != nil || in.Pending() != nil {
+		t.Fatal("nil injector reported state")
+	}
+	in.DeliverVirtual(&simtime.Clock{}, 1, nil) // must not panic
+}
+
+func TestPendingListsUndelivered(t *testing.T) {
+	s, err := Parse("1:crash@9:r0,crash@3:r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(s, 2)
+	in.ReplicaCrash(1, 3)
+	p := in.Pending()
+	if len(p) != 1 || p[0].Step != 9 {
+		t.Fatalf("Pending = %+v, want the crash@9 fault", p)
+	}
+}

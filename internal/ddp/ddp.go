@@ -10,6 +10,36 @@
 //  4. every rank applies an identical Adam update, keeping replicas
 //     bit-synchronized.
 //
+// The trainer is additionally *elastic and fault tolerant*: replica
+// failures (injected deterministically via internal/chaos, at exact
+// global-step boundaries) are detected through the membership-aware ring
+// (ring.Group), and the run recovers without losing a single committed
+// update. Two recovery modes exist:
+//
+//   - Recover (default): the failed step is aborted, the dead replica is
+//     healed — weights, optimizer state, and RNG position copied from a
+//     survivor, or, when no survivors remain, restored from the latest
+//     mid-epoch snapshot and replayed forward — and the step is retried
+//     with the full complement. Every committed update is therefore
+//     executed exactly once with all ranks, which makes a
+//     killed-and-recovered float64 run **bit-identical** to a
+//     never-failed one (asserted by the chaos tests at 1, 3, and 4
+//     workers; float32-mixed runs are bit-identical too, since snapshots
+//     store exact float64 state).
+//   - Elastic: dead ranks stay dead; subsequent batches are resharded
+//     over the survivors and gradients are averaged by a ring rebuilt
+//     over them with re-chunked geometry. Throughput degrades, the
+//     update sequence changes (documented, deterministic given the fault
+//     schedule), and the run finishes instead of failing.
+//
+// Mid-epoch snapshots (model weights, Adam moments, master weights,
+// each rank's RNG position, and the batch cursor) are taken every
+// Config.SnapshotEvery steps and optionally persisted (atomically) to
+// Config.SnapshotPath; a process killed at any instant resumes from the
+// last snapshot bit-identically, because training from any step boundary
+// is a pure function of the snapshot state and the seeded batch
+// schedule.
+//
 // Because this host has a single core, the *wall-clock* speedup of real
 // goroutines is ~1×; Table III's timing is therefore reported through the
 // calibrated perfmodel.Horovod virtual clock, while the gradient math is
@@ -29,17 +59,31 @@
 package ddp
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
+	"seaice/internal/chaos"
 	"seaice/internal/nn"
+	"seaice/internal/noise"
 	"seaice/internal/perfmodel"
 	"seaice/internal/ring"
 	"seaice/internal/tensor"
 	"seaice/internal/train"
 	"seaice/internal/unet"
 )
+
+// DefaultSnapshotEvery is the snapshot cadence (in global steps) when
+// Config.SnapshotEvery is unset.
+const DefaultSnapshotEvery = 8
+
+// ErrKilled reports a run aborted by an injected process-kill fault.
+// The trainer state is abandoned mid-flight (as a real kill would leave
+// it); resume by restoring the last snapshot into a fresh trainer.
+var ErrKilled = errors.New("ddp: run killed by injected fault (resume from the last snapshot)")
 
 // Config controls a distributed training run.
 type Config struct {
@@ -60,6 +104,28 @@ type Config struct {
 	Timing perfmodel.Horovod
 	// Progress, if non-nil, receives per-epoch mean loss.
 	Progress func(epoch int, loss float64)
+
+	// Chaos injects deterministic faults (replica crashes, process
+	// kills, stragglers) at global-step boundaries; nil disables
+	// injection. Real (non-injected) replica errors — a failing
+	// LossAndGrad — still abort the run: recovery is defined for worker
+	// *loss*, where retrying is sound, not for compute errors, which
+	// would recur deterministically on retry.
+	Chaos *chaos.Injector
+	// SnapshotEvery is the step cadence of mid-epoch snapshots; <= 0
+	// uses DefaultSnapshotEvery. A snapshot is always taken at the first
+	// step of a run (or resume), so snapshot-replay recovery is always
+	// possible.
+	SnapshotEvery int
+	// SnapshotPath, when non-empty, persists each snapshot atomically to
+	// this file, enabling kill-and-restart resume across processes.
+	SnapshotPath string
+	// Elastic switches recovery policy: instead of heal-and-retry
+	// (bit-identical), dead ranks stay dead and training continues over
+	// the survivors with resharded batches and a re-chunked survivor
+	// ring. Deterministic given the fault schedule, but a different —
+	// documented — update sequence than the no-fault run.
+	Elastic bool
 }
 
 // EpochStat records one epoch's timing and loss.
@@ -77,6 +143,19 @@ type Result struct {
 	// Throughput is images/second against the virtual clock (the
 	// paper's "Data/s" column).
 	Throughput float64
+
+	// Steps is the number of committed global steps this Fit executed
+	// (excluding resumed-over steps, discarded attempts, and replays).
+	Steps int
+	// Recoveries counts replicas healed after a detected failure.
+	Recoveries int
+	// Replays counts snapshot-replay recoveries (crashes with no
+	// survivors, e.g. the single-worker case).
+	Replays int
+	// Stalls counts absorbed straggler delays.
+	Stalls int
+	// LostRanks lists ranks still dead at exit (elastic mode only).
+	LostRanks []int
 }
 
 // Trainer owns the worker replicas, generic over the compute precision
@@ -84,6 +163,7 @@ type Result struct {
 // bytes every ring hop moves).
 type Trainer[S tensor.Scalar] struct {
 	cfg      Config
+	modelCfg unet.Config
 	replicas []*unet.Model[S]
 	opts     []*nn.Adam[S]
 	// flat holds one contiguous gradient vector per replica, reused
@@ -91,6 +171,21 @@ type Trainer[S tensor.Scalar] struct {
 	// all-reduce run as a single chunked, pipelined operation instead of
 	// one serial ring per parameter.
 	flat [][]S
+
+	// group tracks live ring membership across failures.
+	group *ring.Group
+	// snap is the latest in-memory snapshot; startStep is the batch
+	// cursor a restored trainer resumes from; restored marks that snap
+	// came from Restore, so Fit must verify it against the sample set.
+	snap      *Snapshot
+	startStep int
+	restored  bool
+	// batcher/nb/dataFP are installed by Fit; shardsFor uses the batcher
+	// to replay any step's deterministic shard assignment, and dataFP
+	// guards resume against a different sample set.
+	batcher *train.Batcher
+	nb      int
+	dataFP  string
 }
 
 // New builds a trainer whose rank-0 replica is initialized from the model
@@ -102,13 +197,12 @@ func New[S tensor.Scalar](modelCfg unet.Config, cfg Config) (*Trainer[S], error)
 	if cfg.BatchPerWorker <= 0 || cfg.Epochs <= 0 {
 		return nil, fmt.Errorf("ddp: invalid batch %d or epochs %d", cfg.BatchPerWorker, cfg.Epochs)
 	}
-	t := &Trainer[S]{cfg: cfg}
+	if cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = DefaultSnapshotEvery
+	}
+	t := &Trainer[S]{cfg: cfg, modelCfg: modelCfg}
 	for r := 0; r < cfg.Workers; r++ {
-		mc := modelCfg
-		// Distinct dropout streams per rank; weights are broadcast
-		// from rank 0 below, so only regularization noise differs.
-		mc.Seed = modelCfg.Seed + uint64(r)*0x9e37
-		m, err := unet.New[S](mc)
+		m, err := newReplica[S](modelCfg, r)
 		if err != nil {
 			return nil, err
 		}
@@ -122,32 +216,148 @@ func New[S tensor.Scalar](modelCfg unet.Config, cfg Config) (*Trainer[S], error)
 			return nil, err
 		}
 	}
+	var err error
+	if t.group, err = ring.NewGroup(cfg.Workers); err != nil {
+		return nil, err
+	}
 	return t, nil
+}
+
+// newReplica builds rank r's model with its distinct dropout stream;
+// weights are overwritten by broadcast or recovery.
+func newReplica[S tensor.Scalar](modelCfg unet.Config, r int) (*unet.Model[S], error) {
+	mc := modelCfg
+	// Distinct dropout streams per rank; weights are broadcast from
+	// rank 0, so only regularization noise differs.
+	mc.Seed = modelCfg.Seed + uint64(r)*0x9e37
+	return unet.New[S](mc)
 }
 
 // Replica exposes a rank's model (rank 0 is the canonical result).
 func (t *Trainer[S]) Replica(rank int) *unet.Model[S] { return t.replicas[rank] }
 
-// Step runs one synchronous data-parallel step: shards[r] is rank r's
-// mini-batch. It returns the mean loss across ranks.
-func (t *Trainer[S]) Step(shards [][]train.Sample) (float64, error) {
-	p := len(t.replicas)
-	if len(shards) != p {
-		return 0, fmt.Errorf("ddp: %d shards for %d workers", len(shards), p)
-	}
+// Group exposes the ring membership (for tests and progress reporting).
+func (t *Trainer[S]) Group() *ring.Group { return t.group }
 
-	// Each replica goroutine fans its kernels out on the shared pool, so
-	// a step can enqueue up to Workers × pool-size compute goroutines.
-	// Go caps running threads at GOMAXPROCS, so this nesting costs only
-	// scheduler queuing, and it keeps all cores busy both when replicas
-	// outnumber cores and when cores outnumber replicas.
-	losses := make([]float64, p)
-	errs := make([]error, p)
+// snapshotKey fingerprints the configuration a resumed run must share
+// with the run that wrote the snapshot; the sample set is fingerprinted
+// separately (dataFingerprint) because it exists only once Fit runs.
+func (t *Trainer[S]) snapshotKey() string {
+	return fmt.Sprintf("model %+v|workers %d|batch %d|epochs %d|lr %g|seed %d|master %t",
+		t.modelCfg, t.cfg.Workers, t.cfg.BatchPerWorker, t.cfg.Epochs, t.cfg.LR, t.cfg.Seed,
+		t.cfg.MasterWeights)
+}
+
+// dataFingerprint hashes the sample set's count, dimensions, imagery,
+// and labels. Resume-on-different-data would silently train the wrong
+// batches from the cursor onward, so Fit refuses it.
+func dataFingerprint(samples []train.Sample) string {
+	h := sha256.New()
+	var dims [8]byte
+	binary.LittleEndian.PutUint64(dims[:], uint64(len(samples)))
+	h.Write(dims[:])
+	var lbuf []byte
+	for _, s := range samples {
+		binary.LittleEndian.PutUint32(dims[:4], uint32(s.Image.W))
+		binary.LittleEndian.PutUint32(dims[4:], uint32(s.Image.H))
+		h.Write(dims[:])
+		h.Write(s.Image.Pix)
+		if cap(lbuf) < len(s.Labels.Pix) {
+			lbuf = make([]byte, len(s.Labels.Pix))
+		}
+		lbuf = lbuf[:len(s.Labels.Pix)]
+		for i, c := range s.Labels.Pix {
+			lbuf[i] = byte(c)
+		}
+		h.Write(lbuf)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// Snapshot captures the exact training state at the current step
+// boundary. All live ranks are bit-synchronized, so weights and
+// optimizer state are taken from the lowest live rank; RNG positions are
+// per rank.
+func (t *Trainer[S]) Snapshot(step int) *Snapshot {
+	src := 0
+	for r := range t.replicas {
+		if t.group.IsLive(r) {
+			src = r
+			break
+		}
+	}
+	s := &Snapshot{
+		Precision: precisionName[S](),
+		Key:       t.snapshotKey(),
+		Data:      t.dataFP,
+		Step:      step,
+		Weights:   t.replicas[src].WeightsF64(),
+		Opt:       t.opts[src].State(),
+		RNG:       make([]noise.RNGState, len(t.replicas)),
+	}
+	for r, m := range t.replicas {
+		s.RNG[r] = m.RNGState()
+	}
+	return s
+}
+
+// precisionName reports the instantiation's precision tag.
+func precisionName[S tensor.Scalar]() string {
+	if tensor.IsF32[S]() {
+		return "float32"
+	}
+	return "float64"
+}
+
+// Restore loads a snapshot into the trainer: every rank gets the
+// snapshot weights and optimizer state, its own RNG position, and full
+// ring membership. Fit then resumes from the snapshot's batch cursor.
+func (t *Trainer[S]) Restore(s *Snapshot) error {
+	if s.Key != t.snapshotKey() {
+		return fmt.Errorf("%w: key %q vs trainer %q", ErrSnapshotMismatch, s.Key, t.snapshotKey())
+	}
+	if s.Precision != precisionName[S]() {
+		return fmt.Errorf("%w: snapshot precision %s, trainer %s", ErrSnapshotMismatch, s.Precision, precisionName[S]())
+	}
+	if len(s.RNG) != len(t.replicas) {
+		return fmt.Errorf("%w: %d RNG states for %d ranks", ErrSnapshotMismatch, len(s.RNG), len(t.replicas))
+	}
+	for r, m := range t.replicas {
+		if err := m.SetWeightsF64(s.Weights); err != nil {
+			return err
+		}
+		m.SetRNGState(s.RNG[r])
+		t.opts[r].SetState(s.Opt) // SetState deep-copies, so ranks do not share buffers
+		t.group.Heal(r)
+	}
+	t.snap = s
+	t.startStep = s.Step
+	t.restored = true
+	return nil
+}
+
+// computeGrads runs forward+backward on every listed rank's shard
+// concurrently (each replica's kernels fan out on the shared pool) and
+// returns the mean loss across ranks that held samples, plus the number
+// of straggler delays absorbed. Straggler delays for this step fire
+// inside the affected rank's goroutine.
+func (t *Trainer[S]) computeGrads(ranks []int, shards [][]train.Sample, step int) (float64, int, error) {
+	losses := make([]float64, len(t.replicas))
+	counted := make([]bool, len(t.replicas))
+	stalled := make([]bool, len(t.replicas))
+	errs := make([]error, len(t.replicas))
 	var wg sync.WaitGroup
-	wg.Add(p)
-	for r := 0; r < p; r++ {
+	wg.Add(len(ranks))
+	for _, r := range ranks {
 		go func(rank int) {
 			defer wg.Done()
+			if d := t.cfg.Chaos.StragglerDelay(rank, step); d > 0 {
+				// A straggler slows the whole synchronous ring (wall
+				// clock only — results are unaffected, which the chaos
+				// tests assert).
+				stalled[rank] = true
+				time.Sleep(d)
+			}
 			m := t.replicas[rank]
 			nn.ZeroGrads(m.Params())
 			if len(shards[rank]) == 0 {
@@ -159,108 +369,378 @@ func (t *Trainer[S]) Step(shards [][]train.Sample) (float64, error) {
 				return
 			}
 			losses[rank], errs[rank] = m.LossAndGrad(x, labels)
+			counted[rank] = true
 		}(r)
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 	}
-
-	// Flatten every parameter gradient into one contiguous vector per
-	// replica and average them with a single chunked, concurrent ring
-	// all-reduce — early chunks travel the ring while later chunks queue,
-	// which is the communication/communication overlap Horovod gets from
-	// its fusion buffer.
-	params := make([][]*nn.Param[S], p)
-	for r := 0; r < p; r++ {
-		params[r] = t.replicas[r].Params()
+	total, n, stalls := 0.0, 0, 0
+	for r, ok := range counted {
+		if ok {
+			total += losses[r]
+			n++
+		}
+		if stalled[r] {
+			stalls++
+		}
 	}
+	if n == 0 {
+		return 0, stalls, nil
+	}
+	return total / float64(n), stalls, nil
+}
+
+// reduceGrads flattens the listed ranks' gradients and averages them
+// through the membership-aware chunked ring (rebuilt over the live set,
+// re-chunked geometry).
+func (t *Trainer[S]) reduceGrads(ranks []int) error {
+	p := len(t.replicas)
 	flatLen := 0
-	for _, prm := range params[0] {
+	for _, prm := range t.replicas[0].Params() {
 		flatLen += prm.Grad.Len()
 	}
 	if t.flat == nil {
 		t.flat = make([][]S, p)
 	}
-	for r := 0; r < p; r++ {
+	for _, r := range ranks {
 		if cap(t.flat[r]) < flatLen {
 			t.flat[r] = make([]S, flatLen)
 		}
 		t.flat[r] = t.flat[r][:flatLen]
 		off := 0
-		for _, prm := range params[r] {
+		for _, prm := range t.replicas[r].Params() {
 			off += copy(t.flat[r][off:], prm.Grad.Data)
 		}
 	}
-	if err := ring.AllReduceMeanChunked(t.flat, ring.DefaultChunk); err != nil {
-		return 0, err
-	}
+	// Dead ranks keep stale flat buffers; ensure they exist so the group
+	// collective sees a full-length slice set.
 	for r := 0; r < p; r++ {
+		if t.flat[r] == nil {
+			t.flat[r] = make([]S, flatLen)
+		}
+	}
+	if err := ring.AllReduceMeanChunkedGroup(t.group, t.flat, ring.DefaultChunk); err != nil {
+		return err
+	}
+	for _, r := range ranks {
 		off := 0
-		for _, prm := range params[r] {
+		for _, prm := range t.replicas[r].Params() {
 			off += copy(prm.Grad.Data, t.flat[r][off:off+prm.Grad.Len()])
 		}
 	}
+	return nil
+}
 
-	// Identical optimizer updates keep replicas synchronized; ranks are
-	// independent here, so they update concurrently.
-	wg.Add(p)
-	for r := 0; r < p; r++ {
+// applyAdam commits the averaged gradients on the listed ranks
+// concurrently; identical updates keep them bit-synchronized.
+func (t *Trainer[S]) applyAdam(ranks []int) {
+	var wg sync.WaitGroup
+	wg.Add(len(ranks))
+	for _, r := range ranks {
 		go func(rank int) {
 			defer wg.Done()
-			t.opts[rank].Step(params[rank])
+			t.opts[rank].Step(t.replicas[rank].Params())
 		}(r)
 	}
 	wg.Wait()
+}
 
-	total := 0.0
-	for _, l := range losses {
-		total += l
+// Step runs one synchronous data-parallel step over the full complement:
+// shards[r] is rank r's mini-batch. It returns the mean loss across
+// ranks. Step is the fault-free fast path (and the replay primitive);
+// Fit's chaos-aware loop wraps it with detection and recovery.
+func (t *Trainer[S]) Step(shards [][]train.Sample) (float64, error) {
+	p := len(t.replicas)
+	if len(shards) != p {
+		return 0, fmt.Errorf("ddp: %d shards for %d workers", len(shards), p)
 	}
-	return total / float64(p), nil
+	all := make([]int, p)
+	for r := range all {
+		all[r] = r
+	}
+	loss, _, err := t.computeGrads(all, shards, -1)
+	if err != nil {
+		return 0, err
+	}
+	if err := t.reduceGrads(all); err != nil {
+		return 0, err
+	}
+	t.applyAdam(all)
+	return loss, nil
+}
+
+// heal recovers the dead ranks. With survivors, the replacement replica
+// copies weights, optimizer state, and its own step-start RNG position
+// from the captured state (the crash landed at the step boundary, before
+// the rank consumed any noise); with none, the whole trainer restores
+// the latest snapshot and replays forward to the current step, which is
+// bit-identical by the determinism of Step. Returns whether a replay
+// happened.
+func (t *Trainer[S]) heal(step int, rngAtStart []noise.RNGState, res *Result) (bool, error) {
+	dead := t.group.Dead()
+	if len(dead) == 0 {
+		return false, nil
+	}
+	live := t.group.Live()
+	if len(live) == 0 {
+		// Total loss — snapshot replay. Restore rewinds weights, Adam,
+		// RNG, and membership; then deterministically re-execute the
+		// steps between the snapshot and the current cursor.
+		if t.snap == nil {
+			return false, fmt.Errorf("ddp: all ranks failed at step %d with no snapshot", step)
+		}
+		snapStep := t.snap.Step
+		if err := t.Restore(t.snap); err != nil {
+			return false, err
+		}
+		res.Replays++
+		res.Recoveries += len(dead)
+		for h := snapStep; h < step; h++ {
+			if _, err := t.Step(t.shardsFor(h)); err != nil {
+				return false, fmt.Errorf("ddp: replay step %d: %w", h, err)
+			}
+		}
+		return true, nil
+	}
+	src := live[0]
+	for _, r := range dead {
+		// A fresh replica stands in for the replacement worker; it
+		// inherits the survivor's synchronized state and resumes its own
+		// rank's RNG stream where the dead worker left it.
+		m, err := newReplica[S](t.modelCfg, r)
+		if err != nil {
+			return false, err
+		}
+		if err := m.CopyWeightsFrom(t.replicas[src]); err != nil {
+			return false, err
+		}
+		m.SetRNGState(rngAtStart[r])
+		t.replicas[r] = m
+		t.opts[r].SetState(t.opts[src].State())
+		t.group.Heal(r)
+		res.Recoveries++
+	}
+	return false, nil
+}
+
+// shardsFor reconstructs the deterministic shard assignment of global
+// step g — the replay primitive. Requires Fit to have installed the
+// batcher.
+func (t *Trainer[S]) shardsFor(g int) [][]train.Sample {
+	batch := t.batcher.Epoch(g / t.nb)[g%t.nb]
+	return shard(batch, t.cfg.Workers)
 }
 
 // Fit trains for the configured epochs over the dataset, sharding each
-// global batch of Workers×BatchPerWorker samples across ranks.
+// global batch of Workers×BatchPerWorker samples across ranks. With a
+// chaos injector configured, faults fire at their exact step boundaries
+// and the run recovers per Config.Elastic; a ProcessKill fault aborts
+// with ErrKilled after the last snapshot (resume via Restore +
+// LoadSnapshotFile). A trainer restored from a snapshot resumes at its
+// batch cursor.
 func (t *Trainer[S]) Fit(samples []train.Sample) (*Result, error) {
 	globalBatch := t.cfg.Workers * t.cfg.BatchPerWorker
 	batcher, err := train.NewBatcher(samples, globalBatch, t.cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
+	t.batcher = batcher
+	t.nb = batcher.NumBatches()
+	totalSteps := t.cfg.Epochs * t.nb
+	// The data fingerprint exists for snapshots and resume checks; a
+	// plain fault-free run skips the full-dataset hash.
+	if t.cfg.Chaos != nil || t.cfg.SnapshotPath != "" || t.restored {
+		t.dataFP = dataFingerprint(samples)
+	}
+	if t.restored && t.snap != nil && t.snap.Data != "" && t.snap.Data != t.dataFP {
+		// A cursor into a different sample set would silently train the
+		// wrong batches; bit-identical resume is only defined on the
+		// data the snapshot was taken over. Checked even at cursor 0 —
+		// restoring a snapshot is a claim about the data it came from.
+		return nil, fmt.Errorf("%w: snapshot was taken over a different sample set", ErrSnapshotMismatch)
+	}
+
 	res := &Result{}
-	for epoch := 0; epoch < t.cfg.Epochs; epoch++ {
-		start := time.Now()
-		totalLoss, nSteps := 0.0, 0
-		for _, batch := range batcher.Epoch(epoch) {
-			shards := shard(batch, t.cfg.Workers)
-			loss, err := t.Step(shards)
-			if err != nil {
-				return nil, err
+	var (
+		epochBatches   [][]train.Sample
+		epochLoaded    = -1
+		epochLoss      float64
+		epochSteps     int
+		epochStart     = time.Now()
+		samplesTrained int // samples in committed steps (resume-aware)
+	)
+	for g := t.startStep; g < totalSteps; g++ {
+		epoch, bi := g/t.nb, g%t.nb
+		if epoch != epochLoaded {
+			epochBatches = batcher.Epoch(epoch)
+			epochLoaded = epoch
+			epochLoss, epochSteps = 0, 0
+			epochStart = time.Now()
+		}
+
+		// ---- step boundary: snapshot, then faults fire ----
+		// Snapshots exist for recovery (chaos) and restart (SnapshotPath);
+		// a plain fault-free run skips the deep copies entirely.
+		wantSnaps := t.cfg.Chaos != nil || t.cfg.SnapshotPath != ""
+		if wantSnaps && (g == t.startStep || g%t.cfg.SnapshotEvery == 0) && t.group.LiveCount() == len(t.replicas) {
+			t.snap = t.Snapshot(g)
+			if t.cfg.SnapshotPath != "" {
+				if err := SaveSnapshotFile(t.cfg.SnapshotPath, t.snap); err != nil {
+					return res, err
+				}
 			}
-			totalLoss += loss
-			nSteps++
 		}
-		stat := EpochStat{
-			Loss:        totalLoss / float64(nSteps),
-			RealSeconds: time.Since(start).Seconds(),
+		if t.cfg.Chaos.ProcessKill(g) {
+			// The process dies here; in-flight state is abandoned, as a
+			// real SIGKILL would leave it. Resume restores the last
+			// persisted snapshot into a fresh trainer.
+			return res, ErrKilled
 		}
-		if t.cfg.Timing.Compute > 0 {
-			stat.VirtualSeconds = t.cfg.Timing.EpochTime(t.cfg.Workers)
+
+		loss, err := t.chaosStep(g, epochBatches[bi], res)
+		if err != nil {
+			return res, err
 		}
-		res.Epochs = append(res.Epochs, stat)
-		res.RealTotal += stat.RealSeconds
-		res.VirtualTotal += stat.VirtualSeconds
-		if t.cfg.Progress != nil {
-			t.cfg.Progress(epoch, stat.Loss)
+		res.Steps++
+		epochLoss += loss
+		epochSteps++
+		samplesTrained += len(epochBatches[bi])
+
+		if bi == t.nb-1 {
+			stat := EpochStat{
+				Loss:        epochLoss / float64(epochSteps),
+				RealSeconds: time.Since(epochStart).Seconds(),
+			}
+			if t.cfg.Timing.Compute > 0 {
+				// A resume entering mid-epoch executed only epochSteps of
+				// the epoch's nb steps; scale the modeled epoch time so
+				// virtual totals cover the work actually done.
+				stat.VirtualSeconds = t.cfg.Timing.EpochTime(t.group.LiveCount()) *
+					float64(epochSteps) / float64(t.nb)
+			}
+			res.Epochs = append(res.Epochs, stat)
+			res.RealTotal += stat.RealSeconds
+			res.VirtualTotal += stat.VirtualSeconds
+			if t.cfg.Progress != nil {
+				t.cfg.Progress(epoch, stat.Loss)
+			}
 		}
 	}
+	res.LostRanks = t.group.Dead()
 	if res.VirtualTotal > 0 {
-		res.Throughput = float64(len(samples)*t.cfg.Epochs) / res.VirtualTotal
+		// Samples this Fit actually trained — for an unresumed run this
+		// is len(samples)×Epochs; a resumed run counts only its own
+		// committed steps, so throughput is never inflated by the
+		// already-snapshotted portion.
+		res.Throughput = float64(samplesTrained) / res.VirtualTotal
 	}
 	return res, nil
+}
+
+// chaosStep executes global step g with failure detection and recovery.
+func (t *Trainer[S]) chaosStep(g int, batch []train.Sample, res *Result) (float64, error) {
+	p := len(t.replicas)
+	for {
+		// Capture every rank's RNG position at the step boundary so an
+		// aborted attempt can be rewound exactly.
+		rngAtStart := make([]noise.RNGState, p)
+		for r, m := range t.replicas {
+			rngAtStart[r] = m.RNGState()
+		}
+
+		// Replica crashes scheduled for this step fire now: the worker
+		// dies at the boundary, producing no gradients. The membership
+		// group is how the survivors detect it.
+		for r := 0; r < p; r++ {
+			if t.group.IsLive(r) && t.cfg.Chaos.ReplicaCrash(r, g) {
+				t.group.Fail(r)
+			}
+		}
+
+		live := t.group.Live()
+		if len(live) == 0 {
+			if t.cfg.Elastic {
+				// Elastic mode never resurrects ranks — with the last
+				// survivor gone there is nothing to continue on, and a
+				// snapshot replay would silently rewrite the degraded
+				// steps already committed over survivors.
+				return 0, fmt.Errorf("ddp: all replicas lost at step %d (elastic mode does not heal)", g)
+			}
+			if _, err := t.heal(g, rngAtStart, res); err != nil {
+				return 0, err
+			}
+			continue // retry step g with the restored complement
+		}
+		if len(live) < len(t.replicas) && !t.cfg.Elastic {
+			// Recover mode heals before computing: the boundary detection
+			// already knows who died, so spending a full forward/backward
+			// + all-reduce on a step that must be retried anyway would be
+			// pure waste. (A loss detected mid-exchange — RankError below
+			// — still discards the attempt.)
+			if _, err := t.heal(g, rngAtStart, res); err != nil {
+				return 0, err
+			}
+			continue
+		}
+
+		// Shard the batch: over the full complement in recover mode (the
+		// committed execution always has every rank), over the survivors
+		// in elastic mode.
+		var shards [][]train.Sample
+		if t.cfg.Elastic {
+			shards = shardOver(batch, live, p)
+		} else {
+			shards = shard(batch, p)
+		}
+
+		loss, stalls, err := t.computeGrads(live, shards, g)
+		if err != nil {
+			return 0, err
+		}
+		res.Stalls += stalls
+		aborted := false // a peer died mid-exchange; partial sums untrustworthy
+		if err := t.reduceGrads(live); err != nil {
+			var re *ring.RankError
+			if !errors.As(err, &re) {
+				return 0, err
+			}
+			aborted = true
+		}
+
+		if aborted {
+			// Discard the attempt and rewind the participants' RNG
+			// streams (they consumed dropout noise that will be redrawn
+			// on retry). Recover mode additionally heals the dead ranks
+			// so the retry runs with the full complement; elastic mode
+			// leaves them dead and retries over the remaining survivors.
+			if t.cfg.Elastic {
+				for _, r := range live {
+					if t.group.IsLive(r) {
+						t.replicas[r].SetRNGState(rngAtStart[r])
+					}
+				}
+				continue
+			}
+			replayed, err := t.heal(g, rngAtStart, res)
+			if err != nil {
+				return 0, err
+			}
+			if !replayed {
+				for r, m := range t.replicas {
+					m.SetRNGState(rngAtStart[r])
+				}
+			}
+			continue
+		}
+
+		// Commit: identical Adam updates on the participating ranks.
+		t.applyAdam(live)
+		return loss, nil
+	}
 }
 
 // shard splits a batch round-robin across ranks; with batch =
@@ -269,6 +749,18 @@ func shard(batch []train.Sample, workers int) [][]train.Sample {
 	out := make([][]train.Sample, workers)
 	for i, s := range batch {
 		r := i % workers
+		out[r] = append(out[r], s)
+	}
+	return out
+}
+
+// shardOver distributes a batch round-robin across the live ranks only —
+// the elastic resharding that keeps every sample trained when the
+// complement shrinks. Dead ranks receive empty shards.
+func shardOver(batch []train.Sample, live []int, workers int) [][]train.Sample {
+	out := make([][]train.Sample, workers)
+	for i, s := range batch {
+		r := live[i%len(live)]
 		out[r] = append(out[r], s)
 	}
 	return out

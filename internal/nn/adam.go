@@ -103,3 +103,44 @@ func (a *Adam[S]) Step(params []*Param[S]) {
 
 // Steps reports how many updates have been applied.
 func (a *Adam[S]) Steps() int { return a.t }
+
+// AdamState is the full serializable optimizer state: step counter,
+// first/second moment estimates, and (for mixed precision) the float64
+// master weights. All buffers are float64 regardless of the parameter
+// precision, so a snapshot restores either instantiation exactly —
+// the fault-tolerance recovery path (internal/ddp) depends on a
+// restored optimizer being bit-identical to the one that crashed.
+type AdamState struct {
+	T      int
+	M, V   [][]float64
+	Master [][]float64 // nil unless Master weights are enabled and stepped
+}
+
+// cloneF64 deep-copies a moment buffer set.
+func cloneF64(src [][]float64) [][]float64 {
+	if src == nil {
+		return nil
+	}
+	out := make([][]float64, len(src))
+	for i, s := range src {
+		out[i] = append([]float64(nil), s...)
+	}
+	return out
+}
+
+// State deep-copies the optimizer state. Before the first Step the
+// moment buffers are nil; restoring such a state yields a fresh
+// optimizer.
+func (a *Adam[S]) State() AdamState {
+	return AdamState{T: a.t, M: cloneF64(a.m), V: cloneF64(a.v), Master: cloneF64(a.master)}
+}
+
+// SetState deep-copies a captured state into the optimizer. The next
+// Step must receive the same parameter slice (same order and sizes) the
+// state was captured against.
+func (a *Adam[S]) SetState(st AdamState) {
+	a.t = st.T
+	a.m = cloneF64(st.M)
+	a.v = cloneF64(st.V)
+	a.master = cloneF64(st.Master)
+}

@@ -177,6 +177,21 @@ func (r *RNG) NormFloat64() float64 {
 	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
 }
 
+// RNGState is the full serializable state of an RNG: restoring it
+// resumes the stream at the exact position it was captured, which is how
+// the fault-tolerance snapshots (internal/ddp) replay dropout noise
+// bit-identically after a crash.
+type RNGState struct {
+	State, Inc uint64
+}
+
+// State captures the generator's position.
+func (r *RNG) State() RNGState { return RNGState{State: r.state, Inc: r.inc} }
+
+// SetState rewinds (or fast-forwards) the generator to a captured
+// position.
+func (r *RNG) SetState(st RNGState) { r.state, r.inc = st.State, st.Inc }
+
 // Perm returns a deterministic pseudo-random permutation of [0,n).
 func (r *RNG) Perm(n int) []int {
 	p := make([]int, n)

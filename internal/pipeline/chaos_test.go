@@ -1,0 +1,174 @@
+package pipeline
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"seaice/internal/chaos"
+	"seaice/internal/dataset"
+	"seaice/internal/scene"
+)
+
+// chaosSource is a tiny deterministic campaign for the fault tests.
+func chaosSource() (Source, dataset.BuildConfig) {
+	cc := scene.DefaultCollection(31)
+	cc.Scenes = 6
+	cc.W, cc.H = 64, 64
+	build := dataset.DefaultBuild()
+	build.TileSize = 32
+	return CollectionSource{Cfg: cc}, build
+}
+
+// setBytes renders a dataset for byte comparison.
+func setBytes(t *testing.T, set *dataset.Set) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, tile := range set.Tiles {
+		buf.Write(tile.Original.Pix)
+		buf.Write(tile.Filtered.Pix)
+		for _, p := range tile.Auto.Pix {
+			buf.WriteByte(byte(p))
+		}
+		for _, p := range tile.Manual.Pix {
+			buf.WriteByte(byte(p))
+		}
+	}
+	return buf.Bytes()
+}
+
+// injector builds a chaos injector from a spec.
+func injector(t *testing.T, spec string) *chaos.Injector {
+	t.Helper()
+	sched, err := chaos.Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return chaos.New(sched, 0)
+}
+
+// TestChaosStageRetryByteIdentical asserts injected stage-worker panics
+// are absorbed by the per-scene retry and the streamed product is
+// byte-identical to an undisturbed run.
+func TestChaosStageRetryByteIdentical(t *testing.T) {
+	src, build := chaosSource()
+
+	clean := StreamBuilder{Config: Config{Build: build, Workers: 3, Shards: 3}}
+	want, err := clean.BuildSet(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	in := injector(t, "5:stage@1,stage@4")
+	var mu sync.Mutex
+	retries := 0
+	st, err := New(src, Config{
+		Build: build, Workers: 3, Shards: 3, Retries: 1, Chaos: in,
+		Progress: func(ev Event) {
+			if ev.Kind == "retry" {
+				mu.Lock()
+				retries++
+				mu.Unlock()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	got, err := st.Set()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if in.Remaining() != 0 {
+		t.Fatalf("stage faults not delivered: %d pending", in.Remaining())
+	}
+	mu.Lock()
+	if retries != 2 {
+		t.Fatalf("retry events = %d, want 2", retries)
+	}
+	mu.Unlock()
+	if !bytes.Equal(setBytes(t, got), setBytes(t, want)) {
+		t.Fatal("chaos-retried stream differs from undisturbed run")
+	}
+}
+
+// TestChaosStageDoubleFaultNeedsBudget asserts two faults stacked on
+// one scene are absorbed when the retry budget covers them (the cmds
+// size Retries from the schedule via chaos.Injector.Count).
+func TestChaosStageDoubleFaultNeedsBudget(t *testing.T) {
+	src, build := chaosSource()
+	in := injector(t, "5:stage@2,stage@2")
+	st, err := New(src, Config{Build: build, Workers: 2, Retries: in.Count(chaos.StagePanic), Chaos: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := st.Set(); err != nil {
+		t.Fatalf("double fault with matching budget: %v", err)
+	}
+	if in.Remaining() != 0 {
+		t.Fatalf("%d faults undelivered", in.Remaining())
+	}
+}
+
+// TestChaosStageFaultFatalWithoutRetry asserts an injected panic with no
+// retry budget fails the stream with a diagnosable error instead of
+// hanging it.
+func TestChaosStageFaultFatalWithoutRetry(t *testing.T) {
+	src, build := chaosSource()
+	st, err := New(src, Config{Build: build, Workers: 2, Chaos: injector(t, "5:stage@2")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := st.Set(); err == nil || !strings.Contains(err.Error(), "chaos: injected stage fault") {
+		t.Fatalf("Set() = %v, want injected-fault error", err)
+	}
+}
+
+// TestChaosCheckpointResumeAfterAbort asserts the fingerprint-checked
+// shard checkpoints turn a chaos-aborted run into a resumable one: the
+// rerun restores the completed shards and finishes with a product
+// byte-identical to a never-failed run.
+func TestChaosCheckpointResumeAfterAbort(t *testing.T) {
+	src, build := chaosSource()
+	dir := t.TempDir()
+
+	clean := StreamBuilder{Config: Config{Build: build, Workers: 2, Shards: 3}}
+	want, err := clean.BuildSet(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First run: unretried fault on scene 5 (last shard) aborts the
+	// stream after earlier shards may have checkpointed.
+	aborted, err := New(src, Config{
+		Build: build, Workers: 2, Shards: 3, CheckpointDir: dir,
+		Chaos: injector(t, "5:stage@5"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := aborted.Set(); err == nil {
+		t.Fatal("aborted run unexpectedly succeeded")
+	}
+	aborted.Close()
+
+	// Rerun with the same fingerprint: completed shards restore from
+	// disk, the rest recompute, and the product matches byte for byte.
+	resumed, err := New(src, Config{Build: build, Workers: 2, Shards: 3, CheckpointDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resumed.Close()
+	got, err := resumed.Set()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(setBytes(t, got), setBytes(t, want)) {
+		t.Fatal("resumed run differs from undisturbed run")
+	}
+}

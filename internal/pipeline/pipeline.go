@@ -35,6 +35,7 @@ import (
 	"sync"
 
 	"seaice/internal/catalog"
+	"seaice/internal/chaos"
 	"seaice/internal/dataset"
 	"seaice/internal/raster"
 	"seaice/internal/scene"
@@ -173,7 +174,8 @@ type TrainPlan struct {
 // Event is one pipeline progress notification.
 type Event struct {
 	// Kind is "resume" (shard restored from checkpoint), "scene" (one
-	// scene labeled and tiled), or "shard" (one shard fully done).
+	// scene labeled and tiled), "retry" (a stage failure being
+	// re-attempted), or "shard" (one shard fully done).
 	Kind string
 	// Shard/Shards locate the event: Shard is the shard the scene or
 	// completion belongs to.
@@ -201,6 +203,17 @@ type Config struct {
 	// CheckpointDir, when non-empty, persists each completed shard's
 	// tiles and resumes from matching shards on the next run.
 	CheckpointDir string
+	// Retries is the per-scene retry budget of the label/tile stages: a
+	// stage worker that panics or errors on a scene (an injected chaos
+	// fault, a flaky catalog fetch) re-attempts it up to Retries times
+	// before the failure becomes fatal. Retried scenes produce identical
+	// products (every stage is a pure function of scene + config), so
+	// retry changes wall clock, never output. 0 disables retry.
+	Retries int
+	// Chaos injects deterministic stage-worker faults (panics at exact
+	// scene indices) for the fault-tolerance tests and the -chaos flags;
+	// nil disables injection.
+	Chaos *chaos.Injector
 	// Plan enables TrainBatches/TrainSamples/TestTiles and scene
 	// prioritization. Without it scenes are processed in index order.
 	Plan *TrainPlan

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"errors"
 	"fmt"
 
 	"seaice/internal/dataset"
@@ -61,23 +62,9 @@ func (s *Stream) run() {
 		// hung instead of failed.
 		if err := p.Map(s.cfg.Workers, func(int) error {
 			for i := range sceneCh {
-				sc, err := s.src.SceneAt(i)
+				ls, err := s.labelSceneWithRetry(i)
 				if err != nil {
-					s.fail(fmt.Errorf("pipeline: scene %d: %w", i, err))
-					return nil
-				}
-				// Global tile indexing assumes every scene matches the
-				// source's declared size; a mismatched scene (e.g. a
-				// mixed-size SliceSource) would silently misaddress
-				// tiles, so reject it here.
-				if sc.Image.W != s.w || sc.Image.H != s.h {
-					s.fail(fmt.Errorf("pipeline: scene %d is %dx%d, source declared %dx%d",
-						i, sc.Image.W, sc.Image.H, s.w, s.h))
-					return nil
-				}
-				ls, err := dataset.LabelScene(sc, s.cfg.Build)
-				if err != nil {
-					s.fail(fmt.Errorf("pipeline: label scene %d: %w", i, err))
+					s.fail(err)
 					return nil
 				}
 				select {
@@ -111,6 +98,74 @@ func (s *Stream) run() {
 	}); err != nil {
 		s.fail(err)
 	}
+}
+
+// labelSceneWithRetry runs the fetch+filter+label stage for one scene,
+// re-attempting after a worker panic or error up to Config.Retries
+// times — the shard-level fault tolerance of the label stage. Every
+// stage is a pure function of (scene, config), so a retried scene's
+// products are identical to a first-try success; retry changes wall
+// clock only. The chaos injector's stage faults fire here, at their
+// exact scene index, one-shot — so an injected panic is recovered by
+// the first retry.
+func (s *Stream) labelSceneWithRetry(i int) (*dataset.LabeledScene, error) {
+	var lastErr error
+	for attempt := 0; attempt <= s.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			s.emit(Event{Kind: "retry", Shard: s.shardOf(i), ScenesDone: s.completed()})
+		}
+		ls, err := s.labelScene(i)
+		if err == nil {
+			return ls, nil
+		}
+		lastErr = err
+		var perm *permanentError
+		if errors.As(err, &perm) {
+			// Deterministic failures (mis-sized scene, bad label
+			// config) recur on every attempt; retrying would only burn
+			// fetch I/O and emit misleading retry events.
+			break
+		}
+	}
+	return nil, lastErr
+}
+
+// permanentError marks a stage failure that is a pure function of
+// (scene, config) and therefore not worth retrying.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// labelScene is one attempt: panics (injected or real) surface as
+// errors, so the stage worker survives to retry. Transient-shaped
+// failures (fetch errors, panics) return plain errors; deterministic
+// ones come back wrapped as permanentError.
+func (s *Stream) labelScene(i int) (ls *dataset.LabeledScene, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("pipeline: scene %d stage worker panicked: %v", i, r)
+		}
+	}()
+	sc, err := s.src.SceneAt(i)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: scene %d: %w", i, err)
+	}
+	// Global tile indexing assumes every scene matches the source's
+	// declared size; a mismatched scene (e.g. a mixed-size SliceSource)
+	// would silently misaddress tiles, so reject it here.
+	if sc.Image.W != s.w || sc.Image.H != s.h {
+		return nil, &permanentError{fmt.Errorf("pipeline: scene %d is %dx%d, source declared %dx%d",
+			i, sc.Image.W, sc.Image.H, s.w, s.h)}
+	}
+	if s.cfg.Chaos.StagePanic(i) {
+		panic(fmt.Sprintf("chaos: injected stage fault on scene %d", i))
+	}
+	ls, err = dataset.LabelScene(sc, s.cfg.Build)
+	if err != nil {
+		return nil, &permanentError{fmt.Errorf("pipeline: label scene %d: %w", i, err)}
+	}
+	return ls, nil
 }
 
 // shardOf maps a scene index to its contiguous shard.

@@ -3,6 +3,7 @@ package serve
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"seaice/internal/raster"
@@ -36,6 +37,14 @@ type result struct {
 // buffers that are reused across batches). The first request a worker
 // picks up becomes the batch leader and waits up to BatchWait for
 // followers with the same model and tile size, up to MaxBatch tiles.
+//
+// Workers are self-healing: a panic escaping a batch (an injected chaos
+// fault or a real session bug) kills only that worker, which is
+// restarted immediately; the requests of the crashed batch are pushed
+// back onto the bounded queue rather than dropped, and only if the
+// queue cannot absorb them do they fail with ErrOverloaded — overload
+// semantics (HTTP 429) stay exactly the existing bound. Restart counts
+// and the live-worker gauge surface through Stats and /healthz.
 type Scheduler[S tensor.Scalar] struct {
 	cfg   Config
 	queue chan *request[S]
@@ -45,6 +54,8 @@ type Scheduler[S tensor.Scalar] struct {
 	closed   bool
 	inflight sync.WaitGroup // Submit calls between enqueue and response
 	workers  sync.WaitGroup
+
+	live atomic.Int64 // currently running workers (health gauge)
 
 	stats *Stats
 }
@@ -58,14 +69,25 @@ func NewScheduler[S tensor.Scalar](cfg Config, stats *Stats) *Scheduler[S] {
 		stats: stats,
 	}
 	for w := 0; w < cfg.Workers; w++ {
-		s.workers.Add(1)
-		go s.worker()
+		s.spawn()
 	}
 	return s
 }
 
+// spawn starts one worker goroutine and accounts it live.
+func (s *Scheduler[S]) spawn() {
+	s.workers.Add(1)
+	s.live.Add(1)
+	go s.worker()
+}
+
 // QueueDepth reports the number of queued (not yet running) requests.
 func (s *Scheduler[S]) QueueDepth() int { return len(s.queue) }
+
+// LiveWorkers reports the number of currently running workers — the
+// health gauge behind /healthz (a worker mid-restart dips the count
+// momentarily; it recovers without intervention).
+func (s *Scheduler[S]) LiveWorkers() int { return int(s.live.Load()) }
 
 // Submit enqueues one tile and blocks until its prediction is ready.
 // A full queue returns ErrOverloaded immediately.
@@ -111,11 +133,45 @@ func (s *Scheduler[S]) Close() {
 	s.workers.Wait()
 }
 
-// worker drains the queue, forming micro-batches.
+// worker drains the queue, forming micro-batches. A panic escaping a
+// batch is contained here: the crashed batch's requests (and any
+// pending next leader) are requeued, the worker is respawned with a
+// fresh session map, and the panic never reaches the process.
 func (s *Scheduler[S]) worker() {
 	defer s.workers.Done()
-	sessions := make(map[*unet.Model[S]]*unet.Session[S])
+	defer s.live.Add(-1)
+
+	var cur []*request[S]   // batch being executed, requeued on panic
 	var pending *request[S] // first request of the next batch after a mismatch
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if s.stats != nil {
+			s.stats.RecordWorkerRestart()
+		}
+		requeue := cur
+		if pending != nil {
+			requeue = append(requeue, pending)
+		}
+		for _, req := range requeue {
+			select {
+			case s.queue <- req:
+				// Back onto the bounded queue; a healthy worker (or this
+				// worker's replacement) will pick it up.
+			default:
+				// Queue full: the request fails exactly as it would have
+				// at submit time — backpressure, not loss.
+				req.out <- result{err: ErrOverloaded}
+			}
+		}
+		// The replacement inherits nothing: sessions are rebuilt lazily,
+		// so a corrupted buffer cannot outlive the crash.
+		s.spawn()
+	}()
+
+	sessions := make(map[*unet.Model[S]]*unet.Session[S])
 	for {
 		var leader *request[S]
 		if pending != nil {
@@ -131,7 +187,9 @@ func (s *Scheduler[S]) worker() {
 		if s.cfg.MaxBatch > 1 {
 			batch, pending = s.collect(batch)
 		}
+		cur = batch
 		s.run(sessions, batch)
+		cur = nil
 	}
 }
 
@@ -159,8 +217,13 @@ func (s *Scheduler[S]) collect(batch []*request[S]) ([]*request[S], *request[S])
 }
 
 // run executes one batch on the worker's session for its model and
-// delivers per-request results.
+// delivers per-request results. Injected chaos faults fire here, at the
+// batch-pickup ordinal, before any result is delivered — so the restart
+// path always sees a whole batch to requeue.
 func (s *Scheduler[S]) run(sessions map[*unet.Model[S]]*unet.Session[S], batch []*request[S]) {
+	if s.cfg.Chaos.ServePanic() {
+		panic("chaos: injected inference-worker fault")
+	}
 	sess, ok := sessions[batch[0].model]
 	if !ok {
 		sess = unet.NewSession(batch[0].model)

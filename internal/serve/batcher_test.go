@@ -46,7 +46,7 @@ func TestSchedulerCoalesces(t *testing.T) {
 			t.Fatalf("submit %d: %v", i, err)
 		}
 	}
-	snap := stats.Snapshot(0, 0, 0)
+	snap := stats.Snapshot(0, 0, 0, 0)
 	if snap.Batches >= n {
 		t.Fatalf("%d batches for %d tiles — no coalescing happened", snap.Batches, n)
 	}
@@ -173,7 +173,7 @@ func TestSchedulerBackpressure(t *testing.T) {
 	if ok+overloaded != n {
 		t.Fatalf("accounted %d of %d requests", ok+overloaded, n)
 	}
-	snap := stats.Snapshot(0, 0, 0)
+	snap := stats.Snapshot(0, 0, 0, 0)
 	if snap.Rejected != int64(overloaded) {
 		t.Fatalf("stats count %d rejects, test saw %d", snap.Rejected, overloaded)
 	}

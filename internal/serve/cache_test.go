@@ -89,7 +89,7 @@ func TestStatsPercentiles(t *testing.T) {
 	for i := 1; i <= 100; i++ {
 		s.RecordRequest(time.Duration(i)*time.Millisecond, 1, false)
 	}
-	snap := s.Snapshot(3, 30, 70)
+	snap := s.Snapshot(3, 4, 30, 70)
 	if snap.Requests != 100 || snap.Tiles != 100 {
 		t.Fatalf("counts %+v", snap)
 	}

@@ -74,7 +74,7 @@ func (s *Server[S]) Close() { s.sched.Close() }
 // generator).
 func (s *Server[S]) Stats() Snapshot {
 	hits, misses := s.cache.Counters()
-	return s.stats.Snapshot(s.sched.QueueDepth(), hits, misses)
+	return s.stats.Snapshot(s.sched.QueueDepth(), s.sched.LiveWorkers(), hits, misses)
 }
 
 // classifyStats is the per-request summary returned in the
@@ -196,11 +196,23 @@ func decodeSceneBody(r *http.Request, tileSize int) (*raster.RGB, int, error) {
 }
 
 func (s *Server[S]) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// The worker pool self-heals, so health degrades only if restarts
+	// outpace respawns and the pool is actually empty right now — and
+	// status-code probes (k8s, load balancers) must see that too.
+	status := "ok"
+	live := s.sched.LiveWorkers()
 	w.Header().Set("Content-Type", "application/json")
+	if live == 0 {
+		status = "degraded"
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
 	json.NewEncoder(w).Encode(map[string]any{
-		"status":  "ok",
-		"models":  s.reg.Names(),
-		"default": s.reg.Default(),
+		"status":          status,
+		"models":          s.reg.Names(),
+		"default":         s.reg.Default(),
+		"workers":         s.cfg.Workers,
+		"live_workers":    live,
+		"worker_restarts": s.stats.WorkerRestarts(),
 	})
 }
 

@@ -10,6 +10,11 @@
 //   - a content-hash LRU Cache over per-tile predictions;
 //   - bounded queues with backpressure, so overload surfaces as
 //     ErrOverloaded (HTTP 429) instead of collapse;
+//   - self-healing workers: a panic escaping a batch (injected via
+//     internal/chaos or real) restarts only that worker and requeues its
+//     batch — queued requests are never dropped, and requests fail only
+//     as 429 past the existing bound; /healthz exposes live_workers and
+//     worker_restarts;
 //   - an HTTP front end (Server) with /classify, /healthz, and /statz.
 //
 // cmd/seaice-serve is the binary wrapping this package; the tile →
@@ -34,6 +39,7 @@ import (
 	"runtime"
 	"time"
 
+	"seaice/internal/chaos"
 	"seaice/internal/dataset"
 )
 
@@ -59,6 +65,11 @@ type Config struct {
 	// Build supplies the thin-cloud/shadow filter configuration of the
 	// shared inference path.
 	Build dataset.BuildConfig
+	// Chaos injects deterministic worker panics (by batch-pickup
+	// ordinal) to exercise the self-healing worker pool; nil disables
+	// injection. Real panics escaping a session take the identical
+	// restart path.
+	Chaos *chaos.Injector
 }
 
 // DefaultConfig returns production-shaped defaults for the host.

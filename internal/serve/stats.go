@@ -22,6 +22,7 @@ type Stats struct {
 	rejected int64
 	batches  int64
 	batched  int64 // tiles that went through batches
+	restarts int64 // inference workers restarted after a panic
 
 	lat    []time.Duration // ring buffer of recent request latencies
 	latIdx int
@@ -61,6 +62,21 @@ func (s *Stats) RecordBatch(n int) {
 	s.batched += int64(n)
 }
 
+// RecordWorkerRestart accounts one inference worker restarted after a
+// panic (injected or real) — the health signal behind /healthz.
+func (s *Stats) RecordWorkerRestart() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.restarts++
+}
+
+// WorkerRestarts reports the cumulative restart count.
+func (s *Stats) WorkerRestarts() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.restarts
+}
+
 // RecordReject accounts one request refused for backpressure.
 func (s *Stats) RecordReject() {
 	s.mu.Lock()
@@ -86,24 +102,31 @@ type Snapshot struct {
 	CacheMisses   int64   `json:"cache_misses"`
 	CacheHitRate  float64 `json:"cache_hit_rate"`
 	QueueDepth    int     `json:"queue_depth"`
+	// WorkerRestarts and LiveWorkers are the self-healing pool's health
+	// signals: restarts count recovered panics; live is the current
+	// worker gauge (dips briefly mid-restart).
+	WorkerRestarts int64 `json:"worker_restarts"`
+	LiveWorkers    int   `json:"live_workers"`
 }
 
-// Snapshot folds the counters and the current queue/cache state into a
-// Snapshot.
-func (s *Stats) Snapshot(queueDepth int, cacheHits, cacheMisses int64) Snapshot {
+// Snapshot folds the counters and the current queue/cache/worker state
+// into a Snapshot.
+func (s *Stats) Snapshot(queueDepth, liveWorkers int, cacheHits, cacheMisses int64) Snapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	up := time.Since(s.start).Seconds()
 	snap := Snapshot{
-		UptimeSeconds: up,
-		Requests:      s.requests,
-		Tiles:         s.tiles,
-		Errors:        s.errors,
-		Rejected:      s.rejected,
-		Batches:       s.batches,
-		CacheHits:     cacheHits,
-		CacheMisses:   cacheMisses,
-		QueueDepth:    queueDepth,
+		UptimeSeconds:  up,
+		Requests:       s.requests,
+		Tiles:          s.tiles,
+		Errors:         s.errors,
+		Rejected:       s.rejected,
+		Batches:        s.batches,
+		CacheHits:      cacheHits,
+		CacheMisses:    cacheMisses,
+		QueueDepth:     queueDepth,
+		WorkerRestarts: s.restarts,
+		LiveWorkers:    liveWorkers,
 	}
 	if s.batches > 0 {
 		snap.AvgBatchSize = float64(s.batched) / float64(s.batches)

@@ -3,12 +3,20 @@ package unet
 import (
 	"bufio"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 
 	"seaice/internal/tensor"
 )
+
+// ErrBadCheckpoint is the typed error every malformed-checkpoint load
+// failure wraps: corrupted magic, truncated or garbage gob, impossible
+// configs, missing or mis-sized weights. Load never panics on
+// adversarial input (FuzzLoadCheckpoint asserts this) — callers branch
+// with errors.Is(err, ErrBadCheckpoint).
+var ErrBadCheckpoint = errors.New("unet: malformed checkpoint")
 
 // Checkpoint format. Version 2 files begin with a fixed magic header
 // followed by a gob-encoded checkpointV2; weights are always stored as
@@ -49,14 +57,7 @@ func precisionName[S tensor.Scalar]() string {
 // Save writes the model's configuration and weights in the versioned
 // format: the magic header, then encoding/gob.
 func (m *Model[S]) Save(w io.Writer) error {
-	ck := checkpointV2{Precision: precisionName[S](), Config: m.cfg, Weights: make(map[string][]float64)}
-	for _, p := range m.Params() {
-		data := make([]float64, p.W.Len())
-		for i, v := range p.W.Data {
-			data[i] = float64(v)
-		}
-		ck.Weights[p.Name] = data
-	}
+	ck := checkpointV2{Precision: precisionName[S](), Config: m.cfg, Weights: m.WeightsF64()}
 	if _, err := io.WriteString(w, ckptMagic); err != nil {
 		return fmt.Errorf("unet: save: %w", err)
 	}
@@ -81,7 +82,10 @@ func (m *Model[S]) SaveFile(path string) error {
 
 // Load reconstructs a model from a checkpoint stream in the requested
 // precision. Versioned (magic-headed) and legacy bare-gob streams both
-// load; float64 weights are rounded when S is float32.
+// load; float64 weights are rounded when S is float32. Any malformed
+// input — bad magic or version byte, truncated or garbage gob,
+// impossible config, missing or mis-sized weights — returns an error
+// wrapping ErrBadCheckpoint; Load never panics.
 func Load[S tensor.Scalar](r io.Reader) (*Model[S], error) {
 	br := bufio.NewReader(r)
 	var ck checkpointV2
@@ -89,16 +93,21 @@ func Load[S tensor.Scalar](r io.Reader) (*Model[S], error) {
 	switch {
 	case err == nil && string(head) == ckptMagic:
 		if _, err := br.Discard(len(ckptMagic)); err != nil {
-			return nil, fmt.Errorf("unet: load: %w", err)
+			return nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
 		}
 		if err := gob.NewDecoder(br).Decode(&ck); err != nil {
-			return nil, fmt.Errorf("unet: load: %w", err)
+			return nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
 		}
+	case err == nil && string(head[:len(ckptMagic)-1]) == ckptMagic[:len(ckptMagic)-1]:
+		// Right magic text, unknown version byte: a format this build
+		// does not speak. Refuse loudly instead of misparsing it as a
+		// legacy bare gob.
+		return nil, fmt.Errorf("%w: unsupported checkpoint version %d", ErrBadCheckpoint, head[len(ckptMagic)-1])
 	case err == nil || err == io.EOF:
 		// No magic: a checkpoint written before the versioned header.
 		var legacy checkpoint
 		if err := gob.NewDecoder(br).Decode(&legacy); err != nil {
-			return nil, fmt.Errorf("unet: load: %w", err)
+			return nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
 		}
 		ck = checkpointV2{Precision: "float64", Config: legacy.Config, Weights: legacy.Weights}
 	default:
@@ -106,19 +115,10 @@ func Load[S tensor.Scalar](r io.Reader) (*Model[S], error) {
 	}
 	m, err := New[S](ck.Config)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
 	}
-	for _, p := range m.Params() {
-		data, ok := ck.Weights[p.Name]
-		if !ok {
-			return nil, fmt.Errorf("unet: checkpoint missing weights for %s", p.Name)
-		}
-		if len(data) != p.W.Len() {
-			return nil, fmt.Errorf("unet: checkpoint weight %s has %d values, model needs %d", p.Name, len(data), p.W.Len())
-		}
-		for i, v := range data {
-			p.W.Data[i] = S(v)
-		}
+	if err := m.SetWeightsF64(ck.Weights); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
 	}
 	return m, nil
 }

@@ -1,0 +1,102 @@
+package unet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// FuzzLoadCheckpoint throws adversarial checkpoint streams at Load and
+// asserts the contract: it never panics, and every failure is a typed
+// error (ErrBadCheckpoint for malformed content, or a plain error for
+// I/O) — so a corrupted checkpoint on a production node degrades into a
+// diagnosable refusal, not a crash. Seeds cover the three canonical
+// corruptions: malformed magic, truncated gob, bogus version/precision
+// byte.
+func FuzzLoadCheckpoint(f *testing.F) {
+	// A genuine checkpoint to mutate from.
+	m, err := New[float64](Config{Depth: 1, BaseChannels: 2, InChannels: 3, Classes: 3, Seed: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var good bytes.Buffer
+	if err := m.Save(&good); err != nil {
+		f.Fatal(err)
+	}
+	valid := good.Bytes()
+
+	// Malformed magic.
+	f.Add([]byte("SEAICE-UNET-XKPT\x02garbage"))
+	// Truncated gob: header intact, payload cut mid-stream.
+	f.Add(valid[:len(ckptMagic)+7])
+	f.Add(valid[:len(valid)/2])
+	// Bogus version/precision byte after the magic text.
+	bogus := append([]byte(nil), valid...)
+	bogus[len(ckptMagic)-1] = 0x7f
+	f.Add(bogus)
+	// Bare garbage (legacy-gob path), empty, and magic-only streams.
+	f.Add([]byte("not a checkpoint at all"))
+	f.Add([]byte{})
+	f.Add([]byte(ckptMagic))
+	// A legacy-path gob with absurd claimed lengths.
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x7f, 0x01, 0x02})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Load panicked on %d-byte input: %v", len(data), r)
+			}
+		}()
+		for _, load := range []func() error{
+			func() error { _, err := Load[float64](bytes.NewReader(data)); return err },
+			func() error { _, err := Load[float32](bytes.NewReader(data)); return err },
+		} {
+			err := load()
+			if err == nil {
+				continue // a mutation may still be a valid checkpoint
+			}
+			// Every failure must be typed or an honest I/O error —
+			// never an internal panic-turned-string.
+			if !errors.Is(err, ErrBadCheckpoint) && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) {
+				if !strings.HasPrefix(err.Error(), "unet:") {
+					t.Fatalf("untyped load error: %v", err)
+				}
+			}
+		}
+	})
+}
+
+// TestLoadTypedErrors pins the ErrBadCheckpoint contract on the three
+// canonical corruptions without needing the fuzz engine.
+func TestLoadTypedErrors(t *testing.T) {
+	m, err := New[float64](Config{Depth: 1, BaseChannels: 2, InChannels: 3, Classes: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var good bytes.Buffer
+	if err := m.Save(&good); err != nil {
+		t.Fatal(err)
+	}
+	valid := good.Bytes()
+
+	bogusVersion := append([]byte(nil), valid...)
+	bogusVersion[len(ckptMagic)-1] = 0x09
+
+	for name, data := range map[string][]byte{
+		"malformed magic": []byte("SEAICE-UNET-XKPT\x02" + string(valid[len(ckptMagic):])),
+		"truncated gob":   valid[:len(valid)-11],
+		"bogus version":   bogusVersion,
+		"garbage":         []byte("ceci n'est pas un checkpoint"),
+	} {
+		if _, err := Load[float64](bytes.NewReader(data)); !errors.Is(err, ErrBadCheckpoint) {
+			t.Errorf("%s: Load = %v, want ErrBadCheckpoint", name, err)
+		}
+	}
+
+	// And the happy path still loads.
+	if _, err := Load[float64](bytes.NewReader(valid)); err != nil {
+		t.Fatalf("valid checkpoint failed to load: %v", err)
+	}
+}

@@ -137,6 +137,12 @@ type Model[S tensor.Scalar] struct {
 	final      *nn.Conv2D[S]
 
 	loss nn.SoftmaxCrossEntropy[S]
+
+	// rng is the model's one deterministic stream (He init, then dropout
+	// noise). Its position is part of the training state: the
+	// fault-tolerance snapshots capture and restore it so a recovered
+	// run draws the identical dropout masks a never-failed run would.
+	rng *noise.RNG
 }
 
 // New builds a model with deterministic He initialization from cfg.Seed.
@@ -145,7 +151,7 @@ func New[S tensor.Scalar](cfg Config) (*Model[S], error) {
 		return nil, err
 	}
 	rng := noise.NewRNG(cfg.Seed, 0x0de1)
-	m := &Model[S]{cfg: cfg}
+	m := &Model[S]{cfg: cfg, rng: rng}
 
 	ch := cfg.BaseChannels
 	in := cfg.InChannels
@@ -169,6 +175,48 @@ func New[S tensor.Scalar](cfg Config) (*Model[S], error) {
 
 // Config returns the model's configuration.
 func (m *Model[S]) Config() Config { return m.cfg }
+
+// RNGState captures the position of the model's dropout/init stream —
+// part of the exact training state alongside weights and optimizer
+// moments.
+func (m *Model[S]) RNGState() noise.RNGState { return m.rng.State() }
+
+// SetRNGState rewinds the model's stream to a captured position, so a
+// replayed or retried step draws the same dropout masks.
+func (m *Model[S]) SetRNGState(st noise.RNGState) { m.rng.SetState(st) }
+
+// WeightsF64 exports every parameter as float64 keyed by name — the
+// snapshot/checkpoint representation (exact for either precision, since
+// every float32 is representable in float64).
+func (m *Model[S]) WeightsF64() map[string][]float64 {
+	out := make(map[string][]float64)
+	for _, p := range m.Params() {
+		data := make([]float64, p.W.Len())
+		for i, v := range p.W.Data {
+			data[i] = float64(v)
+		}
+		out[p.Name] = data
+	}
+	return out
+}
+
+// SetWeightsF64 loads float64 weights by parameter name (rounding when S
+// is float32 — the same conversion Load applies).
+func (m *Model[S]) SetWeightsF64(weights map[string][]float64) error {
+	for _, p := range m.Params() {
+		data, ok := weights[p.Name]
+		if !ok {
+			return fmt.Errorf("unet: missing weights for %s", p.Name)
+		}
+		if len(data) != p.W.Len() {
+			return fmt.Errorf("unet: weight %s has %d values, model needs %d", p.Name, len(data), p.W.Len())
+		}
+		for i, v := range data {
+			p.W.Data[i] = S(v)
+		}
+	}
+	return nil
+}
 
 // NumConvLayers counts the model's convolutional layers; see
 // Config.NumConvLayers.
