@@ -26,10 +26,21 @@
 //
 //	seaice-serve -loadgen -n 512 -c 32
 //	seaice-serve -loadgen -target http://localhost:8080 -n 1000 -c 64
+//
+// Coordinator mode fronts a cluster of worker servers: each scene's
+// tiles are sharded across the nodes by consistent-hashing their
+// content, so every distinct tile is classified — and cached — by
+// exactly one node; dead nodes are detected and routed around:
+//
+//	seaice-serve -nodes 127.0.0.1:8081,127.0.0.1:8082 -addr :8080
+//
+// Both modes shut down gracefully on SIGINT/SIGTERM: stop accepting,
+// drain in-flight work, then log the final stats snapshot.
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -38,9 +49,11 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"os/signal"
 	"sort"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"seaice/internal/chaos"
@@ -67,6 +80,7 @@ func main() {
 
 		precision = flag.String("precision", "f32", "inference precision: f32 | f64")
 		chaosSpec = flag.String("chaos", "", `inject seeded worker faults, e.g. "7:serve@5,serve@40" (see internal/chaos)`)
+		nodes     = flag.String("nodes", "", "comma-separated worker host:port list — run as cluster coordinator instead of serving models")
 
 		loadgen = flag.Bool("loadgen", false, "run the load generator instead of serving")
 		target  = flag.String("target", "", "loadgen: base URL of a running server (empty = in-process)")
@@ -95,6 +109,14 @@ func main() {
 			cfg.Chaos.Remaining(), *chaosSpec)
 	}
 
+	if *nodes != "" {
+		if *loadgen {
+			log.Fatal("-nodes and -loadgen are mutually exclusive")
+		}
+		runCoordinator(cfg, *addr, *nodes)
+		return
+	}
+
 	switch *precision {
 	case "f32":
 		runMain[float32](cfg, *addr, *ckpt, *loadgen, *target, *n, *c, *seed)
@@ -103,6 +125,58 @@ func main() {
 	default:
 		log.Fatalf("unknown precision %q (want f32 or f64)", *precision)
 	}
+}
+
+// runCoordinator fronts the listed worker nodes with the consistent-hash
+// sharding coordinator until a shutdown signal arrives.
+func runCoordinator(cfg serve.Config, addr, nodeSpec string) {
+	var nodeList []string
+	for _, n := range strings.Split(nodeSpec, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			nodeList = append(nodeList, n)
+		}
+	}
+	coord, err := serve.NewCoordinator(serve.CoordConfig{
+		TileSize: cfg.TileSize,
+		Nodes:    nodeList,
+		Build:    cfg.Build,
+		Logf:     log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("coordinating %d worker nodes on %s (tile %d): %v", len(nodeList), addr, cfg.TileSize, nodeList)
+	serveUntilSignal(addr, coord.Handler(), func() {
+		coord.Close()
+		s := coord.Stats()
+		log.Printf("final stats: %d requests, %d tiles, %d rerouted, %d/%d nodes up",
+			s.Requests, s.Tiles, s.Rerouted, s.NodesUp, len(nodeList))
+	})
+}
+
+// serveUntilSignal runs the HTTP server until SIGINT/SIGTERM, then shuts
+// down gracefully: the listener stops accepting, in-flight requests get
+// a drain window, and drain runs last for subsystem teardown and the
+// final stats flush.
+func serveUntilSignal(addr string, handler http.Handler, drain func()) {
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer cancel()
+	httpSrv := &http.Server{Addr: addr, Handler: handler}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("shutdown signal received — draining in-flight requests")
+	shutdownCtx, done := context.WithTimeout(context.Background(), 30*time.Second)
+	defer done()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	drain()
+	log.Printf("shutdown complete")
 }
 
 // runMain dispatches serving or load generation in the chosen precision.
@@ -125,10 +199,14 @@ func runMain[S tensor.Scalar](cfg serve.Config, addr, ckpt string, loadgen bool,
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer srv.Close()
 	log.Printf("serving models %v on %s (tile %d, batch ≤%d, %d workers, queue %d, cache %d)",
 		reg.Names(), addr, cfg.TileSize, cfg.MaxBatch, cfg.Workers, cfg.QueueSize, cfg.CacheSize)
-	log.Fatal(http.ListenAndServe(addr, srv.Handler()))
+	serveUntilSignal(addr, srv.Handler(), func() {
+		srv.Close() // stops the inference pool after draining its queue
+		s := srv.Stats()
+		log.Printf("final stats: %d requests, %d tiles, %.1f%% cache hit rate, %d worker restarts",
+			s.Requests, s.Tiles, 100*s.CacheHitRate, s.WorkerRestarts)
+	})
 }
 
 // loadCheckpoints parses "path" or "name=path,name=path" into the

@@ -24,13 +24,29 @@
 //	seaice-train -precision f64                # float64 reference numerics
 //	seaice-train -workers 4 -chaos "7:crash@3:r1,crash@9" -snapshot unet.snap
 //	seaice-train -snapshot unet.snap -resume   # continue a killed run
+//
+// With -peers, the same data-parallel run executes across real processes
+// over TCP (internal/transport): each process is one rank, the ring
+// collectives go over the wire, and the result is byte-identical to the
+// in-process run at the same world size — every mode prints a
+// "weights sha256" fingerprint to prove it. Network faults (part, drop,
+// slow, reconn from internal/chaos) are recovered transparently;
+// snapshots are rank-local files, so a killed cluster resumes across
+// machines:
+//
+//	seaice-train -peers 127.0.0.1:7701,127.0.0.1:7702 -rank 0 &
+//	seaice-train -peers 127.0.0.1:7701,127.0.0.1:7702 -rank 1
 package main
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"math"
+	"strings"
 	"time"
 
 	"seaice/internal/chaos"
@@ -42,6 +58,7 @@ import (
 	"seaice/internal/scene"
 	"seaice/internal/tensor"
 	"seaice/internal/train"
+	"seaice/internal/transport"
 	"seaice/internal/unet"
 )
 
@@ -65,6 +82,13 @@ type options struct {
 	snapshot  string
 	snapEvery int
 	resume    bool
+
+	// Network data parallelism: peers lists every rank's host:port (this
+	// process listens on peers[rank] and is one rank of a real
+	// multi-process cluster).
+	peers     []string
+	rank      int
+	clusterID string
 }
 
 func main() {
@@ -76,7 +100,10 @@ func main() {
 		precision = flag.String("precision", "f32", "compute precision: f32 (mixed, f64 master weights) | f64 (reference)")
 		procs     = flag.Int("procs", 0, "worker threads for the training engine's kernels (0 = all cores)")
 		chaosSpec = flag.String("chaos", "", `deterministic fault schedule, e.g. "7:crash@3:r1,kill@9" (see internal/chaos)`)
+		peersSpec = flag.String("peers", "", "comma-separated host:port list of every rank — run this process as one rank of a TCP cluster")
 	)
+	flag.IntVar(&o.rank, "rank", 0, "this process's rank within -peers")
+	flag.StringVar(&o.clusterID, "cluster-id", "seaice", "cluster identity checked during the transport handshake")
 	flag.StringVar(&o.preset, "preset", "fast", "model preset: fast | paper")
 	flag.IntVar(&o.scenes, "scenes", 12, "scenes in the training campaign")
 	flag.IntVar(&o.size, "size", 256, "scene size")
@@ -97,16 +124,45 @@ func main() {
 	pool.SetSharedWorkers(*procs)
 	log.Printf("training engine: %d kernel workers, %s precision", pool.Shared().Workers(), *precision)
 
+	if *peersSpec != "" {
+		for _, p := range strings.Split(*peersSpec, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				o.peers = append(o.peers, p)
+			}
+		}
+		if o.rank < 0 || o.rank >= len(o.peers) {
+			log.Fatalf("-rank %d outside -peers list of %d", o.rank, len(o.peers))
+		}
+		// In net mode the world size is the peer list; -workers must
+		// agree when set.
+		if o.workers != 1 && o.workers != len(o.peers) {
+			log.Fatalf("-workers %d conflicts with %d -peers (omit -workers in net mode)", o.workers, len(o.peers))
+		}
+		o.workers = len(o.peers)
+	}
 	if *chaosSpec != "" {
 		sched, err := chaos.Parse(*chaosSpec)
 		if err != nil {
 			log.Fatal(err)
 		}
 		o.chaos = chaos.New(sched, o.workers)
+		if len(o.peers) > 0 {
+			// In-process-only fault kinds have no meaning across real
+			// processes (each process heals its own replica; stage and
+			// serve panics live in other subsystems).
+			for _, k := range []chaos.Kind{chaos.ReplicaCrash, chaos.StagePanic, chaos.ServePanic} {
+				if o.chaos.Count(k) > 0 {
+					log.Fatalf("chaos kind %q is in-process only and cannot be injected in -peers mode", k)
+				}
+			}
+		}
 		log.Printf("chaos: injecting %d seeded faults (%s)", o.chaos.Remaining(), *chaosSpec)
 	}
 	if o.resume && o.snapshot == "" {
 		log.Fatal("-resume requires -snapshot <path>")
+	}
+	if len(o.peers) > 0 && o.elastic {
+		log.Fatal("-elastic is not supported in -peers mode (network training heals and retries)")
 	}
 
 	switch *precision {
@@ -166,7 +222,11 @@ func run[S tensor.Scalar](o options, master bool) {
 	}
 	// Fault-tolerant runs always use the ddp trainer (it owns the
 	// snapshot/recovery machinery), even at one worker.
-	useDDP := o.workers > 1 || o.chaos != nil || o.resume || o.snapshot != ""
+	netMode := len(o.peers) > 0
+	useDDP := !netMode && (o.workers > 1 || o.chaos != nil || o.resume || o.snapshot != "")
+	if netMode {
+		plan.BatchSize = o.batch * o.workers
+	}
 	if useDDP {
 		// The ddp trainer shards globally, so the global batch is the
 		// planning unit.
@@ -204,7 +264,13 @@ func run[S tensor.Scalar](o options, master bool) {
 		nTrain, o.labels, o.epochs, o.preset, modelCfg.NumConvLayers())
 
 	var model *unet.Model[S]
-	if useDDP {
+	if netMode {
+		samples, err := st.TrainSamples()
+		if err != nil {
+			log.Fatal(err)
+		}
+		model = runNet[S](o, modelCfg, samples, master)
+	} else if useDDP {
 		samples, err := st.TrainSamples()
 		if err != nil {
 			log.Fatal(err)
@@ -302,6 +368,16 @@ func run[S tensor.Scalar](o options, master bool) {
 			float64(nTrain*o.epochs)/elapsed.Seconds())
 	}
 
+	// The deterministic weight fingerprint every mode logs (float64 bit
+	// patterns of all parameters, in Params order) — the cross-process
+	// identity check the cluster smoke test greps for.
+	fmt.Printf("weights sha256: %x\n", weightsSHA(model))
+	if netMode && o.rank != 0 {
+		// Every rank finishes with identical weights; rank 0 owns
+		// evaluation and the checkpoint.
+		return
+	}
+
 	// Validate on held-out tiles against manual labels.
 	testTiles, err := st.TestTiles()
 	if err != nil {
@@ -318,4 +394,99 @@ func run[S tensor.Scalar](o options, master bool) {
 		log.Fatal(err)
 	}
 	fmt.Printf("checkpoint written to %s\n", o.ckpt)
+}
+
+// runNet trains this process as one rank of a TCP cluster: the ring
+// collectives run over internal/transport, so the run is byte-identical
+// to the in-process trainer at the same world size — across injected
+// partitions, dropped frames, and process kills.
+func runNet[S tensor.Scalar](o options, modelCfg unet.Config, samples []train.Sample, master bool) *unet.Model[S] {
+	snapPath := o.snapshot
+	if snapPath != "" {
+		// Snapshots are rank-local: each process persists and resumes
+		// its own file, as real machines would.
+		snapPath = fmt.Sprintf("%s.rank%d", o.snapshot, o.rank)
+	}
+	ringT, err := transport.NewRing(transport.Config{
+		Rank:      o.rank,
+		Peers:     o.peers,
+		ClusterID: o.clusterID,
+		Chaos:     o.chaos,
+		Logf:      log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	coll := &transport.Collective[S]{R: ringT}
+	defer coll.Close()
+
+	tr, err := ddp.NewNet[S](modelCfg, ddp.Config{
+		Workers:        o.workers,
+		BatchPerWorker: o.batch,
+		Epochs:         o.epochs,
+		LR:             o.lr,
+		Seed:           o.seed,
+		MasterWeights:  master,
+		Timing:         perfmodel.PaperDGX(),
+		Chaos:          o.chaos,
+		SnapshotPath:   snapPath,
+		SnapshotEvery:  o.snapEvery,
+		Progress: func(epoch int, loss float64) {
+			log.Printf("rank %d epoch %d: loss %.4f (rank-local)", o.rank, epoch, loss)
+		},
+	}, coll)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if o.resume {
+		snap, err := ddp.LoadSnapshotFile(snapPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tr.Restore(snap); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("rank %d resumed from %s at global step %d", o.rank, snapPath, snap.Step)
+	}
+	log.Printf("rank %d/%d listening on %s, cluster %q", o.rank, o.workers, o.peers[o.rank], o.clusterID)
+	res, err := tr.Fit(samples)
+	if errors.Is(err, ddp.ErrKilled) {
+		for _, ev := range o.chaos.Events() {
+			log.Printf("chaos: delivered %s", ev)
+		}
+		if o.snapshot != "" {
+			log.Fatalf("rank %d killed by injected fault after %d committed steps; rerun every rank with -snapshot %s -resume (drop the kill from -chaos) to continue bit-identically",
+				o.rank, res.Steps, o.snapshot)
+		}
+		log.Fatalf("rank %d killed by injected fault after %d committed steps; no -snapshot was set, so the training state is lost",
+			o.rank, res.Steps)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if o.chaos != nil {
+		for _, ev := range o.chaos.Events() {
+			log.Printf("chaos: delivered %s", ev)
+		}
+		log.Printf("chaos: %d network recoveries, %d stragglers absorbed, %d faults undelivered",
+			res.Recoveries, res.Stalls, o.chaos.Remaining())
+	}
+	log.Printf("network training: rank %d of %d, %d committed steps, virtual DGX time %.2f s, real %.2f s",
+		o.rank, o.workers, res.Steps, res.VirtualTotal, res.RealTotal)
+	return tr.Model()
+}
+
+// weightsSHA hashes the model's parameters as float64 little-endian bit
+// patterns in Params order — a render-independent fingerprint identical
+// across precisions' master copies and across processes.
+func weightsSHA[S tensor.Scalar](m *unet.Model[S]) []byte {
+	h := sha256.New()
+	var b [8]byte
+	for _, p := range m.Params() {
+		for _, v := range p.W.Data {
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(float64(v)))
+			h.Write(b[:])
+		}
+	}
+	return h.Sum(nil)
 }

@@ -19,6 +19,16 @@
 //	serve@N           panic the serve inference worker on batch pickup N
 //	stall@N[:rR][:D]  delay replica R by D (default 10ms) at step N
 //
+// Network faults target the TCP transport (internal/transport) under
+// multi-process training; they are delivered by rank R's own process at
+// exact step boundaries (part, reconn) or at the next frame send during
+// step N (slow, drop):
+//
+//	part@N[:rR]       partition rank R at step N: both ring links drop
+//	reconn@N[:rR]     close rank R's outbound link at step N (forces redial)
+//	drop@N[:rR]       silently drop rank R's next outgoing frame in step N
+//	slow@N[:rR][:D]   delay rank R's next frame send in step N by D (default 10ms)
+//
 // Omitted targets are drawn from the schedule seed, so "7:crash@3" names
 // one concrete fault, not a random one. Example:
 //
@@ -62,6 +72,20 @@ const (
 	ServePanic
 	// Straggler delays one replica at a step boundary without killing it.
 	Straggler
+	// NetPartition drops both of one rank's ring links at a step
+	// boundary — the network analogue of ReplicaCrash: peers detect it
+	// as connection errors (*ring.RankError) and the step is retried
+	// after the ring re-establishes.
+	NetPartition
+	// SlowLink delays one rank's next outgoing frame during a step —
+	// the network straggler (wall clock only; results unaffected).
+	SlowLink
+	// DropFrame silently discards one rank's next outgoing frame during
+	// a step; the receiver detects the loss by read deadline.
+	DropFrame
+	// Reconnect closes one rank's outbound ring link at a step
+	// boundary, exercising the dial-retry/backoff path.
+	Reconnect
 )
 
 // String names the kind with its spec keyword.
@@ -77,6 +101,14 @@ func (k Kind) String() string {
 		return "serve"
 	case Straggler:
 		return "stall"
+	case NetPartition:
+		return "part"
+	case SlowLink:
+		return "slow"
+	case DropFrame:
+		return "drop"
+	case Reconnect:
+		return "reconn"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -155,8 +187,16 @@ func parseFault(part string) (Fault, error) {
 		f.Kind = ServePanic
 	case "stall":
 		f.Kind = Straggler
+	case "part":
+		f.Kind = NetPartition
+	case "slow":
+		f.Kind = SlowLink
+	case "drop":
+		f.Kind = DropFrame
+	case "reconn":
+		f.Kind = Reconnect
 	default:
-		return Fault{}, fmt.Errorf("chaos: unknown fault kind %q (want crash|kill|stage|serve|stall)", kindStr)
+		return Fault{}, fmt.Errorf("chaos: unknown fault kind %q (want crash|kill|stage|serve|stall|part|slow|drop|reconn)", kindStr)
 	}
 	fields := strings.Split(rest, ":")
 	step, err := strconv.Atoi(fields[0])
@@ -183,8 +223,8 @@ func parseFault(part string) (Fault, error) {
 	if f.Target >= 0 && (f.Kind == ProcessKill || f.Kind == StagePanic || f.Kind == ServePanic) {
 		return Fault{}, fmt.Errorf("chaos: fault %q: %s faults take no rank target", part, f.Kind)
 	}
-	if f.Delay > 0 && f.Kind != Straggler {
-		return Fault{}, fmt.Errorf("chaos: fault %q: only stall faults take a duration", part)
+	if f.Delay > 0 && f.Kind != Straggler && f.Kind != SlowLink {
+		return Fault{}, fmt.Errorf("chaos: fault %q: only stall and slow faults take a duration", part)
 	}
 	return f, nil
 }
@@ -239,7 +279,7 @@ func New(s *Schedule, ranks int) *Injector {
 	copy(in.faults, s.Faults)
 	for i := range in.faults {
 		f := &in.faults[i]
-		if f.Target >= 0 || (f.Kind != ReplicaCrash && f.Kind != Straggler) {
+		if f.Target >= 0 || !rankTargeted(f.Kind) {
 			continue
 		}
 		if ranks <= 1 {
@@ -249,6 +289,16 @@ func New(s *Schedule, ranks int) *Injector {
 		f.Target = noise.NewRNG(s.Seed, uint64(i)+0xc4a05).Intn(ranks)
 	}
 	return in
+}
+
+// rankTargeted reports whether the kind names a victim rank (and so
+// participates in seed-derived auto-targeting).
+func rankTargeted(k Kind) bool {
+	switch k {
+	case ReplicaCrash, Straggler, NetPartition, SlowLink, DropFrame, Reconnect:
+		return true
+	}
+	return false
 }
 
 // fire marks fault i delivered and logs it. Callers hold in.mu.
@@ -329,6 +379,62 @@ func (in *Injector) ServePanic() bool {
 		}
 	}
 	return false
+}
+
+// fireRankStep delivers the first pending fault of kind k targeting
+// (rank, step) and reports whether one fired.
+func (in *Injector) fireRankStep(k Kind, rank, step int) bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for i, f := range in.faults {
+		if !in.fired[i] && f.Kind == k && f.Step == step && f.Target == rank {
+			in.fire(i, 0)
+			return true
+		}
+	}
+	return false
+}
+
+// Partition reports whether rank's ring links should drop at the start
+// of global step — the transport consumes it at its step boundary.
+func (in *Injector) Partition(rank, step int) bool {
+	return in.fireRankStep(NetPartition, rank, step)
+}
+
+// Reconnect reports whether rank should close its outbound ring link at
+// the start of global step, forcing a redial with backoff.
+func (in *Injector) Reconnect(rank, step int) bool {
+	return in.fireRankStep(Reconnect, rank, step)
+}
+
+// DropFrame reports whether rank's next outgoing frame during global
+// step should be silently discarded — queried per send, so the fault
+// consumes exactly one frame.
+func (in *Injector) DropFrame(rank, step int) bool {
+	return in.fireRankStep(DropFrame, rank, step)
+}
+
+// SlowLink returns how long rank's next frame send during global step
+// should be delayed (0 = no slow link scheduled).
+func (in *Injector) SlowLink(rank, step int) time.Duration {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for i, f := range in.faults {
+		if !in.fired[i] && f.Kind == SlowLink && f.Step == step && f.Target == rank {
+			in.fire(i, 0)
+			if f.Delay > 0 {
+				return f.Delay
+			}
+			return defaultStall
+		}
+	}
+	return 0
 }
 
 // StragglerDelay returns how long replica rank should stall at the start

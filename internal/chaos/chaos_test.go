@@ -207,3 +207,86 @@ func TestPendingListsUndelivered(t *testing.T) {
 		t.Fatalf("Pending = %+v, want the crash@9 fault", p)
 	}
 }
+
+// TestParseNetworkFaults covers the transport-level fault kinds added
+// for multi-process training: partitions, slow links, dropped frames,
+// and forced reconnects.
+func TestParseNetworkFaults(t *testing.T) {
+	s, err := Parse("9:part@2:r1,slow@3:r2:25ms,drop@4,reconn@5:r0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Fault{
+		{Kind: NetPartition, Step: 2, Target: 1},
+		{Kind: SlowLink, Step: 3, Target: 2, Delay: 25 * time.Millisecond},
+		{Kind: DropFrame, Step: 4, Target: -1},
+		{Kind: Reconnect, Step: 5, Target: 0},
+	}
+	if !reflect.DeepEqual(s.Faults, want) {
+		t.Fatalf("faults = %+v\nwant %+v", s.Faults, want)
+	}
+	// Durations are rejected everywhere except stall and slow.
+	if _, err := Parse("9:part@2:r1:50ms"); err == nil {
+		t.Fatal("part with a duration parsed, want error")
+	}
+	if _, err := Parse("9:drop@2:50ms"); err == nil {
+		t.Fatal("drop with a duration parsed, want error")
+	}
+}
+
+// TestNetworkFaultsOneShot asserts the network fault queries deliver
+// exactly once at their (rank, step) coordinates, and that auto-targets
+// resolve deterministically from the seed.
+func TestNetworkFaultsOneShot(t *testing.T) {
+	s, err := Parse("3:part@1:r0,slow@2:r1,drop@2:r0,reconn@3:r2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(s, 3)
+	if in.Partition(1, 1) || in.Partition(0, 0) {
+		t.Fatal("partition fired at the wrong coordinates")
+	}
+	if !in.Partition(0, 1) {
+		t.Fatal("partition did not fire at (r0, step 1)")
+	}
+	if in.Partition(0, 1) {
+		t.Fatal("partition fired twice")
+	}
+	if d := in.SlowLink(1, 2); d != defaultStall {
+		t.Fatalf("slow link delay = %v, want default %v", d, defaultStall)
+	}
+	if d := in.SlowLink(1, 2); d != 0 {
+		t.Fatal("slow link fired twice")
+	}
+	if !in.DropFrame(0, 2) {
+		t.Fatal("drop did not fire at (r0, step 2)")
+	}
+	if !in.Reconnect(2, 3) {
+		t.Fatal("reconnect did not fire at (r2, step 3)")
+	}
+	if in.Remaining() != 0 {
+		t.Fatalf("%d faults pending after delivery: %v", in.Remaining(), in.Pending())
+	}
+
+	// Auto-targeted network faults draw their victim from the seed —
+	// the same spec resolves identically in every process of a cluster.
+	a := New(mustParse(t, "5:part@4,drop@6"), 3)
+	b := New(mustParse(t, "5:part@4,drop@6"), 3)
+	for r := 0; r < 3; r++ {
+		if a.Partition(r, 4) != b.Partition(r, 4) {
+			t.Fatalf("auto-targeted partition diverged at rank %d", r)
+		}
+		if a.DropFrame(r, 6) != b.DropFrame(r, 6) {
+			t.Fatalf("auto-targeted drop diverged at rank %d", r)
+		}
+	}
+}
+
+func mustParse(t *testing.T, spec string) *Schedule {
+	t.Helper()
+	s, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

@@ -1,12 +1,18 @@
 // Package cluster simulates the multi-node execution environment of the
 // paper's PySpark experiments: a Google Cloud Dataproc cluster with one
 // master and up to three worker nodes of four cores each (Intel N2
-// Cascade Lake). Substituting a simulation is required because this
-// repository runs offline on a single core; the simulation executes the
-// real scheduling logic (FIFO task dispatch onto executor cores, stage
-// barriers, driver serialization) against the virtual clock of
-// internal/simtime, with per-task durations supplied by the calibrated
-// cost models in internal/perfmodel.
+// Cascade Lake). The simulation executes the real scheduling logic
+// (FIFO task dispatch onto executor cores, stage barriers, driver
+// serialization) against the virtual clock of internal/simtime, with
+// per-task durations supplied by the calibrated cost models in
+// internal/perfmodel — it reproduces the paper's §IV-C timing
+// projections offline, deterministically, on a single machine.
+//
+// This package is a performance model, not a communication layer: for
+// actually running across processes and machines — TCP collectives,
+// rendezvous, crash recovery, consistent-hash serving — see
+// internal/transport, which seaice-train -peers and seaice-serve -nodes
+// are built on.
 package cluster
 
 import (

@@ -28,6 +28,13 @@ func filterScene(img *raster.RGB, build dataset.BuildConfig) *raster.RGB {
 	return cloudfilter.Filter(img, build.Filter).Image
 }
 
+// FilterScene applies the build's thin-cloud/shadow filter to a scene —
+// the exported seam the serve coordinator uses to filter once at scene
+// scale before sharding tiles across worker nodes.
+func FilterScene(img *raster.RGB, build dataset.BuildConfig) *raster.RGB {
+	return filterScene(img, build)
+}
+
 // FilterSceneDefault applies the default thin-cloud/shadow filter — the
 // per-scene unit of work of the §IV-C2 throughput measurement.
 func FilterSceneDefault(img *raster.RGB) *raster.RGB {

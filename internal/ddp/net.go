@@ -1,0 +1,432 @@
+package ddp
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"seaice/internal/nn"
+	"seaice/internal/noise"
+	"seaice/internal/ring"
+	"seaice/internal/tensor"
+	"seaice/internal/train"
+	"seaice/internal/unet"
+)
+
+// NetTrainer is the multi-process counterpart of Trainer: one process
+// owns exactly one rank's replica and exchanges gradients through a
+// ring.Collective — ring.Local for in-process tests, transport's TCP
+// ring for a real cluster. The math is the in-process trainer's,
+// verbatim: the same per-rank replica construction (seed offsets, rank-0
+// weight broadcast), the same deterministic shard assignment, the same
+// chunked all-reduce schedule, and the same Adam update, so rank r of a
+// NetTrainer run finishes with weights byte-identical to replica r of a
+// single-process Workers-way run on the same data (asserted by the
+// parity tests and the CI cluster-smoke job, for float64 and
+// float32-mixed alike).
+//
+// Fault tolerance works at step granularity. Every step boundary
+// captures a rollback state (exact float64 weights, Adam state, RNG
+// position). Any failure — a peer crash surfacing as a connection error,
+// an injected partition, a dropped frame timing out — aborts the step
+// with *ring.RankError; the trainer restores the boundary state, calls
+// Reestablish (rendezvous + agreement on the minimum outstanding step),
+// rolls back one committed step if a peer is behind (the commit barrier
+// bounds divergence to one), and retries. Each committed update is
+// therefore executed exactly once with the full complement, preserving
+// PR 5's invariant: a faulted run is byte-identical to a never-failed
+// one.
+//
+// Reported losses are rank-local (the mean over this rank's shard);
+// global loss aggregation would cost an extra collective per step for a
+// statistic the weights already embody.
+type NetTrainer[S tensor.Scalar] struct {
+	cfg      Config
+	modelCfg unet.Config
+	rank     int
+	world    int
+	coll     ring.Collective[S]
+	model    *unet.Model[S]
+	opt      *nn.Adam[S]
+
+	flat []S
+
+	snap      *Snapshot
+	startStep int
+	restored  bool
+	batcher   *train.Batcher
+	nb        int
+	dataFP    string
+}
+
+// netBoundary is the rank-local rollback state at a step boundary.
+type netBoundary struct {
+	step    int
+	weights map[string][]float64
+	opt     nn.AdamState
+	rng     noise.RNGState
+}
+
+// NewNet builds one rank of a distributed run. cfg.Workers must equal
+// the collective's world size; the model and shard math then match the
+// in-process Workers-way trainer exactly.
+func NewNet[S tensor.Scalar](modelCfg unet.Config, cfg Config, coll ring.Collective[S]) (*NetTrainer[S], error) {
+	if coll == nil {
+		return nil, fmt.Errorf("ddp: nil collective")
+	}
+	if cfg.Workers != coll.World() {
+		return nil, fmt.Errorf("ddp: %d workers for world of %d", cfg.Workers, coll.World())
+	}
+	if cfg.BatchPerWorker <= 0 || cfg.Epochs <= 0 {
+		return nil, fmt.Errorf("ddp: invalid batch %d or epochs %d", cfg.BatchPerWorker, cfg.Epochs)
+	}
+	if cfg.Elastic {
+		return nil, fmt.Errorf("ddp: elastic mode is in-process only (network recovery retries with the full complement)")
+	}
+	if cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = DefaultSnapshotEvery
+	}
+	m, err := newReplica[S](modelCfg, coll.Rank())
+	if err != nil {
+		return nil, err
+	}
+	opt := nn.NewAdam[S](cfg.LR)
+	opt.Master = cfg.MasterWeights
+	return &NetTrainer[S]{
+		cfg:      cfg,
+		modelCfg: modelCfg,
+		rank:     coll.Rank(),
+		world:    coll.World(),
+		coll:     coll,
+		model:    m,
+		opt:      opt,
+	}, nil
+}
+
+// Model exposes this rank's replica (every rank's weights are
+// bit-synchronized at step boundaries).
+func (t *NetTrainer[S]) Model() *unet.Model[S] { return t.model }
+
+// netKey extends the topology fingerprint with the rank: a rank-local
+// snapshot restores only into the same rank of the same run shape.
+func (t *NetTrainer[S]) netKey() string {
+	return fmt.Sprintf("net rank %d/%d|model %+v|batch %d|epochs %d|lr %g|seed %d|master %t",
+		t.rank, t.world, t.modelCfg, t.cfg.BatchPerWorker, t.cfg.Epochs, t.cfg.LR, t.cfg.Seed,
+		t.cfg.MasterWeights)
+}
+
+// Snapshot captures this rank's exact training state at step boundary
+// `step` — the rank-local slice of what the in-process trainer snapshots
+// globally (all ranks are bit-synchronized, so each rank's weights and
+// optimizer state equal every other's; only the RNG position is its own).
+func (t *NetTrainer[S]) Snapshot(step int) *Snapshot {
+	return &Snapshot{
+		Precision: precisionName[S](),
+		Key:       t.netKey(),
+		Data:      t.dataFP,
+		Step:      step,
+		Weights:   t.model.WeightsF64(),
+		Opt:       t.opt.State(),
+		RNG:       []noise.RNGState{t.model.RNGState()},
+	}
+}
+
+// Restore loads a rank-local snapshot; Fit then resumes from its step
+// without re-broadcasting weights (every rank restored the same
+// bit-synchronized state).
+func (t *NetTrainer[S]) Restore(s *Snapshot) error {
+	if s.Key != t.netKey() {
+		return fmt.Errorf("%w: key %q vs trainer %q", ErrSnapshotMismatch, s.Key, t.netKey())
+	}
+	if s.Precision != precisionName[S]() {
+		return fmt.Errorf("%w: snapshot precision %s, trainer %s", ErrSnapshotMismatch, s.Precision, precisionName[S]())
+	}
+	if len(s.RNG) != 1 {
+		return fmt.Errorf("%w: %d RNG states in a rank-local snapshot", ErrSnapshotMismatch, len(s.RNG))
+	}
+	if err := t.model.SetWeightsF64(s.Weights); err != nil {
+		return err
+	}
+	t.model.SetRNGState(s.RNG[0])
+	t.opt.SetState(s.Opt)
+	t.snap = s
+	t.startStep = s.Step
+	t.restored = true
+	return nil
+}
+
+// capture snapshots the rollback state at the current boundary.
+func (t *NetTrainer[S]) capture(step int) *netBoundary {
+	return &netBoundary{
+		step:    step,
+		weights: t.model.WeightsF64(),
+		opt:     t.opt.State(),
+		rng:     t.model.RNGState(),
+	}
+}
+
+// rollbackTo restores a boundary state exactly.
+func (t *NetTrainer[S]) rollbackTo(b *netBoundary) error {
+	if err := t.model.SetWeightsF64(b.weights); err != nil {
+		return err
+	}
+	t.opt.SetState(b.opt)
+	t.model.SetRNGState(b.rng)
+	return nil
+}
+
+// syncWeights broadcasts rank 0's parameters to every rank — the
+// network form of Trainer.New's CopyWeightsFrom loop, moving the exact
+// S-precision bit patterns.
+func (t *NetTrainer[S]) syncWeights() error {
+	flatLen := 0
+	for _, prm := range t.model.Params() {
+		flatLen += prm.W.Len()
+	}
+	if cap(t.flat) < flatLen {
+		t.flat = make([]S, flatLen)
+	}
+	t.flat = t.flat[:flatLen]
+	off := 0
+	for _, prm := range t.model.Params() {
+		off += copy(t.flat[off:], prm.W.Data)
+	}
+	if err := t.coll.Broadcast(t.flat); err != nil {
+		return err
+	}
+	if t.rank != 0 {
+		off = 0
+		for _, prm := range t.model.Params() {
+			off += copy(prm.W.Data, t.flat[off:off+prm.W.Len()])
+		}
+	}
+	return nil
+}
+
+// reestablishRetry drives the rendezvous until the ring converges; the
+// whole complement re-enters Establish after a fault, but not in
+// lockstep, so individual attempts can time out while peers catch up.
+func (t *NetTrainer[S]) reestablishRetry(step int) (int, error) {
+	var lastErr error
+	for attempt := 0; attempt < 8; attempt++ {
+		agreed, err := t.coll.Reestablish(step)
+		if err == nil {
+			return agreed, nil
+		}
+		lastErr = err
+	}
+	return 0, fmt.Errorf("ddp: rank %d: ring re-establish failed: %w", t.rank, lastErr)
+}
+
+// Fit trains this rank for the configured epochs, bit-synchronized with
+// its peers. See the type comment for the recovery protocol; a
+// ProcessKill fault aborts every rank with ErrKilled after the last
+// snapshot (each process resumes from its own rank-local snapshot file).
+func (t *NetTrainer[S]) Fit(samples []train.Sample) (*Result, error) {
+	globalBatch := t.cfg.Workers * t.cfg.BatchPerWorker
+	batcher, err := train.NewBatcher(samples, globalBatch, t.cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	t.batcher = batcher
+	t.nb = batcher.NumBatches()
+	totalSteps := t.cfg.Epochs * t.nb
+	if t.cfg.Chaos != nil || t.cfg.SnapshotPath != "" || t.restored {
+		t.dataFP = dataFingerprint(samples)
+	}
+	if t.restored && t.snap != nil && t.snap.Data != "" && t.snap.Data != t.dataFP {
+		return nil, fmt.Errorf("%w: snapshot was taken over a different sample set", ErrSnapshotMismatch)
+	}
+
+	res := &Result{}
+	if !t.restored {
+		if _, err := t.reestablishRetry(t.startStep); err != nil {
+			return res, err
+		}
+		if err := t.syncWeights(); err != nil {
+			return res, err
+		}
+	} else {
+		// Resumed ranks restored identical bit-synchronized state; the
+		// rendezvous only has to agree they are at the same step.
+		agreed, err := t.reestablishRetry(t.startStep)
+		if err != nil {
+			return res, err
+		}
+		if agreed != t.startStep {
+			return res, fmt.Errorf("ddp: rank %d resumed at step %d but ring agreed %d (mismatched snapshots?)",
+				t.rank, t.startStep, agreed)
+		}
+	}
+
+	losses := make([]float64, totalSteps)
+	var prevB, curB *netBoundary
+	epochStart := time.Now()
+	samplesTrained := 0
+	g := t.startStep
+	for g < totalSteps {
+		epoch, bi := g/t.nb, g%t.nb
+		batch := t.batcher.Epoch(epoch)[bi]
+		t.coll.StepStart(g) // boundary faults (partition, reconnect) fire here
+
+		// ---- step boundary: rollback state, snapshot, kill ----
+		if curB == nil || curB.step != g {
+			prevB = curB
+			curB = t.capture(g)
+		}
+		wantSnaps := t.cfg.Chaos != nil || t.cfg.SnapshotPath != ""
+		if wantSnaps && (g == t.startStep || g%t.cfg.SnapshotEvery == 0) {
+			t.snap = t.Snapshot(g)
+			if t.cfg.SnapshotPath != "" {
+				if err := SaveSnapshotFile(t.cfg.SnapshotPath, t.snap); err != nil {
+					return res, err
+				}
+			}
+		}
+		if t.cfg.Chaos.ProcessKill(g) {
+			// Every process of the run sees the same schedule, so the
+			// whole cluster dies at this boundary; each rank resumes
+			// from its own snapshot file.
+			return res, ErrKilled
+		}
+
+		loss, err := t.attemptStep(g, batch, res)
+		if err == nil {
+			losses[g] = loss
+			res.Steps++
+			samplesTrained += len(batch)
+			g++
+			if bi == t.nb-1 {
+				t.closeEpoch(res, losses, epoch, &epochStart)
+			}
+			continue
+		}
+		var re *ring.RankError
+		if !errors.As(err, &re) {
+			return res, err
+		}
+		// Abort: undo any partial effect of the attempt (applied update,
+		// consumed dropout noise), re-rendezvous, and agree where to
+		// retry from.
+		if rerr := t.rollbackTo(curB); rerr != nil {
+			return res, rerr
+		}
+		agreed, eerr := t.reestablishRetry(g)
+		if eerr != nil {
+			return res, eerr
+		}
+		if agreed < g {
+			// A peer never committed a step this rank did; the commit
+			// barrier bounds the gap to one, so the previous boundary
+			// state is always sufficient to rewind.
+			if prevB == nil || prevB.step != agreed {
+				return res, fmt.Errorf("ddp: rank %d must rewind to step %d but holds no boundary state for it",
+					t.rank, agreed)
+			}
+			if rerr := t.rollbackTo(prevB); rerr != nil {
+				return res, rerr
+			}
+			t.unwindBookkeeping(res, losses, agreed, g, &samplesTrained)
+			curB, prevB = prevB, nil
+			g = agreed
+		}
+		res.Recoveries++
+	}
+	res.LostRanks = nil
+	if res.VirtualTotal > 0 {
+		res.Throughput = float64(samplesTrained) / res.VirtualTotal
+	}
+	return res, nil
+}
+
+// attemptStep runs one optimistic step: gradients on this rank's shard,
+// ring-averaged, Adam-applied, then the commit barrier. Any *RankError
+// leaves partial state for the caller to roll back.
+func (t *NetTrainer[S]) attemptStep(g int, batch []train.Sample, res *Result) (float64, error) {
+	if d := t.cfg.Chaos.StragglerDelay(t.rank, g); d > 0 {
+		// Absorbed: the synchronous ring waits, results are unaffected.
+		res.Stalls++
+		time.Sleep(d)
+	}
+	shards := shard(batch, t.cfg.Workers)
+	mine := shards[t.rank]
+	nn.ZeroGrads(t.model.Params())
+	var loss float64
+	if len(mine) > 0 {
+		x, labels, err := train.ToTensor[S](mine)
+		if err != nil {
+			return 0, err
+		}
+		if loss, err = t.model.LossAndGrad(x, labels); err != nil {
+			return 0, err
+		}
+	}
+
+	flatLen := 0
+	for _, prm := range t.model.Params() {
+		flatLen += prm.Grad.Len()
+	}
+	if cap(t.flat) < flatLen {
+		t.flat = make([]S, flatLen)
+	}
+	t.flat = t.flat[:flatLen]
+	off := 0
+	for _, prm := range t.model.Params() {
+		off += copy(t.flat[off:], prm.Grad.Data)
+	}
+	if err := t.coll.AllReduceMean(t.flat, ring.DefaultChunk); err != nil {
+		return 0, err
+	}
+	off = 0
+	for _, prm := range t.model.Params() {
+		off += copy(prm.Grad.Data, t.flat[off:off+prm.Grad.Len()])
+	}
+	t.opt.Step(t.model.Params())
+	if err := t.coll.Commit(g); err != nil {
+		return 0, err
+	}
+	return loss, nil
+}
+
+// closeEpoch emits the epoch stat from the committed per-step losses.
+func (t *NetTrainer[S]) closeEpoch(res *Result, losses []float64, epoch int, epochStart *time.Time) {
+	first := epoch * t.nb
+	if t.startStep > first {
+		first = t.startStep // resumed mid-epoch: only the executed tail
+	}
+	sum, n := 0.0, 0
+	for h := first; h < (epoch+1)*t.nb; h++ {
+		sum += losses[h]
+		n++
+	}
+	stat := EpochStat{RealSeconds: time.Since(*epochStart).Seconds()}
+	if n > 0 {
+		stat.Loss = sum / float64(n)
+	}
+	if t.cfg.Timing.Compute > 0 {
+		stat.VirtualSeconds = t.cfg.Timing.EpochTime(t.world) * float64(n) / float64(t.nb)
+	}
+	res.Epochs = append(res.Epochs, stat)
+	res.RealTotal += stat.RealSeconds
+	res.VirtualTotal += stat.VirtualSeconds
+	if t.cfg.Progress != nil {
+		t.cfg.Progress(epoch, stat.Loss)
+	}
+	*epochStart = time.Now()
+}
+
+// unwindBookkeeping reverses the accounting of committed steps
+// [agreed, cursor) that a ring-wide rollback is about to re-execute
+// (bit-identically, so the redo restores every number).
+func (t *NetTrainer[S]) unwindBookkeeping(res *Result, losses []float64, agreed, cursor int, samplesTrained *int) {
+	for h := cursor - 1; h >= agreed; h-- {
+		res.Steps--
+		*samplesTrained -= len(t.batcher.Epoch(h / t.nb)[h%t.nb])
+		if h%t.nb == t.nb-1 && len(res.Epochs) > 0 {
+			last := res.Epochs[len(res.Epochs)-1]
+			res.Epochs = res.Epochs[:len(res.Epochs)-1]
+			res.RealTotal -= last.RealSeconds
+			res.VirtualTotal -= last.VirtualSeconds
+		}
+	}
+}

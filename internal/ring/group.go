@@ -8,14 +8,23 @@ import (
 // RankError reports a rank that failed during (or before) a collective
 // operation — the ring's failure-detection signal. Callers (the ddp
 // trainer) respond by healing the rank and retrying the step, or by
-// continuing elastically over the survivors.
+// continuing elastically over the survivors. For network transports the
+// failed "rank" is the peer whose connection broke, and Err carries the
+// underlying I/O error (nil for in-process membership failures).
 type RankError struct {
 	Rank int
+	Err  error
 }
 
 func (e *RankError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("ring: rank %d failed: %v", e.Rank, e.Err)
+	}
 	return fmt.Sprintf("ring: rank %d failed", e.Rank)
 }
+
+// Unwrap exposes the underlying transport error, when any.
+func (e *RankError) Unwrap() error { return e.Err }
 
 // Group tracks ring membership across failures. The collective below
 // (AllReduceMeanChunkedGroup) reduces over the live members only,

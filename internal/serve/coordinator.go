@@ -1,0 +1,452 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"seaice/internal/core"
+	"seaice/internal/dataset"
+	"seaice/internal/raster"
+)
+
+// CoordConfig sizes the cluster coordinator.
+type CoordConfig struct {
+	// TileSize is the cluster tile edge; every worker node must serve the
+	// same size.
+	TileSize int
+	// Nodes lists worker addresses (host:port); node index is the hash
+	// ring identity.
+	Nodes []string
+	// Build supplies the thin-cloud/shadow filter; the coordinator
+	// filters once at scene scale, so workers classify pre-filtered
+	// imagery.
+	Build dataset.BuildConfig
+	// HealthEvery is the health-probe period; 0 selects a 1s default.
+	HealthEvery time.Duration
+	// Timeout bounds each worker HTTP call; 0 selects 30s.
+	Timeout time.Duration
+	// Logf receives routing events (node down/up, reroutes); nil
+	// discards them.
+	Logf func(format string, args ...any)
+}
+
+// CoordStats is the coordinator's /statz payload.
+type CoordStats struct {
+	Requests  int   `json:"requests"`
+	Tiles     int   `json:"tiles"`
+	Rerouted  int   `json:"rerouted_tiles"`
+	NodesUp   int   `json:"nodes_up"`
+	NodesDown []int `json:"nodes_down"`
+}
+
+// Coordinator fronts a cluster of worker serve nodes: it decodes and
+// filters each scene once, shards its tiles across the nodes by
+// consistent-hashing their content SHA-256 (so each distinct tile is
+// classified — and cached — by exactly one node), ships each node's
+// share as a single strip image, and stitches the returned label bytes
+// back to scene size. A health loop probes /healthz; tiles owned by a
+// down node reroute clockwise to the next live node, and worker 429
+// backpressure propagates to the client verbatim.
+type Coordinator struct {
+	cfg    CoordConfig
+	ring   *HashRing
+	client *http.Client
+	mux    *http.ServeMux
+
+	mu       sync.Mutex
+	down     []bool
+	requests int
+	tiles    int
+	rerouted int
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewCoordinator validates cfg and starts the health loop.
+func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
+	if cfg.TileSize < 1 {
+		return nil, fmt.Errorf("serve: coordinator tile size must be ≥1, got %d", cfg.TileSize)
+	}
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("serve: coordinator needs ≥1 worker node")
+	}
+	if cfg.HealthEvery <= 0 {
+		cfg.HealthEvery = time.Second
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	ring, err := NewHashRing(len(cfg.Nodes))
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		cfg:    cfg,
+		ring:   ring,
+		client: &http.Client{Timeout: cfg.Timeout},
+		down:   make([]bool, len(cfg.Nodes)),
+		stop:   make(chan struct{}),
+	}
+	c.mux = http.NewServeMux()
+	c.mux.HandleFunc("/classify", c.handleClassify)
+	c.mux.HandleFunc("/healthz", c.handleHealthz)
+	c.mux.HandleFunc("/statz", c.handleStatz)
+	c.wg.Add(1)
+	go c.healthLoop()
+	return c, nil
+}
+
+// Handler returns the coordinator's HTTP handler tree.
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// Close stops the health loop.
+func (c *Coordinator) Close() {
+	close(c.stop)
+	c.wg.Wait()
+}
+
+// Stats snapshots the coordinator's counters.
+func (c *Coordinator) Stats() CoordStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := CoordStats{Requests: c.requests, Tiles: c.tiles, Rerouted: c.rerouted, NodesDown: []int{}}
+	for node, d := range c.down {
+		if d {
+			s.NodesDown = append(s.NodesDown, node)
+		} else {
+			s.NodesUp++
+		}
+	}
+	return s
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+func (c *Coordinator) isDown(node int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.down[node]
+}
+
+// setDown records a node's health transition, reporting whether the
+// state changed.
+func (c *Coordinator) setDown(node int, down bool) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.down[node] == down {
+		return false
+	}
+	c.down[node] = down
+	return true
+}
+
+func (c *Coordinator) allDown() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, d := range c.down {
+		if !d {
+			return false
+		}
+	}
+	return true
+}
+
+// healthLoop probes every node's /healthz each period and flips its
+// up/down mark; a recovered node starts receiving its arcs again on the
+// next request.
+func (c *Coordinator) healthLoop() {
+	defer c.wg.Done()
+	tick := time.NewTicker(c.cfg.HealthEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-tick.C:
+			for node := range c.cfg.Nodes {
+				ok := c.probe(node)
+				if c.setDown(node, !ok) {
+					if ok {
+						c.logf("serve: node %d (%s) healthy again", node, c.cfg.Nodes[node])
+					} else {
+						c.logf("serve: node %d (%s) failed health check", node, c.cfg.Nodes[node])
+					}
+				}
+			}
+		}
+	}
+}
+
+// probe reports whether a node answers its health check.
+func (c *Coordinator) probe(node int) bool {
+	resp, err := c.client.Get("http://" + c.cfg.Nodes[node] + "/healthz")
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// workerReject is a worker response the coordinator propagates to the
+// client unchanged (backpressure and input errors), as opposed to a node
+// failure it reroutes around.
+type workerReject struct {
+	status     int
+	retryAfter string
+	body       []byte
+	contentTyp string
+}
+
+// handleClassify implements the sharded POST /classify: decode, filter
+// once, split, route tile groups to their hash-ring owners, stitch.
+func (c *Coordinator) handleClassify(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a PNG to /classify", http.StatusMethodNotAllowed)
+		return
+	}
+	start := time.Now()
+	model := r.URL.Query().Get("model")
+	img, errStatus, err := decodeSceneBody(r, c.cfg.TileSize)
+	if err != nil {
+		http.Error(w, err.Error(), errStatus)
+		return
+	}
+	filtered := core.FilterScene(img, c.cfg.Build)
+	tiles, grid, err := raster.Split(filtered, c.cfg.TileSize, c.cfg.TileSize)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	preds, reject, err := c.classifyTiles(model, tiles)
+	if reject != nil {
+		if reject.retryAfter != "" {
+			w.Header().Set("Retry-After", reject.retryAfter)
+		}
+		if reject.contentTyp != "" {
+			w.Header().Set("Content-Type", reject.contentTyp)
+		}
+		w.WriteHeader(reject.status)
+		w.Write(reject.body)
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	labels, err := raster.StitchLabels(preds, grid)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	c.mu.Lock()
+	c.requests++
+	c.tiles += len(tiles)
+	c.mu.Unlock()
+
+	counts := labels.Counts()
+	total := float64(len(labels.Pix))
+	stats := classifyStats{
+		Model:      model,
+		Tiles:      len(tiles),
+		Water:      float64(counts[raster.ClassWater]) / total,
+		ThinIce:    float64(counts[raster.ClassThinIce]) / total,
+		ThickIce:   float64(counts[raster.ClassThickIce]) / total,
+		ElapsedMS:  float64(time.Since(start)) / float64(time.Millisecond),
+		TileSize:   c.cfg.TileSize,
+		FilterUsed: true,
+	}
+	hdr, _ := json.Marshal(stats)
+	var buf bytes.Buffer
+	if err := labels.Render().EncodePNG(&buf); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "image/png")
+	w.Header().Set("X-Seaice-Stats", string(hdr))
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf.Bytes())
+}
+
+// classifyTiles routes every tile to its consistent-hash owner and
+// collects predictions index-aligned with tiles. Node failures mark the
+// node down and reroute its tiles clockwise; each failure shrinks the
+// live set, so the loop terminates within one round per node.
+func (c *Coordinator) classifyTiles(model string, tiles []raster.Tile) ([]*raster.Labels, *workerReject, error) {
+	preds := make([]*raster.Labels, len(tiles))
+	pending := make([]int, len(tiles))
+	for i := range pending {
+		pending[i] = i
+	}
+	for round := 0; round <= len(c.cfg.Nodes); round++ {
+		if len(pending) == 0 {
+			return preds, nil, nil
+		}
+		if c.allDown() {
+			return nil, nil, fmt.Errorf("serve: no live worker nodes")
+		}
+		// Group the pending tiles by their current live owner.
+		groups := map[int][]int{}
+		for _, i := range pending {
+			key := TileKey(model, tiles[i].Image)
+			node := c.ring.OwnerAvoiding(key, c.isDown)
+			if round > 0 {
+				c.mu.Lock()
+				c.rerouted++
+				c.mu.Unlock()
+			}
+			groups[node] = append(groups[node], i)
+		}
+		type result struct {
+			node   int
+			idxs   []int
+			labels []*raster.Labels
+			reject *workerReject
+			err    error
+		}
+		results := make(chan result, len(groups))
+		for node, idxs := range groups {
+			go func(node int, idxs []int) {
+				labels, reject, err := c.classifyOnNode(node, model, tiles, idxs)
+				results <- result{node, idxs, labels, reject, err}
+			}(node, idxs)
+		}
+		pending = pending[:0]
+		var reject *workerReject
+		for range groups {
+			res := <-results
+			switch {
+			case res.reject != nil:
+				reject = res.reject
+			case res.err != nil:
+				// Node failure: mark it down and retry its tiles on the
+				// next live owner.
+				if c.setDown(res.node, true) {
+					c.logf("serve: node %d (%s) failed, rerouting %d tiles: %v",
+						res.node, c.cfg.Nodes[res.node], len(res.idxs), res.err)
+				}
+				pending = append(pending, res.idxs...)
+			default:
+				for j, i := range res.idxs {
+					preds[i] = res.labels[j]
+				}
+			}
+		}
+		if reject != nil {
+			return nil, reject, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("serve: tiles still unrouted after exhausting nodes")
+}
+
+// classifyOnNode ships one node's tile share as vertical strip images
+// (tileSize wide, k·tileSize tall — raster.Split on a strip yields
+// exactly those k tiles in order) and slices the returned raw label
+// bytes back into per-tile label maps. Strips are capped so their height
+// stays inside the worker's accepted scene dimensions.
+func (c *Coordinator) classifyOnNode(node int, model string, tiles []raster.Tile, idxs []int) ([]*raster.Labels, *workerReject, error) {
+	stripMax := maxSceneDim / c.cfg.TileSize
+	out := make([]*raster.Labels, 0, len(idxs))
+	for lo := 0; lo < len(idxs); lo += stripMax {
+		hi := lo + stripMax
+		if hi > len(idxs) {
+			hi = len(idxs)
+		}
+		labels, reject, err := c.classifyStrip(node, model, tiles, idxs[lo:hi])
+		if reject != nil || err != nil {
+			return nil, reject, err
+		}
+		out = append(out, labels...)
+	}
+	return out, nil, nil
+}
+
+// classifyStrip runs one strip-sized HTTP round trip against a node.
+func (c *Coordinator) classifyStrip(node int, model string, tiles []raster.Tile, idxs []int) ([]*raster.Labels, *workerReject, error) {
+	ts := c.cfg.TileSize
+	strip := raster.NewRGB(ts, ts*len(idxs))
+	tilePix := 3 * ts * ts
+	for j, i := range idxs {
+		copy(strip.Pix[j*tilePix:(j+1)*tilePix], tiles[i].Image.Pix)
+	}
+	var body bytes.Buffer
+	if err := strip.EncodePNG(&body); err != nil {
+		return nil, nil, err
+	}
+	url := "http://" + c.cfg.Nodes[node] + "/classify?filtered=1&format=raw"
+	if model != "" {
+		url += "&model=" + model
+	}
+	resp, err := c.client.Post(url, "image/png", &body)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch {
+	case resp.StatusCode == http.StatusOK:
+	case resp.StatusCode >= 500:
+		// Treat server-side failure like a dead node: reroute.
+		return nil, nil, fmt.Errorf("serve: node %d returned %s", node, resp.Status)
+	default:
+		// 4xx (backpressure, bad model, …) propagates to the client.
+		return nil, &workerReject{
+			status:     resp.StatusCode,
+			retryAfter: resp.Header.Get("Retry-After"),
+			body:       payload,
+			contentTyp: resp.Header.Get("Content-Type"),
+		}, nil
+	}
+	if len(payload) != ts*ts*len(idxs) {
+		return nil, nil, fmt.Errorf("serve: node %d returned %d label bytes, want %d",
+			node, len(payload), ts*ts*len(idxs))
+	}
+	labels := make([]*raster.Labels, len(idxs))
+	for j := range idxs {
+		l := raster.NewLabels(ts, ts)
+		for k, b := range payload[j*ts*ts : (j+1)*ts*ts] {
+			if b >= raster.NumClasses {
+				return nil, nil, fmt.Errorf("serve: node %d returned invalid class %d", node, b)
+			}
+			l.Pix[k] = raster.Class(b)
+		}
+		labels[j] = l
+	}
+	return labels, nil, nil
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s := c.Stats()
+	status := "ok"
+	w.Header().Set("Content-Type", "application/json")
+	if s.NodesUp == 0 {
+		status = "degraded"
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":     status,
+		"role":       "coordinator",
+		"nodes":      c.cfg.Nodes,
+		"nodes_up":   s.NodesUp,
+		"nodes_down": s.NodesDown,
+	})
+}
+
+func (c *Coordinator) handleStatz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(c.Stats())
+}

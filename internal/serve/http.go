@@ -116,13 +116,23 @@ func (s *Server[S]) handleClassify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// filtered=1 marks imagery already passed through the thin-cloud
+	// filter (the coordinator filters once at scene scale before
+	// sharding tiles, so worker nodes must not filter again).
+	preFiltered := r.URL.Query().Get("filtered") == "1"
+
 	pred := &servingPredictor[S]{srv: s, model: model, modelName: modelName}
-	labels, err := core.InferScene(pred, img, s.cfg.TileSize, s.cfg.Build)
+	var labels *raster.Labels
+	if preFiltered {
+		labels, err = core.InferFilteredScene(pred, img, s.cfg.TileSize)
+	} else {
+		labels, err = core.InferScene(pred, img, s.cfg.TileSize, s.cfg.Build)
+	}
 	elapsed := time.Since(start)
 	if err != nil {
 		s.stats.RecordRequest(elapsed, pred.tiles, true)
 		if err == ErrOverloaded {
-			http.Error(w, "inference queue full, retry later", http.StatusTooManyRequests)
+			s.writeOverloaded(w)
 		} else if err == ErrClosed {
 			http.Error(w, "server shutting down", http.StatusServiceUnavailable)
 		} else {
@@ -143,9 +153,25 @@ func (s *Server[S]) handleClassify(w http.ResponseWriter, r *http.Request) {
 		ThickIce:   float64(counts[raster.ClassThickIce]) / total,
 		ElapsedMS:  float64(elapsed) / float64(time.Millisecond),
 		TileSize:   s.cfg.TileSize,
-		FilterUsed: true,
+		FilterUsed: !preFiltered,
 	}
 	hdr, _ := json.Marshal(stats)
+
+	// format=raw returns the label map as one Class byte per pixel
+	// (row-major) instead of a rendered PNG — the machine-to-machine
+	// format the coordinator slices per tile without a decode step.
+	if r.URL.Query().Get("format") == "raw" {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("X-Seaice-Stats", string(hdr))
+		w.Header().Set("X-Seaice-Dims", fmt.Sprintf("%dx%d", labels.W, labels.H))
+		w.WriteHeader(http.StatusOK)
+		pix := make([]byte, len(labels.Pix))
+		for i, c := range labels.Pix {
+			pix[i] = byte(c)
+		}
+		w.Write(pix)
+		return
+	}
 
 	var buf bytes.Buffer
 	if err := labels.Render().EncodePNG(&buf); err != nil {
@@ -156,6 +182,28 @@ func (s *Server[S]) handleClassify(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Seaice-Stats", string(hdr))
 	w.WriteHeader(http.StatusOK)
 	w.Write(buf.Bytes())
+}
+
+// overloadBody is the JSON payload of a 429 response: the client sees
+// how deep the queue is against its bound, and Retry-After tells it when
+// a retry is worth attempting.
+type overloadBody struct {
+	Error      string `json:"error"`
+	QueueDepth int    `json:"queue_depth"`
+	QueueSize  int    `json:"queue_size"`
+}
+
+// writeOverloaded answers a backpressure rejection: 429 with a
+// Retry-After hint and a JSON body carrying the current queue depth.
+func (s *Server[S]) writeOverloaded(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Retry-After", "1")
+	w.WriteHeader(http.StatusTooManyRequests)
+	json.NewEncoder(w).Encode(overloadBody{
+		Error:      "inference queue full, retry later",
+		QueueDepth: s.sched.QueueDepth(),
+		QueueSize:  s.cfg.QueueSize,
+	})
 }
 
 // maxSceneDim caps accepted scene dimensions; the paper's largest

@@ -1,0 +1,223 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"seaice/internal/ring"
+)
+
+// AllReduceMean averages the ranks' vectors in place over the network
+// ring. It is the bit-identical mirror of ring.AllReduceMeanChunked:
+// the same segmentation (the whole vector when n ≤ chunk, else segments
+// of exactly chunk elements), the same per-segment chunk bounds
+// (bounds[c] = c·n/p), the same reduce-scatter/all-gather schedule, the
+// same element-order accumulation, and the same 1/p mean scaling —
+// scalars travel as exact IEEE-754 bit patterns, so the accumulation
+// operates on identical values in an identical order and every result
+// bit matches the in-process transport. The in-process version pipelines
+// segments concurrently; segments are element-disjoint, so running them
+// sequentially here changes wall-clock only, never bytes.
+func AllReduceMean[S ring.Scalar](r *Ring, vec []S, chunk int) error {
+	if chunk <= 0 {
+		chunk = ring.DefaultChunk
+	}
+	n := len(vec)
+	if r.world == 1 || n == 0 {
+		return nil
+	}
+	if n <= chunk {
+		return allReduceMeanSeg(r, vec)
+	}
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if err := allReduceMeanSeg(r, vec[lo:hi]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// allReduceMeanSeg runs one segment's ring all-reduce-mean: p−1
+// reduce-scatter hops, p−1 all-gather hops, then the 1/p scale.
+func allReduceMeanSeg[S ring.Scalar](r *Ring, vec []S) error {
+	p, rank, n := r.world, r.rank, len(vec)
+	bounds := make([]int, p+1)
+	for c := 0; c <= p; c++ {
+		bounds[c] = c * n / p
+	}
+	var out []byte
+	var in []S
+
+	// reduce-scatter: after p−1 hops this rank holds the fully reduced
+	// chunk (rank+1) mod p.
+	for s := 0; s < p-1; s++ {
+		sendChunk := ((rank-s)%p + p) % p
+		lo, hi := bounds[sendChunk], bounds[sendChunk+1]
+		out = putScalars(out[:0], vec[lo:hi])
+
+		payload, err := r.hop(out)
+		if err != nil {
+			return err
+		}
+		recvChunk := ((rank-s-1)%p + p) % p
+		rlo, rhi := bounds[recvChunk], bounds[recvChunk+1]
+		if in, err = getScalars(in[:0], payload, rhi-rlo); err != nil {
+			return r.prevErr(err)
+		}
+		for i, v := range in {
+			vec[rlo+i] += v
+		}
+	}
+	// all-gather: circulate the reduced chunks until every rank has all.
+	for s := 0; s < p-1; s++ {
+		sendChunk := ((rank+1-s)%p + p) % p
+		lo, hi := bounds[sendChunk], bounds[sendChunk+1]
+		out = putScalars(out[:0], vec[lo:hi])
+
+		payload, err := r.hop(out)
+		if err != nil {
+			return err
+		}
+		recvChunk := ((rank-s)%p + p) % p
+		rlo, rhi := bounds[recvChunk], bounds[recvChunk+1]
+		if in, err = getScalars(in[:0], payload, rhi-rlo); err != nil {
+			return r.prevErr(err)
+		}
+		copy(vec[rlo:rlo+len(in)], in)
+	}
+	inv := S(1) / S(p)
+	for i := range vec {
+		vec[i] *= inv
+	}
+	return nil
+}
+
+// bcastMaxElems bounds a broadcast frame's element count so the payload
+// (8-byte header + scalars) stays under MaxFrame.
+func bcastMaxElems[S ring.Scalar]() int {
+	return (1<<20 - 8) / scalarSize[S]()
+}
+
+// Broadcast copies rank 0's vector to every rank by forwarding it
+// around the ring in MaxFrame-bounded pieces: rank 0 sends, ranks
+// 1..p−2 receive-store-forward, rank p−1 receives. Bytes are exact bit
+// patterns, so the copy is bit-identical to ring.Broadcast.
+func Broadcast[S ring.Scalar](r *Ring, vec []S) error {
+	if r.world == 1 || len(vec) == 0 {
+		return nil
+	}
+	maxElems := bcastMaxElems[S]()
+	var buf []byte
+	var in []S
+	for lo := 0; lo < len(vec); lo += maxElems {
+		hi := lo + maxElems
+		if hi > len(vec) {
+			hi = len(vec)
+		}
+		piece := vec[lo:hi]
+		if r.rank != 0 {
+			payload, err := r.recvData()
+			if err != nil {
+				return err
+			}
+			if in, err = getScalars(in[:0], payload, len(piece)); err != nil {
+				return r.prevErr(err)
+			}
+			copy(piece, in)
+		}
+		if r.rank != r.world-1 {
+			buf = putScalars(buf[:0], piece)
+			if err := r.sendData(buf); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// scalarSize reports the wire bytes per element.
+func scalarSize[S ring.Scalar]() int {
+	var z S
+	if _, ok := any(z).(float32); ok {
+		return 4
+	}
+	return 8
+}
+
+// putScalars appends src's exact little-endian IEEE-754 bit patterns.
+func putScalars[S ring.Scalar](dst []byte, src []S) []byte {
+	switch s := any(src).(type) {
+	case []float64:
+		var b [8]byte
+		for _, v := range s {
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+			dst = append(dst, b[:]...)
+		}
+	case []float32:
+		var b [4]byte
+		for _, v := range s {
+			binary.LittleEndian.PutUint32(b[:], math.Float32bits(v))
+			dst = append(dst, b[:]...)
+		}
+	}
+	return dst
+}
+
+// getScalars appends exactly want decoded elements from src.
+func getScalars[S ring.Scalar](dst []S, src []byte, want int) ([]S, error) {
+	size := scalarSize[S]()
+	if len(src) != want*size {
+		return dst, fmt.Errorf("transport: %d payload bytes for %d scalars of %d bytes", len(src), want, size)
+	}
+	switch any(dst).(type) {
+	case []float64:
+		for i := 0; i < want; i++ {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(src[8*i:]))
+			dst = append(dst, S(v))
+		}
+	case []float32:
+		for i := 0; i < want; i++ {
+			v := math.Float32frombits(binary.LittleEndian.Uint32(src[4*i:]))
+			dst = append(dst, S(v))
+		}
+	}
+	return dst, nil
+}
+
+// Collective adapts a Ring to ring.Collective, making the network
+// transport a drop-in replacement for the in-process ring.Local in the
+// distributed trainer.
+type Collective[S ring.Scalar] struct {
+	R *Ring
+}
+
+// Rank implements ring.Collective.
+func (c *Collective[S]) Rank() int { return c.R.Rank() }
+
+// World implements ring.Collective.
+func (c *Collective[S]) World() int { return c.R.World() }
+
+// StepStart implements ring.Collective.
+func (c *Collective[S]) StepStart(step int) { c.R.StepStart(step) }
+
+// AllReduceMean implements ring.Collective.
+func (c *Collective[S]) AllReduceMean(vec []S, chunk int) error {
+	return AllReduceMean(c.R, vec, chunk)
+}
+
+// Broadcast implements ring.Collective.
+func (c *Collective[S]) Broadcast(vec []S) error { return Broadcast(c.R, vec) }
+
+// Commit implements ring.Collective.
+func (c *Collective[S]) Commit(step int) error { return c.R.Commit(step) }
+
+// Reestablish implements ring.Collective.
+func (c *Collective[S]) Reestablish(step int) (int, error) { return c.R.Establish(step) }
+
+// Close implements ring.Collective.
+func (c *Collective[S]) Close() error { return c.R.Close() }

@@ -1,0 +1,104 @@
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// DefaultTimeout bounds every blocking network operation (dial total,
+// accept, frame read/write) when Config.Timeout is unset. A peer that
+// stays silent longer is treated as failed — the network analogue of the
+// in-process ring's membership check.
+const DefaultTimeout = 5 * time.Second
+
+// Conn is one framed, deadline-guarded ring link. Writes are buffered
+// (one flush per frame) so a collective hop costs one syscall, not three.
+type Conn struct {
+	nc      net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	timeout time.Duration
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// newConn wraps an established socket.
+func newConn(nc net.Conn, timeout time.Duration) *Conn {
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		// Collective hops are latency-bound small frames; never batch them.
+		tc.SetNoDelay(true)
+	}
+	return &Conn{
+		nc:      nc,
+		br:      bufio.NewReaderSize(nc, 64<<10),
+		bw:      bufio.NewWriterSize(nc, 64<<10),
+		timeout: timeout,
+	}
+}
+
+// WriteFrame sends one frame under the write deadline and flushes it.
+func (c *Conn) WriteFrame(tag byte, payload []byte) error {
+	if err := c.nc.SetWriteDeadline(time.Now().Add(c.timeout)); err != nil {
+		return err
+	}
+	if err := WriteFrame(c.bw, tag, payload); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// ReadFrame receives one frame under the read deadline.
+func (c *Conn) ReadFrame() (Frame, error) {
+	if err := c.nc.SetReadDeadline(time.Now().Add(c.timeout)); err != nil {
+		return Frame{}, err
+	}
+	return ReadFrame(c.br)
+}
+
+// Close shuts the link; safe to call concurrently and repeatedly (the
+// fault injector closes links out from under in-flight collectives).
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.nc.Close()
+}
+
+// DialRetry dials addr until it succeeds or the deadline budget runs
+// out, backing off 10ms→320ms between attempts. Rendezvous needs this:
+// peers start in arbitrary order, and after a fault both sides of a link
+// re-establish concurrently, so the first dials race the peer's listener
+// coming (back) up.
+func DialRetry(addr string, timeout time.Duration) (net.Conn, error) {
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	deadline := time.Now().Add(timeout)
+	backoff := 10 * time.Millisecond
+	var lastErr error
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return nil, fmt.Errorf("transport: dial %s: deadline after %v: %w", addr, timeout, lastErr)
+		}
+		nc, err := net.DialTimeout("tcp", addr, remain)
+		if err == nil {
+			return nc, nil
+		}
+		lastErr = err
+		time.Sleep(backoff)
+		if backoff < 320*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}

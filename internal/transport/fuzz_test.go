@@ -1,0 +1,56 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzReadFrame hammers the frame decoder with truncated, oversized, and
+// garbage inputs (mirroring FuzzLoadCheckpoint): it must reject bad
+// frames with an error — never panic, never allocate beyond MaxFrame —
+// and any frame it accepts must round-trip through WriteFrame.
+func FuzzReadFrame(f *testing.F) {
+	valid := func(tag byte, payload []byte) []byte {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, tag, payload); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(valid(tagHello, encodeHello(0, 3, "cluster")))
+	f.Add(valid(tagData, []byte{0, 0, 0, 1, 0, 0, 0, 2, 42}))
+	f.Add(valid(tagCommit, encodeStep(7)))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1})
+	oversize := make([]byte, 4)
+	binary.BigEndian.PutUint32(oversize, MaxFrame+1)
+	f.Add(append(oversize, 0x01))
+	f.Add([]byte{0, 0, 0, 5, 0x04, 1, 2}) // length promises more than present
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if 1+len(fr.Payload) > MaxFrame {
+			t.Fatalf("decoder accepted frame of %d bytes", 1+len(fr.Payload))
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, fr.Tag, fr.Payload); err != nil {
+			t.Fatalf("accepted frame does not re-encode: %v", err)
+		}
+		rt, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded frame does not decode: %v", err)
+		}
+		if rt.Tag != fr.Tag || !bytes.Equal(rt.Payload, fr.Payload) {
+			t.Fatal("frame round-trip mismatch")
+		}
+		// Hello payloads additionally exercise the handshake decoder.
+		if fr.Tag == tagHello {
+			_, _ = decodeHello(fr.Payload)
+		}
+	})
+}

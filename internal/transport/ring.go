@@ -1,0 +1,446 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"seaice/internal/chaos"
+	"seaice/internal/ring"
+)
+
+// Config assembles one rank of a network ring.
+type Config struct {
+	// Rank is this process's position in [0, len(Peers)).
+	Rank int
+	// Peers lists every rank's listen address, indexed by rank; rank r
+	// accepts from rank r-1 and dials rank r+1 (mod world), the single
+	// link direction the ring collectives need.
+	Peers []string
+	// ClusterID guards against cross-talk between unrelated runs sharing
+	// ports; both sides of every link must present the same ID.
+	ClusterID string
+	// Timeout bounds every blocking operation (dial budget, accept,
+	// frame read/write); <= 0 selects DefaultTimeout. A silent peer is
+	// declared failed after one Timeout.
+	Timeout time.Duration
+	// Listener, when non-nil, is a pre-bound listener to accept on
+	// (tests bind :0 and collect the real addresses); otherwise the ring
+	// listens on Peers[Rank].
+	Listener net.Listener
+	// Chaos delivers injected network faults (partition, reconnect at
+	// step boundaries; dropped frames and slow links at data-frame
+	// sends); nil disables injection.
+	Chaos *chaos.Injector
+	// Logf, when non-nil, receives connection lifecycle messages.
+	Logf func(format string, args ...any)
+}
+
+// Ring is one rank's endpoint of the network ring: a listener, a link to
+// the next rank, a link from the previous rank, and the per-step frame
+// bookkeeping. The generic collectives (AllReduceMean, Broadcast) and
+// the Collective adapter drive it; a Ring is not safe for concurrent
+// collective calls (the lockstep contract already forbids them).
+type Ring struct {
+	cfg     Config
+	rank    int
+	world   int
+	timeout time.Duration
+	ln      net.Listener
+
+	mu   sync.Mutex
+	next *Conn // link to rank+1 (we dial)
+	prev *Conn // link from rank-1 (we accept)
+
+	step    int
+	sendSeq uint32
+	recvSeq uint32
+}
+
+// NewRing validates the configuration and binds the listener; call
+// Establish to connect the links. World size 1 needs no networking and
+// every operation degenerates to the identity.
+func NewRing(cfg Config) (*Ring, error) {
+	world := len(cfg.Peers)
+	if world == 0 {
+		return nil, fmt.Errorf("transport: no peers")
+	}
+	if cfg.Rank < 0 || cfg.Rank >= world {
+		return nil, fmt.Errorf("transport: rank %d of world %d", cfg.Rank, world)
+	}
+	r := &Ring{cfg: cfg, rank: cfg.Rank, world: world, timeout: cfg.Timeout, ln: cfg.Listener}
+	if r.timeout <= 0 {
+		r.timeout = DefaultTimeout
+	}
+	if world > 1 && r.ln == nil {
+		ln, err := net.Listen("tcp", cfg.Peers[cfg.Rank])
+		if err != nil {
+			return nil, fmt.Errorf("transport: listen %s: %w", cfg.Peers[cfg.Rank], err)
+		}
+		r.ln = ln
+	}
+	return r, nil
+}
+
+// Rank returns this endpoint's rank.
+func (r *Ring) Rank() int { return r.rank }
+
+// World returns the ring size.
+func (r *Ring) World() int { return r.world }
+
+func (r *Ring) nextRank() int { return (r.rank + 1) % r.world }
+func (r *Ring) prevRank() int { return (r.rank - 1 + r.world) % r.world }
+
+func (r *Ring) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
+}
+
+// dropConns severs both links; in-flight and subsequent operations fail
+// fast with *ring.RankError until Establish rebuilds them.
+func (r *Ring) dropConns(why string) {
+	r.mu.Lock()
+	next, prev := r.next, r.prev
+	r.next, r.prev = nil, nil
+	r.mu.Unlock()
+	if next != nil {
+		next.Close()
+	}
+	if prev != nil {
+		prev.Close()
+	}
+	if next != nil || prev != nil {
+		r.logf("rank %d: links dropped (%s)", r.rank, why)
+	}
+}
+
+// conns snapshots the current links.
+func (r *Ring) conns() (next, prev *Conn) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next, r.prev
+}
+
+var errNoLink = errors.New("transport: link down")
+
+// nextErr wraps a send-side failure as the loss of the next rank.
+func (r *Ring) nextErr(err error) error {
+	return &ring.RankError{Rank: r.nextRank(), Err: err}
+}
+
+// prevErr wraps a receive-side failure as the loss of the previous rank.
+func (r *Ring) prevErr(err error) error {
+	return &ring.RankError{Rank: r.prevRank(), Err: err}
+}
+
+// Establish connects (or reconnects) the ring links — the rendezvous.
+// Concurrently, the rank dials its next neighbor (with retry/backoff:
+// peers start and recover in arbitrary order) and accepts from its
+// previous neighbor, validating both hellos (magic, cluster ID, world
+// size, expected peer rank); stale connections from a torn-down
+// generation are discarded. The ranks then agree on the step to resume
+// from by circulating a running minimum p−1 hops: the return value is
+// the smallest step any rank advertised, and a rank that had committed
+// past it must roll back before retrying.
+func (r *Ring) Establish(step int) (int, error) {
+	if r.world == 1 {
+		return step, nil
+	}
+	r.dropConns("establish")
+
+	type dialRes struct {
+		c   *Conn
+		err error
+	}
+	dialCh := make(chan dialRes, 1)
+	go func() {
+		nc, err := DialRetry(r.cfg.Peers[r.nextRank()], r.timeout)
+		if err != nil {
+			dialCh <- dialRes{err: err}
+			return
+		}
+		c := newConn(nc, r.timeout)
+		if err := c.WriteFrame(tagHello, encodeHello(r.rank, r.world, r.cfg.ClusterID)); err != nil {
+			c.Close()
+			dialCh <- dialRes{err: err}
+			return
+		}
+		h, err := r.readHello(c)
+		if err != nil {
+			c.Close()
+			dialCh <- dialRes{err: err}
+			return
+		}
+		if h.Rank != r.nextRank() {
+			c.Close()
+			dialCh <- dialRes{err: fmt.Errorf("transport: dialed %s expecting rank %d, got %d",
+				r.cfg.Peers[r.nextRank()], r.nextRank(), h.Rank)}
+			return
+		}
+		dialCh <- dialRes{c: c}
+	}()
+
+	prev, acceptErr := r.acceptPrev()
+	dial := <-dialCh
+	if acceptErr != nil || dial.err != nil {
+		if prev != nil {
+			prev.Close()
+		}
+		if dial.c != nil {
+			dial.c.Close()
+		}
+		err := acceptErr
+		if err == nil {
+			err = dial.err
+		}
+		return 0, err
+	}
+
+	r.mu.Lock()
+	r.next, r.prev = dial.c, prev
+	r.mu.Unlock()
+	r.sendSeq, r.recvSeq = 0, 0
+
+	// Step agreement: circulate the running minimum around the ring. A
+	// committed rank can be at most one step ahead of an aborted one
+	// (the commit barrier guarantees it), and after p−1 hops every rank
+	// holds the global minimum — the step all ranks retry from.
+	agreed := step
+	for s := 0; s < r.world-1; s++ {
+		if err := r.sendCtl(tagSync, agreed); err != nil {
+			return 0, err
+		}
+		theirs, err := r.recvCtl(tagSync)
+		if err != nil {
+			return 0, err
+		}
+		if theirs < agreed {
+			agreed = theirs
+		}
+	}
+	r.logf("rank %d: ring established, agreed step %d", r.rank, agreed)
+	return agreed, nil
+}
+
+// readHello reads and validates the peer's handshake frame.
+func (r *Ring) readHello(c *Conn) (hello, error) {
+	f, err := c.ReadFrame()
+	if err != nil {
+		return hello{}, err
+	}
+	if f.Tag != tagHello {
+		return hello{}, fmt.Errorf("transport: expected hello, got tag 0x%02x", f.Tag)
+	}
+	h, err := decodeHello(f.Payload)
+	if err != nil {
+		return hello{}, err
+	}
+	if h.Cluster != r.cfg.ClusterID {
+		return hello{}, fmt.Errorf("transport: cluster %q, peer claims %q", r.cfg.ClusterID, h.Cluster)
+	}
+	if h.World != r.world {
+		return hello{}, fmt.Errorf("transport: world %d, peer claims %d", r.world, h.World)
+	}
+	return h, nil
+}
+
+// acceptPrev accepts connections until one presents a valid hello from
+// the previous rank; dead or foreign connections (stale generations,
+// port scanners) are discarded. Bounded by the ring timeout.
+func (r *Ring) acceptPrev() (*Conn, error) {
+	deadline := time.Now().Add(r.timeout)
+	type deadliner interface{ SetDeadline(time.Time) error }
+	for {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("transport: rank %d: no connection from rank %d within %v",
+				r.rank, r.prevRank(), r.timeout)
+		}
+		if d, ok := r.ln.(deadliner); ok {
+			d.SetDeadline(deadline)
+		}
+		nc, err := r.ln.Accept()
+		if err != nil {
+			return nil, fmt.Errorf("transport: rank %d: accept: %w", r.rank, err)
+		}
+		c := newConn(nc, r.timeout)
+		h, err := r.readHello(c)
+		if err != nil || h.Rank != r.prevRank() {
+			c.Close()
+			continue
+		}
+		if err := c.WriteFrame(tagHello, encodeHello(r.rank, r.world, r.cfg.ClusterID)); err != nil {
+			c.Close()
+			continue
+		}
+		return c, nil
+	}
+}
+
+// StepStart marks a global-step boundary: frame sequence numbers reset,
+// and boundary-scheduled network faults (partition, reconnect) fire by
+// severing the links, so the step's first collective fails fast and the
+// caller runs the standard abort→Reestablish→retry recovery.
+func (r *Ring) StepStart(step int) {
+	r.step = step
+	r.sendSeq, r.recvSeq = 0, 0
+	if in := r.cfg.Chaos; in != nil && r.world > 1 {
+		if in.Partition(r.rank, step) {
+			r.dropConns(fmt.Sprintf("injected partition @%d", step))
+		}
+		if in.Reconnect(r.rank, step) {
+			r.dropConns(fmt.Sprintf("injected reconnect @%d", step))
+		}
+	}
+}
+
+// sendData ships one collective payload to the next rank, stamped with
+// the current step and send sequence. Injected data-plane faults fire
+// here: a slow link sleeps (absorbed — wall clock only), a dropped frame
+// advances the sequence without touching the wire, so the receiver times
+// out exactly as if the network ate the packet.
+func (r *Ring) sendData(payload []byte) error {
+	if in := r.cfg.Chaos; in != nil {
+		if d := in.SlowLink(r.rank, r.step); d > 0 {
+			r.logf("rank %d: injected slow link @%d (%v)", r.rank, r.step, d)
+			time.Sleep(d)
+		}
+		if in.DropFrame(r.rank, r.step) {
+			r.logf("rank %d: injected frame drop @%d (seq %d)", r.rank, r.step, r.sendSeq)
+			r.sendSeq++
+			return nil
+		}
+	}
+	next, _ := r.conns()
+	if next == nil {
+		return r.nextErr(errNoLink)
+	}
+	buf := make([]byte, 8+len(payload))
+	binary.BigEndian.PutUint32(buf[:4], uint32(r.step))
+	binary.BigEndian.PutUint32(buf[4:8], r.sendSeq)
+	copy(buf[8:], payload)
+	if err := next.WriteFrame(tagData, buf); err != nil {
+		return r.nextErr(err)
+	}
+	r.sendSeq++
+	return nil
+}
+
+// recvData receives the next collective payload from the previous rank,
+// validating tag, step, and sequence; any mismatch or I/O failure is the
+// loss of that peer.
+func (r *Ring) recvData() ([]byte, error) {
+	_, prev := r.conns()
+	if prev == nil {
+		return nil, r.prevErr(errNoLink)
+	}
+	f, err := prev.ReadFrame()
+	if err != nil {
+		return nil, r.prevErr(err)
+	}
+	if f.Tag != tagData {
+		return nil, r.prevErr(fmt.Errorf("transport: expected data, got tag 0x%02x", f.Tag))
+	}
+	if len(f.Payload) < 8 {
+		return nil, r.prevErr(fmt.Errorf("transport: data frame of %d bytes", len(f.Payload)))
+	}
+	step := int(binary.BigEndian.Uint32(f.Payload[:4]))
+	seq := binary.BigEndian.Uint32(f.Payload[4:8])
+	if step != r.step || seq != r.recvSeq {
+		return nil, r.prevErr(fmt.Errorf("transport: data frame step %d seq %d, expected step %d seq %d",
+			step, seq, r.step, r.recvSeq))
+	}
+	r.recvSeq++
+	return f.Payload[8:], nil
+}
+
+// sendCtl ships one control frame (sync/commit) to the next rank.
+func (r *Ring) sendCtl(tag byte, step int) error {
+	next, _ := r.conns()
+	if next == nil {
+		return r.nextErr(errNoLink)
+	}
+	if err := next.WriteFrame(tag, encodeStep(step)); err != nil {
+		return r.nextErr(err)
+	}
+	return nil
+}
+
+// recvCtl receives one control frame of the expected tag.
+func (r *Ring) recvCtl(tag byte) (int, error) {
+	_, prev := r.conns()
+	if prev == nil {
+		return 0, r.prevErr(errNoLink)
+	}
+	f, err := prev.ReadFrame()
+	if err != nil {
+		return 0, r.prevErr(err)
+	}
+	if f.Tag != tag {
+		return 0, r.prevErr(fmt.Errorf("transport: expected tag 0x%02x, got 0x%02x", tag, f.Tag))
+	}
+	step, err := decodeStep(f.Payload)
+	if err != nil {
+		return 0, r.prevErr(err)
+	}
+	return step, nil
+}
+
+// hop runs one ring exchange — send to next concurrently with receive
+// from prev (socket buffers are smaller than large chunks, so a
+// sequential send-then-receive would deadlock exactly like unbuffered
+// channels would in the in-process ring). Both halves must succeed.
+func (r *Ring) hop(payload []byte) ([]byte, error) {
+	sendErr := make(chan error, 1)
+	go func() { sendErr <- r.sendData(payload) }()
+	in, rerr := r.recvData()
+	werr := <-sendErr
+	if werr != nil {
+		return nil, werr
+	}
+	if rerr != nil {
+		return nil, rerr
+	}
+	return in, nil
+}
+
+// Commit is the end-of-step agreement barrier: p−1 rounds, each sending
+// one commit token to the next rank and receiving one from the previous,
+// validating the step. Completing the barrier proves every rank entered
+// it (my round-s token can only arrive after my predecessor finished
+// round s−1, inductively covering the whole ring), i.e. every rank
+// finished this step's collectives — so a committed update is never
+// rolled back by a peer that silently missed the step.
+func (r *Ring) Commit(step int) error {
+	if r.world == 1 {
+		return nil
+	}
+	for s := 0; s < r.world-1; s++ {
+		sendErr := make(chan error, 1)
+		go func() { sendErr <- r.sendCtl(tagCommit, step) }()
+		theirs, rerr := r.recvCtl(tagCommit)
+		werr := <-sendErr
+		if werr != nil {
+			return werr
+		}
+		if rerr != nil {
+			return rerr
+		}
+		if theirs != step {
+			return r.prevErr(fmt.Errorf("transport: commit for step %d, peer at %d", step, theirs))
+		}
+	}
+	return nil
+}
+
+// Close severs the links and the listener.
+func (r *Ring) Close() error {
+	r.dropConns("close")
+	if r.ln != nil {
+		return r.ln.Close()
+	}
+	return nil
+}

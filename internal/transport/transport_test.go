@@ -1,0 +1,326 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"seaice/internal/chaos"
+	"seaice/internal/ring"
+)
+
+// newTestRings binds p loopback listeners and returns p connected rings,
+// each with its own injector built from spec (as separate processes
+// would have) — the seeded schedule resolves identically in every one.
+func newTestRings(t *testing.T, p int, spec string) []*Ring {
+	t.Helper()
+	peers := make([]string, p)
+	lns := make([]net.Listener, p)
+	for r := range peers {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[r] = ln
+		peers[r] = ln.Addr().String()
+	}
+	rings := make([]*Ring, p)
+	for r := range rings {
+		var inj *chaos.Injector
+		if spec != "" {
+			sched, err := chaos.Parse(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inj = chaos.New(sched, p)
+		}
+		var err error
+		rings[r], err = NewRing(Config{
+			Rank:      r,
+			Peers:     peers,
+			ClusterID: t.Name(),
+			Timeout:   time.Second,
+			Listener:  lns[r],
+			Chaos:     inj,
+			Logf:      t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, r := range rings {
+			r.Close()
+		}
+	})
+	establishAll(t, rings, 0)
+	return rings
+}
+
+// establishAll connects every ring concurrently and checks the agreed step.
+func establishAll(t *testing.T, rings []*Ring, wantStep int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for _, r := range rings {
+		wg.Add(1)
+		go func(r *Ring) {
+			defer wg.Done()
+			got, err := r.Establish(wantStep)
+			if err != nil {
+				t.Errorf("rank %d establish: %v", r.Rank(), err)
+				return
+			}
+			if got != wantStep {
+				t.Errorf("rank %d agreed step %d, want %d", r.Rank(), got, wantStep)
+			}
+		}(r)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+}
+
+// perRank runs fn on every rank concurrently and fails on any error.
+func perRank(t *testing.T, rings []*Ring, fn func(r *Ring) error) {
+	t.Helper()
+	errs := make([]error, len(rings))
+	var wg sync.WaitGroup
+	for i, r := range rings {
+		wg.Add(1)
+		go func(i int, r *Ring) {
+			defer wg.Done()
+			errs[i] = fn(r)
+		}(i, r)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", i, err)
+		}
+	}
+}
+
+func testVec[S ring.Scalar](rank, step, n int) []S {
+	vec := make([]S, n)
+	for i := range vec {
+		vec[i] = S(math.Sin(float64(rank*7919+step*131+i)) * float64(rank+1))
+	}
+	return vec
+}
+
+// golden computes the in-process chunked all-reduce over the same inputs.
+func golden[S ring.Scalar](p, step, n, chunk int) [][]S {
+	vecs := make([][]S, p)
+	for r := range vecs {
+		vecs[r] = testVec[S](r, step, n)
+	}
+	if err := ring.AllReduceMeanChunked(vecs, chunk); err != nil {
+		panic(err)
+	}
+	return vecs
+}
+
+// TestAllReduceParity: the network all-reduce must match the in-process
+// chunked ring bit for bit, across precisions and vector shapes
+// (multi-segment, sub-chunk, and shorter-than-world vectors).
+func TestAllReduceParity(t *testing.T) {
+	testAllReduceParity[float64](t)
+	testAllReduceParity[float32](t)
+}
+
+func testAllReduceParity[S ring.Scalar](t *testing.T) {
+	t.Helper()
+	const p, chunk = 3, 1 << 10
+	rings := newTestRings(t, p, "")
+	for _, n := range []int{3*chunk + 217, 100, 2} {
+		want := golden[S](p, 0, n, chunk)
+		perRank(t, rings, func(r *Ring) error {
+			vec := testVec[S](r.Rank(), 0, n)
+			if err := AllReduceMean(r, vec, chunk); err != nil {
+				return err
+			}
+			for i := range vec {
+				if vec[i] != want[r.Rank()][i] {
+					return fmt.Errorf("n=%d idx %d: %v != %v", n, i, vec[i], want[r.Rank()][i])
+				}
+			}
+			return nil
+		})
+	}
+}
+
+// TestBroadcastParity: rank 0's bits must land on every rank unchanged.
+func TestBroadcastParity(t *testing.T) {
+	const p, n = 3, 4097
+	rings := newTestRings(t, p, "")
+	src := testVec[float64](0, 1, n)
+	perRank(t, rings, func(r *Ring) error {
+		vec := testVec[float64](r.Rank(), 1, n)
+		if err := Broadcast(r, vec); err != nil {
+			return err
+		}
+		for i := range vec {
+			if vec[i] != src[i] {
+				return fmt.Errorf("idx %d: %v != %v", i, vec[i], src[i])
+			}
+		}
+		return nil
+	})
+}
+
+// TestCommitBarrier: the barrier completes when all ranks enter with the
+// same step.
+func TestCommitBarrier(t *testing.T) {
+	rings := newTestRings(t, 3, "")
+	perRank(t, rings, func(r *Ring) error { return r.Commit(12) })
+}
+
+// TestEstablishStepAgreement: ranks re-establishing with divergent steps
+// must all agree on the minimum.
+func TestEstablishStepAgreement(t *testing.T) {
+	rings := newTestRings(t, 3, "")
+	steps := []int{5, 4, 5}
+	agreed := make([]int, 3)
+	perRank(t, rings, func(r *Ring) error {
+		got, err := r.Establish(steps[r.Rank()])
+		agreed[r.Rank()] = got
+		return err
+	})
+	for rank, got := range agreed {
+		if got != 4 {
+			t.Errorf("rank %d agreed %d, want 4", rank, got)
+		}
+	}
+}
+
+// runRecoverySteps drives one rank through K steps of
+// all-reduce-then-commit with the full abort→Reestablish→retry recovery
+// loop, returning the final step-(K−1) result vector.
+func runRecoverySteps[S ring.Scalar](r *Ring, K, n, chunk int) ([]S, error) {
+	var vec []S
+	step := 0
+	for step < K {
+		r.StepStart(step)
+		vec = testVec[S](r.Rank(), step, n)
+		err := AllReduceMean(r, vec, chunk)
+		if err == nil {
+			err = r.Commit(step)
+		}
+		if err == nil {
+			step++
+			continue
+		}
+		var re *ring.RankError
+		if !errors.As(err, &re) {
+			return nil, fmt.Errorf("step %d: non-RankError: %w", step, err)
+		}
+		agreed, eerr := reestablishRetry(r, step)
+		if eerr != nil {
+			return nil, eerr
+		}
+		// A rank that committed past the agreed step redoes the steps
+		// bit-identically (each attempt regenerates its input), so
+		// rolling the cursor back is the whole recovery.
+		step = agreed
+	}
+	return vec, nil
+}
+
+// reestablishRetry loops Establish until the whole ring converges.
+func reestablishRetry(r *Ring, step int) (int, error) {
+	var lastErr error
+	for attempt := 0; attempt < 5; attempt++ {
+		agreed, err := r.Establish(step)
+		if err == nil {
+			return agreed, nil
+		}
+		lastErr = err
+	}
+	return 0, fmt.Errorf("rank %d: establish failed after retries: %w", r.Rank(), lastErr)
+}
+
+// testFaultRecovery runs K steps under an injected network fault and
+// asserts the surviving results are bit-identical to the clean run.
+func testFaultRecovery(t *testing.T, spec string) {
+	const p, K, n, chunk = 3, 6, 3000, 1 << 10
+	rings := newTestRings(t, p, spec)
+	want := golden[float64](p, K-1, n, chunk)
+	results := make([][]float64, p)
+	perRank(t, rings, func(r *Ring) error {
+		vec, err := runRecoverySteps[float64](r, K, n, chunk)
+		results[r.Rank()] = vec
+		return err
+	})
+	for rank, vec := range results {
+		for i := range vec {
+			if vec[i] != want[rank][i] {
+				t.Fatalf("%s: rank %d idx %d: %v != %v", spec, rank, i, vec[i], want[rank][i])
+			}
+		}
+	}
+}
+
+// TestPartitionRecovery: a severed link at a step boundary aborts the
+// step everywhere; after rendezvous the retry is bit-identical.
+func TestPartitionRecovery(t *testing.T) { testFaultRecovery(t, "21:part@2:r1") }
+
+// TestReconnectRecovery: a clean link drop takes the same path.
+func TestReconnectRecovery(t *testing.T) { testFaultRecovery(t, "23:reconn@4:r2") }
+
+// TestDropFrameRecovery: a frame lost on the wire times out the
+// receiver, cascades into a ring-wide abort, and retries bit-identically.
+func TestDropFrameRecovery(t *testing.T) { testFaultRecovery(t, "25:drop@3:r0") }
+
+// TestSlowLinkAbsorbed: a slow link delays but never aborts — results
+// identical, no recovery needed.
+func TestSlowLinkAbsorbed(t *testing.T) { testFaultRecovery(t, "27:slow@1:r1:30ms") }
+
+// TestCompoundFaults: multiple network faults across distinct steps and
+// ranks in one run.
+func TestCompoundFaults(t *testing.T) {
+	testFaultRecovery(t, "29:part@1:r0,drop@3:r2,slow@4:r1:20ms,reconn@5:r1")
+}
+
+// TestClusterIDMismatch: a ring with a different cluster ID must not
+// assemble (the hello rejects the peer).
+func TestClusterIDMismatch(t *testing.T) {
+	peers := make([]string, 2)
+	lns := make([]net.Listener, 2)
+	for r := range peers {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[r] = ln
+		peers[r] = ln.Addr().String()
+	}
+	mk := func(rank int, cid string) *Ring {
+		r, err := NewRing(Config{Rank: rank, Peers: peers, ClusterID: cid,
+			Timeout: 300 * time.Millisecond, Listener: lns[rank]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := mk(0, "alpha"), mk(1, "beta")
+	defer a.Close()
+	defer b.Close()
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i, r := range []*Ring{a, b} {
+		wg.Add(1)
+		go func(i int, r *Ring) {
+			defer wg.Done()
+			_, errs[i] = r.Establish(0)
+		}(i, r)
+	}
+	wg.Wait()
+	if errs[0] == nil && errs[1] == nil {
+		t.Fatal("rings with different cluster IDs assembled")
+	}
+}

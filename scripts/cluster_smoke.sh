@@ -1,0 +1,119 @@
+#!/usr/bin/env sh
+# cluster_smoke.sh — end-to-end cluster smoke test, run by CI.
+#
+# Proves the two tentpole invariants with real processes on loopback:
+#   1. A 3-process TCP training run (seaice-train -peers) with an
+#      injected network partition finishes with weights byte-identical
+#      to the never-failed single-process 3-worker run — for float64
+#      and for float32 mixed precision ("weights sha256" lines match).
+#   2. A 2-node sharded-serve cluster (seaice-serve -nodes coordinator)
+#      answers a scene round trip with exactly the bytes a single
+#      server produces, and keeps answering after one worker is killed.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+TMP=$(mktemp -d)
+PIDS=""
+cleanup() {
+    [ -n "$PIDS" ] && kill $PIDS 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$TMP/seaice-train" ./cmd/seaice-train
+go build -o "$TMP/seaice-serve" ./cmd/seaice-serve
+go build -o "$TMP/seaice-label" ./cmd/seaice-label
+
+TRAIN_FLAGS="-scenes 4 -size 64 -tile 16 -epochs 2 -batch 4 -max-tiles 32 -seed 7"
+PEERS="127.0.0.1:17731,127.0.0.1:17732,127.0.0.1:17733"
+FAULT="21:part@2:r1"
+
+sha_of() { grep -o 'weights sha256: [0-9a-f]*' "$1" | head -n1 | cut -d' ' -f3; }
+
+for prec in f64 f32; do
+    echo "== training parity ($prec): golden single-process 3-worker run"
+    "$TMP/seaice-train" $TRAIN_FLAGS -precision "$prec" -workers 3 \
+        -ckpt "$TMP/golden-$prec.ckpt" >"$TMP/golden-$prec.log" 2>&1
+    GOLD=$(sha_of "$TMP/golden-$prec.log")
+    [ -n "$GOLD" ] || { echo "FAIL: golden run printed no weights sha256"; cat "$TMP/golden-$prec.log"; exit 1; }
+
+    echo "== training parity ($prec): 3 loopback ranks with a network partition"
+    RANK_PIDS=""
+    for r in 0 1 2; do
+        "$TMP/seaice-train" $TRAIN_FLAGS -precision "$prec" -peers "$PEERS" -rank "$r" \
+            -chaos "$FAULT" -ckpt "$TMP/net-$prec.ckpt" >"$TMP/rank$r-$prec.log" 2>&1 &
+        RANK_PIDS="$RANK_PIDS $!"
+    done
+    for pid in $RANK_PIDS; do
+        wait "$pid" || { echo "FAIL: a cluster rank exited non-zero"; tail -n 20 "$TMP"/rank*-"$prec".log; exit 1; }
+    done
+    for r in 0 1 2; do
+        GOT=$(sha_of "$TMP/rank$r-$prec.log")
+        if [ "$GOT" != "$GOLD" ]; then
+            echo "FAIL ($prec): rank $r weights $GOT != golden $GOLD"
+            tail -n 20 "$TMP/rank$r-$prec.log"
+            exit 1
+        fi
+    done
+    grep -q 'part@2' "$TMP/rank1-$prec.log" || {
+        echo "FAIL ($prec): partition fault was never delivered"; exit 1; }
+    echo "ok: all 3 ranks recovered to golden weights $GOLD"
+done
+
+echo "== sharded serve: 2 worker nodes behind a coordinator"
+"$TMP/seaice-label" -scenes 1 -size 64 -out "$TMP/scenes" >/dev/null 2>&1
+SCENE="$TMP/scenes/scene00.png"
+[ -f "$SCENE" ] || { echo "FAIL: no scene PNG generated"; exit 1; }
+
+CKPT="$TMP/golden-f32.ckpt"
+"$TMP/seaice-serve" -ckpt "$CKPT" -tile 32 -addr 127.0.0.1:17741 >"$TMP/worker1.log" 2>&1 &
+W1=$!
+"$TMP/seaice-serve" -ckpt "$CKPT" -tile 32 -addr 127.0.0.1:17742 >"$TMP/worker2.log" 2>&1 &
+W2=$!
+"$TMP/seaice-serve" -nodes 127.0.0.1:17741,127.0.0.1:17742 -tile 32 \
+    -addr 127.0.0.1:17740 >"$TMP/coord.log" 2>&1 &
+CO=$!
+PIDS="$W1 $W2 $CO"
+
+wait_healthy() {
+    i=0
+    until curl -sf "http://$1/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        [ "$i" -gt 50 ] && { echo "FAIL: $1 never became healthy"; exit 1; }
+        sleep 0.2
+    done
+}
+wait_healthy 127.0.0.1:17741
+wait_healthy 127.0.0.1:17742
+wait_healthy 127.0.0.1:17740
+
+curl -sf -X POST --data-binary @"$SCENE" -H 'Content-Type: image/png' \
+    "http://127.0.0.1:17741/classify" -o "$TMP/single.png"
+curl -sf -X POST --data-binary @"$SCENE" -H 'Content-Type: image/png' \
+    "http://127.0.0.1:17740/classify" -o "$TMP/sharded.png"
+cmp -s "$TMP/single.png" "$TMP/sharded.png" || {
+    echo "FAIL: sharded label map differs from single-server output"; exit 1; }
+echo "ok: sharded round trip matches single-server bytes"
+
+echo "== sharded serve: kill one worker, coordinator must reroute"
+kill "$W1" 2>/dev/null
+wait "$W1" 2>/dev/null || true
+PIDS="$W2 $CO"
+curl -sf -X POST --data-binary @"$SCENE" -H 'Content-Type: image/png' \
+    "http://127.0.0.1:17740/classify" -o "$TMP/rerouted.png"
+cmp -s "$TMP/single.png" "$TMP/rerouted.png" || {
+    echo "FAIL: post-kill label map differs (rerouting broken)"; exit 1; }
+echo "ok: survived worker kill with identical bytes"
+
+echo "== graceful shutdown: SIGTERM drains and flushes stats"
+kill -TERM "$CO" "$W2" 2>/dev/null
+wait "$CO" 2>/dev/null || true
+wait "$W2" 2>/dev/null || true
+PIDS=""
+grep -q 'shutdown complete' "$TMP/coord.log" || {
+    echo "FAIL: coordinator did not shut down gracefully"; cat "$TMP/coord.log"; exit 1; }
+grep -q 'final stats' "$TMP/worker2.log" || {
+    echo "FAIL: worker did not flush final stats"; cat "$TMP/worker2.log"; exit 1; }
+
+echo "cluster-smoke: ok"
