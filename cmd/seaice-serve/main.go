@@ -30,12 +30,30 @@
 // Coordinator mode fronts a cluster of worker servers: each scene's
 // tiles are sharded across the nodes by consistent-hashing their
 // content, so every distinct tile is classified — and cached — by
-// exactly one node; dead nodes are detected and routed around:
+// exactly one node. Sick nodes sit behind per-node circuit breakers
+// (EWMA failure detector, half-open trial re-admission), slow strips are
+// hedged to the next ring owner after a p99-derived delay, reroutes and
+// hedges share a token-bucket retry budget, and when tiles cannot be
+// classified anywhere the coordinator serves a degraded partial response
+// (stale cache + X-Seaice-Partial marker) instead of a blanket 503:
 //
 //	seaice-serve -nodes 127.0.0.1:8081,127.0.0.1:8082 -addr :8080
 //
-// Both modes shut down gracefully on SIGINT/SIGTERM: stop accepting,
-// drain in-flight work, then log the final stats snapshot.
+// Clients may bound each request with an X-Seaice-Deadline-Ms header:
+// requests the service-time model predicts cannot finish in budget are
+// rejected up front (429 with a model-derived Retry-After), queued
+// requests whose budget expires are dropped before compute (504), and
+// the coordinator forwards only the remaining budget to workers. The
+// load generator sets the header via -deadline.
+//
+// -slo runs the deterministic chaos-under-load SLO benchmark (no server
+// needed): it sweeps offered load over the simulated cluster with and
+// without burst/slownode/worker-kill faults and writes the
+// latency-versus-load curves to -slo-out (the committed BENCH_serve.json
+// is this artifact; the SLO regression test re-measures it).
+//
+// Both serving modes shut down gracefully on SIGINT/SIGTERM: stop
+// accepting, drain in-flight work, then log the final stats snapshot.
 package main
 
 import (
@@ -49,6 +67,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"os/signal"
 	"sort"
 	"strings"
@@ -79,16 +98,31 @@ func main() {
 		cacheSize = flag.Int("cache", 4096, "tile result cache entries (0 disables)")
 
 		precision = flag.String("precision", "f32", "inference precision: f32 | f64")
-		chaosSpec = flag.String("chaos", "", `inject seeded worker faults, e.g. "7:serve@5,serve@40" (see internal/chaos)`)
+		chaosSpec = flag.String("chaos", "", `inject seeded worker faults, e.g. "7:serve@5,slownode@40:30ms" (see internal/chaos)`)
 		nodes     = flag.String("nodes", "", "comma-separated worker host:port list — run as cluster coordinator instead of serving models")
 
-		loadgen = flag.Bool("loadgen", false, "run the load generator instead of serving")
-		target  = flag.String("target", "", "loadgen: base URL of a running server (empty = in-process)")
-		n       = flag.Int("n", 256, "loadgen: total requests")
-		c       = flag.Int("c", 16, "loadgen: concurrent clients")
-		seed    = flag.Uint64("seed", 1, "loadgen: synthetic tile seed")
+		hedgeAfter   = flag.Duration("hedge-after", 0, "coordinator: fixed strip hedge delay (0 = auto from p99, negative disables)")
+		probeTimeout = flag.Duration("probe-timeout", 0, "coordinator: health probe timeout (0 = health period capped at 2s)")
+		retryBurst   = flag.Float64("retry-burst", 0, "coordinator: retry/hedge token bucket size (0 = default 32)")
+
+		loadgen  = flag.Bool("loadgen", false, "run the load generator instead of serving")
+		target   = flag.String("target", "", "loadgen: base URL of a running server (empty = in-process)")
+		n        = flag.Int("n", 256, "loadgen: total requests")
+		c        = flag.Int("c", 16, "loadgen: concurrent clients")
+		seed     = flag.Uint64("seed", 1, "loadgen: synthetic tile seed")
+		deadline = flag.Duration("deadline", 0, "loadgen: per-request deadline sent as X-Seaice-Deadline-Ms (0 = none)")
+
+		slo    = flag.Bool("slo", false, "run the chaos-under-load SLO benchmark and exit")
+		sloOut = flag.String("slo-out", "BENCH_serve.json", "SLO benchmark output path")
 	)
 	flag.Parse()
+
+	if *slo {
+		if err := runSLO(*sloOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	cfg := serve.DefaultConfig()
 	cfg.TileSize = *tile
@@ -113,23 +147,48 @@ func main() {
 		if *loadgen {
 			log.Fatal("-nodes and -loadgen are mutually exclusive")
 		}
-		runCoordinator(cfg, *addr, *nodes)
+		runCoordinator(cfg, *addr, *nodes, *hedgeAfter, *probeTimeout, *retryBurst)
 		return
 	}
 
 	switch *precision {
 	case "f32":
-		runMain[float32](cfg, *addr, *ckpt, *loadgen, *target, *n, *c, *seed)
+		runMain[float32](cfg, *addr, *ckpt, *loadgen, *target, *n, *c, *seed, *deadline)
 	case "f64":
-		runMain[float64](cfg, *addr, *ckpt, *loadgen, *target, *n, *c, *seed)
+		runMain[float64](cfg, *addr, *ckpt, *loadgen, *target, *n, *c, *seed, *deadline)
 	default:
 		log.Fatalf("unknown precision %q (want f32 or f64)", *precision)
 	}
 }
 
+// runSLO measures the deterministic chaos-under-load benchmark and
+// writes the artifact (see serve.SLOBench) to path.
+func runSLO(path string) error {
+	log.Printf("measuring SLO curves (baseline + faulted sweeps over the simulated cluster)")
+	bench, err := serve.RunSLOBench()
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(bench, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	for i, rate := range bench.Rates {
+		log.Printf("%6.0f rps: baseline p99 %7.1fms | faulted p99 %7.1fms (%d rejected, %d expired)",
+			rate, bench.Baseline[i].P99MS, bench.Faulted[i].P99MS,
+			bench.Faulted[i].RejectedOverload+bench.Faulted[i].RejectedInfeasible,
+			bench.Faulted[i].ExpiredDropped)
+	}
+	log.Printf("wrote %s", path)
+	return nil
+}
+
 // runCoordinator fronts the listed worker nodes with the consistent-hash
 // sharding coordinator until a shutdown signal arrives.
-func runCoordinator(cfg serve.Config, addr, nodeSpec string) {
+func runCoordinator(cfg serve.Config, addr, nodeSpec string, hedgeAfter, probeTimeout time.Duration, retryBurst float64) {
 	var nodeList []string
 	for _, n := range strings.Split(nodeSpec, ",") {
 		if n = strings.TrimSpace(n); n != "" {
@@ -137,10 +196,13 @@ func runCoordinator(cfg serve.Config, addr, nodeSpec string) {
 		}
 	}
 	coord, err := serve.NewCoordinator(serve.CoordConfig{
-		TileSize: cfg.TileSize,
-		Nodes:    nodeList,
-		Build:    cfg.Build,
-		Logf:     log.Printf,
+		TileSize:     cfg.TileSize,
+		Nodes:        nodeList,
+		Build:        cfg.Build,
+		HedgeAfter:   hedgeAfter,
+		ProbeTimeout: probeTimeout,
+		RetryBurst:   retryBurst,
+		Logf:         log.Printf,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -149,8 +211,9 @@ func runCoordinator(cfg serve.Config, addr, nodeSpec string) {
 	serveUntilSignal(addr, coord.Handler(), func() {
 		coord.Close()
 		s := coord.Stats()
-		log.Printf("final stats: %d requests, %d tiles, %d rerouted, %d/%d nodes up",
-			s.Requests, s.Tiles, s.Rerouted, s.NodesUp, len(nodeList))
+		log.Printf("final stats: %d requests, %d tiles, %d rerouted, %d hedged (%d wins), %d stale, %d partial, %d/%d nodes up",
+			s.Requests, s.Tiles, s.Rerouted, s.Hedged, s.HedgeWins,
+			s.StaleTiles, s.PartialResponses, s.NodesUp, len(nodeList))
 	})
 }
 
@@ -180,9 +243,9 @@ func serveUntilSignal(addr string, handler http.Handler, drain func()) {
 }
 
 // runMain dispatches serving or load generation in the chosen precision.
-func runMain[S tensor.Scalar](cfg serve.Config, addr, ckpt string, loadgen bool, target string, n, c int, seed uint64) {
+func runMain[S tensor.Scalar](cfg serve.Config, addr, ckpt string, loadgen bool, target string, n, c int, seed uint64, deadline time.Duration) {
 	if loadgen {
-		if err := runLoadgen[S](cfg, ckpt, target, n, c, seed); err != nil {
+		if err := runLoadgen[S](cfg, ckpt, target, n, c, seed, deadline); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -231,7 +294,7 @@ func loadCheckpoints[S tensor.Scalar](reg *serve.Registry[S], spec string) error
 
 // runLoadgen drives the /classify endpoint with concurrent synthetic
 // tiles and reports achieved throughput and latency percentiles.
-func runLoadgen[S tensor.Scalar](cfg serve.Config, ckpt, target string, n, c int, seed uint64) error {
+func runLoadgen[S tensor.Scalar](cfg serve.Config, ckpt, target string, n, c int, seed uint64, deadline time.Duration) error {
 	if target == "" {
 		reg := serve.NewRegistry[S]()
 		if ckpt != "" {
@@ -279,12 +342,17 @@ func runLoadgen[S tensor.Scalar](cfg serve.Config, ckpt, target string, n, c int
 		bodies[i] = buf.Bytes()
 	}
 
-	log.Printf("firing %d requests from %d clients at %s/classify", n, c, target)
+	if deadline > 0 {
+		log.Printf("firing %d requests from %d clients at %s/classify (deadline %v)", n, c, target, deadline)
+	} else {
+		log.Printf("firing %d requests from %d clients at %s/classify", n, c, target)
+	}
 	var (
 		wg        sync.WaitGroup
 		mu        sync.Mutex
 		latencies []time.Duration
 		rejected  int
+		expired   int
 		failed    int
 	)
 	start := time.Now()
@@ -297,8 +365,19 @@ func runLoadgen[S tensor.Scalar](cfg serve.Config, ckpt, target string, n, c int
 			client := &http.Client{Timeout: 60 * time.Second}
 			for i := 0; i < perClient && cl*perClient+i < n; i++ {
 				body := bodies[rng.Intn(len(bodies))]
+				req, err := http.NewRequest(http.MethodPost, target+"/classify", bytes.NewReader(body))
+				if err != nil {
+					mu.Lock()
+					failed++
+					mu.Unlock()
+					continue
+				}
+				req.Header.Set("Content-Type", "image/png")
+				if deadline > 0 {
+					req.Header.Set(serve.DeadlineHeader, fmt.Sprintf("%d", deadline.Milliseconds()))
+				}
 				t0 := time.Now()
-				resp, err := client.Post(target+"/classify", "image/png", bytes.NewReader(body))
+				resp, err := client.Do(req)
 				lat := time.Since(t0)
 				mu.Lock()
 				switch {
@@ -306,6 +385,8 @@ func runLoadgen[S tensor.Scalar](cfg serve.Config, ckpt, target string, n, c int
 					failed++
 				case resp.StatusCode == http.StatusTooManyRequests:
 					rejected++
+				case resp.StatusCode == http.StatusGatewayTimeout:
+					expired++
 				case resp.StatusCode != http.StatusOK:
 					failed++
 				default:
@@ -333,7 +414,7 @@ func runLoadgen[S tensor.Scalar](cfg serve.Config, ckpt, target string, n, c int
 		}
 		return latencies[i]
 	}
-	fmt.Printf("requests:   %d ok, %d rejected (429), %d failed\n", len(latencies), rejected, failed)
+	fmt.Printf("requests:   %d ok, %d rejected (429), %d expired (504), %d failed\n", len(latencies), rejected, expired, failed)
 	fmt.Printf("elapsed:    %.2fs (%.1f req/s achieved)\n", elapsed.Seconds(), float64(len(latencies))/elapsed.Seconds())
 	fmt.Printf("latency:    p50 %v  p90 %v  p99 %v\n", pct(0.50), pct(0.90), pct(0.99))
 

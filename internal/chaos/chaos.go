@@ -29,6 +29,13 @@
 //	drop@N[:rR]       silently drop rank R's next outgoing frame in step N
 //	slow@N[:rR][:D]   delay rank R's next frame send in step N by D (default 10ms)
 //
+// Overload faults target the serve plane and its load driver
+// (serve.LoadSim); slownode also fires in a real seaice-serve process at
+// batch-pickup ordinal N:
+//
+//	burst@N[:D]          multiply offered load for D (default 1s) from virtual step N
+//	slownode@N[:rR][:D]  degrade node R from step N on: every batch +D (default 10ms)
+//
 // Omitted targets are drawn from the schedule seed, so "7:crash@3" names
 // one concrete fault, not a random one. Example:
 //
@@ -86,6 +93,16 @@ const (
 	// Reconnect closes one rank's outbound ring link at a step
 	// boundary, exercising the dial-retry/backoff path.
 	Reconnect
+	// LoadBurst multiplies the offered load of the serve load driver for
+	// a window starting at virtual step N (duration D, default 1s) — the
+	// correlated-traffic-spike fault the admission controller must
+	// absorb as 429s, not latency collapse.
+	LoadBurst
+	// SlowNode degrades one serve node's service time: from batch-pickup
+	// (or virtual-instant) N onward, every batch on the node is delayed
+	// by D (default 10ms). Unlike ServePanic it models a sick-but-alive
+	// node — the case health binaries miss and EWMA detectors catch.
+	SlowNode
 )
 
 // String names the kind with its spec keyword.
@@ -109,6 +126,10 @@ func (k Kind) String() string {
 		return "drop"
 	case Reconnect:
 		return "reconn"
+	case LoadBurst:
+		return "burst"
+	case SlowNode:
+		return "slownode"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -195,8 +216,12 @@ func parseFault(part string) (Fault, error) {
 		f.Kind = DropFrame
 	case "reconn":
 		f.Kind = Reconnect
+	case "burst":
+		f.Kind = LoadBurst
+	case "slownode":
+		f.Kind = SlowNode
 	default:
-		return Fault{}, fmt.Errorf("chaos: unknown fault kind %q (want crash|kill|stage|serve|stall|part|slow|drop|reconn)", kindStr)
+		return Fault{}, fmt.Errorf("chaos: unknown fault kind %q (want crash|kill|stage|serve|stall|part|slow|drop|reconn|burst|slownode)", kindStr)
 	}
 	fields := strings.Split(rest, ":")
 	step, err := strconv.Atoi(fields[0])
@@ -220,11 +245,16 @@ func parseFault(part string) (Fault, error) {
 			f.Delay = d
 		}
 	}
-	if f.Target >= 0 && (f.Kind == ProcessKill || f.Kind == StagePanic || f.Kind == ServePanic) {
+	if f.Target >= 0 && (f.Kind == ProcessKill || f.Kind == StagePanic || f.Kind == ServePanic || f.Kind == LoadBurst) {
 		return Fault{}, fmt.Errorf("chaos: fault %q: %s faults take no rank target", part, f.Kind)
 	}
-	if f.Delay > 0 && f.Kind != Straggler && f.Kind != SlowLink {
-		return Fault{}, fmt.Errorf("chaos: fault %q: only stall and slow faults take a duration", part)
+	switch f.Kind {
+	case Straggler, SlowLink, LoadBurst, SlowNode:
+		// Duration-bearing kinds.
+	default:
+		if f.Delay > 0 {
+			return Fault{}, fmt.Errorf("chaos: fault %q: only stall, slow, burst, and slownode faults take a duration", part)
+		}
 	}
 	return f, nil
 }
@@ -259,7 +289,11 @@ type Injector struct {
 	faults  []Fault
 	fired   []bool
 	pickups int // serve batch-pickup counter
-	log     []Event
+	// slowBatch is the latched slow-node delay: once a slownode fault's
+	// pickup is reached the process stays degraded (every subsequent
+	// batch delayed) — a sick-but-alive node, not a one-shot hiccup.
+	slowBatch time.Duration
+	log       []Event
 }
 
 // New resolves a schedule into an injector. ranks is the rank domain for
@@ -295,7 +329,7 @@ func New(s *Schedule, ranks int) *Injector {
 // participates in seed-derived auto-targeting).
 func rankTargeted(k Kind) bool {
 	switch k {
-	case ReplicaCrash, Straggler, NetPartition, SlowLink, DropFrame, Reconnect:
+	case ReplicaCrash, Straggler, NetPartition, SlowLink, DropFrame, Reconnect, SlowNode:
 		return true
 	}
 	return false
@@ -379,6 +413,45 @@ func (in *Injector) ServePanic() bool {
 		}
 	}
 	return false
+}
+
+// ServeBatch is the serve scheduler's per-batch-pickup query, combining
+// the one-shot worker panic (serve@N, exactly as ServePanic reports it)
+// with the durable slow-node degradation: the first pickup at or past a
+// slownode fault's step fires it and latches its delay, and every
+// subsequent batch — including this one — reports that delay. The two
+// kinds share one pickup counter, so a spec mixing serve@ and slownode@
+// ordinals reads consistently.
+func (in *Injector) ServeBatch() (panicNow bool, slow time.Duration) {
+	if in == nil {
+		return false, 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	pickup := in.pickups
+	in.pickups++
+	for i, f := range in.faults {
+		if in.fired[i] {
+			continue
+		}
+		switch f.Kind {
+		case ServePanic:
+			if f.Step == pickup {
+				in.fire(i, 0)
+				panicNow = true
+			}
+		case SlowNode:
+			if f.Step <= pickup {
+				in.fire(i, 0)
+				if f.Delay > 0 {
+					in.slowBatch = f.Delay
+				} else {
+					in.slowBatch = defaultStall
+				}
+			}
+		}
+	}
+	return panicNow, in.slowBatch
 }
 
 // fireRankStep delivers the first pending fault of kind k targeting

@@ -290,3 +290,70 @@ func mustParse(t *testing.T, spec string) *Schedule {
 	}
 	return s
 }
+
+// TestParseOverloadFaults covers the serve-plane overload grammar:
+// burst@N[:D] (no rank) and slownode@N[:rR][:D].
+func TestParseOverloadFaults(t *testing.T) {
+	s, err := Parse("9:burst@20:2s,slownode@40:r1:30ms,slownode@5,burst@0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Fault{
+		{Kind: LoadBurst, Step: 20, Target: -1, Delay: 2 * time.Second},
+		{Kind: SlowNode, Step: 40, Target: 1, Delay: 30 * time.Millisecond},
+		{Kind: SlowNode, Step: 5, Target: -1},
+		{Kind: LoadBurst, Step: 0, Target: -1},
+	}
+	if !reflect.DeepEqual(s.Faults, want) {
+		t.Fatalf("faults = %+v\nwant %+v", s.Faults, want)
+	}
+	// Auto-targeting resolves slownode victims from the seed; bursts are
+	// global and never rank-targeted.
+	in := New(s, 4)
+	for i, f := range in.faults {
+		if f.Kind == SlowNode && (f.Target < 0 || f.Target >= 4) {
+			t.Fatalf("fault %d: slownode target %d not resolved into [0,4)", i, f.Target)
+		}
+	}
+	for _, bad := range []string{
+		"9:burst@1:r0",     // burst takes no rank
+		"9:slownode@1:rx",  // bad rank
+		"9:burst@1:banana", // bad duration
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+// TestServeBatchSlowNodeLatch: the first pickup at or past a slownode
+// fault's step latches the delay durably — a sick-but-alive node, not a
+// one-shot hiccup — while serve@ panics stay one-shot on the shared
+// pickup counter.
+func TestServeBatchSlowNodeLatch(t *testing.T) {
+	s, err := Parse("3:serve@1,slownode@2:25ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(s, 1)
+
+	if p, slow := in.ServeBatch(); p || slow != 0 { // pickup 0
+		t.Fatalf("pickup 0: panic=%v slow=%v, want false/0", p, slow)
+	}
+	if p, slow := in.ServeBatch(); !p || slow != 0 { // pickup 1: serve@1
+		t.Fatalf("pickup 1: panic=%v slow=%v, want true/0", p, slow)
+	}
+	for pickup := 2; pickup < 5; pickup++ { // slownode@2 latches
+		if p, slow := in.ServeBatch(); p || slow != 25*time.Millisecond {
+			t.Fatalf("pickup %d: panic=%v slow=%v, want false/25ms", pickup, p, slow)
+		}
+	}
+	if in.Remaining() != 0 {
+		t.Fatalf("Remaining = %d, want 0", in.Remaining())
+	}
+	// nil injector: no faults, no latch.
+	var nilInj *Injector
+	if p, slow := nilInj.ServeBatch(); p || slow != 0 {
+		t.Fatal("nil injector reported a fault")
+	}
+}

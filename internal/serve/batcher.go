@@ -23,7 +23,10 @@ var ErrClosed = errors.New("serve: scheduler closed")
 type request[S tensor.Scalar] struct {
 	model *unet.Model[S]
 	tile  *raster.RGB
-	out   chan result
+	// deadline is the client's absolute latency bound; zero means none.
+	// Expired requests are dropped at batch pickup, before compute.
+	deadline time.Time
+	out      chan result
 }
 
 type result struct {
@@ -58,6 +61,7 @@ type Scheduler[S tensor.Scalar] struct {
 	live atomic.Int64 // currently running workers (health gauge)
 
 	stats *Stats
+	model *SvcModel // EWMA service-time model feeding predictive admission
 }
 
 // NewScheduler starts the worker pool. stats may be nil.
@@ -67,6 +71,7 @@ func NewScheduler[S tensor.Scalar](cfg Config, stats *Stats) *Scheduler[S] {
 		queue: make(chan *request[S], cfg.QueueSize),
 		done:  make(chan struct{}),
 		stats: stats,
+		model: NewSvcModel(cfg.MaxBatch),
 	}
 	for w := 0; w < cfg.Workers; w++ {
 		s.spawn()
@@ -89,9 +94,25 @@ func (s *Scheduler[S]) QueueDepth() int { return len(s.queue) }
 // momentarily; it recovers without intervention).
 func (s *Scheduler[S]) LiveWorkers() int { return int(s.live.Load()) }
 
-// Submit enqueues one tile and blocks until its prediction is ready.
-// A full queue returns ErrOverloaded immediately.
+// Submit enqueues one tile with no deadline and blocks until its
+// prediction is ready. A full queue returns ErrOverloaded immediately.
 func (s *Scheduler[S]) Submit(m *unet.Model[S], tile *raster.RGB) (*raster.Labels, error) {
+	return s.SubmitDeadline(m, tile, time.Time{})
+}
+
+// Model exposes the scheduler's service-time model (for the HTTP layer's
+// Retry-After computation and /statz).
+func (s *Scheduler[S]) Model() *SvcModel { return s.model }
+
+// SubmitDeadline enqueues one tile and blocks until its prediction is
+// ready. Admission is deadline-aware: a request whose predicted
+// completion (EWMA service-time model over the current backlog) already
+// exceeds its deadline is refused at enqueue with *InfeasibleError —
+// never accepted only to be timed out later — and a full queue returns
+// ErrOverloaded. Once admitted, a request is never converted back into a
+// rejection: it either completes, or expires in queue and fails with
+// ErrDeadlineExpired (dropped before compute).
+func (s *Scheduler[S]) SubmitDeadline(m *unet.Model[S], tile *raster.RGB, deadline time.Time) (*raster.Labels, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -101,7 +122,23 @@ func (s *Scheduler[S]) Submit(m *unet.Model[S], tile *raster.RGB) (*raster.Label
 	s.mu.Unlock()
 	defer s.inflight.Done()
 
-	req := &request[S]{model: m, tile: tile, out: make(chan result, 1)}
+	if !deadline.IsZero() {
+		now := time.Now()
+		budget := deadline.Sub(now)
+		predicted := s.model.PredictWait(len(s.queue), s.cfg.Workers)
+		if budget <= 0 || (predicted > 0 && predicted > budget) {
+			if s.stats != nil {
+				s.stats.RecordDeadlineReject()
+			}
+			return nil, &InfeasibleError{
+				Predicted:  predicted,
+				Budget:     budget,
+				RetryAfter: retryIn(predicted, budget),
+			}
+		}
+	}
+
+	req := &request[S]{model: m, tile: tile, deadline: deadline, out: make(chan result, 1)}
 	select {
 	case s.queue <- req:
 	default:
@@ -112,6 +149,17 @@ func (s *Scheduler[S]) Submit(m *unet.Model[S], tile *raster.RGB) (*raster.Label
 	}
 	res := <-req.out
 	return res.labels, res.err
+}
+
+// retryIn estimates how long until a request with the given budget would
+// be feasible: the excess of the predicted completion over the budget
+// (floor 1ms so Retry-After never rounds to zero).
+func retryIn(predicted, budget time.Duration) time.Duration {
+	d := predicted - budget
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
 }
 
 // Close drains in-flight work and stops the workers. Safe to call more
@@ -155,15 +203,29 @@ func (s *Scheduler[S]) worker() {
 		if pending != nil {
 			requeue = append(requeue, pending)
 		}
+		now := time.Now()
 		for _, req := range requeue {
+			if !req.deadline.IsZero() && now.After(req.deadline) {
+				// Already expired: answer the waiting submitter directly
+				// instead of spending queue capacity on dead work.
+				if s.stats != nil {
+					s.stats.RecordExpired()
+				}
+				req.out <- result{err: ErrDeadlineExpired}
+				continue
+			}
 			select {
 			case s.queue <- req:
 				// Back onto the bounded queue; a healthy worker (or this
 				// worker's replacement) will pick it up.
 			default:
-				// Queue full: the request fails exactly as it would have
-				// at submit time — backpressure, not loss.
-				req.out <- result{err: ErrOverloaded}
+				// Queue full: park a goroutine on the blocking send. An
+				// admitted request is never converted back into a 429 —
+				// the replacement worker (spawned below before this
+				// deferred function returns) is guaranteed to drain the
+				// queue, so the send always completes.
+				req := req
+				go func() { s.queue <- req }()
 			}
 		}
 		// The replacement inherits nothing: sessions are rebuilt lazily,
@@ -188,7 +250,7 @@ func (s *Scheduler[S]) worker() {
 			batch, pending = s.collect(batch)
 		}
 		cur = batch
-		s.run(sessions, batch)
+		s.run(sessions, batch, &cur)
 		cur = nil
 	}
 }
@@ -217,27 +279,58 @@ func (s *Scheduler[S]) collect(batch []*request[S]) ([]*request[S], *request[S])
 }
 
 // run executes one batch on the worker's session for its model and
-// delivers per-request results. Injected chaos faults fire here, at the
-// batch-pickup ordinal, before any result is delivered — so the restart
-// path always sees a whole batch to requeue.
-func (s *Scheduler[S]) run(sessions map[*unet.Model[S]]*unet.Session[S], batch []*request[S]) {
-	if s.cfg.Chaos.ServePanic() {
+// delivers per-request results. Requests whose deadline passed while
+// queued are dropped here, before any compute — expired work never
+// reaches a forward pass. Injected chaos faults fire at the batch-pickup
+// ordinal, before any result is delivered — so the restart path always
+// sees a whole batch to requeue; a seeded slow-node fault delays the
+// batch (capacity degradation, not failure).
+func (s *Scheduler[S]) run(sessions map[*unet.Model[S]]*unet.Session[S], batch []*request[S], curp *[]*request[S]) {
+	panicNow, slow := s.cfg.Chaos.ServeBatch()
+	if panicNow {
 		panic("chaos: injected inference-worker fault")
 	}
-	sess, ok := sessions[batch[0].model]
-	if !ok {
-		sess = unet.NewSession(batch[0].model)
-		sessions[batch[0].model] = sess
+	if slow > 0 {
+		time.Sleep(slow)
 	}
-	tiles := make([]*raster.RGB, len(batch))
-	for i, r := range batch {
+
+	// Deadline triage: answer expired requests with ErrDeadlineExpired
+	// and compute only the live remainder. curp (the panic-requeue view)
+	// shrinks to the live set so an already-answered expired request can
+	// never be requeued by a later panic.
+	now := time.Now()
+	live := make([]*request[S], 0, len(batch))
+	for _, r := range batch {
+		if !r.deadline.IsZero() && now.After(r.deadline) {
+			if s.stats != nil {
+				s.stats.RecordExpired()
+			}
+			r.out <- result{err: ErrDeadlineExpired}
+			continue
+		}
+		live = append(live, r)
+	}
+	*curp = live
+	if len(live) == 0 {
+		return
+	}
+
+	sess, ok := sessions[live[0].model]
+	if !ok {
+		sess = unet.NewSession(live[0].model)
+		sessions[live[0].model] = sess
+	}
+	tiles := make([]*raster.RGB, len(live))
+	for i, r := range live {
 		tiles[i] = r.tile
 	}
+	start := time.Now()
 	labels, err := sess.PredictTiles(tiles)
+	s.model.Observe(len(live), time.Since(start))
 	if s.stats != nil {
-		s.stats.RecordBatch(len(batch))
+		s.stats.RecordBatch(len(live))
 	}
-	for i, r := range batch {
+	for i, r := range live {
 		if err != nil {
 			r.out <- result{err: err}
 		} else {

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// DeadlineHeader carries the client's remaining latency budget in
+// integer milliseconds. The receiving tier anchors the absolute deadline
+// at request arrival; each hop forwards only the budget that is left, so
+// the deadline tightens as it propagates (client → coordinator → worker)
+// and no tier can spend time a downstream tier was promised.
+const DeadlineHeader = "X-Seaice-Deadline-Ms"
+
+// PartialHeader marks a degraded-mode coordinator response: the scene
+// came back 200 but some tiles were served stale from the coordinator's
+// fallback cache or could not be classified at all. The value is a JSON
+// object {"missing":M,"stale":S,"total":T}.
+const PartialHeader = "X-Seaice-Partial"
+
+// ErrDeadlineExpired reports work whose deadline passed while it waited
+// in the queue; the scheduler drops it before compute and HTTP callers
+// translate it to 504 — the client already gave up, so burning a forward
+// pass on it would only steal capacity from feasible requests.
+var ErrDeadlineExpired = errors.New("serve: deadline expired before compute")
+
+// InfeasibleError is a predictive admission rejection: the service-time
+// model says the request cannot finish inside its deadline, so it is
+// refused at enqueue (HTTP 429) instead of being accepted and timed out
+// later. RetryAfter is model-derived: how long until the backlog has
+// drained enough that the same budget would be feasible.
+type InfeasibleError struct {
+	Predicted  time.Duration // modeled completion time from now
+	Budget     time.Duration // what the client allowed
+	RetryAfter time.Duration
+}
+
+func (e *InfeasibleError) Error() string {
+	return fmt.Sprintf("serve: predicted completion %v exceeds deadline budget %v (retry in %v)",
+		e.Predicted.Round(time.Millisecond), e.Budget.Round(time.Millisecond), e.RetryAfter.Round(time.Second))
+}
+
+// parseDeadline reads DeadlineHeader relative to the request's arrival
+// instant. A missing header returns the zero time (no deadline); a
+// malformed or non-positive value is a client error.
+func parseDeadline(r *http.Request, arrival time.Time) (time.Time, error) {
+	h := r.Header.Get(DeadlineHeader)
+	if h == "" {
+		return time.Time{}, nil
+	}
+	ms, err := strconv.ParseInt(h, 10, 64)
+	if err != nil || ms <= 0 {
+		return time.Time{}, fmt.Errorf("serve: bad %s %q (want positive integer milliseconds)", DeadlineHeader, h)
+	}
+	return arrival.Add(time.Duration(ms) * time.Millisecond), nil
+}
+
+// setDeadlineHeader stamps the remaining budget onto an outgoing
+// request, rounding up so a sub-millisecond remainder is not forwarded
+// as zero. A zero deadline stamps nothing.
+func setDeadlineHeader(h http.Header, deadline time.Time, now time.Time) {
+	if deadline.IsZero() {
+		return
+	}
+	remain := deadline.Sub(now)
+	if remain <= 0 {
+		remain = time.Millisecond
+	}
+	ms := (remain + time.Millisecond - 1) / time.Millisecond
+	h.Set(DeadlineHeader, strconv.FormatInt(int64(ms), 10))
+}
+
+// retryAfterSeconds renders a Retry-After value from a model-predicted
+// wait, rounding up to whole seconds with a floor of 1 (the header's
+// granularity).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}

@@ -74,7 +74,10 @@ func (s *Server[S]) Close() { s.sched.Close() }
 // generator).
 func (s *Server[S]) Stats() Snapshot {
 	hits, misses := s.cache.Counters()
-	return s.stats.Snapshot(s.sched.QueueDepth(), s.sched.LiveWorkers(), hits, misses)
+	snap := s.stats.Snapshot(s.sched.QueueDepth(), s.sched.LiveWorkers(), hits, misses)
+	snap.PredictedWaitMS = float64(s.sched.Model().PredictWait(s.sched.QueueDepth(), s.cfg.Workers)) /
+		float64(time.Millisecond)
+	return snap
 }
 
 // classifyStats is the per-request summary returned in the
@@ -115,13 +118,18 @@ func (s *Server[S]) handleClassify(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), errStatus)
 		return
 	}
+	deadline, err := parseDeadline(r, start)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
 
 	// filtered=1 marks imagery already passed through the thin-cloud
 	// filter (the coordinator filters once at scene scale before
 	// sharding tiles, so worker nodes must not filter again).
 	preFiltered := r.URL.Query().Get("filtered") == "1"
 
-	pred := &servingPredictor[S]{srv: s, model: model, modelName: modelName}
+	pred := &servingPredictor[S]{srv: s, model: model, modelName: modelName, deadline: deadline}
 	var labels *raster.Labels
 	if preFiltered {
 		labels, err = core.InferFilteredScene(pred, img, s.cfg.TileSize)
@@ -131,11 +139,17 @@ func (s *Server[S]) handleClassify(w http.ResponseWriter, r *http.Request) {
 	elapsed := time.Since(start)
 	if err != nil {
 		s.stats.RecordRequest(elapsed, pred.tiles, true)
-		if err == ErrOverloaded {
+		var infeasible *InfeasibleError
+		switch {
+		case errors.As(err, &infeasible):
+			s.writeInfeasible(w, infeasible)
+		case errors.Is(err, ErrOverloaded):
 			s.writeOverloaded(w)
-		} else if err == ErrClosed {
+		case errors.Is(err, ErrDeadlineExpired):
+			http.Error(w, err.Error(), http.StatusGatewayTimeout)
+		case errors.Is(err, ErrClosed):
 			http.Error(w, "server shutting down", http.StatusServiceUnavailable)
-		} else {
+		default:
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 		return
@@ -191,18 +205,42 @@ type overloadBody struct {
 	Error      string `json:"error"`
 	QueueDepth int    `json:"queue_depth"`
 	QueueSize  int    `json:"queue_size"`
+	// PredictedWaitMS is the service-time model's completion estimate
+	// behind the Retry-After value (0 until the model has observations).
+	PredictedWaitMS float64 `json:"predicted_wait_ms,omitempty"`
 }
 
 // writeOverloaded answers a backpressure rejection: 429 with a
-// Retry-After hint and a JSON body carrying the current queue depth.
+// model-derived Retry-After (the EWMA service-time model's estimate of
+// how long the current backlog takes to drain, not a hardcoded guess)
+// and a JSON body carrying the current queue depth.
 func (s *Server[S]) writeOverloaded(w http.ResponseWriter) {
+	depth := s.sched.QueueDepth()
+	wait := s.sched.Model().PredictWait(depth, s.cfg.Workers)
 	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("Retry-After", "1")
+	w.Header().Set("Retry-After", retryAfterSeconds(wait))
 	w.WriteHeader(http.StatusTooManyRequests)
 	json.NewEncoder(w).Encode(overloadBody{
-		Error:      "inference queue full, retry later",
-		QueueDepth: s.sched.QueueDepth(),
-		QueueSize:  s.cfg.QueueSize,
+		Error:           "inference queue full, retry later",
+		QueueDepth:      depth,
+		QueueSize:       s.cfg.QueueSize,
+		PredictedWaitMS: float64(wait) / float64(time.Millisecond),
+	})
+}
+
+// writeInfeasible answers a predictive admission rejection: the model
+// says this deadline cannot be met, so the client is told immediately —
+// and told when retrying becomes worthwhile — instead of queueing work
+// destined to time out.
+func (s *Server[S]) writeInfeasible(w http.ResponseWriter, e *InfeasibleError) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Retry-After", retryAfterSeconds(e.RetryAfter))
+	w.WriteHeader(http.StatusTooManyRequests)
+	json.NewEncoder(w).Encode(overloadBody{
+		Error:           e.Error(),
+		QueueDepth:      s.sched.QueueDepth(),
+		QueueSize:       s.cfg.QueueSize,
+		PredictedWaitMS: float64(e.Predicted) / float64(time.Millisecond),
 	})
 }
 
@@ -277,6 +315,7 @@ type servingPredictor[S tensor.Scalar] struct {
 	srv       *Server[S]
 	model     *unet.Model[S]
 	modelName string
+	deadline  time.Time // request deadline, propagated into every submit
 	tiles     int
 	cacheHits int
 }
@@ -326,7 +365,7 @@ func (p *servingPredictor[S]) PredictTiles(tiles []*raster.RGB) ([]*raster.Label
 		go func(mi, i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			labels, err := p.srv.sched.Submit(p.model, tiles[i])
+			labels, err := p.srv.sched.SubmitDeadline(p.model, tiles[i], p.deadline)
 			if err != nil {
 				errs[mi] = err
 				return

@@ -1,0 +1,378 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"seaice/internal/chaos"
+	"seaice/internal/noise"
+	"seaice/internal/simtime"
+)
+
+// LoadSimConfig parameterizes one discrete-event run of the serving
+// stack under offered load. The simulation reuses the production
+// admission path — the same SvcModel EWMA service-time estimator and the
+// same predict-vs-budget decision SubmitDeadline makes — over a virtual
+// simtime clock, so latency-versus-load curves and deadline invariants
+// are measured deterministically in microseconds of real time.
+type LoadSimConfig struct {
+	// Nodes is the worker node count; each arriving request is routed to
+	// a seeded-uniform node (the hash ring spreads distinct tiles the
+	// same way).
+	Nodes int `json:"nodes"`
+	// Workers is the parallel batch executors per node and MaxBatch the
+	// tiles per forward pass, mirroring serve.Config.
+	Workers  int `json:"workers"`
+	MaxBatch int `json:"max_batch"`
+	// QueueCap is the per-node admission queue bound (requests).
+	QueueCap int `json:"queue_cap"`
+	// TileTime and BatchOverhead model one forward pass: overhead +
+	// tileTime×size virtual seconds per batch on a healthy node.
+	TileTime      float64 `json:"tile_time_s"`
+	BatchOverhead float64 `json:"batch_overhead_s"`
+	// Deadline is each client's budget in virtual seconds; 0 disables
+	// deadlines (pure backpressure serving).
+	Deadline float64 `json:"deadline_s"`
+	// Duration is how long arrivals are generated, in virtual seconds
+	// (in-flight work drains past the end).
+	Duration float64 `json:"duration_s"`
+	// Seed drives arrivals and routing; equal seeds reproduce runs
+	// bit-for-bit.
+	Seed uint64 `json:"seed"`
+	// SecondsPerStep maps chaos fault steps to virtual instants
+	// (DeliverVirtual); 0 selects 0.1s.
+	SecondsPerStep float64 `json:"seconds_per_step"`
+	// BurstFactor multiplies the arrival rate inside a burst fault's
+	// window; 0 selects 4.
+	BurstFactor float64 `json:"burst_factor"`
+	// RestartTime is the worker-restart delay after an injected panic;
+	// 0 selects 0.05s.
+	RestartTime float64 `json:"restart_time_s"`
+}
+
+func (c *LoadSimConfig) defaults() {
+	if c.Nodes <= 0 {
+		c.Nodes = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 64
+	}
+	if c.TileTime <= 0 {
+		c.TileTime = 0.002
+	}
+	if c.BatchOverhead <= 0 {
+		c.BatchOverhead = 0.001
+	}
+	if c.Duration <= 0 {
+		c.Duration = 10
+	}
+	if c.SecondsPerStep <= 0 {
+		c.SecondsPerStep = 0.1
+	}
+	if c.BurstFactor <= 0 {
+		c.BurstFactor = 4
+	}
+	if c.RestartTime <= 0 {
+		c.RestartTime = 0.05
+	}
+}
+
+// LoadPoint is one measured point of the latency-versus-load curve plus
+// the run's deadline-invariant counters.
+type LoadPoint struct {
+	// OfferedRPS is the baseline arrival rate (bursts multiply it
+	// inside their window).
+	OfferedRPS float64 `json:"offered_rps"`
+	Arrived    int     `json:"arrived"`
+	Admitted   int     `json:"admitted"`
+	Completed  int     `json:"completed"`
+	// RejectedOverload counts full-queue 429s; RejectedInfeasible
+	// counts predictive-admission 429s (the model said the deadline
+	// cannot be met); ExpiredDropped counts admitted requests dropped at
+	// batch pickup because their deadline had passed (504s).
+	RejectedOverload   int `json:"rejected_overload"`
+	RejectedInfeasible int `json:"rejected_infeasible"`
+	ExpiredDropped     int `json:"expired_dropped"`
+	// MissedDeadline counts requests that completed after their
+	// deadline (admission predicted they would fit, then a fault slowed
+	// the node mid-flight).
+	MissedDeadline int `json:"missed_deadline"`
+	// AdmittedThenRejected and ExpiredComputed are the hard invariants —
+	// both must be 0 on every run: an admitted request is never later
+	// converted into a 429, and a request already past its deadline is
+	// never dispatched into a forward pass.
+	AdmittedThenRejected int     `json:"admitted_then_rejected"`
+	ExpiredComputed      int     `json:"expired_computed"`
+	FaultsDelivered      int     `json:"faults_delivered"`
+	P50MS                float64 `json:"p50_ms"`
+	P99MS                float64 `json:"p99_ms"`
+}
+
+// simReq is one in-flight simulated request.
+type simReq struct {
+	arrive   float64
+	deadline float64 // absolute virtual deadline; 0 = none
+}
+
+// simBatch is one dispatched forward pass; cancelled marks a batch
+// killed by an injected worker panic (its requests requeue).
+type simBatch struct {
+	reqs      []simReq
+	cancelled bool
+}
+
+// simNode is one worker node's queueing state.
+type simNode struct {
+	queue    []simReq
+	busy     int
+	dead     int     // workers currently restarting after a panic
+	slow     float64 // slownode penalty added to every batch
+	model    *SvcModel
+	inflight []*simBatch
+}
+
+// LoadSim drives one simulated run. Construct with NewLoadSim, then
+// Run.
+type LoadSim struct {
+	cfg        LoadSimConfig
+	rate       float64
+	clock      *simtime.Clock
+	rng        *noise.RNG
+	inj        *chaos.Injector
+	nodes      []*simNode
+	burstUntil float64
+	point      LoadPoint
+	lat        []float64
+}
+
+// NewLoadSim builds a simulator for one offered-load point. inj may be
+// nil (no faults); it is consumed (each fault fires once), so build a
+// fresh injector per run.
+func NewLoadSim(cfg LoadSimConfig, offeredRPS float64, inj *chaos.Injector) (*LoadSim, error) {
+	cfg.defaults()
+	if offeredRPS <= 0 {
+		return nil, fmt.Errorf("serve: offered load must be positive, got %g", offeredRPS)
+	}
+	s := &LoadSim{
+		cfg:   cfg,
+		rate:  offeredRPS,
+		clock: &simtime.Clock{},
+		rng:   noise.NewRNG(cfg.Seed, 0x10ad),
+		inj:   inj,
+		nodes: make([]*simNode, cfg.Nodes),
+		point: LoadPoint{OfferedRPS: offeredRPS},
+	}
+	for i := range s.nodes {
+		s.nodes[i] = &simNode{model: NewSvcModel(cfg.MaxBatch)}
+	}
+	return s, nil
+}
+
+// Run generates arrivals for cfg.Duration virtual seconds, drains all
+// in-flight work, and returns the measured point.
+func (s *LoadSim) Run() LoadPoint {
+	if s.inj != nil {
+		s.inj.DeliverVirtual(s.clock, s.cfg.SecondsPerStep, s.applyFault)
+	}
+	s.clock.Schedule(0, s.arrive)
+	s.clock.Run()
+	s.point.FaultsDelivered = len(s.inj.Events())
+	sort.Float64s(s.lat)
+	if n := len(s.lat); n > 0 {
+		s.point.P50MS = 1000 * s.lat[percentileIndex(n, 0.50)]
+		s.point.P99MS = 1000 * s.lat[percentileIndex(n, 0.99)]
+	}
+	return s.point
+}
+
+// applyFault reacts to a chaos fault at its virtual instant. Kinds that
+// target other subsystems are ignored.
+func (s *LoadSim) applyFault(f chaos.Fault) {
+	now := s.clock.Now()
+	switch f.Kind {
+	case chaos.LoadBurst:
+		d := f.Delay.Seconds()
+		if d <= 0 {
+			d = 1
+		}
+		if until := now + d; until > s.burstUntil {
+			s.burstUntil = until
+		}
+	case chaos.SlowNode:
+		n := s.nodes[f.Target%len(s.nodes)]
+		if f.Delay > 0 {
+			n.slow += f.Delay.Seconds()
+		} else {
+			n.slow += 0.01
+		}
+	case chaos.ServePanic:
+		// Kill the busiest node's oldest in-flight batch: its requests
+		// requeue (the production scheduler's panic-recover path) and the
+		// worker restarts after RestartTime.
+		node := s.nodes[0]
+		for _, n := range s.nodes {
+			if len(n.inflight) > len(node.inflight) {
+				node = n
+			}
+		}
+		if len(node.inflight) == 0 {
+			return
+		}
+		b := node.inflight[0]
+		node.inflight = node.inflight[1:]
+		b.cancelled = true
+		node.busy--
+		node.dead++
+		node.queue = append(node.queue, b.reqs...)
+		s.clock.After(s.cfg.RestartTime, func() {
+			node.dead--
+			s.dispatch(node)
+		})
+		s.dispatch(node)
+	}
+}
+
+// curRate is the instantaneous arrival rate, honoring burst windows.
+func (s *LoadSim) curRate() float64 {
+	if s.clock.Now() < s.burstUntil {
+		return s.rate * s.cfg.BurstFactor
+	}
+	return s.rate
+}
+
+// arrive admits or rejects one request and schedules the next arrival.
+func (s *LoadSim) arrive() {
+	now := s.clock.Now()
+	if now < s.cfg.Duration {
+		// Exponential interarrival at the current (possibly burst) rate.
+		u := s.rng.Float64()
+		if u <= 0 {
+			u = math.SmallestNonzeroFloat64
+		}
+		s.clock.After(-math.Log(u)/s.curRate(), s.arrive)
+	}
+	s.point.Arrived++
+	node := s.nodes[s.rng.Intn(len(s.nodes))]
+	if len(node.queue) >= s.cfg.QueueCap {
+		s.point.RejectedOverload++
+		return
+	}
+	req := simReq{arrive: now}
+	if s.cfg.Deadline > 0 {
+		req.deadline = now + s.cfg.Deadline
+		// The production admission decision, verbatim: predicted
+		// completion versus remaining budget (SubmitDeadline).
+		predicted := node.model.PredictWait(len(node.queue), s.cfg.Workers)
+		if predicted > 0 && predicted.Seconds() > s.cfg.Deadline {
+			s.point.RejectedInfeasible++
+			return
+		}
+	}
+	s.point.Admitted++
+	node.queue = append(node.queue, req)
+	s.dispatch(node)
+}
+
+// dispatch starts batches on node while workers and work are available,
+// dropping deadline-expired requests at pickup exactly as the production
+// worker loop does.
+func (s *LoadSim) dispatch(node *simNode) {
+	now := s.clock.Now()
+	for node.busy < s.cfg.Workers-node.dead && len(node.queue) > 0 {
+		take := len(node.queue)
+		if take > s.cfg.MaxBatch {
+			take = s.cfg.MaxBatch
+		}
+		batch := &simBatch{}
+		for _, r := range node.queue[:take] {
+			if r.deadline > 0 && now > r.deadline {
+				s.point.ExpiredDropped++
+				continue
+			}
+			batch.reqs = append(batch.reqs, r)
+		}
+		node.queue = append(node.queue[:0], node.queue[take:]...)
+		if len(batch.reqs) == 0 {
+			continue
+		}
+		// Invariant probe: nothing already expired may enter compute.
+		for _, r := range batch.reqs {
+			if r.deadline > 0 && now > r.deadline {
+				s.point.ExpiredComputed++
+			}
+		}
+		node.busy++
+		node.inflight = append(node.inflight, batch)
+		dur := s.cfg.BatchOverhead + s.cfg.TileTime*float64(len(batch.reqs)) + node.slow
+		node.model.Observe(len(batch.reqs), secToDur(dur))
+		s.clock.After(dur, func() { s.complete(node, batch) })
+	}
+}
+
+// complete finishes one batch, records latencies, and keeps the node
+// draining.
+func (s *LoadSim) complete(node *simNode, batch *simBatch) {
+	if batch.cancelled {
+		return
+	}
+	now := s.clock.Now()
+	for i, b := range node.inflight {
+		if b == batch {
+			node.inflight = append(node.inflight[:i], node.inflight[i+1:]...)
+			break
+		}
+	}
+	node.busy--
+	for _, r := range batch.reqs {
+		s.point.Completed++
+		s.lat = append(s.lat, now-r.arrive)
+		if r.deadline > 0 && now > r.deadline {
+			s.point.MissedDeadline++
+		}
+	}
+	s.dispatch(node)
+}
+
+// secToDur converts virtual seconds to a time.Duration for the shared
+// SvcModel.
+func secToDur(sec float64) time.Duration {
+	return time.Duration(sec * float64(time.Second))
+}
+
+// LoadSweep runs one simulation per offered rate, each with a fresh
+// injector built from spec (empty spec = fault-free), and returns the
+// latency-versus-load curve. Accounting identity checked per point:
+// every arrival is admitted or rejected, and every admitted request
+// either completes or is dropped expired — an admitted request never
+// becomes a rejection (AdmittedThenRejected).
+func LoadSweep(cfg LoadSimConfig, rates []float64, spec string) ([]LoadPoint, error) {
+	points := make([]LoadPoint, 0, len(rates))
+	for _, r := range rates {
+		var inj *chaos.Injector
+		if spec != "" {
+			sched, err := chaos.Parse(spec)
+			if err != nil {
+				return nil, err
+			}
+			inj = chaos.New(sched, cfg.Nodes)
+		}
+		sim, err := NewLoadSim(cfg, r, inj)
+		if err != nil {
+			return nil, err
+		}
+		p := sim.Run()
+		if got := p.Admitted + p.RejectedOverload + p.RejectedInfeasible; got != p.Arrived {
+			p.AdmittedThenRejected = p.Arrived - got
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}

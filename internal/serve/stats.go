@@ -23,6 +23,8 @@ type Stats struct {
 	batches  int64
 	batched  int64 // tiles that went through batches
 	restarts int64 // inference workers restarted after a panic
+	expired  int64 // requests dropped in queue after their deadline passed
+	infeasib int64 // requests refused by predictive deadline admission
 
 	lat    []time.Duration // ring buffer of recent request latencies
 	latIdx int
@@ -84,6 +86,22 @@ func (s *Stats) RecordReject() {
 	s.rejected++
 }
 
+// RecordExpired accounts one queued request dropped before compute
+// because its deadline had already passed.
+func (s *Stats) RecordExpired() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expired++
+}
+
+// RecordDeadlineReject accounts one request refused at admission because
+// the service-time model predicted it could not meet its deadline.
+func (s *Stats) RecordDeadlineReject() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.infeasib++
+}
+
 // Snapshot is a point-in-time view of the service metrics, shaped for
 // the /statz endpoint.
 type Snapshot struct {
@@ -107,6 +125,14 @@ type Snapshot struct {
 	// worker gauge (dips briefly mid-restart).
 	WorkerRestarts int64 `json:"worker_restarts"`
 	LiveWorkers    int   `json:"live_workers"`
+	// ExpiredDropped counts queued requests dropped before compute after
+	// their deadline passed (HTTP 504); DeadlineRejected counts requests
+	// the admission model refused at enqueue (HTTP 429 with a
+	// model-derived Retry-After); PredictedWaitMS is the model's current
+	// completion estimate for a newly enqueued request.
+	ExpiredDropped   int64   `json:"expired_dropped"`
+	DeadlineRejected int64   `json:"deadline_rejected"`
+	PredictedWaitMS  float64 `json:"predicted_wait_ms"`
 }
 
 // Snapshot folds the counters and the current queue/cache/worker state
@@ -116,17 +142,19 @@ func (s *Stats) Snapshot(queueDepth, liveWorkers int, cacheHits, cacheMisses int
 	defer s.mu.Unlock()
 	up := time.Since(s.start).Seconds()
 	snap := Snapshot{
-		UptimeSeconds:  up,
-		Requests:       s.requests,
-		Tiles:          s.tiles,
-		Errors:         s.errors,
-		Rejected:       s.rejected,
-		Batches:        s.batches,
-		CacheHits:      cacheHits,
-		CacheMisses:    cacheMisses,
-		QueueDepth:     queueDepth,
-		WorkerRestarts: s.restarts,
-		LiveWorkers:    liveWorkers,
+		UptimeSeconds:    up,
+		Requests:         s.requests,
+		Tiles:            s.tiles,
+		Errors:           s.errors,
+		Rejected:         s.rejected,
+		Batches:          s.batches,
+		CacheHits:        cacheHits,
+		CacheMisses:      cacheMisses,
+		QueueDepth:       queueDepth,
+		WorkerRestarts:   s.restarts,
+		LiveWorkers:      liveWorkers,
+		ExpiredDropped:   s.expired,
+		DeadlineRejected: s.infeasib,
 	}
 	if s.batches > 0 {
 		snap.AvgBatchSize = float64(s.batched) / float64(s.batches)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"seaice/internal/chaos"
@@ -146,11 +147,36 @@ func (r *Ring) prevErr(err error) error {
 // from by circulating a running minimum p−1 hops: the return value is
 // the smallest step any rank advertised, and a rank that had committed
 // past it must roll back before retrying.
+//
+// The whole rendezvous runs under a total deadline of timeout×(world+3).
+// Each individual frame op is already deadline-guarded, but a half-open
+// peer — one that keeps connecting, or drips a frame just inside every
+// per-op timeout — could otherwise string the handshake along
+// indefinitely; the watchdog severs the links and expires the listener
+// so Establish fails fast instead.
 func (r *Ring) Establish(step int) (int, error) {
 	if r.world == 1 {
 		return step, nil
 	}
 	r.dropConns("establish")
+
+	budget := r.timeout * time.Duration(r.world+3)
+	var expired atomic.Bool
+	watchdog := time.AfterFunc(budget, func() {
+		expired.Store(true)
+		r.dropConns("rendezvous deadline")
+		if d, ok := r.ln.(interface{ SetDeadline(time.Time) error }); ok {
+			d.SetDeadline(time.Now())
+		}
+	})
+	defer watchdog.Stop()
+	rendezvousErr := func(err error) (int, error) {
+		if expired.Load() {
+			return 0, fmt.Errorf("transport: rank %d: rendezvous exceeded total deadline %v: %w",
+				r.rank, budget, err)
+		}
+		return 0, err
+	}
 
 	type dialRes struct {
 		c   *Conn
@@ -197,7 +223,15 @@ func (r *Ring) Establish(step int) (int, error) {
 		if err == nil {
 			err = dial.err
 		}
-		return 0, err
+		return rendezvousErr(err)
+	}
+	if expired.Load() {
+		// The watchdog fired while the links were mid-handshake (not yet
+		// registered for dropConns): don't resurrect a rendezvous that
+		// already blew its budget.
+		prev.Close()
+		dial.c.Close()
+		return rendezvousErr(errNoLink)
 	}
 
 	r.mu.Lock()
@@ -212,11 +246,11 @@ func (r *Ring) Establish(step int) (int, error) {
 	agreed := step
 	for s := 0; s < r.world-1; s++ {
 		if err := r.sendCtl(tagSync, agreed); err != nil {
-			return 0, err
+			return rendezvousErr(err)
 		}
 		theirs, err := r.recvCtl(tagSync)
 		if err != nil {
-			return 0, err
+			return rendezvousErr(err)
 		}
 		if theirs < agreed {
 			agreed = theirs

@@ -324,3 +324,68 @@ func TestClusterIDMismatch(t *testing.T) {
 		t.Fatal("rings with different cluster IDs assembled")
 	}
 }
+
+// TestRendezvousTotalDeadline: Establish against a half-open peer — one
+// whose address accepts TCP connections but never completes the
+// handshake — must fail within the total rendezvous budget
+// (timeout×(world+3)) instead of hanging until someone kills the
+// process.
+func TestRendezvousTotalDeadline(t *testing.T) {
+	t.Parallel()
+	// Black-hole listener standing in for rank 1: accepts, reads,
+	// never replies.
+	hole, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hole.Close()
+	go func() {
+		for {
+			c, err := hole.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				buf := make([]byte, 4096)
+				for {
+					if _, err := c.Read(buf); err != nil {
+						return
+					}
+				}
+			}(c)
+		}
+	}()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const timeout = 200 * time.Millisecond
+	r, err := NewRing(Config{
+		Rank:      0,
+		Peers:     []string{ln.Addr().String(), hole.Addr().String()},
+		ClusterID: t.Name(),
+		Timeout:   timeout,
+		Listener:  ln,
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	budget := timeout * time.Duration(r.World()+3)
+	start := time.Now()
+	_, err = r.Establish(0)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("establish against a half-open peer succeeded")
+	}
+	// Generous slack: the per-op deadlines fire well inside the total
+	// budget; what must never happen is an unbounded hang.
+	if elapsed > 2*budget {
+		t.Fatalf("establish took %v, want well under the %v rendezvous budget", elapsed, budget)
+	}
+	t.Logf("establish failed in %v: %v", elapsed, err)
+}

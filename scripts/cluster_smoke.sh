@@ -9,6 +9,12 @@
 #   2. A 2-node sharded-serve cluster (seaice-serve -nodes coordinator)
 #      answers a scene round trip with exactly the bytes a single
 #      server produces, and keeps answering after one worker is killed.
+#   3. Under offered load past capacity with a latched slow node and
+#      client deadlines attached, the error surface stays bounded:
+#      every request resolves as 200 (served), 429 (shed at admission),
+#      or 504 (deadline expired before compute) — never a 5xx, a hang,
+#      or a dropped connection — and an infeasible 1 ms budget is
+#      refused or expired up front, never computed.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -105,6 +111,83 @@ curl -sf -X POST --data-binary @"$SCENE" -H 'Content-Type: image/png' \
 cmp -s "$TMP/single.png" "$TMP/rerouted.png" || {
     echo "FAIL: post-kill label map differs (rerouting broken)"; exit 1; }
 echo "ok: survived worker kill with identical bytes"
+
+echo "== overload: load past capacity with a slow node, deadlines attached"
+# Fresh 2-node cluster built to overrun: node A latches a +200ms
+# per-batch slow fault, queues are tiny, worker caches are off so every
+# request really computes. 32 concurrent deadline-carrying clients then
+# storm the coordinator; the only legal outcomes are 200/429/504.
+"$TMP/seaice-serve" -ckpt "$CKPT" -tile 32 -addr 127.0.0.1:17751 -workers 1 \
+    -batch 1 -queue 2 -cache 0 -chaos "11:slownode@0:200ms" >"$TMP/slow.log" 2>&1 &
+S1=$!
+"$TMP/seaice-serve" -ckpt "$CKPT" -tile 32 -addr 127.0.0.1:17752 -workers 1 \
+    -batch 1 -queue 2 -cache 0 >"$TMP/fast.log" 2>&1 &
+S2=$!
+"$TMP/seaice-serve" -nodes 127.0.0.1:17751,127.0.0.1:17752 -tile 32 \
+    -addr 127.0.0.1:17750 >"$TMP/ocoord.log" 2>&1 &
+OC=$!
+PIDS="$PIDS $S1 $S2 $OC"
+wait_healthy 127.0.0.1:17751
+wait_healthy 127.0.0.1:17752
+wait_healthy 127.0.0.1:17750
+
+rm -f "$TMP"/code.*
+CURL_PIDS=""
+i=0
+while [ "$i" -lt 32 ]; do
+    curl -s -o /dev/null -w '%{http_code}' -X POST --data-binary @"$SCENE" \
+        -H 'Content-Type: image/png' -H 'X-Seaice-Deadline-Ms: 2000' \
+        "http://127.0.0.1:17750/classify" >"$TMP/code.$i" &
+    CURL_PIDS="$CURL_PIDS $!"
+    i=$((i + 1))
+done
+for pid in $CURL_PIDS; do wait "$pid" || true; done
+
+ok=0; shed=0; bad=0
+for f in "$TMP"/code.*; do
+    c=$(cat "$f")
+    case "$c" in
+    200) ok=$((ok + 1)) ;;
+    429 | 504) shed=$((shed + 1)) ;;
+    *)
+        bad=$((bad + 1))
+        echo "unexpected status '$c' under overload"
+        ;;
+    esac
+done
+[ "$bad" -eq 0 ] || {
+    echo "FAIL: overload produced statuses outside 200/429/504"
+    tail -n 20 "$TMP/ocoord.log"; exit 1; }
+[ "$ok" -ge 1 ] || {
+    echo "FAIL: nothing served under overload"
+    tail -n 20 "$TMP/ocoord.log"; exit 1; }
+[ "$shed" -ge 1 ] || {
+    echo "FAIL: load past capacity but nothing was shed"; exit 1; }
+echo "ok: $ok served, $shed shed (429/504), 0 anomalous"
+
+# An infeasible 1 ms budget aimed at the slow node must be refused at
+# admission (429) or expire before compute (504) — its +200ms batch
+# latch fires ahead of deadline triage, so a computed 200 is impossible
+# and would mean expired work reached a forward pass.
+c=$(curl -s -o /dev/null -w '%{http_code}' -X POST --data-binary @"$SCENE" \
+    -H 'Content-Type: image/png' -H 'X-Seaice-Deadline-Ms: 1' \
+    "http://127.0.0.1:17751/classify")
+case "$c" in
+429 | 504) ;;
+*)
+    echo "FAIL: infeasible 1ms-deadline request answered $c, want 429/504"
+    exit 1
+    ;;
+esac
+curl -s "http://127.0.0.1:17752/statz" | grep -q '"expired_dropped"' || {
+    echo "FAIL: /statz lacks the deadline counters"; exit 1; }
+echo "ok: infeasible budget never computed; deadline counters live"
+
+kill "$S1" "$S2" "$OC" 2>/dev/null || true
+wait "$S1" 2>/dev/null || true
+wait "$S2" 2>/dev/null || true
+wait "$OC" 2>/dev/null || true
+PIDS="$W2 $CO"
 
 echo "== graceful shutdown: SIGTERM drains and flushes stats"
 kill -TERM "$CO" "$W2" 2>/dev/null
