@@ -334,13 +334,15 @@ func BenchmarkAblation_FilterStages(b *testing.B) {
 // naive per-tile forward passes (the seed's inference loop) against the
 // serving stack's micro-batched path — a fused-kernel inference session
 // driven end-to-end through the scheduler (concurrent submits, bounded
-// queue, no cache) — at both compute precisions. Tiles/sec is reported as
-// a metric; the batched path sustains ≥2× the naive rate, and the pure
-// float32 hot path (the serving default) sustains ≥1.6× the float64
+// queue, no cache) — at all three compute precisions. Tiles/sec is
+// reported as a metric; the batched path sustains ≥2× the naive rate,
+// the pure float32 hot path sustains ≥1.6× the float64 batched-serve
+// rate, and the int8 quantized engine sustains ≥2× the float32
 // batched-serve rate. Recorded rows live in BENCH_infer.json.
 func BenchmarkServeThroughput(b *testing.B) {
 	b.Run("f64", benchServeThroughput[float64])
 	b.Run("f32", benchServeThroughput[float32])
+	b.Run("int8", benchServeThroughputInt8)
 }
 
 func benchServeThroughput[S tensor.Scalar](b *testing.B) {
@@ -376,7 +378,7 @@ func benchServeThroughput[S tensor.Scalar](b *testing.B) {
 		cfg.TileSize = 64
 		cfg.CacheSize = 0
 		cfg.QueueSize = len(tiles) * 2
-		sched := serve.NewScheduler[S](cfg, nil)
+		sched := serve.NewScheduler(cfg, nil)
 		defer sched.Close()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -387,6 +389,76 @@ func benchServeThroughput[S tensor.Scalar](b *testing.B) {
 				go func(ti int, img *raster.RGB) {
 					defer wg.Done()
 					_, errs[ti] = sched.Submit(m, img)
+				}(ti, img)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(b.N*len(tiles))/b.Elapsed().Seconds(), "tiles/s")
+	})
+}
+
+// benchServeThroughputInt8 is benchServeThroughput for the quantized
+// engine: a fresh FastConfig master calibrated on the benchmark tiles and
+// quantized (the seaice-train -quantize path, minus training). The naive
+// path mints a predictor per tile, matching the seed loop's
+// allocate-every-tile behavior.
+func benchServeThroughputInt8(b *testing.B) {
+	tiles := benchTiles(b)
+	m, err := unet.New[float64](unet.FastConfig(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cal, err := unet.Calibrate(m, tiles, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qm, err := unet.Quantize(m, cal)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("naive-per-tile", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, img := range tiles {
+				if _, err := qm.NewPredictor().PredictTiles([]*raster.RGB{img}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(b.N*len(tiles))/b.Elapsed().Seconds(), "tiles/s")
+	})
+
+	b.Run("batched-session", func(b *testing.B) {
+		pred := core.NewSessionPredictor(qm, 16)
+		for i := 0; i < b.N; i++ {
+			if _, err := pred.PredictTiles(tiles); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N*len(tiles))/b.Elapsed().Seconds(), "tiles/s")
+	})
+
+	b.Run("batched-serve", func(b *testing.B) {
+		cfg := serve.DefaultConfig()
+		cfg.TileSize = 64
+		cfg.CacheSize = 0
+		cfg.QueueSize = len(tiles) * 2
+		sched := serve.NewScheduler(cfg, nil)
+		defer sched.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			errs := make([]error, len(tiles))
+			for ti, img := range tiles {
+				wg.Add(1)
+				go func(ti int, img *raster.RGB) {
+					defer wg.Done()
+					_, errs[ti] = sched.Submit(qm, img)
 				}(ti, img)
 			}
 			wg.Wait()

@@ -1,19 +1,46 @@
 package main
 
-import "testing"
+import (
+	"errors"
+	"strings"
+	"testing"
 
-// TestValidatePrecision pins the -precision contract: f32/f64 accepted,
-// everything else refused with a clear error (previously a bad value was
-// silently ignored unless the table3 experiment ran).
+	"seaice/internal/serve"
+)
+
+// TestValidatePrecision pins the -precision contract: f32/f64 (and their
+// spelled-out aliases, case-insensitively) accepted; unknown names
+// refused with the serving stack's typed *serve.UnknownPrecisionError
+// and its exact message; int8 refused with a redirect to the serve
+// benchmark, since the training-step cost cannot run in an
+// inference-only precision.
 func TestValidatePrecision(t *testing.T) {
-	for _, ok := range []string{"f32", "f64"} {
+	for _, ok := range []string{"f32", "f64", "float32", "float64", "F32", " f64 "} {
 		if err := validatePrecision(ok); err != nil {
 			t.Errorf("validatePrecision(%q) = %v, want nil", ok, err)
 		}
 	}
-	for _, bad := range []string{"", "f16", "float64", "F32", "mixed"} {
-		if err := validatePrecision(bad); err == nil {
+	for _, bad := range []string{"", "f16", "mixed", "int4"} {
+		err := validatePrecision(bad)
+		if err == nil {
 			t.Errorf("validatePrecision(%q) accepted, want error", bad)
+			continue
 		}
+		var upe *serve.UnknownPrecisionError
+		if !errors.As(err, &upe) {
+			t.Errorf("validatePrecision(%q) = %T, want *serve.UnknownPrecisionError", bad, err)
+			continue
+		}
+		if upe.Precision != bad {
+			t.Errorf("validatePrecision(%q) carried precision %q", bad, upe.Precision)
+		}
+	}
+	err := validatePrecision("f16")
+	want := `serve: unknown precision "f16" (valid: f64, f32, int8)`
+	if err == nil || err.Error() != want {
+		t.Errorf("validatePrecision(\"f16\") = %v, want %q", err, want)
+	}
+	if err := validatePrecision("int8"); err == nil || !strings.Contains(err.Error(), "inference-only") {
+		t.Errorf("validatePrecision(\"int8\") = %v, want inference-only redirect", err)
 	}
 }

@@ -8,10 +8,14 @@
 //
 //	seaice-infer -ckpt unet.ckpt -seed 99 -out pred.png
 //	seaice-infer -ckpt unet.ckpt -in scene.png -out pred.png
-//	seaice-infer -ckpt unet.ckpt -precision f64   # float64 reference numerics
+//	seaice-infer -ckpt unet.ckpt -precision f64       # float64 reference numerics
+//	seaice-infer -ckpt unet.q.ckpt -precision int8    # quantized engine
 //
 // Inference runs in float32 by default (the serving hot path's
-// precision); checkpoints of either precision load into either.
+// precision); float checkpoints of either precision load into either,
+// and a quantized checkpoint (seaice-train -quantize) serves all three
+// rungs — its embedded float64 master backs f64/f32, its calibrated
+// scale tables rebuild the int8 engine bit-deterministically.
 package main
 
 import (
@@ -24,8 +28,7 @@ import (
 	"seaice/internal/metrics"
 	"seaice/internal/raster"
 	"seaice/internal/scene"
-	"seaice/internal/tensor"
-	"seaice/internal/unet"
+	"seaice/internal/serve"
 )
 
 func main() {
@@ -39,28 +42,34 @@ func main() {
 		tile      = flag.Int("tile", 32, "inference tile size")
 		seed      = flag.Uint64("seed", 99, "generated scene seed")
 		out       = flag.String("out", "prediction.png", "output label-map PNG")
-		precision = flag.String("precision", "f32", "inference precision: f32 | f64")
+		precision = flag.String("precision", "f32", "inference precision: f32 | f64 | int8")
 	)
 	flag.Parse()
 
-	switch *precision {
-	case "f32":
-		run[float32](*ckpt, *in, *size, *tile, *seed, *out)
-	case "f64":
-		run[float64](*ckpt, *in, *size, *tile, *seed, *out)
-	default:
-		log.Fatalf("unknown precision %q (want f32 or f64)", *precision)
+	prec, err := serve.ParsePrecision(*precision)
+	if err != nil {
+		log.Fatal(err)
 	}
+	run(prec, *ckpt, *in, *size, *tile, *seed, *out)
 }
 
 // run loads the checkpoint and performs the Fig 9 workflow in the chosen
 // compute precision.
-func run[S tensor.Scalar](ckpt, in string, size, tile int, seed uint64, out string) {
-	model, err := unet.LoadFile[S](ckpt)
+func run(precision, ckpt, in string, size, tile int, seed uint64, out string) {
+	engine, err := serve.LoadEngine(ckpt, precision)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("loaded %d-conv-layer U-Net (%d parameters)", model.NumConvLayers(), model.NumParams())
+	if m, ok := engine.(interface {
+		NumConvLayers() int
+		NumParams() int
+	}); ok {
+		log.Printf("loaded %d-conv-layer U-Net (%d parameters, %s)",
+			m.NumConvLayers(), m.NumParams(), engine.Precision())
+	} else {
+		log.Printf("loaded %d-conv-layer U-Net (%s engine)",
+			engine.Config().NumConvLayers(), engine.Precision())
+	}
 
 	var img *raster.RGB
 	var truth *raster.Labels
@@ -80,7 +89,7 @@ func run[S tensor.Scalar](ckpt, in string, size, tile int, seed uint64, out stri
 		log.Printf("generated synthetic scene (cloud fraction %.1f%%)", 100*sc.CloudFraction)
 	}
 
-	pred, err := core.Inference(model, img, tile, dataset.DefaultBuild())
+	pred, err := core.Inference(engine, img, tile, dataset.DefaultBuild())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -79,7 +79,6 @@ import (
 	"seaice/internal/raster"
 	"seaice/internal/scene"
 	"seaice/internal/serve"
-	"seaice/internal/tensor"
 	"seaice/internal/unet"
 )
 
@@ -151,14 +150,11 @@ func main() {
 		return
 	}
 
-	switch *precision {
-	case "f32":
-		runMain[float32](cfg, *addr, *ckpt, *loadgen, *target, *n, *c, *seed, *deadline)
-	case "f64":
-		runMain[float64](cfg, *addr, *ckpt, *loadgen, *target, *n, *c, *seed, *deadline)
-	default:
-		log.Fatalf("unknown precision %q (want f32 or f64)", *precision)
+	prec, err := serve.ParsePrecision(*precision)
+	if err != nil {
+		log.Fatal(err)
 	}
+	runMain(cfg, *addr, *ckpt, prec, *loadgen, *target, *n, *c, *seed, *deadline)
 }
 
 // runSLO measures the deterministic chaos-under-load benchmark and
@@ -243,9 +239,9 @@ func serveUntilSignal(addr string, handler http.Handler, drain func()) {
 }
 
 // runMain dispatches serving or load generation in the chosen precision.
-func runMain[S tensor.Scalar](cfg serve.Config, addr, ckpt string, loadgen bool, target string, n, c int, seed uint64, deadline time.Duration) {
+func runMain(cfg serve.Config, addr, ckpt, precision string, loadgen bool, target string, n, c int, seed uint64, deadline time.Duration) {
 	if loadgen {
-		if err := runLoadgen[S](cfg, ckpt, target, n, c, seed, deadline); err != nil {
+		if err := runLoadgen(cfg, ckpt, precision, target, n, c, seed, deadline); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -254,8 +250,8 @@ func runMain[S tensor.Scalar](cfg serve.Config, addr, ckpt string, loadgen bool,
 	if ckpt == "" {
 		log.Fatal("serving requires -ckpt (train one with seaice-train)")
 	}
-	reg := serve.NewRegistry[S]()
-	if err := loadCheckpoints(reg, ckpt); err != nil {
+	reg := serve.NewRegistry()
+	if err := loadCheckpoints(reg, ckpt, precision); err != nil {
 		log.Fatal(err)
 	}
 	srv, err := serve.NewServer(cfg, reg)
@@ -273,8 +269,9 @@ func runMain[S tensor.Scalar](cfg serve.Config, addr, ckpt string, loadgen bool,
 }
 
 // loadCheckpoints parses "path" or "name=path,name=path" into the
-// registry; an unnamed single checkpoint registers as "default".
-func loadCheckpoints[S tensor.Scalar](reg *serve.Registry[S], spec string) error {
+// registry at the requested precision; an unnamed single checkpoint
+// registers as "default".
+func loadCheckpoints(reg *serve.Registry, spec, precision string) error {
 	for _, part := range strings.Split(spec, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
@@ -284,30 +281,66 @@ func loadCheckpoints[S tensor.Scalar](reg *serve.Registry[S], spec string) error
 		if i := strings.IndexByte(part, '='); i >= 0 {
 			name, path = part[:i], part[i+1:]
 		}
-		if err := reg.Load(name, path); err != nil {
+		if err := reg.Load(name, path, precision); err != nil {
 			return err
 		}
-		log.Printf("loaded model %q from %s", name, path)
+		log.Printf("loaded %s model %q from %s", precision, name, path)
 	}
 	return nil
 }
 
+// demoEngine builds a freshly initialized (untrained) engine for load
+// generation without a checkpoint. The int8 demo calibrates the random
+// master on synthetic scene tiles before quantizing — the same
+// calibrate→quantize path seaice-train -quantize runs on real data.
+func demoEngine(precision string, seed uint64, tileSize int) (unet.Engine, error) {
+	switch precision {
+	case "f32":
+		return unet.New[float32](unet.FastConfig(seed))
+	case "f64":
+		return unet.New[float64](unet.FastConfig(seed))
+	}
+	m, err := unet.New[float64](unet.FastConfig(seed))
+	if err != nil {
+		return nil, err
+	}
+	sceneCfg := scene.DefaultConfig(seed)
+	sceneCfg.W, sceneCfg.H = 4*tileSize, 4*tileSize
+	sc, err := scene.Generate(sceneCfg)
+	if err != nil {
+		return nil, err
+	}
+	tiles, _, err := raster.Split(sc.Image, tileSize, tileSize)
+	if err != nil {
+		return nil, err
+	}
+	imgs := make([]*raster.RGB, len(tiles))
+	for i, t := range tiles {
+		imgs[i] = t.Image
+	}
+	cal, err := unet.Calibrate(m, imgs, 8)
+	if err != nil {
+		return nil, err
+	}
+	return unet.Quantize(m, cal)
+}
+
 // runLoadgen drives the /classify endpoint with concurrent synthetic
 // tiles and reports achieved throughput and latency percentiles.
-func runLoadgen[S tensor.Scalar](cfg serve.Config, ckpt, target string, n, c int, seed uint64, deadline time.Duration) error {
+func runLoadgen(cfg serve.Config, ckpt, precision, target string, n, c int, seed uint64, deadline time.Duration) error {
 	if target == "" {
-		reg := serve.NewRegistry[S]()
+		reg := serve.NewRegistry()
 		if ckpt != "" {
-			if err := loadCheckpoints(reg, ckpt); err != nil {
+			if err := loadCheckpoints(reg, ckpt, precision); err != nil {
 				return err
 			}
 		} else {
-			log.Printf("no -ckpt: load-testing a freshly initialized (untrained) demo model")
-			m, err := unet.New[S](unet.FastConfig(seed))
+			log.Printf("no -ckpt: load-testing a freshly initialized (untrained) %s demo model", precision)
+			e, err := demoEngine(precision, seed, cfg.TileSize)
 			if err != nil {
 				return err
 			}
-			if err := reg.Add("demo", m); err != nil {
+			if err := reg.Add("demo", e); err != nil {
 				return err
 			}
 		}

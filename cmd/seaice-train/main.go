@@ -22,6 +22,7 @@
 //	seaice-train -workers 4 -epochs 4          # distributed (ring all-reduce)
 //	seaice-train -preset paper -epochs 1       # full 28-conv-layer variant
 //	seaice-train -precision f64                # float64 reference numerics
+//	seaice-train -quantize -ckpt unet.q.ckpt   # int8-calibrated v3 checkpoint
 //	seaice-train -workers 4 -chaos "7:crash@3:r1,crash@9" -snapshot unet.snap
 //	seaice-train -snapshot unet.snap -resume   # continue a killed run
 //
@@ -55,6 +56,7 @@ import (
 	"seaice/internal/perfmodel"
 	"seaice/internal/pipeline"
 	"seaice/internal/pool"
+	"seaice/internal/raster"
 	"seaice/internal/scene"
 	"seaice/internal/tensor"
 	"seaice/internal/train"
@@ -82,6 +84,7 @@ type options struct {
 	snapshot  string
 	snapEvery int
 	resume    bool
+	quantize  bool
 
 	// Network data parallelism: peers lists every rank's host:port (this
 	// process listens on peers[rank] and is one rank of a real
@@ -120,6 +123,7 @@ func main() {
 	flag.StringVar(&o.snapshot, "snapshot", "", "persist mid-epoch training snapshots to this file (enables -resume)")
 	flag.IntVar(&o.snapEvery, "snapshot-every", 0, "steps between snapshots (0 = every 8)")
 	flag.BoolVar(&o.resume, "resume", false, "resume from the -snapshot file's last snapshot")
+	flag.BoolVar(&o.quantize, "quantize", false, "post-training-quantize: calibrate on training tiles and write a v3 quantized checkpoint (serves f64, f32, and int8)")
 	flag.Parse()
 	pool.SetSharedWorkers(*procs)
 	log.Printf("training engine: %d kernel workers, %s precision", pool.Shared().Workers(), *precision)
@@ -390,10 +394,56 @@ func run[S tensor.Scalar](o options, master bool) {
 	fmt.Printf("validation accuracy (filtered imagery, manual labels): %.2f%%\n", 100*conf.Accuracy())
 	fmt.Println(conf)
 
+	if o.quantize {
+		qm, err := quantizeTrained(model, st, o.batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := qm.SaveFile(o.ckpt); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("quantized checkpoint (v3) written to %s — serves f64, f32, and int8\n", o.ckpt)
+		return
+	}
 	if err := model.SaveFile(o.ckpt); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("checkpoint written to %s\n", o.ckpt)
+}
+
+// calibrationTileCap bounds the calibration pass: activation ranges
+// saturate after a few dozen representative tiles, so running the whole
+// campaign through the float engine again would be pure waste.
+const calibrationTileCap = 128
+
+// quantizeTrained rebuilds the float64 master from the trained model (a
+// no-op copy for f64, the Adam master weights for f32), calibrates
+// activation ranges over training tiles, and quantizes to int8.
+func quantizeTrained[S tensor.Scalar](model *unet.Model[S], st *pipeline.Stream, batch int) (*unet.QuantModel, error) {
+	master, err := unet.New[float64](model.Config())
+	if err != nil {
+		return nil, err
+	}
+	if err := master.SetWeightsF64(model.WeightsF64()); err != nil {
+		return nil, err
+	}
+	samples, err := st.TrainSamples()
+	if err != nil {
+		return nil, err
+	}
+	if len(samples) > calibrationTileCap {
+		samples = samples[:calibrationTileCap]
+	}
+	imgs := make([]*raster.RGB, len(samples))
+	for i := range samples {
+		imgs[i] = samples[i].Image
+	}
+	log.Printf("calibrating int8 activation ranges on %d training tiles", len(imgs))
+	cal, err := unet.Calibrate(master, imgs, batch)
+	if err != nil {
+		return nil, err
+	}
+	return unet.Quantize(master, cal)
 }
 
 // runNet trains this process as one rank of a TCP cluster: the ring

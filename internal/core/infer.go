@@ -11,7 +11,6 @@ import (
 
 	"seaice/internal/dataset"
 	"seaice/internal/raster"
-	"seaice/internal/tensor"
 	"seaice/internal/unet"
 )
 
@@ -21,11 +20,12 @@ type TilePredictor interface {
 	PredictTiles(tiles []*raster.RGB) ([]*raster.Labels, error)
 }
 
-// SessionPredictor is the local TilePredictor: a unet inference session
-// driven in fixed-size micro-batches. It is not safe for concurrent use
-// (wrap it in a serve scheduler for that).
-type SessionPredictor[S tensor.Scalar] struct {
-	sess     *unet.Session[S]
+// SessionPredictor is the local TilePredictor: an inference session over
+// any precision engine (f64, f32, or int8), driven in fixed-size
+// micro-batches. It is not safe for concurrent use (wrap it in a serve
+// scheduler for that).
+type SessionPredictor struct {
+	pred     unet.Predictor
 	maxBatch int
 }
 
@@ -33,24 +33,24 @@ type SessionPredictor[S tensor.Scalar] struct {
 // past ~16 tiles the per-layer amortization has flattened out.
 const DefaultInferenceBatch = 16
 
-// NewSessionPredictor wraps m in an inference session that predicts in
+// NewSessionPredictor mints a predictor session from e that predicts in
 // batches of up to maxBatch tiles (<= 0 selects DefaultInferenceBatch).
-func NewSessionPredictor[S tensor.Scalar](m *unet.Model[S], maxBatch int) *SessionPredictor[S] {
+func NewSessionPredictor(e unet.Engine, maxBatch int) *SessionPredictor {
 	if maxBatch <= 0 {
 		maxBatch = DefaultInferenceBatch
 	}
-	return &SessionPredictor[S]{sess: unet.NewSession(m), maxBatch: maxBatch}
+	return &SessionPredictor{pred: e.NewPredictor(), maxBatch: maxBatch}
 }
 
 // PredictTiles implements TilePredictor.
-func (p *SessionPredictor[S]) PredictTiles(tiles []*raster.RGB) ([]*raster.Labels, error) {
+func (p *SessionPredictor) PredictTiles(tiles []*raster.RGB) ([]*raster.Labels, error) {
 	out := make([]*raster.Labels, 0, len(tiles))
 	for i := 0; i < len(tiles); i += p.maxBatch {
 		end := i + p.maxBatch
 		if end > len(tiles) {
 			end = len(tiles)
 		}
-		labels, err := p.sess.PredictTiles(tiles[i:end])
+		labels, err := p.pred.PredictTiles(tiles[i:end])
 		if err != nil {
 			return nil, err
 		}
@@ -89,7 +89,7 @@ func InferFilteredScene(p TilePredictor, img *raster.RGB, tileSize int) (*raster
 }
 
 // Inference reproduces the paper's Fig 9 workflow on a full scene with a
-// local batched session over m — the code path cmd/seaice-infer runs.
-func Inference[S tensor.Scalar](m *unet.Model[S], sceneImg *raster.RGB, tileSize int, build dataset.BuildConfig) (*raster.Labels, error) {
-	return InferScene(NewSessionPredictor(m, 0), sceneImg, tileSize, build)
+// local batched session over e — the code path cmd/seaice-infer runs.
+func Inference(e unet.Engine, sceneImg *raster.RGB, tileSize int, build dataset.BuildConfig) (*raster.Labels, error) {
+	return InferScene(NewSessionPredictor(e, 0), sceneImg, tileSize, build)
 }

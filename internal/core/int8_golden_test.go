@@ -1,0 +1,115 @@
+package core
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"seaice/internal/dataset"
+	"seaice/internal/raster"
+	"seaice/internal/scene"
+	"seaice/internal/unet"
+)
+
+// -update regenerates the committed int8 golden raster. Run it ONLY when
+// an intentional quantization or inference-pipeline change lands, and
+// re-review the diff: this file is what turns silent drift in the int8
+// numerics (scale derivation, requantization rounding, GEMM kernels,
+// zero-point folding) into a test failure.
+var updateInt8Golden = flag.Bool("update", false, "rewrite the golden int8 scene raster")
+
+// int8GoldenPath is the committed label raster: the end-to-end int8
+// classification (filter → tile → quantized U-Net → stitch) of the
+// noise-seeded 96×96 scene below, one class byte per pixel.
+const int8GoldenPath = "testdata/int8-scene-golden-seed4242.bin"
+
+// int8GoldenLabels runs the exact pipeline under test: a seed-determined
+// float64 master, calibrated on the scene's own tiles, quantized to
+// int8, then driven through the shared Fig 9 inference workflow. Every
+// stage is deterministic — weight init and the scene from seeded RNGs,
+// calibration from pure float64 forward passes, and the int8 forward
+// pass bit-deterministic by construction (fixed-point requantization;
+// see internal/tensor) — so the output raster is a platform-independent
+// function of the seed.
+func int8GoldenLabels(t *testing.T) *raster.Labels {
+	t.Helper()
+	cfg := scene.DefaultConfig(4242)
+	cfg.W, cfg.H = 96, 96
+	sc, err := scene.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := unet.New[float64](unet.FastConfig(4242))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiles, _, err := raster.Split(sc.Image, 32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imgs := make([]*raster.RGB, len(tiles))
+	for i, tl := range tiles {
+		imgs[i] = tl.Image
+	}
+	cal, err := unet.Calibrate(m, imgs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qm, err := unet.Quantize(m, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := Inference(qm, sc.Image, 32, dataset.DefaultBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pred
+}
+
+// TestGoldenInt8SceneRaster byte-compares the end-to-end int8 scene
+// classification against the committed golden raster — the quantized
+// counterpart of autolabel's golden test. Any refactor that shifts even
+// one pixel's class (a changed scale formula, a requant rounding tweak,
+// a GEMM kernel bug) fails here rather than surfacing as a silent
+// accuracy regression.
+func TestGoldenInt8SceneRaster(t *testing.T) {
+	pred := int8GoldenLabels(t)
+	got := make([]byte, len(pred.Pix))
+	for i, c := range pred.Pix {
+		got[i] = byte(c)
+	}
+
+	if *updateInt8Golden {
+		if err := os.MkdirAll(filepath.Dir(int8GoldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(int8GoldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden raster rewritten (%d bytes) — review the diff", len(got))
+		return
+	}
+
+	want, err := os.ReadFile(int8GoldenPath)
+	if err != nil {
+		t.Fatalf("golden raster missing (regenerate with -update after reviewing): %v", err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("golden raster is %d bytes, pipeline produced %d", len(want), len(got))
+	}
+	if !bytes.Equal(got, want) {
+		diff, first := 0, -1
+		for i := range got {
+			if got[i] != want[i] {
+				diff++
+				if first < 0 {
+					first = i
+				}
+			}
+		}
+		t.Fatalf("int8 inference output drifted from golden raster: %d/%d pixels differ (first at index %d: got class %d, want %d)",
+			diff, len(got), first, got[first], want[first])
+	}
+}

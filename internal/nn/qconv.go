@@ -1,0 +1,372 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"seaice/internal/tensor"
+)
+
+// Quantized inference layers. These are forward-only, int8 counterparts
+// of Conv2D / ConvTranspose2x2, built post-training from a float master's
+// weights plus calibrated activation ranges (unet.Calibrate). The design
+// follows the int8 rung of the precision policy:
+//
+//   - Activations are uint8 in [0, 127] (tensor.QuantMax), NHWC with the
+//     channel innermost — a 1×1 conv's GEMM column is then a contiguous
+//     pixel row, and a 3×3 im2col gathers nine small channel runs.
+//   - Weights are per-output-channel symmetric int8, stored tap-major
+//     (w[oc][t·InC+c]) and padded to a multiple of 32 taps so the AVX2
+//     GEMM never runs a scalar tail. The per-input-channel activation
+//     scale is folded INTO the float weights before quantization, which
+//     is what lets the decoder's concatenated skip+up inputs (two
+//     different quantizations) share one integer GEMM.
+//   - Zero-points fold into the bias exactly: conv ≈ s_w·(acc − Σ_c z_c·Σ_t wq),
+//     provided spatial padding taps contribute the input's zero-point
+//     byte (QIm2Col3x3 does) and column-length padding taps carry zero
+//     weights (the builders do).
+//   - The integer GEMM runs on the active tensor.Int8 backend; the
+//     requantization epilogue stays here in pure Go, so backend choice
+//     can never change an output bit.
+type QConv struct {
+	Name      string
+	InC, OutC int
+	K         int // kernel size, 1 or 3 (stride 1, "same" padding)
+	KPad      int // padded GEMM column length: K²·InC rounded up to 32
+	W         []int8
+	Bias      []int32 // round(b/(s_w)) − Σ_c z_c·Σ_t wq, per output channel
+	Req       []tensor.Requant
+	OutZ      uint8
+}
+
+// padTo32 rounds a GEMM column length up to the AVX2 kernel's 32-byte
+// step so quantized layers never pay the scalar tail.
+func padTo32(k int) int { return (k + 31) &^ 31 }
+
+// NewQConv quantizes one float convolution. w is Conv2D's layout
+// (outC, inC·k·k) with taps minor; in gives each input channel's
+// activation quantization (a concat input passes the two sources'
+// quantizations per channel), out the calibrated output quantization.
+func NewQConv(name string, inC, outC, k int, w, bias []float64, in []tensor.ActQuant, out tensor.ActQuant) (*QConv, error) {
+	taps := k * k
+	if len(w) != outC*inC*taps || len(bias) != outC || len(in) != inC {
+		return nil, fmt.Errorf("nn: NewQConv(%s) shape mismatch: %d weights, %d biases, %d in-quants for %d→%d k=%d",
+			name, len(w), len(bias), len(in), inC, outC, k)
+	}
+	if inC*taps > tensor.Int8AccumBoundTaps {
+		return nil, fmt.Errorf("nn: NewQConv(%s): %d taps exceeds the int32 accumulator bound %d",
+			name, inC*taps, tensor.Int8AccumBoundTaps)
+	}
+	// Remap to tap-major and fold each input channel's scale into the
+	// float weight, so the integer GEMM's product is uniform in s_w.
+	wf := make([]float64, outC*inC*taps)
+	for oc := 0; oc < outC; oc++ {
+		src := w[oc*inC*taps : (oc+1)*inC*taps]
+		dst := wf[oc*inC*taps : (oc+1)*inC*taps]
+		for c := 0; c < inC; c++ {
+			for t := 0; t < taps; t++ {
+				dst[t*inC+c] = src[c*taps+t] * in[c].Scale
+			}
+		}
+	}
+	q, scales := tensor.QuantizeWeightsPerChannel(wf, outC, inC*taps)
+
+	kPad := padTo32(inC * taps)
+	c := &QConv{
+		Name: name, InC: inC, OutC: outC, K: k, KPad: kPad,
+		W:    make([]int8, outC*kPad),
+		Bias: make([]int32, outC),
+		Req:  make([]tensor.Requant, outC),
+		OutZ: out.Zero,
+	}
+	for oc := 0; oc < outC; oc++ {
+		copy(c.W[oc*kPad:], q[oc*inC*taps:(oc+1)*inC*taps]) // pad taps stay 0
+		var zCorr int64
+		for ch := 0; ch < inC; ch++ {
+			var sumW int64
+			for t := 0; t < taps; t++ {
+				sumW += int64(q[oc*inC*taps+t*inC+ch])
+			}
+			zCorr += int64(in[ch].Zero) * sumW
+		}
+		c.Bias[oc] = int32(int64(math.Round(bias[oc]/scales[oc])) - zCorr)
+		c.Req[oc] = tensor.NewRequant(scales[oc] / out.Scale)
+	}
+	return c, nil
+}
+
+// QIm2Col3x3 gathers the tap-major padded GEMM columns for a same-padded
+// 3×3 convolution over the virtual channel concat of two NHWC sources
+// (xb may be nil): column (img,y,x) holds, for each of the nine taps,
+// xa's ca channels then xb's cb channels at (y+ky, x+kx); out-of-image
+// taps are filled with the source's zero-point byte so they dequantize
+// to exactly zero, and the [9·(ca+cb), kPad) pad region is zeroed (its
+// weights are zero, so its content is immaterial — zeroing keeps the
+// buffer deterministic).
+func QIm2Col3x3(xa []uint8, ca int, za uint8, xb []uint8, cb int, zb uint8, n, h, w, kPad int, dst []uint8) {
+	inC := ca + cb
+	plane := h * w
+	for img := 0; img < n; img++ {
+		pa := xa[img*plane*ca : (img+1)*plane*ca]
+		var pb []uint8
+		if cb > 0 {
+			pb = xb[img*plane*cb : (img+1)*plane*cb]
+		}
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				col := dst[((img*h+y)*w+x)*kPad:]
+				t := 0
+				for ky := -1; ky <= 1; ky++ {
+					yy := y + ky
+					if yy < 0 || yy >= h {
+						for j := 0; j < 3; j++ {
+							d := col[(t+j)*inC : (t+j)*inC+inC]
+							for i := 0; i < ca; i++ {
+								d[i] = za
+							}
+							for i := ca; i < inC; i++ {
+								d[i] = zb
+							}
+						}
+						t += 3
+						continue
+					}
+					if x > 0 && x+1 < w {
+						// Interior pixels: the row's three taps are
+						// contiguous in the source, so the whole kernel
+						// row moves in one copy per source (the hot path
+						// — only the w-2 boundary columns fall through).
+						base := yy*w + x - 1
+						if cb == 0 {
+							copy(col[t*inC:(t+3)*inC], pa[base*ca:(base+3)*ca])
+						} else {
+							for j := 0; j < 3; j++ {
+								d := col[(t+j)*inC : (t+j)*inC+inC]
+								copy(d[:ca], pa[(base+j)*ca:])
+								copy(d[ca:], pb[(base+j)*cb:])
+							}
+						}
+						t += 3
+						continue
+					}
+					for kx := -1; kx <= 1; kx++ {
+						xx := x + kx
+						d := col[t*inC : t*inC+inC]
+						if xx < 0 || xx >= w {
+							for i := 0; i < ca; i++ {
+								d[i] = za
+							}
+							for i := ca; i < inC; i++ {
+								d[i] = zb
+							}
+						} else {
+							copy(d[:ca], pa[(yy*w+xx)*ca:])
+							if cb > 0 {
+								copy(d[ca:], pb[(yy*w+xx)*cb:])
+							}
+						}
+						t++
+					}
+				}
+				for i := 9 * inC; i < kPad; i++ {
+					col[i] = 0
+				}
+			}
+		}
+	}
+}
+
+// QPadColumns copies an NHWC tensor into kPad-strided GEMM columns — the
+// "im2col" of a 1×1 kernel, needed only to pad the column length to the
+// vector kernel's step. Pad bytes are zero (zero weights there).
+func QPadColumns(x []uint8, npx, c, kPad int, dst []uint8) {
+	for p := 0; p < npx; p++ {
+		col := dst[p*kPad : (p+1)*kPad]
+		copy(col, x[p*c:(p+1)*c])
+		for i := c; i < kPad; i++ {
+			col[i] = 0
+		}
+	}
+}
+
+// Forward applies the quantized convolution to pre-built GEMM columns
+// (QIm2Col3x3 or QPadColumns output; npx columns of c.KPad bytes),
+// writing the requantized NHWC result to out (npx·OutC bytes). acc is
+// caller-owned int32 scratch with at least OutC·npx elements. The lower
+// clamp of the requantization IS the ReLU when OutZ == 0.
+func (c *QConv) Forward(cols []uint8, npx int, acc []int32, out []uint8) {
+	tensor.Int8().GemmU8S8(c.W, cols, c.OutC, c.KPad, npx, acc)
+	for oc := 0; oc < c.OutC; oc++ {
+		b, rq := c.Bias[oc], c.Req[oc]
+		row := acc[oc*npx : (oc+1)*npx]
+		d := out[oc:]
+		for p, v := range row {
+			d[p*c.OutC] = tensor.RequantClamp(v+b, rq, c.OutZ)
+		}
+	}
+}
+
+// QMaxPool2NHWC is the 2×2 stride-2 max pool on NHWC uint8: max is
+// monotone, so the output reuses the input's quantization unchanged.
+func QMaxPool2NHWC(x []uint8, n, h, w, c int, out []uint8) {
+	oh, ow := h/2, w/2
+	for img := 0; img < n; img++ {
+		src := x[img*h*w*c:]
+		dst := out[img*oh*ow*c:]
+		for y := 0; y < oh; y++ {
+			r0 := src[(2*y)*w*c:]
+			r1 := src[(2*y+1)*w*c:]
+			drow := dst[y*ow*c:]
+			for x2 := 0; x2 < ow; x2++ {
+				a := r0[(2*x2)*c : (2*x2)*c+c]
+				b := r0[(2*x2+1)*c : (2*x2+1)*c+c]
+				e := r1[(2*x2)*c : (2*x2)*c+c]
+				f := r1[(2*x2+1)*c : (2*x2+1)*c+c]
+				d := drow[x2*c : (x2+1)*c]
+				for i := range d {
+					m := a[i]
+					if b[i] > m {
+						m = b[i]
+					}
+					if e[i] > m {
+						m = e[i]
+					}
+					if f[i] > m {
+						m = f[i]
+					}
+					d[i] = m
+				}
+			}
+		}
+	}
+}
+
+// QConvT is the quantized 2×2 stride-2 transposed convolution. With
+// non-overlapping output blocks it decomposes into four independent
+// 1×1-style GEMMs, one per kernel tap, each scattering to one output
+// parity. Its output is not ReLU-clamped, so it carries a nonzero
+// zero-point when the calibrated range dips below zero.
+type QConvT struct {
+	Name      string
+	InC, OutC int
+	KPad      int // InC rounded up to 32
+	W         [4][]int8
+	Bias      [4][]int32
+	Req       [4][]tensor.Requant
+	OutZ      uint8
+}
+
+// NewQConvT quantizes a float ConvTranspose2x2: w is its layout
+// (inC, outC·4) — w[ic][oc·4+tap] — bias len outC.
+func NewQConvT(name string, inC, outC int, w, bias []float64, in []tensor.ActQuant, out tensor.ActQuant) (*QConvT, error) {
+	if len(w) != inC*outC*4 || len(bias) != outC || len(in) != inC {
+		return nil, fmt.Errorf("nn: NewQConvT(%s) shape mismatch: %d weights, %d biases, %d in-quants for %d→%d",
+			name, len(w), len(bias), len(in), inC, outC)
+	}
+	u := &QConvT{Name: name, InC: inC, OutC: outC, KPad: padTo32(inC), OutZ: out.Zero}
+	wf := make([]float64, outC*inC)
+	for tap := 0; tap < 4; tap++ {
+		for oc := 0; oc < outC; oc++ {
+			for ic := 0; ic < inC; ic++ {
+				wf[oc*inC+ic] = w[ic*outC*4+oc*4+tap] * in[ic].Scale
+			}
+		}
+		q, scales := tensor.QuantizeWeightsPerChannel(wf, outC, inC)
+		u.W[tap] = make([]int8, outC*u.KPad)
+		u.Bias[tap] = make([]int32, outC)
+		u.Req[tap] = make([]tensor.Requant, outC)
+		for oc := 0; oc < outC; oc++ {
+			copy(u.W[tap][oc*u.KPad:], q[oc*inC:(oc+1)*inC])
+			var zCorr int64
+			for ic := 0; ic < inC; ic++ {
+				zCorr += int64(in[ic].Zero) * int64(q[oc*inC+ic])
+			}
+			u.Bias[tap][oc] = int32(int64(math.Round(bias[oc]/scales[oc])) - zCorr)
+			u.Req[tap][oc] = tensor.NewRequant(scales[oc] / out.Scale)
+		}
+	}
+	return u, nil
+}
+
+// Forward applies the up-convolution to padded input columns
+// (QPadColumns of the (n,h,w,InC) NHWC input; npx = n·h·w), writing the
+// doubled-resolution NHWC output (n,2h,2w,OutC). acc needs OutC·npx
+// int32s.
+func (u *QConvT) Forward(cols []uint8, n, h, w int, acc []int32, out []uint8) {
+	npx := n * h * w
+	ow := 2 * w
+	for tap := 0; tap < 4; tap++ {
+		ty, tx := tap/2, tap%2
+		tensor.Int8().GemmU8S8(u.W[tap], cols, u.OutC, u.KPad, npx, acc)
+		for oc := 0; oc < u.OutC; oc++ {
+			b, rq := u.Bias[tap][oc], u.Req[tap][oc]
+			row := acc[oc*npx : (oc+1)*npx]
+			for p, v := range row {
+				img, rem := p/(h*w), p%(h*w)
+				y, x := rem/w, rem%w
+				out[(((img*2*h+2*y+ty)*ow)+2*x+tx)*u.OutC+oc] = tensor.RequantClamp(v+b, rq, u.OutZ)
+			}
+		}
+	}
+}
+
+// QHead is the quantized final 1×1 convolution fused with the argmax:
+// it dequantizes its int32 accumulators to float logits (the classifier
+// head needs no requantization — nothing consumes its quantized form)
+// and emits per-pixel class labels with Predict's exact tie rule
+// (strictly-greater wins, so ties resolve to the lowest class index).
+type QHead struct {
+	Classes, InC int
+	KPad         int
+	W            []int8
+	Scale        []float64 // per class: the folded weight scale s_w
+	ZCorr        []int32   // per class: Σ_c z_c·wq
+	Bias         []float64
+}
+
+// NewQHead quantizes the final 1×1 convolution (w: (classes, inC)).
+func NewQHead(inC, classes int, w, bias []float64, in []tensor.ActQuant) (*QHead, error) {
+	if len(w) != classes*inC || len(bias) != classes || len(in) != inC {
+		return nil, fmt.Errorf("nn: NewQHead shape mismatch: %d weights, %d biases, %d in-quants for %d→%d",
+			len(w), len(bias), len(in), inC, classes)
+	}
+	wf := make([]float64, classes*inC)
+	for cl := 0; cl < classes; cl++ {
+		for c := 0; c < inC; c++ {
+			wf[cl*inC+c] = w[cl*inC+c] * in[c].Scale
+		}
+	}
+	q, scales := tensor.QuantizeWeightsPerChannel(wf, classes, inC)
+	hd := &QHead{
+		Classes: classes, InC: inC, KPad: padTo32(inC),
+		W:     make([]int8, classes*padTo32(inC)),
+		Scale: scales,
+		ZCorr: make([]int32, classes),
+		Bias:  append([]float64(nil), bias...),
+	}
+	for cl := 0; cl < classes; cl++ {
+		copy(hd.W[cl*hd.KPad:], q[cl*inC:(cl+1)*inC])
+		var zc int64
+		for c := 0; c < inC; c++ {
+			zc += int64(in[c].Zero) * int64(q[cl*inC+c])
+		}
+		hd.ZCorr[cl] = int32(zc)
+	}
+	return hd, nil
+}
+
+// Forward classifies npx padded columns (QPadColumns output) directly to
+// labels. acc needs Classes·npx int32s.
+func (hd *QHead) Forward(cols []uint8, npx int, acc []int32, labels []uint8) {
+	tensor.Int8().GemmU8S8(hd.W, cols, hd.Classes, hd.KPad, npx, acc)
+	for p := 0; p < npx; p++ {
+		best, bv := 0, hd.Scale[0]*float64(acc[p]-hd.ZCorr[0])+hd.Bias[0]
+		for cl := 1; cl < hd.Classes; cl++ {
+			v := hd.Scale[cl]*float64(acc[cl*npx+p]-hd.ZCorr[cl]) + hd.Bias[cl]
+			if v > bv {
+				best, bv = cl, v
+			}
+		}
+		labels[p] = uint8(best)
+	}
+}

@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"seaice/internal/raster"
-	"seaice/internal/tensor"
 	"seaice/internal/unet"
 )
 
@@ -20,9 +19,9 @@ var ErrOverloaded = errors.New("serve: queue full")
 var ErrClosed = errors.New("serve: scheduler closed")
 
 // request is one tile awaiting classification.
-type request[S tensor.Scalar] struct {
-	model *unet.Model[S]
-	tile  *raster.RGB
+type request struct {
+	engine unet.Engine
+	tile   *raster.RGB
 	// deadline is the client's absolute latency bound; zero means none.
 	// Expired requests are dropped at batch pickup, before compute.
 	deadline time.Time
@@ -48,9 +47,9 @@ type result struct {
 // queue cannot absorb them do they fail with ErrOverloaded — overload
 // semantics (HTTP 429) stay exactly the existing bound. Restart counts
 // and the live-worker gauge surface through Stats and /healthz.
-type Scheduler[S tensor.Scalar] struct {
+type Scheduler struct {
 	cfg   Config
-	queue chan *request[S]
+	queue chan *request
 	done  chan struct{}
 
 	mu       sync.Mutex
@@ -65,10 +64,10 @@ type Scheduler[S tensor.Scalar] struct {
 }
 
 // NewScheduler starts the worker pool. stats may be nil.
-func NewScheduler[S tensor.Scalar](cfg Config, stats *Stats) *Scheduler[S] {
-	s := &Scheduler[S]{
+func NewScheduler(cfg Config, stats *Stats) *Scheduler {
+	s := &Scheduler{
 		cfg:   cfg,
-		queue: make(chan *request[S], cfg.QueueSize),
+		queue: make(chan *request, cfg.QueueSize),
 		done:  make(chan struct{}),
 		stats: stats,
 		model: NewSvcModel(cfg.MaxBatch),
@@ -80,29 +79,29 @@ func NewScheduler[S tensor.Scalar](cfg Config, stats *Stats) *Scheduler[S] {
 }
 
 // spawn starts one worker goroutine and accounts it live.
-func (s *Scheduler[S]) spawn() {
+func (s *Scheduler) spawn() {
 	s.workers.Add(1)
 	s.live.Add(1)
 	go s.worker()
 }
 
 // QueueDepth reports the number of queued (not yet running) requests.
-func (s *Scheduler[S]) QueueDepth() int { return len(s.queue) }
+func (s *Scheduler) QueueDepth() int { return len(s.queue) }
 
 // LiveWorkers reports the number of currently running workers — the
 // health gauge behind /healthz (a worker mid-restart dips the count
 // momentarily; it recovers without intervention).
-func (s *Scheduler[S]) LiveWorkers() int { return int(s.live.Load()) }
+func (s *Scheduler) LiveWorkers() int { return int(s.live.Load()) }
 
 // Submit enqueues one tile with no deadline and blocks until its
 // prediction is ready. A full queue returns ErrOverloaded immediately.
-func (s *Scheduler[S]) Submit(m *unet.Model[S], tile *raster.RGB) (*raster.Labels, error) {
-	return s.SubmitDeadline(m, tile, time.Time{})
+func (s *Scheduler) Submit(e unet.Engine, tile *raster.RGB) (*raster.Labels, error) {
+	return s.SubmitDeadline(e, tile, time.Time{})
 }
 
 // Model exposes the scheduler's service-time model (for the HTTP layer's
 // Retry-After computation and /statz).
-func (s *Scheduler[S]) Model() *SvcModel { return s.model }
+func (s *Scheduler) Model() *SvcModel { return s.model }
 
 // SubmitDeadline enqueues one tile and blocks until its prediction is
 // ready. Admission is deadline-aware: a request whose predicted
@@ -112,7 +111,7 @@ func (s *Scheduler[S]) Model() *SvcModel { return s.model }
 // ErrOverloaded. Once admitted, a request is never converted back into a
 // rejection: it either completes, or expires in queue and fails with
 // ErrDeadlineExpired (dropped before compute).
-func (s *Scheduler[S]) SubmitDeadline(m *unet.Model[S], tile *raster.RGB, deadline time.Time) (*raster.Labels, error) {
+func (s *Scheduler) SubmitDeadline(e unet.Engine, tile *raster.RGB, deadline time.Time) (*raster.Labels, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -138,7 +137,7 @@ func (s *Scheduler[S]) SubmitDeadline(m *unet.Model[S], tile *raster.RGB, deadli
 		}
 	}
 
-	req := &request[S]{model: m, tile: tile, deadline: deadline, out: make(chan result, 1)}
+	req := &request{engine: e, tile: tile, deadline: deadline, out: make(chan result, 1)}
 	select {
 	case s.queue <- req:
 	default:
@@ -164,7 +163,7 @@ func retryIn(predicted, budget time.Duration) time.Duration {
 
 // Close drains in-flight work and stops the workers. Safe to call more
 // than once.
-func (s *Scheduler[S]) Close() {
+func (s *Scheduler) Close() {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -185,12 +184,12 @@ func (s *Scheduler[S]) Close() {
 // batch is contained here: the crashed batch's requests (and any
 // pending next leader) are requeued, the worker is respawned with a
 // fresh session map, and the panic never reaches the process.
-func (s *Scheduler[S]) worker() {
+func (s *Scheduler) worker() {
 	defer s.workers.Done()
 	defer s.live.Add(-1)
 
-	var cur []*request[S]   // batch being executed, requeued on panic
-	var pending *request[S] // first request of the next batch after a mismatch
+	var cur []*request   // batch being executed, requeued on panic
+	var pending *request // first request of the next batch after a mismatch
 	defer func() {
 		r := recover()
 		if r == nil {
@@ -233,9 +232,9 @@ func (s *Scheduler[S]) worker() {
 		s.spawn()
 	}()
 
-	sessions := make(map[*unet.Model[S]]*unet.Session[S])
+	sessions := make(map[unet.Engine]unet.Predictor)
 	for {
-		var leader *request[S]
+		var leader *request
 		if pending != nil {
 			leader, pending = pending, nil
 		} else {
@@ -245,7 +244,7 @@ func (s *Scheduler[S]) worker() {
 			case leader = <-s.queue:
 			}
 		}
-		batch := []*request[S]{leader}
+		batch := []*request{leader}
 		if s.cfg.MaxBatch > 1 {
 			batch, pending = s.collect(batch)
 		}
@@ -258,14 +257,14 @@ func (s *Scheduler[S]) worker() {
 // collect gathers followers for batch's leader until the batch is full,
 // BatchWait elapses, or a mismatched request arrives (returned as the
 // next leader).
-func (s *Scheduler[S]) collect(batch []*request[S]) ([]*request[S], *request[S]) {
+func (s *Scheduler) collect(batch []*request) ([]*request, *request) {
 	leader := batch[0]
 	timer := time.NewTimer(s.cfg.BatchWait)
 	defer timer.Stop()
 	for len(batch) < s.cfg.MaxBatch {
 		select {
 		case r := <-s.queue:
-			if r.model != leader.model || r.tile.W != leader.tile.W || r.tile.H != leader.tile.H {
+			if r.engine != leader.engine || r.tile.W != leader.tile.W || r.tile.H != leader.tile.H {
 				return batch, r
 			}
 			batch = append(batch, r)
@@ -285,7 +284,7 @@ func (s *Scheduler[S]) collect(batch []*request[S]) ([]*request[S], *request[S])
 // ordinal, before any result is delivered — so the restart path always
 // sees a whole batch to requeue; a seeded slow-node fault delays the
 // batch (capacity degradation, not failure).
-func (s *Scheduler[S]) run(sessions map[*unet.Model[S]]*unet.Session[S], batch []*request[S], curp *[]*request[S]) {
+func (s *Scheduler) run(sessions map[unet.Engine]unet.Predictor, batch []*request, curp *[]*request) {
 	panicNow, slow := s.cfg.Chaos.ServeBatch()
 	if panicNow {
 		panic("chaos: injected inference-worker fault")
@@ -299,7 +298,7 @@ func (s *Scheduler[S]) run(sessions map[*unet.Model[S]]*unet.Session[S], batch [
 	// shrinks to the live set so an already-answered expired request can
 	// never be requeued by a later panic.
 	now := time.Now()
-	live := make([]*request[S], 0, len(batch))
+	live := make([]*request, 0, len(batch))
 	for _, r := range batch {
 		if !r.deadline.IsZero() && now.After(r.deadline) {
 			if s.stats != nil {
@@ -315,10 +314,10 @@ func (s *Scheduler[S]) run(sessions map[*unet.Model[S]]*unet.Session[S], batch [
 		return
 	}
 
-	sess, ok := sessions[live[0].model]
+	sess, ok := sessions[live[0].engine]
 	if !ok {
-		sess = unet.NewSession(live[0].model)
-		sessions[live[0].model] = sess
+		sess = live[0].engine.NewPredictor()
+		sessions[live[0].engine] = sess
 	}
 	tiles := make([]*raster.RGB, len(live))
 	for i, r := range live {

@@ -26,7 +26,7 @@ func TestSchedulerCoalesces(t *testing.T) {
 	cfg.MaxBatch = 8
 	cfg.BatchWait = 50 * time.Millisecond
 	stats := NewStats()
-	sched := NewScheduler[float64](cfg, stats)
+	sched := NewScheduler(cfg, stats)
 	defer sched.Close()
 
 	const n = 16
@@ -61,7 +61,7 @@ func TestSchedulerCoalesces(t *testing.T) {
 func TestSchedulerMatchesSession(t *testing.T) {
 	m := testModel(t, 4)
 	cfg := schedCfg()
-	sched := NewScheduler[float64](cfg, nil)
+	sched := NewScheduler(cfg, nil)
 	defer sched.Close()
 
 	tiles := testTiles(12, 16, 8)
@@ -99,7 +99,7 @@ func TestSchedulerMixedShapes(t *testing.T) {
 	cfg := schedCfg()
 	cfg.MaxBatch = 4
 	cfg.BatchWait = 10 * time.Millisecond
-	sched := NewScheduler[float64](cfg, nil)
+	sched := NewScheduler(cfg, nil)
 	defer sched.Close()
 
 	small := testTiles(6, 16, 10)
@@ -141,7 +141,7 @@ func TestSchedulerBackpressure(t *testing.T) {
 	cfg.MaxBatch = 1
 	cfg.BatchWait = 0
 	stats := NewStats()
-	sched := NewScheduler[float64](cfg, stats)
+	sched := NewScheduler(cfg, stats)
 	defer sched.Close()
 
 	const n = 48
@@ -185,7 +185,7 @@ func TestSchedulerBackpressure(t *testing.T) {
 func TestSchedulerClose(t *testing.T) {
 	m := testModel(t, 8)
 	cfg := schedCfg()
-	sched := NewScheduler[float64](cfg, nil)
+	sched := NewScheduler(cfg, nil)
 
 	tiles := testTiles(8, 16, 13)
 	var wg sync.WaitGroup

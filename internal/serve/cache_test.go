@@ -117,11 +117,11 @@ func TestRegistry(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	r := NewRegistry[float64]()
-	if err := r.Load("man", good); err != nil {
+	r := NewRegistry()
+	if err := r.Load("man", good, "f64"); err != nil {
 		t.Fatal(err)
 	}
-	if err := r.Load("auto", good); err != nil {
+	if err := r.Load("auto", good, "f32"); err != nil {
 		t.Fatal(err)
 	}
 	if r.Default() != "man" {
@@ -136,10 +136,10 @@ func TestRegistry(t *testing.T) {
 	if _, err := r.Get("nope"); err == nil {
 		t.Fatal("unknown model lookup succeeded")
 	}
-	if err := r.Load("man", good); err == nil {
+	if err := r.Load("man", good, "f64"); err == nil {
 		t.Fatal("duplicate name accepted")
 	}
-	if err := r.Load("bad", filepath.Join(dir, "missing.ckpt")); err == nil {
+	if err := r.Load("bad", filepath.Join(dir, "missing.ckpt"), "f64"); err == nil {
 		t.Fatal("missing checkpoint accepted")
 	}
 	if got := r.Names(); len(got) != 2 || got[0] != "auto" || got[1] != "man" {

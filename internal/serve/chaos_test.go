@@ -34,7 +34,7 @@ func TestChaosWorkerRestartServesEverything(t *testing.T) {
 	cfg.QueueSize = 256 // roomy: no request should be shed
 	cfg.Chaos = serveInjector(t, "3:serve@0,serve@4")
 	stats := NewStats()
-	sched := NewScheduler[float64](cfg, stats)
+	sched := NewScheduler(cfg, stats)
 	defer sched.Close()
 
 	const n = 48
@@ -83,7 +83,7 @@ func TestChaosWorkerRestartRespectsBound(t *testing.T) {
 	cfg.QueueSize = 2
 	cfg.Chaos = serveInjector(t, "9:serve@0")
 	stats := NewStats()
-	sched := NewScheduler[float64](cfg, stats)
+	sched := NewScheduler(cfg, stats)
 	defer sched.Close()
 
 	const n = 24
@@ -129,7 +129,7 @@ func TestChaosSchedulerCloseAfterRestart(t *testing.T) {
 	cfg.Workers = 2
 	cfg.QueueSize = 64
 	cfg.Chaos = serveInjector(t, "2:serve@1")
-	sched := NewScheduler[float64](cfg, nil)
+	sched := NewScheduler(cfg, nil)
 
 	tiles := testTiles(8, 16, 7)
 	var wg sync.WaitGroup

@@ -17,7 +17,7 @@ import (
 
 // workerNode spins up one worker server sharing the cluster's model and
 // returns it with its host:port address.
-func workerNode(t *testing.T, cfg Config) (*Server[float64], *httptest.Server, string) {
+func workerNode(t *testing.T, cfg Config) (*Server, *httptest.Server, string) {
 	t.Helper()
 	srv, ts := testServer(t, cfg)
 	return srv, ts, strings.TrimPrefix(ts.URL, "http://")

@@ -13,7 +13,6 @@ import (
 
 	"seaice/internal/core"
 	"seaice/internal/raster"
-	"seaice/internal/tensor"
 	"seaice/internal/unet"
 )
 
@@ -23,10 +22,10 @@ const maxBodyBytes = 64 << 20
 
 // Server is the HTTP front end: it owns the scheduler, cache, and stats
 // and exposes the classification service over stdlib net/http.
-type Server[S tensor.Scalar] struct {
+type Server struct {
 	cfg   Config
-	reg   *Registry[S]
-	sched *Scheduler[S]
+	reg   *Registry
+	sched *Scheduler
 	cache *Cache
 	stats *Stats
 	mux   *http.ServeMux
@@ -37,7 +36,7 @@ type Server[S tensor.Scalar] struct {
 
 // NewServer validates cfg, warms every registered model, and starts the
 // inference worker pool. Callers must Close the server to stop the pool.
-func NewServer[S tensor.Scalar](cfg Config, reg *Registry[S]) (*Server[S], error) {
+func NewServer(cfg Config, reg *Registry) (*Server, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -47,7 +46,7 @@ func NewServer[S tensor.Scalar](cfg Config, reg *Registry[S]) (*Server[S], error
 	if err := reg.Warm(cfg.TileSize); err != nil {
 		return nil, err
 	}
-	s := &Server[S]{
+	s := &Server{
 		cfg:   cfg,
 		reg:   reg,
 		cache: NewCache(cfg.CacheSize),
@@ -56,7 +55,7 @@ func NewServer[S tensor.Scalar](cfg Config, reg *Registry[S]) (*Server[S], error
 		// enough submits in flight to fill micro-batches.
 		fanout: max(1, min(cfg.QueueSize/2, 4*cfg.MaxBatch)),
 	}
-	s.sched = NewScheduler[S](cfg, s.stats)
+	s.sched = NewScheduler(cfg, s.stats)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/classify", s.handleClassify)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -65,14 +64,14 @@ func NewServer[S tensor.Scalar](cfg Config, reg *Registry[S]) (*Server[S], error
 }
 
 // Handler returns the HTTP handler tree.
-func (s *Server[S]) Handler() http.Handler { return s.mux }
+func (s *Server) Handler() http.Handler { return s.mux }
 
 // Close stops the inference pool, draining in-flight requests.
-func (s *Server[S]) Close() { s.sched.Close() }
+func (s *Server) Close() { s.sched.Close() }
 
 // Stats exposes the server's recorder (for tests and the load
 // generator).
-func (s *Server[S]) Stats() Snapshot {
+func (s *Server) Stats() Snapshot {
 	hits, misses := s.cache.Counters()
 	snap := s.stats.Snapshot(s.sched.QueueDepth(), s.sched.LiveWorkers(), hits, misses)
 	snap.PredictedWaitMS = float64(s.sched.Model().PredictWait(s.sched.QueueDepth(), s.cfg.Workers)) /
@@ -97,14 +96,14 @@ type classifyStats struct {
 // handleClassify implements POST /classify: PNG scene (or single tile)
 // in, label-map PNG plus class statistics out. Unknown models 404, bad
 // inputs 400, backpressure 429.
-func (s *Server[S]) handleClassify(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST a PNG to /classify", http.StatusMethodNotAllowed)
 		return
 	}
 	start := time.Now()
 	modelName := r.URL.Query().Get("model")
-	model, err := s.reg.Get(modelName)
+	engine, err := s.reg.Get(modelName)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
@@ -129,7 +128,7 @@ func (s *Server[S]) handleClassify(w http.ResponseWriter, r *http.Request) {
 	// sharding tiles, so worker nodes must not filter again).
 	preFiltered := r.URL.Query().Get("filtered") == "1"
 
-	pred := &servingPredictor[S]{srv: s, model: model, modelName: modelName, deadline: deadline}
+	pred := &servingPredictor{srv: s, engine: engine, modelName: modelName, deadline: deadline}
 	var labels *raster.Labels
 	if preFiltered {
 		labels, err = core.InferFilteredScene(pred, img, s.cfg.TileSize)
@@ -214,7 +213,7 @@ type overloadBody struct {
 // model-derived Retry-After (the EWMA service-time model's estimate of
 // how long the current backlog takes to drain, not a hardcoded guess)
 // and a JSON body carrying the current queue depth.
-func (s *Server[S]) writeOverloaded(w http.ResponseWriter) {
+func (s *Server) writeOverloaded(w http.ResponseWriter) {
 	depth := s.sched.QueueDepth()
 	wait := s.sched.Model().PredictWait(depth, s.cfg.Workers)
 	w.Header().Set("Content-Type", "application/json")
@@ -232,7 +231,7 @@ func (s *Server[S]) writeOverloaded(w http.ResponseWriter) {
 // says this deadline cannot be met, so the client is told immediately —
 // and told when retrying becomes worthwhile — instead of queueing work
 // destined to time out.
-func (s *Server[S]) writeInfeasible(w http.ResponseWriter, e *InfeasibleError) {
+func (s *Server) writeInfeasible(w http.ResponseWriter, e *InfeasibleError) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Retry-After", retryAfterSeconds(e.RetryAfter))
 	w.WriteHeader(http.StatusTooManyRequests)
@@ -281,7 +280,7 @@ func decodeSceneBody(r *http.Request, tileSize int) (*raster.RGB, int, error) {
 	return raster.FromImage(decoded), 0, nil
 }
 
-func (s *Server[S]) handleHealthz(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	// The worker pool self-heals, so health degrades only if restarts
 	// outpace respawns and the pool is actually empty right now — and
 	// status-code probes (k8s, load balancers) must see that too.
@@ -302,7 +301,7 @@ func (s *Server[S]) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server[S]) handleStatz(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(s.Stats())
 }
@@ -311,9 +310,9 @@ func (s *Server[S]) handleStatz(w http.ResponseWriter, r *http.Request) {
 // the shared inference workflow: cached tiles are answered from the LRU,
 // misses fan out as concurrent scheduler submits so the micro-batcher
 // can coalesce them, and fresh results are written back to the cache.
-type servingPredictor[S tensor.Scalar] struct {
-	srv       *Server[S]
-	model     *unet.Model[S]
+type servingPredictor struct {
+	srv       *Server
+	engine    unet.Engine
 	modelName string
 	deadline  time.Time // request deadline, propagated into every submit
 	tiles     int
@@ -321,7 +320,7 @@ type servingPredictor[S tensor.Scalar] struct {
 }
 
 // PredictTiles implements core.TilePredictor.
-func (p *servingPredictor[S]) PredictTiles(tiles []*raster.RGB) ([]*raster.Labels, error) {
+func (p *servingPredictor) PredictTiles(tiles []*raster.RGB) ([]*raster.Labels, error) {
 	p.tiles += len(tiles)
 	out := make([]*raster.Labels, len(tiles))
 	cached := p.srv.cache.Enabled()
@@ -365,7 +364,7 @@ func (p *servingPredictor[S]) PredictTiles(tiles []*raster.RGB) ([]*raster.Label
 		go func(mi, i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			labels, err := p.srv.sched.SubmitDeadline(p.model, tiles[i], p.deadline)
+			labels, err := p.srv.sched.SubmitDeadline(p.engine, tiles[i], p.deadline)
 			if err != nil {
 				errs[mi] = err
 				return

@@ -253,7 +253,7 @@ func TestSchedulerInfeasibleDeadline(t *testing.T) {
 	cfg := schedCfg()
 	cfg.MaxBatch = 1
 	stats := NewStats()
-	sched := NewScheduler[float64](cfg, stats)
+	sched := NewScheduler(cfg, stats)
 	defer sched.Close()
 
 	// Teach the model that a batch takes 500ms.
@@ -295,7 +295,7 @@ func TestSchedulerExpiredDroppedBeforeCompute(t *testing.T) {
 	}
 	cfg.Chaos = chaos.New(sched, 1)
 	stats := NewStats()
-	s := NewScheduler[float64](cfg, stats)
+	s := NewScheduler(cfg, stats)
 	defer s.Close()
 
 	tiles := testTiles(2, 16, 6)

@@ -21,17 +21,21 @@
 // filter → classify → stitch pipeline itself is shared with the CLI via
 // internal/core's TilePredictor seam.
 //
-// The stack is generic over the compute precision: cmd/seaice-serve
-// defaults to pure float32 inference (the bandwidth- and
-// multiply-reduced hot path) with -precision f64 selecting the
-// reference numerics.
+// The stack is precision-agnostic: it serves any unet.Engine, so one
+// registry can mix the f64 reference numerics, the f32 bandwidth- and
+// multiply-reduced hot path, and the int8 post-training-quantized
+// engine (cmd/seaice-serve selects per model with -precision; int8
+// needs a quantized checkpoint from seaice-train -quantize). Unknown
+// precision names are rejected with the typed *UnknownPrecisionError.
 //
 // Parallelism/determinism guarantees: each inference worker owns its
-// session, so requests never share mutable model state, and a tile's
+// predictor, so requests never share mutable model state, and a tile's
 // prediction is a pure function of its pixels, the checkpoint, and the
 // serving precision — micro-batch composition, queue order, worker
 // count, and cache hits/misses change latency, never a single output
-// pixel.
+// pixel. The int8 engine is additionally bit-deterministic across
+// GEMM backends and hosts (fixed-point requantization; see
+// internal/tensor's quantization docs).
 package serve
 
 import (

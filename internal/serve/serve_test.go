@@ -45,9 +45,9 @@ func testTiles(n, size int, seed uint64) []*raster.RGB {
 }
 
 // testServer spins up a ready-to-use server around one model.
-func testServer(t *testing.T, cfg Config) (*Server[float64], *httptest.Server) {
+func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	reg := NewRegistry[float64]()
+	reg := NewRegistry()
 	if err := reg.Add("default", testModel(t, 1)); err != nil {
 		t.Fatal(err)
 	}

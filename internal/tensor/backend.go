@@ -1,0 +1,232 @@
+// Kernel-dispatch seam: every scalar kind the stack computes in (float64,
+// float32, int8) resolves its low-level kernels through a per-kind backend
+// table instead of calling one hard-wired implementation. The float kinds
+// register the cache-blocked parallel engine from matmul.go as their
+// (currently only) backend; the int8 kind registers several — a scalar
+// reference, a portable SWAR kernel, and an AVX2 assembly kernel on amd64
+// hosts that support it — and the highest-priority available one serves.
+// The seam is what lets the quantized inference path, and later SIMD
+// float kernels, plug in without touching the layers above: callers go
+// through MatMul*/Int8() and never name an implementation.
+//
+// Determinism contract: every backend registered for a kind must produce
+// bit-identical outputs to that kind's reference backend on identical
+// inputs. Float backends inherit the engine's bit-identity-at-any-worker-
+// count guarantee; int8 backends compute in exact integer arithmetic, so
+// cross-backend equality is absolute (property-tested in qgemm_test.go).
+// Selection is process-global and safe for concurrent readers; tests that
+// switch backends serialize around SelectInt8.
+
+package tensor
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind enumerates the scalar kinds the dispatch tables are keyed by.
+type Kind uint8
+
+const (
+	KindF64 Kind = iota
+	KindF32
+	KindInt8
+)
+
+// String names the kind the way the CLIs' -precision flags do.
+func (k Kind) String() string {
+	switch k {
+	case KindF64:
+		return "f64"
+	case KindF32:
+		return "f32"
+	case KindInt8:
+		return "int8"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// KindOf reports the dispatch kind of the float instantiation S.
+func KindOf[S Scalar]() Kind {
+	if IsF32[S]() {
+		return KindF32
+	}
+	return KindF64
+}
+
+// FloatOps is the kernel table for one float kind: the three GEMM forms
+// the convolution layers reduce to. All entries must keep the engine's
+// accumulation-order contract (serial reference order per output element)
+// so results stay bit-identical at any worker count.
+type FloatOps[S Scalar] struct {
+	Name string
+	// MatMulInto computes dst = a×b, MatMulATBInto dst = aᵀ×b,
+	// MatMulABTInto dst = a×bᵀ; shapes as in matmul.go.
+	MatMulInto    func(dst, a, b *Tensor[S])
+	MatMulATBInto func(dst, a, b *Tensor[S])
+	MatMulABTInto func(dst, a, b *Tensor[S])
+}
+
+// Int8Ops is the kernel table for the quantized kind. One entry point
+// covers every quantized layer: the u8×s8 integer GEMM with int32
+// accumulators that conv/up-conv/head all reduce to. Requantization is
+// deliberately NOT part of the table — it stays in shared pure-Go code so
+// backend choice can never change an output bit.
+type Int8Ops struct {
+	Name string
+	// Priority orders selection: the highest-priority Available backend
+	// is active by default.
+	Priority int
+	// Available reports whether this backend can run on this host
+	// (e.g. CPU feature detection); nil means always.
+	Available func() bool
+	// GemmU8S8 computes out[r·npx+c] = Σ_{i<k} int32(w[r·k+i])·int32(x[c·k+i])
+	// for r in [0,rows), c in [0,npx): row-major int8 weights against
+	// column-major uint8 activations (each column k contiguous bytes),
+	// exact in int32 (callers guarantee k·127·127 < 2³¹; see
+	// Int8AccumBoundTaps). Overwrites out[0:rows·npx].
+	GemmU8S8 func(w []int8, x []uint8, rows, k, npx int, out []int32)
+}
+
+// floatRegistry holds the registered backends of one float kind.
+type floatRegistry[S Scalar] struct {
+	mu     sync.Mutex
+	all    []*FloatOps[S]
+	active atomic.Pointer[FloatOps[S]]
+}
+
+func (r *floatRegistry[S]) register(ops *FloatOps[S]) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.all = append(r.all, ops)
+	if r.active.Load() == nil {
+		r.active.Store(ops)
+	}
+}
+
+var (
+	f64Registry floatRegistry[float64]
+	f32Registry floatRegistry[float32]
+
+	int8Mu       sync.Mutex
+	int8Backends []*Int8Ops
+	int8Active   atomic.Pointer[Int8Ops]
+)
+
+// floatOps returns the active backend table for S's kind; one is always
+// registered (the engine, from init below).
+func floatOps[S Scalar]() *FloatOps[S] {
+	if IsF32[S]() {
+		return any(f32Registry.active.Load()).(*FloatOps[S])
+	}
+	return any(f64Registry.active.Load()).(*FloatOps[S])
+}
+
+// RegisterFloat adds a backend for S's kind. The first registration
+// becomes active.
+func RegisterFloat[S Scalar](ops *FloatOps[S]) {
+	if IsF32[S]() {
+		any(&f32Registry).(*floatRegistry[S]).register(ops)
+		return
+	}
+	any(&f64Registry).(*floatRegistry[S]).register(ops)
+}
+
+// RegisterInt8 adds a quantized-kernel backend. The highest-priority
+// available backend becomes active.
+func RegisterInt8(ops *Int8Ops) {
+	int8Mu.Lock()
+	defer int8Mu.Unlock()
+	int8Backends = append(int8Backends, ops)
+	best := int8Active.Load()
+	if ops.available() && (best == nil || ops.Priority > best.Priority) {
+		int8Active.Store(ops)
+	}
+}
+
+func (o *Int8Ops) available() bool { return o.Available == nil || o.Available() }
+
+// int8EnvOnce applies the SEAICE_INT8_BACKEND override lazily, after all
+// init-time registrations have run.
+var int8EnvOnce sync.Once
+
+// Int8 returns the active quantized-kernel backend. The first call honors
+// a SEAICE_INT8_BACKEND environment override (warning on stderr if the
+// named backend is unknown or unavailable).
+func Int8() *Int8Ops {
+	int8EnvOnce.Do(func() {
+		if name := os.Getenv("SEAICE_INT8_BACKEND"); name != "" {
+			if err := SelectInt8(name); err != nil {
+				fmt.Fprintf(os.Stderr, "seaice: SEAICE_INT8_BACKEND ignored: %v\n", err)
+			}
+		}
+	})
+	return int8Active.Load()
+}
+
+// SelectInt8 activates the named int8 backend (for tests and the
+// SEAICE_INT8_BACKEND override); it must be registered and available.
+func SelectInt8(name string) error {
+	int8Mu.Lock()
+	defer int8Mu.Unlock()
+	for _, b := range int8Backends {
+		if b.Name == name {
+			if !b.available() {
+				return fmt.Errorf("tensor: int8 backend %q not available on this host", name)
+			}
+			int8Active.Store(b)
+			return nil
+		}
+	}
+	return fmt.Errorf("tensor: unknown int8 backend %q (have %v)", name, int8BackendNamesLocked())
+}
+
+// Int8BackendNames lists the registered int8 backends, available first
+// by priority, then unavailable ones, names sorted within each group.
+func Int8BackendNames() []string {
+	int8Mu.Lock()
+	defer int8Mu.Unlock()
+	return int8BackendNamesLocked()
+}
+
+// int8BackendNamesLocked is Int8BackendNames with int8Mu already held.
+func int8BackendNamesLocked() []string {
+	names := make([]string, 0, len(int8Backends))
+	sort.Slice(int8Backends, func(i, j int) bool {
+		a, b := int8Backends[i], int8Backends[j]
+		if aa, ba := a.available(), b.available(); aa != ba {
+			return aa
+		}
+		if a.Priority != b.Priority {
+			return a.Priority > b.Priority
+		}
+		return a.Name < b.Name
+	})
+	for _, b := range int8Backends {
+		names = append(names, b.Name)
+	}
+	return names
+}
+
+// The float engine (matmul.go) registers itself as the default backend
+// for both float kinds. Registering here — rather than dispatching ad
+// hoc — is what makes the seam load-bearing: MatMulInto and friends
+// resolve through the table, so a SIMD float backend plugs in the same
+// way the int8 backends do.
+func init() {
+	RegisterFloat(&FloatOps[float64]{
+		Name:          "engine",
+		MatMulInto:    engineMatMulInto[float64],
+		MatMulATBInto: engineMatMulATBInto[float64],
+		MatMulABTInto: engineMatMulABTInto[float64],
+	})
+	RegisterFloat(&FloatOps[float32]{
+		Name:          "engine",
+		MatMulInto:    engineMatMulInto[float32],
+		MatMulATBInto: engineMatMulATBInto[float32],
+		MatMulABTInto: engineMatMulABTInto[float32],
+	})
+}

@@ -39,15 +39,24 @@ func MatMul[S Scalar](a, b *Tensor[S]) *Tensor[S] {
 }
 
 // MatMulInto computes C = A×B into dst, which must be (m×n). dst is fully
-// overwritten; it may not alias a or b.
+// overwritten; it may not alias a or b. The product runs on the active
+// float backend for S's kind (backend.go); the default is the blocked
+// engine kernel below.
 func MatMulInto[S Scalar](dst, a, b *Tensor[S]) {
 	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[0] {
 		panic(fmt.Sprintf("tensor: matmul shape mismatch %v × %v", a.Shape, b.Shape))
 	}
-	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	m, n := a.Shape[0], b.Shape[1]
 	if len(dst.Shape) != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
 		panic(fmt.Sprintf("tensor: matmul dst %v for %d×%d product", dst.Shape, m, n))
 	}
+	floatOps[S]().MatMulInto(dst, a, b)
+}
+
+// engineMatMulInto is the default float backend's A×B kernel; shapes are
+// already validated by the public wrapper.
+func engineMatMulInto[S Scalar](dst, a, b *Tensor[S]) {
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
 	p := pool.Shared()
 	if m*k*n <= serialCutoff || p.Workers() == 1 {
 		matMulPanel(dst.Data, a.Data, b.Data, m, k, n, 0, n)
@@ -201,15 +210,22 @@ func MatMulATB[S Scalar](a, b *Tensor[S]) *Tensor[S] {
 }
 
 // MatMulATBInto computes C = Aᵀ×B into dst, which must be (m×n) for
-// A (k×m). dst is fully overwritten; it may not alias a or b.
+// A (k×m). dst is fully overwritten; it may not alias a or b. Runs on the
+// active float backend for S's kind.
 func MatMulATBInto[S Scalar](dst, a, b *Tensor[S]) {
 	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[0] != b.Shape[0] {
 		panic(fmt.Sprintf("tensor: matmulATB shape mismatch %v × %v", a.Shape, b.Shape))
 	}
-	k, m, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	m, n := a.Shape[1], b.Shape[1]
 	if len(dst.Shape) != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
 		panic(fmt.Sprintf("tensor: matmulATB dst %v for %d×%d product", dst.Shape, m, n))
 	}
+	floatOps[S]().MatMulATBInto(dst, a, b)
+}
+
+// engineMatMulATBInto is the default float backend's Aᵀ×B kernel.
+func engineMatMulATBInto[S Scalar](dst, a, b *Tensor[S]) {
+	k, m, n := a.Shape[0], a.Shape[1], b.Shape[1]
 	p := pool.Shared()
 	if m*k*n <= serialCutoff || p.Workers() == 1 {
 		matMulATBPanel(dst.Data, a.Data, b.Data, k, m, n, 0, n)
@@ -330,15 +346,22 @@ func MatMulABT[S Scalar](a, b *Tensor[S]) *Tensor[S] {
 }
 
 // MatMulABTInto computes C = A×Bᵀ into dst, which must be (m×n) for
-// B (n×k). dst is fully overwritten; it may not alias a or b.
+// B (n×k). dst is fully overwritten; it may not alias a or b. Runs on the
+// active float backend for S's kind.
 func MatMulABTInto[S Scalar](dst, a, b *Tensor[S]) {
 	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[1] {
 		panic(fmt.Sprintf("tensor: matmulABT shape mismatch %v × %v", a.Shape, b.Shape))
 	}
-	m, k, n := a.Shape[0], a.Shape[1], b.Shape[0]
+	m, n := a.Shape[0], b.Shape[0]
 	if len(dst.Shape) != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
 		panic(fmt.Sprintf("tensor: matmulABT dst %v for %d×%d product", dst.Shape, m, n))
 	}
+	floatOps[S]().MatMulABTInto(dst, a, b)
+}
+
+// engineMatMulABTInto is the default float backend's A×Bᵀ kernel.
+func engineMatMulABTInto[S Scalar](dst, a, b *Tensor[S]) {
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[0]
 	p := pool.Shared()
 	if m*k*n <= serialCutoff || p.Workers() == 1 {
 		matMulABTRows(dst.Data, a.Data, b.Data, m, k, n, 0, m)

@@ -1,0 +1,83 @@
+// Portable int8 GEMM backends: "ref", the obviously-correct scalar
+// kernel every other backend is equality-tested against, and "swar", a
+// pure-Go kernel that packs two weight rows into the 32-bit lanes of one
+// uint64 so a single 64-bit multiply retires two multiply-accumulates.
+// Both compute the exact integer product defined by Int8Ops.GemmU8S8, so
+// they are bit-identical to each other and to the AVX2 backend by
+// construction.
+
+package tensor
+
+// gemmU8S8Ref computes out[r·npx+c] = Σ_i w[r·k+i]·x[c·k+i] one scalar
+// multiply at a time.
+func gemmU8S8Ref(w []int8, x []uint8, rows, k, npx int, out []int32) {
+	for r := 0; r < rows; r++ {
+		wr := w[r*k : (r+1)*k]
+		orow := out[r*npx : (r+1)*npx]
+		for c := 0; c < npx; c++ {
+			xc := x[c*k : (c+1)*k]
+			var acc int32
+			for i, wv := range wr {
+				acc += int32(wv) * int32(xc[i])
+			}
+			orow[c] = acc
+		}
+	}
+}
+
+// swarMaxK bounds the dot length for which the packed lanes provably
+// cannot overflow or carry into each other: each 32-bit lane accumulates
+// Σ (w+128)·x ≤ k·255·127, which must stay under 2³² — a slightly
+// tighter bound than Int8AccumBoundTaps. Longer products fall back to
+// the reference kernel (no real layer comes near either bound).
+const swarMaxK = (1<<32 - 1) / (255 * QuantMax)
+
+// gemmU8S8SWAR processes weight rows in pairs. Rows are biased to
+// unsigned (w+128 ∈ [1, 255]) and packed as
+// p[i] = u0[i] | u1[i]<<32, so p[i]·x[i] accumulates both rows' biased
+// products in one 64-bit multiply; the bias is removed afterwards with
+// the per-column activation sum: acc_r = lane_r − 128·Σx.
+func gemmU8S8SWAR(w []int8, x []uint8, rows, k, npx int, out []int32) {
+	if k > swarMaxK {
+		gemmU8S8Ref(w, x, rows, k, npx, out)
+		return
+	}
+	colSum := make([]int64, npx)
+	for c := 0; c < npx; c++ {
+		xc := x[c*k : (c+1)*k]
+		var s int64
+		for _, v := range xc {
+			s += int64(v)
+		}
+		colSum[c] = s
+	}
+	packed := make([]uint64, k)
+	var r int
+	for r = 0; r+2 <= rows; r += 2 {
+		w0 := w[r*k : (r+1)*k]
+		w1 := w[(r+1)*k : (r+2)*k]
+		for i := range packed {
+			packed[i] = uint64(uint8(int(w0[i])+128)) | uint64(uint8(int(w1[i])+128))<<32
+		}
+		o0 := out[r*npx : (r+1)*npx]
+		o1 := out[(r+1)*npx : (r+2)*npx]
+		for c := 0; c < npx; c++ {
+			xc := x[c*k : (c+1)*k]
+			var s uint64
+			for i, xv := range xc {
+				s += packed[i] * uint64(xv)
+			}
+			bias := 128 * colSum[c]
+			o0[c] = int32(int64(uint32(s)) - bias)
+			o1[c] = int32(int64(s>>32) - bias)
+		}
+	}
+	if r < rows {
+		gemmU8S8Ref(w[r*k:], x, 1, k, npx, out[r*npx:])
+	}
+}
+
+func init() {
+	RegisterInt8(&Int8Ops{Name: "ref", Priority: 0, GemmU8S8: gemmU8S8Ref})
+	RegisterInt8(&Int8Ops{Name: "swar", Priority: 10, GemmU8S8: gemmU8S8SWAR})
+}

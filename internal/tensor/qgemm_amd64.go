@@ -1,0 +1,99 @@
+//go:build amd64
+
+// AVX2 int8 GEMM backend. The hot loop is gemmRowU8S8AVX2 in
+// qgemm_amd64.s: VPMADDUBSW multiplies 32 unsigned activation bytes
+// against 32 signed weight bytes and pair-sums into 16 signed words,
+// VPMADDWD widens those into 8 dword partial sums — 32 multiply-adds in
+// two instructions. The scheme's 7-bit activation domain ([0, 127]) is
+// what makes this exact: VPMADDUBSW saturates its word sums at ±32767,
+// and 2·127·127 = 32258 never reaches that, so the backend is
+// bit-identical to the scalar reference (asserted by TestGemmBackendParity).
+//
+// The assembly consumes 32 taps at a time; the Go driver handles the
+// k%32 tail per column (quantized layers pad their packed weights and
+// im2col columns to a multiple of 32, so the tail is normally empty).
+
+package tensor
+
+// gemmRowU8S8AVX2 computes, for one weight row w of k bytes (k a
+// multiple of 32, ≥ 32), out[c] = Σ_{i<k} w[i]·x[c·stride+i] for c in
+// [0, npx). Implemented in qgemm_amd64.s.
+//
+//go:noescape
+func gemmRowU8S8AVX2(w *int8, x *uint8, k, npx, stride int, out *int32)
+
+// gemmRow4U8S8AVX2 is the 4-row micro-kernel: each activation load feeds
+// four madd chains and one VPHADDD tree replaces four horizontal sums.
+// Same k constraints as gemmRowU8S8AVX2.
+//
+//go:noescape
+func gemmRow4U8S8AVX2(w *int8, x *uint8, k, npx, stride, wstride int, out *int32)
+
+// cpuid and xgetbv are tiny assembly shims over the identically-named
+// instructions (qgemm_amd64.s).
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv() (eax, edx uint32)
+
+// hasAVX2 reports whether both the CPU and the OS support AVX2 + YMM
+// state; detected once at init.
+var hasAVX2 = detectAVX2()
+
+func detectAVX2() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const osxsave, avx = 1 << 27, 1 << 28
+	if ecx1&osxsave == 0 || ecx1&avx == 0 {
+		return false
+	}
+	if xcr0, _ := xgetbv(); xcr0&6 != 6 { // XMM and YMM state OS-enabled
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	return ebx7&(1<<5) != 0 // AVX2
+}
+
+func gemmU8S8AVX2(w []int8, x []uint8, rows, k, npx int, out []int32) {
+	if npx == 0 || rows == 0 {
+		return
+	}
+	k32 := k &^ 31
+	r := 0
+	if k32 > 0 {
+		for ; r+4 <= rows; r += 4 {
+			gemmRow4U8S8AVX2(&w[r*k], &x[0], k32, npx, k, k, &out[r*npx])
+		}
+		for ; r < rows; r++ {
+			gemmRowU8S8AVX2(&w[r*k], &x[0], k32, npx, k, &out[r*npx])
+		}
+	} else {
+		for i := range out[:rows*npx] {
+			out[i] = 0
+		}
+	}
+	if k32 < k { // scalar tail for the k%32 remainder, all rows
+		for r := 0; r < rows; r++ {
+			wt := w[r*k+k32 : (r+1)*k]
+			orow := out[r*npx : (r+1)*npx]
+			for c := 0; c < npx; c++ {
+				xc := x[c*k+k32 : (c+1)*k]
+				acc := orow[c]
+				for i, wv := range wt {
+					acc += int32(wv) * int32(xc[i])
+				}
+				orow[c] = acc
+			}
+		}
+	}
+}
+
+func init() {
+	RegisterInt8(&Int8Ops{
+		Name:      "avx2",
+		Priority:  100,
+		Available: func() bool { return hasAVX2 },
+		GemmU8S8:  gemmU8S8AVX2,
+	})
+}

@@ -1,0 +1,154 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func gemmRowU8S8AVX2(w *int8, x *uint8, k, npx, stride int, out *int32)
+//
+// One weight row against npx activation columns: out[c] = Σ w[i]·x[c·stride+i]
+// for i < k, k a multiple of 32 and ≥ 32. Per 32-byte step:
+//   VPMADDUBSW  u8(x)·s8(w) → 16 × s16 pair sums (exact: acts ≤ 127)
+//   VPMADDWD    s16 × 1     → 8 × s32 partial sums
+//   VPADDD      accumulate
+TEXT ·gemmRowU8S8AVX2(SB), NOSPLIT, $0-48
+	MOVQ w+0(FP), SI
+	MOVQ x+8(FP), DI
+	MOVQ k+16(FP), CX
+	MOVQ npx+24(FP), DX
+	MOVQ stride+32(FP), R11
+	MOVQ out+40(FP), R8
+	SUBQ CX, R11             // stride-k: column tail to skip after kloop
+
+	VPCMPEQW Y7, Y7, Y7      // all-ones words …
+	VPSRLW   $15, Y7, Y7     // … → sixteen words of 1 for VPMADDWD
+
+colloop:
+	MOVQ  SI, R9             // rewind weight cursor
+	MOVQ  CX, R10            // k countdown
+	VPXOR Y0, Y0, Y0         // dword accumulators
+
+kloop:
+	VMOVDQU    (R9), Y1      // 32 signed weight bytes
+	VMOVDQU    (DI), Y2      // 32 unsigned activation bytes
+	VPMADDUBSW Y1, Y2, Y3    // pair sums: x(u8)·w(s8) → s16
+	VPMADDWD   Y7, Y3, Y3    // widen: s16 pairs → s32
+	VPADDD     Y3, Y0, Y0
+	ADDQ       $32, R9
+	ADDQ       $32, DI
+	SUBQ       $32, R10
+	JNZ        kloop
+
+	// horizontal sum of the 8 dwords in Y0
+	VEXTRACTI128 $1, Y0, X1
+	VPADDD       X1, X0, X0
+	VPSHUFD      $0x4E, X0, X1  // swap 64-bit halves
+	VPADDD       X1, X0, X0
+	VPSHUFD      $0x55, X0, X1  // lane 1 → lane 0
+	VPADDD       X1, X0, X0
+	VMOVD        X0, AX
+	MOVL         AX, (R8)
+
+	ADDQ R11, DI             // skip column tail: DI += stride-k
+	ADDQ $4, R8
+	DECQ DX
+	JNZ  colloop
+
+	VZEROUPPER
+	RET
+
+// func gemmRow4U8S8AVX2(w *int8, x *uint8, k, npx, stride, wstride int, out *int32)
+//
+// Four weight rows at once against npx activation columns: each 32-byte
+// activation load feeds four madd chains (one per row), and the four
+// horizontal reductions collapse into one VPHADDD tree, so the per-output
+// overhead of the single-row kernel is quartered. k is a multiple of 32
+// and ≥ 32; weight rows are wstride bytes apart (wstride ≥ k, the k%32
+// tail being the caller's); rows r..r+3 write out[r·npx+c].
+TEXT ·gemmRow4U8S8AVX2(SB), NOSPLIT, $0-56
+	MOVQ w+0(FP), SI
+	MOVQ x+8(FP), DI
+	MOVQ k+16(FP), CX
+	MOVQ npx+24(FP), DX
+	MOVQ stride+32(FP), R11
+	MOVQ wstride+40(FP), BX
+	MOVQ out+48(FP), R8
+	SUBQ CX, R11             // stride-k: column tail to skip after kloop
+	LEAQ (BX)(BX*2), R14     // 3·wstride: weight-row-3 offset
+	MOVQ DX, R12
+	SHLQ $2, R12             // npx·4: output row stride in bytes
+	LEAQ (R12)(R12*2), R13   // 3·npx·4
+
+	VPCMPEQW Y7, Y7, Y7
+	VPSRLW   $15, Y7, Y7     // sixteen words of 1 for VPMADDWD
+
+colloop4:
+	MOVQ  SI, R9
+	MOVQ  CX, R10
+	VPXOR Y0, Y0, Y0
+	VPXOR Y1, Y1, Y1
+	VPXOR Y2, Y2, Y2
+	VPXOR Y3, Y3, Y3
+
+kloop4:
+	VMOVDQU    (DI), Y8          // 32 activation bytes, shared by 4 rows
+	VMOVDQU    (R9), Y9
+	VPMADDUBSW Y9, Y8, Y9
+	VPMADDWD   Y7, Y9, Y9
+	VPADDD     Y9, Y0, Y0
+	VMOVDQU    (R9)(BX*1), Y10
+	VPMADDUBSW Y10, Y8, Y10
+	VPMADDWD   Y7, Y10, Y10
+	VPADDD     Y10, Y1, Y1
+	VMOVDQU    (R9)(BX*2), Y11
+	VPMADDUBSW Y11, Y8, Y11
+	VPMADDWD   Y7, Y11, Y11
+	VPADDD     Y11, Y2, Y2
+	VMOVDQU    (R9)(R14*1), Y12
+	VPMADDUBSW Y12, Y8, Y12
+	VPMADDWD   Y7, Y12, Y12
+	VPADDD     Y12, Y3, Y3
+	ADDQ       $32, R9
+	ADDQ       $32, DI
+	SUBQ       $32, R10
+	JNZ        kloop4
+
+	// collapse the four 8-dword accumulators into [s0 s1 s2 s3]
+	VPHADDD      Y1, Y0, Y4
+	VPHADDD      Y3, Y2, Y5
+	VPHADDD      Y5, Y4, Y4
+	VEXTRACTI128 $1, Y4, X5
+	VPADDD       X5, X4, X4
+	VMOVD        X4, AX
+	MOVL         AX, (R8)
+	VPEXTRD      $1, X4, AX
+	MOVL         AX, (R8)(R12*1)
+	VPEXTRD      $2, X4, AX
+	MOVL         AX, (R8)(R12*2)
+	VPEXTRD      $3, X4, AX
+	MOVL         AX, (R8)(R13*1)
+
+	ADDQ R11, DI
+	ADDQ $4, R8
+	DECQ DX
+	JNZ  colloop4
+
+	VZEROUPPER
+	RET
+
+// func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

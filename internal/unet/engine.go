@@ -1,0 +1,40 @@
+package unet
+
+import (
+	"seaice/internal/raster"
+	"seaice/internal/tensor"
+)
+
+// Predictor is one serving worker's forward engine: a stateful,
+// buffer-owning session that classifies tile batches. It is NOT safe for
+// concurrent use — serving concurrency comes from one Predictor per
+// worker (see Session and QuantSession, the two implementations).
+type Predictor interface {
+	PredictTiles(tiles []*raster.RGB) ([]*raster.Labels, error)
+}
+
+// Engine is a loaded model of any precision rung — f64 master, f32
+// tolerance-scoped, or int8 quantized — abstracted to what the serving
+// stack needs: mint per-worker predictors and describe itself. Engines
+// are comparable (pointer identity) so the batcher can key its session
+// cache by engine.
+type Engine interface {
+	// NewPredictor builds a fresh single-worker inference session.
+	NewPredictor() Predictor
+	// Config returns the architecture the engine was built from.
+	Config() Config
+	// Precision names the engine's rung: "f64", "f32", or "int8".
+	Precision() string
+}
+
+// NewPredictor implements Engine: a float model serves through its
+// fused-kernel Session.
+func (m *Model[S]) NewPredictor() Predictor { return NewSession(m) }
+
+// Precision implements Engine.
+func (m *Model[S]) Precision() string {
+	if tensor.IsF32[S]() {
+		return "f32"
+	}
+	return "f64"
+}

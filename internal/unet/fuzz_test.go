@@ -2,10 +2,14 @@ package unet
 
 import (
 	"bytes"
+	"encoding/gob"
 	"errors"
 	"io"
+	"math"
 	"strings"
 	"testing"
+
+	"seaice/internal/tensor"
 )
 
 // FuzzLoadCheckpoint throws adversarial checkpoint streams at Load and
@@ -43,6 +47,51 @@ func FuzzLoadCheckpoint(f *testing.F) {
 	// A legacy-path gob with absurd claimed lengths.
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x7f, 0x01, 0x02})
 
+	// Quantized (version 3) seeds. Start from a genuine quantized
+	// checkpoint, then cover its canonical corruptions: corrupt scale
+	// table, out-of-domain zero-point, missing stage, truncated payload.
+	cal, err := Calibrate(m, calibTiles(2, 16, 3), 2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	qm, err := Quantize(m, cal)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var goodQ bytes.Buffer
+	if err := qm.Save(&goodQ); err != nil {
+		f.Fatal(err)
+	}
+	validQ := goodQ.Bytes()
+	f.Add(validQ)
+	f.Add(validQ[:len(ckptMagicV3)+5]) // truncated gob
+	f.Add(validQ[:len(validQ)-9])      // truncated scale/zero-point table
+	corruptActs := func(mutate func(map[string]tensor.ActQuant)) []byte {
+		acts := make(map[string]tensor.ActQuant, len(qm.acts))
+		for k, v := range qm.acts {
+			acts[k] = v
+		}
+		mutate(acts)
+		var buf bytes.Buffer
+		buf.WriteString(ckptMagicV3)
+		if err := gob.NewEncoder(&buf).Encode(checkpointV3{Config: m.Config(), Weights: m.WeightsF64(), Acts: acts}); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(corruptActs(func(a map[string]tensor.ActQuant) {
+		a["enc0.conv1"] = tensor.ActQuant{Scale: 0, Zero: 1} // zeroed scale
+	}))
+	f.Add(corruptActs(func(a map[string]tensor.ActQuant) {
+		a["up0"] = tensor.ActQuant{Scale: math.Inf(1), Zero: 0} // blown scale
+	}))
+	f.Add(corruptActs(func(a map[string]tensor.ActQuant) {
+		a["dec0.conv2"] = tensor.ActQuant{Scale: 0.01, Zero: 200} // zero-point out of [0,127]
+	}))
+	f.Add(corruptActs(func(a map[string]tensor.ActQuant) {
+		delete(a, "bottleneck.conv2") // missing stage
+	}))
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		defer func() {
 			if r := recover(); r != nil {
@@ -52,6 +101,8 @@ func FuzzLoadCheckpoint(f *testing.F) {
 		for _, load := range []func() error{
 			func() error { _, err := Load[float64](bytes.NewReader(data)); return err },
 			func() error { _, err := Load[float32](bytes.NewReader(data)); return err },
+			func() error { _, err := LoadQuantized(bytes.NewReader(data)); return err },
+			func() error { _, err := LoadMasterFromQuantized(bytes.NewReader(data)); return err },
 		} {
 			err := load()
 			if err == nil {

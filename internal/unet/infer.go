@@ -48,6 +48,23 @@ type Session[S tensor.Scalar] struct {
 	// scopes the guarantee and the cheaper algebra is admissible. See
 	// the precision policy in nn.Winograd's doc.
 	wino *nn.Winograd[S]
+
+	// obs, when set, receives every intermediate activation buffer by
+	// stage name after it is produced — the calibration pass's window
+	// into the forward (see Calibrate). Nil outside calibration.
+	obs func(stage string, data []S)
+}
+
+// SetObserver registers fn to receive each stage's activation buffer
+// (keyed by the producing layer's name) during Forward. Pass nil to
+// detach. The buffers alias session memory: observers must not retain
+// them.
+func (s *Session[S]) SetObserver(fn func(stage string, data []S)) { s.obs = fn }
+
+func (s *Session[S]) observe(stage string, data []S) {
+	if s.obs != nil {
+		s.obs(stage, data)
+	}
 }
 
 // NewSession builds an inference session for m.
@@ -74,9 +91,9 @@ func (s *Session[S]) Model() *Model[S] { return s.m }
 
 // grow returns buf resized to n elements, reallocating only when the
 // capacity is insufficient. Contents are NOT cleared.
-func grow[S tensor.Scalar](buf *[]S, n int) []S {
+func grow[T any](buf *[]T, n int) []T {
 	if cap(*buf) < n {
-		*buf = make([]S, n)
+		*buf = make([]T, n)
 	}
 	*buf = (*buf)[:n]
 	return *buf
@@ -115,8 +132,10 @@ func (s *Session[S]) Forward(x *tensor.Tensor[S]) (*tensor.Tensor[S], error) {
 		b := m.enc[l]
 		c1 := grow(&s.encC1[l], n*b.conv1.OutC*ch*cw)
 		s.conv3(b.conv1, cur, b.conv1.InC, nil, 0, n, ch, cw, c1)
+		s.observe(b.conv1.Name(), c1)
 		c2 := grow(&s.encC2[l], n*b.conv2.OutC*ch*cw)
 		s.conv3(b.conv2, c1, b.conv2.InC, nil, 0, n, ch, cw, c2)
+		s.observe(b.conv2.Name(), c2)
 		p := grow(&s.pooled[l], n*b.conv2.OutC*(ch/2)*(cw/2))
 		nn.MaxPool2Planes(c2, n*b.conv2.OutC, ch, cw, p)
 		cur, ch, cw = p, ch/2, cw/2
@@ -126,8 +145,10 @@ func (s *Session[S]) Forward(x *tensor.Tensor[S]) (*tensor.Tensor[S], error) {
 	bb := m.bottleneck
 	c1 := grow(&s.botC1, n*bb.conv1.OutC*ch*cw)
 	s.conv3(bb.conv1, cur, bb.conv1.InC, nil, 0, n, ch, cw, c1)
+	s.observe(bb.conv1.Name(), c1)
 	c2 := grow(&s.botC2, n*bb.conv2.OutC*ch*cw)
 	s.conv3(bb.conv2, c1, bb.conv2.InC, nil, 0, n, ch, cw, c2)
+	s.observe(bb.conv2.Name(), c2)
 	cur = c2
 
 	// Expanding path: up-convolve, virtually concat the skip, convolve.
@@ -136,6 +157,7 @@ func (s *Session[S]) Forward(x *tensor.Tensor[S]) (*tensor.Tensor[S], error) {
 		u := m.ups[i]
 		uo := grow(&s.up[i], n*u.OutC*(2*ch)*(2*cw))
 		nn.ConvT2x2Planes(pool.Serial(), u, cur, n, ch, cw, uo)
+		s.observe(u.Name(), uo)
 		ch, cw = 2*ch, 2*cw
 
 		db := m.dec[i]
@@ -144,8 +166,10 @@ func (s *Session[S]) Forward(x *tensor.Tensor[S]) (*tensor.Tensor[S], error) {
 		// conv1 input channels: [0, skipC) from the encoder skip,
 		// [skipC, 2·skipC) from the up-convolution output — no copy.
 		s.conv3(db.conv1, s.encC2[l], skipC, uo, u.OutC, n, ch, cw, d1)
+		s.observe(db.conv1.Name(), d1)
 		d2 := grow(&s.decC2[i], n*db.conv2.OutC*ch*cw)
 		s.conv3(db.conv2, d1, db.conv2.InC, nil, 0, n, ch, cw, d2)
+		s.observe(db.conv2.Name(), d2)
 		cur = d2
 	}
 

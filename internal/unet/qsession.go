@@ -1,0 +1,173 @@
+package unet
+
+import (
+	"fmt"
+	"math"
+
+	"seaice/internal/nn"
+	"seaice/internal/raster"
+	"seaice/internal/tensor"
+)
+
+// inputLUT maps an 8-bit pixel to its fixed input quantization
+// q = round(127·pix/255) (see InputQuant).
+var inputLUT = func() (t [256]uint8) {
+	for i := range t {
+		t[i] = uint8(math.Round(tensor.QuantMax * float64(i) / 255))
+	}
+	return
+}()
+
+// QuantSession is the int8 counterpart of Session: a forward-only,
+// buffer-owning engine over a QuantModel. Activations are NHWC uint8,
+// accumulation is int32 on the active tensor.Int8 backend, and the
+// requantization epilogue is fixed-point — the whole forward is integer
+// until the classifier head, so output labels are bit-identical across
+// backends, hosts, and pool worker counts.
+//
+// Like Session, a QuantSession is NOT safe for concurrent use; the
+// underlying QuantModel is read-only and may be shared.
+type QuantSession struct {
+	m *QuantModel
+
+	// Grow-only buffers, reused across calls.
+	in     []uint8
+	encC1  [][]uint8
+	encC2  [][]uint8 // skip sources — live until the decoder consumes them
+	pooled [][]uint8
+	botC1  []uint8
+	botC2  []uint8
+	up     [][]uint8
+	decC1  [][]uint8
+	decC2  [][]uint8
+	cols   []uint8 // shared im2col scratch
+	acc    []int32 // shared GEMM accumulator scratch
+	labels []uint8
+}
+
+// NewQuantSession builds an inference session for q.
+func NewQuantSession(q *QuantModel) *QuantSession {
+	d := q.cfg.Depth
+	return &QuantSession{
+		m:      q,
+		encC1:  make([][]uint8, d),
+		encC2:  make([][]uint8, d),
+		pooled: make([][]uint8, d),
+		up:     make([][]uint8, d),
+		decC1:  make([][]uint8, d),
+		decC2:  make([][]uint8, d),
+	}
+}
+
+// Model returns the session's underlying quantized model.
+func (s *QuantSession) Model() *QuantModel { return s.m }
+
+// qconv runs one quantized 3×3 convolution over the virtual concat of
+// two NHWC sources (xb may be nil) into dst.
+func (s *QuantSession) qconv(c *nn.QConv, xa []uint8, ca int, za uint8, xb []uint8, cb int, zb uint8, n, h, w int, dst []uint8) {
+	npx := n * h * w
+	cols := grow(&s.cols, npx*c.KPad)
+	nn.QIm2Col3x3(xa, ca, za, xb, cb, zb, n, h, w, c.KPad, cols)
+	acc := grow(&s.acc, c.OutC*npx)
+	c.Forward(cols, npx, acc, dst)
+}
+
+// forward classifies the NHWC quantized input already staged in s.in,
+// returning per-pixel labels in s.labels (n·h·w bytes, pixel-major).
+func (s *QuantSession) forward(n, h, w int) []uint8 {
+	m := s.m
+	d := m.cfg.Depth
+
+	// Contracting path.
+	cur := s.in
+	curC := m.cfg.InChannels
+	ch, cw := h, w
+	for l := 0; l < d; l++ {
+		b := m.enc[l]
+		npx := n * ch * cw
+		c1 := grow(&s.encC1[l], npx*b.conv1.OutC)
+		s.qconv(b.conv1, cur, curC, b.zIn, nil, 0, 0, n, ch, cw, c1)
+		c2 := grow(&s.encC2[l], npx*b.conv2.OutC)
+		s.qconv(b.conv2, c1, b.conv1.OutC, b.conv1.OutZ, nil, 0, 0, n, ch, cw, c2)
+		p := grow(&s.pooled[l], npx/4*b.conv2.OutC)
+		nn.QMaxPool2NHWC(c2, n, ch, cw, b.conv2.OutC, p)
+		cur, curC, ch, cw = p, b.conv2.OutC, ch/2, cw/2
+	}
+
+	// Bottleneck.
+	bb := m.bot
+	npx := n * ch * cw
+	c1 := grow(&s.botC1, npx*bb.conv1.OutC)
+	s.qconv(bb.conv1, cur, curC, bb.zIn, nil, 0, 0, n, ch, cw, c1)
+	c2 := grow(&s.botC2, npx*bb.conv2.OutC)
+	s.qconv(bb.conv2, c1, bb.conv1.OutC, bb.conv1.OutZ, nil, 0, 0, n, ch, cw, c2)
+	cur, curC = c2, bb.conv2.OutC
+
+	// Expanding path.
+	for i := 0; i < d; i++ {
+		l := d - 1 - i
+		u := m.ups[i]
+		npx = n * ch * cw
+		cols := grow(&s.cols, npx*u.KPad)
+		nn.QPadColumns(cur, npx, curC, u.KPad, cols)
+		acc := grow(&s.acc, u.OutC*npx)
+		uo := grow(&s.up[i], 4*npx*u.OutC)
+		u.Forward(cols, n, ch, cw, acc, uo)
+		ch, cw = 2*ch, 2*cw
+		npx = n * ch * cw
+
+		db := m.dec[i]
+		skipC := u.OutC
+		d1 := grow(&s.decC1[i], npx*db.conv1.OutC)
+		s.qconv(db.conv1, s.encC2[l], skipC, db.zSkip, uo, u.OutC, db.zUp, n, ch, cw, d1)
+		d2 := grow(&s.decC2[i], npx*db.conv2.OutC)
+		s.qconv(db.conv2, d1, db.conv1.OutC, db.conv1.OutZ, nil, 0, 0, n, ch, cw, d2)
+		cur, curC = d2, db.conv2.OutC
+	}
+
+	// Head: dequantize to float logits, argmax to labels.
+	hd := m.head
+	cols := grow(&s.cols, npx*hd.KPad)
+	nn.QPadColumns(cur, npx, curC, hd.KPad, cols)
+	acc := grow(&s.acc, hd.Classes*npx)
+	labels := grow(&s.labels, npx)
+	hd.Forward(cols, npx, acc, labels)
+	return labels
+}
+
+// PredictTiles implements Predictor: it classifies a batch of
+// equally-sized RGB tiles in one quantized forward pass.
+func (s *QuantSession) PredictTiles(tiles []*raster.RGB) ([]*raster.Labels, error) {
+	if len(tiles) == 0 {
+		return nil, fmt.Errorf("unet: empty tile batch")
+	}
+	w, h := tiles[0].W, tiles[0].H
+	min := s.m.cfg.MinInputSize()
+	if h%min != 0 || w%min != 0 {
+		return nil, fmt.Errorf("unet: session input %dx%d not divisible by %d", w, h, min)
+	}
+	plane := h * w
+	in := grow(&s.in, len(tiles)*3*plane)
+	for ti, t := range tiles {
+		if t.W != w || t.H != h {
+			return nil, fmt.Errorf("unet: tile %d is %dx%d, batch is %dx%d", ti, t.W, t.H, w, h)
+		}
+		// NHWC: channels innermost, quantized through the exact input LUT.
+		base := ti * 3 * plane
+		for p := 0; p < plane; p++ {
+			in[base+3*p] = inputLUT[t.Pix[3*p]]
+			in[base+3*p+1] = inputLUT[t.Pix[3*p+1]]
+			in[base+3*p+2] = inputLUT[t.Pix[3*p+2]]
+		}
+	}
+	labels := s.forward(len(tiles), h, w)
+	out := make([]*raster.Labels, len(tiles))
+	for ti := range tiles {
+		lab := raster.NewLabels(w, h)
+		for p := 0; p < plane; p++ {
+			lab.Pix[p] = raster.Class(labels[ti*plane+p])
+		}
+		out[ti] = lab
+	}
+	return out, nil
+}

@@ -1,0 +1,119 @@
+package unet_test
+
+import (
+	"testing"
+
+	"seaice/internal/raster"
+	"seaice/internal/scene"
+	"seaice/internal/train"
+	"seaice/internal/unet"
+)
+
+// parityScenes renders n small ground-truthed scenes.
+func parityScenes(t testing.TB, n int, seed uint64) []*scene.Scene {
+	t.Helper()
+	out := make([]*scene.Scene, n)
+	for i := range out {
+		cfg := scene.DefaultConfig(seed + uint64(i))
+		cfg.W, cfg.H = 32, 32
+		cfg.Clouds = scene.ClearClouds()
+		sc, err := scene.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = sc
+	}
+	return out
+}
+
+// trainedQuantized builds a briefly-trained float64 master plus its
+// calibrated int8 rendering — the PR's end-to-end parity fixture.
+func trainedQuantized(t testing.TB) (*unet.Model[float64], *unet.QuantModel) {
+	t.Helper()
+	scenes := parityScenes(t, 10, 4100)
+	samples := make([]train.Sample, len(scenes))
+	tiles := make([]*raster.RGB, len(scenes))
+	for i, sc := range scenes {
+		samples[i] = train.Sample{Image: sc.Image, Labels: sc.Truth}
+		tiles[i] = sc.Image
+	}
+	m, err := unet.New[float64](unet.FastConfig(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := train.Fit(m, samples, train.Config{Epochs: 3, BatchSize: 5, LR: 0.01, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	cal, err := unet.Calibrate(m, tiles, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qm, err := unet.Quantize(m, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, qm
+}
+
+// accuracy is the fraction of pixels where pred matches truth.
+func accuracy(preds []*raster.Labels, scenes []*scene.Scene) float64 {
+	match, total := 0, 0
+	for i, p := range preds {
+		truth := scenes[i].Truth
+		for px := range p.Pix {
+			if p.Pix[px] == truth.Pix[px] {
+				match++
+			}
+			total++
+		}
+	}
+	return float64(match) / float64(total)
+}
+
+// TestInt8ParityWithF64 is the end-to-end quantization gate on a trained
+// model and held-out scenes: the int8 engine must agree with the f64
+// master on ≥ 99% of pixels, and its ground-truth accuracy must be
+// within 0.5% absolute of the master's — the paper-table accuracy-delta
+// budget from the serving spec.
+func TestInt8ParityWithF64(t *testing.T) {
+	m, qm := trainedQuantized(t)
+	held := parityScenes(t, 6, 9200)
+	tiles := make([]*raster.RGB, len(held))
+	for i, sc := range held {
+		tiles[i] = sc.Image
+	}
+
+	want, err := unet.NewSession(m).PredictTiles(tiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := unet.NewQuantSession(qm).PredictTiles(tiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	agree, total := 0, 0
+	for i := range want {
+		for p := range want[i].Pix {
+			if want[i].Pix[p] == got[i].Pix[p] {
+				agree++
+			}
+			total++
+		}
+	}
+	agreement := float64(agree) / float64(total)
+	accF64 := accuracy(want, held)
+	accInt8 := accuracy(got, held)
+	delta := accF64 - accInt8
+	if delta < 0 {
+		delta = -delta
+	}
+	t.Logf("f64↔int8 pixel agreement %.4f; accuracy f64 %.4f int8 %.4f (|Δ| %.4f)",
+		agreement, accF64, accInt8, delta)
+	if agreement < 0.99 {
+		t.Fatalf("f64↔int8 agreement %.4f below 0.99", agreement)
+	}
+	if delta > 0.005 {
+		t.Fatalf("accuracy delta %.4f exceeds the 0.5%% absolute budget", delta)
+	}
+}
