@@ -38,26 +38,35 @@ func main() {
 	log.SetPrefix("seaice-pipeline: ")
 
 	var (
-		preset    = flag.String("preset", "fast", "model preset: fast | paper")
-		scenes    = flag.Int("scenes", 12, "scenes in the campaign")
-		size      = flag.Int("size", 256, "scene size")
-		tile      = flag.Int("tile", 32, "tile size")
-		labels    = flag.String("labels", "auto", "training labels: manual | auto")
-		epochs    = flag.Int("epochs", 8, "training epochs")
-		batch     = flag.Int("batch", 8, "batch size")
-		lr        = flag.Float64("lr", 0.01, "Adam learning rate")
-		trainFrac = flag.Float64("train-frac", 0.8, "train/test split fraction")
-		maxTiles  = flag.Int("max-tiles", 256, "cap on training tiles (0 = all)")
-		testTiles = flag.Int("test-tiles", 128, "cap on held-out tiles (0 = all)")
-		seed      = flag.Uint64("seed", 7, "seed")
-		shards    = flag.Int("shards", 0, "scene shards (0 = one per two workers)")
-		workers   = flag.Int("workers", 0, "label-stage workers (0 = kernel pool size)")
-		prefetch  = flag.Int("prefetch", 2, "bounded prefetch depth between stages")
-		state     = flag.String("state", "", "state directory for resumable per-stage checkpoints")
-		ckpt      = flag.String("ckpt", "", "model checkpoint path (default <state>/model.ckpt or unet.ckpt)")
-		procs     = flag.Int("procs", 0, "worker threads for the compute kernels (0 = all cores)")
+		preset     = flag.String("preset", "fast", "model preset: fast | paper")
+		scenes     = flag.Int("scenes", 12, "scenes in the campaign")
+		size       = flag.Int("size", 256, "scene size")
+		tile       = flag.Int("tile", 32, "tile size")
+		labels     = flag.String("labels", "auto", "training labels: manual | auto")
+		epochs     = flag.Int("epochs", 8, "training epochs")
+		batch      = flag.Int("batch", 8, "batch size")
+		lr         = flag.Float64("lr", 0.01, "Adam learning rate")
+		trainFrac  = flag.Float64("train-frac", 0.8, "train/test split fraction")
+		maxTiles   = flag.Int("max-tiles", 256, "cap on training tiles (0 = all)")
+		testTiles  = flag.Int("test-tiles", 128, "cap on held-out tiles (0 = all)")
+		seed       = flag.Uint64("seed", 7, "seed")
+		shards     = flag.Int("shards", 0, "scene shards (0 = one per two workers)")
+		workers    = flag.Int("workers", 0, "label-stage workers (0 = kernel pool size)")
+		prefetch   = flag.Int("prefetch", 2, "bounded prefetch depth between stages")
+		state      = flag.String("state", "", "state directory for resumable per-stage checkpoints")
+		ckpt       = flag.String("ckpt", "", "model checkpoint path (default <state>/model.ckpt or unet.ckpt)")
+		procs      = flag.Int("procs", 0, "worker threads for the compute kernels (0 = all cores)")
+		quarantine = flag.Bool("quarantine", false, "drop scenes that stay poisoned through retries into a report instead of failing the run")
+		verify     = flag.Bool("verify-state", false, "scrub mode: verify the -state directory's on-disk integrity (shard checkpoints, model checkpoint), report per section, and exit")
 	)
 	flag.Parse()
+	if *verify {
+		if *state == "" {
+			log.Fatal("-verify-state requires -state <dir>")
+		}
+		verifyState(*state, *ckpt)
+		return
+	}
 	pool.SetSharedWorkers(*procs)
 	log.Printf("compute kernels: %d workers", pool.Shared().Workers())
 
@@ -119,11 +128,14 @@ func main() {
 		Workers:       *workers,
 		Prefetch:      *prefetch,
 		CheckpointDir: shardDir,
+		Quarantine:    *quarantine,
 		Plan:          plan,
 		Progress: func(ev pipeline.Event) {
 			switch ev.Kind {
 			case "resume":
 				log.Printf("label: shard %d/%d restored from checkpoint", ev.Shard+1, ev.Shards)
+			case "quarantine":
+				log.Printf("label: poisoned scene on shard %d/%d quarantined", ev.Shard+1, ev.Shards)
 			case "shard":
 				log.Printf("label: shard %d/%d done (%d/%d scenes)", ev.Shard+1, ev.Shards, ev.ScenesDone, ev.Scenes)
 			}
@@ -186,6 +198,9 @@ func main() {
 	if err := st.CheckpointErr(); err != nil {
 		log.Printf("warning: %v", err)
 	}
+	for _, q := range st.Quarantined() {
+		log.Printf("quarantine: scene %d dropped — %s", q.Scene, q.Reason)
+	}
 
 	// Stage: eval — held-out tiles, filtered imagery, manual labels.
 	heldOut, err := st.TestTiles()
@@ -204,5 +219,45 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("eval: report written to %s", evalPath)
+	}
+}
+
+// verifyState is the -verify-state scrub mode: it checks every on-disk
+// artifact under the state directory — each shard checkpoint's
+// checksummed layout and the model checkpoint's decodability — printing
+// a per-section report and exiting non-zero if anything fails to verify.
+func verifyState(state, ckpt string) {
+	bad := false
+
+	shardDir := filepath.Join(state, "shards")
+	paths, _ := filepath.Glob(filepath.Join(shardDir, "shard-*.gob"))
+	if len(paths) == 0 {
+		fmt.Printf("shards: none found under %s\n", shardDir)
+	}
+	for _, p := range paths {
+		scenes, tiles, err := pipeline.VerifyShardFile(p)
+		if err != nil {
+			fmt.Printf("shard %s: CORRUPT — %v\n", filepath.Base(p), err)
+			bad = true
+			continue
+		}
+		fmt.Printf("shard %s: OK — header ok, CRC ok, %d scenes, %d tiles\n", filepath.Base(p), scenes, tiles)
+	}
+
+	modelPath := ckpt
+	if modelPath == "" {
+		modelPath = filepath.Join(state, "model.ckpt")
+	}
+	if _, err := os.Stat(modelPath); err != nil {
+		fmt.Printf("model %s: absent\n", modelPath)
+	} else if _, err := unet.LoadFile[float64](modelPath); err != nil {
+		fmt.Printf("model %s: CORRUPT — %v\n", modelPath, err)
+		bad = true
+	} else {
+		fmt.Printf("model %s: OK\n", modelPath)
+	}
+
+	if bad {
+		log.Fatalf("state directory %s failed verification", state)
 	}
 }

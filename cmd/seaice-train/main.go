@@ -25,6 +25,8 @@
 //	seaice-train -quantize -ckpt unet.q.ckpt   # int8-calibrated v3 checkpoint
 //	seaice-train -workers 4 -chaos "7:crash@3:r1,crash@9" -snapshot unet.snap
 //	seaice-train -snapshot unet.snap -resume   # continue a killed run
+//	seaice-train -workers 3 -guard skip -chaos "7:nanstep@4:r1"  # roll back injected NaN grads
+//	seaice-train -verify-snapshot unet.snap    # scrub on-disk snapshot integrity
 //
 // With -peers, the same data-parallel run executes across real processes
 // over TCP (internal/transport): each process is one rank, the ring
@@ -83,8 +85,10 @@ type options struct {
 	elastic   bool
 	snapshot  string
 	snapEvery int
+	snapKeep  int
 	resume    bool
 	quantize  bool
+	guard     train.GuardConfig
 
 	// Network data parallelism: peers lists every rank's host:port (this
 	// process listens on peers[rank] and is one rank of a real
@@ -122,9 +126,27 @@ func main() {
 	flag.BoolVar(&o.elastic, "elastic", false, "continue degraded over survivors after a crash instead of heal-and-retry")
 	flag.StringVar(&o.snapshot, "snapshot", "", "persist mid-epoch training snapshots to this file (enables -resume)")
 	flag.IntVar(&o.snapEvery, "snapshot-every", 0, "steps between snapshots (0 = every 8)")
-	flag.BoolVar(&o.resume, "resume", false, "resume from the -snapshot file's last snapshot")
+	flag.IntVar(&o.snapKeep, "snapshot-keep", 0, "snapshot rotation depth: newest plus keep-1 fallback generations (0 = 2)")
+	flag.BoolVar(&o.resume, "resume", false, "resume from the -snapshot file's newest verifiable rotation entry")
+	guardSpec := flag.String("guard", "", `numeric anomaly guard: "skip" or "abort", optionally ":maxnorm" (e.g. skip:1e3); empty = off`)
+	verifySnap := flag.String("verify-snapshot", "", "scrub mode: verify the integrity of this snapshot file (and its rotation entries), report per section, and exit")
 	flag.BoolVar(&o.quantize, "quantize", false, "post-training-quantize: calibrate on training tiles and write a v3 quantized checkpoint (serves f64, f32, and int8)")
 	flag.Parse()
+	// Resolve the rotation depth here, once: save rotation, resume
+	// fallback, and -verify-snapshot must all walk the same number of
+	// generations, and ddp only normalizes the value carried in its
+	// Config — the load paths take the depth as a bare argument.
+	if o.snapKeep <= 0 {
+		o.snapKeep = ddp.DefaultSnapshotKeep
+	}
+	if *verifySnap != "" {
+		verifySnapshot(*verifySnap, o.snapKeep)
+		return
+	}
+	var err error
+	if o.guard, err = train.ParseGuard(*guardSpec); err != nil {
+		log.Fatal(err)
+	}
 	pool.SetSharedWorkers(*procs)
 	log.Printf("training engine: %d kernel workers, %s precision", pool.Shared().Workers(), *precision)
 
@@ -291,6 +313,8 @@ func run[S tensor.Scalar](o options, master bool) {
 			Chaos:          o.chaos,
 			SnapshotPath:   o.snapshot,
 			SnapshotEvery:  o.snapEvery,
+			SnapshotKeep:   o.snapKeep,
+			Guard:          o.guard,
 			Elastic:        o.elastic,
 			Progress: func(epoch int, loss float64) {
 				log.Printf("epoch %d: loss %.4f", epoch, loss)
@@ -300,14 +324,14 @@ func run[S tensor.Scalar](o options, master bool) {
 			log.Fatal(err)
 		}
 		if o.resume {
-			snap, err := ddp.LoadSnapshotFile(o.snapshot)
+			snap, entry, err := ddp.LoadSnapshotFallback(o.snapshot, o.snapKeep)
 			if err != nil {
 				log.Fatal(err)
 			}
 			if err := tr.Restore(snap); err != nil {
 				log.Fatal(err)
 			}
-			log.Printf("resumed from %s at global step %d", o.snapshot, snap.Step)
+			log.Printf("resumed from %s at global step %d", entry, snap.Step)
 		}
 		res, err := tr.Fit(samples)
 		if errors.Is(err, ddp.ErrKilled) {
@@ -338,6 +362,9 @@ func run[S tensor.Scalar](o options, master bool) {
 			}
 			log.Printf("chaos: %d replicas healed, %d snapshot replays, %d stragglers absorbed, %d faults undelivered",
 				res.Recoveries, res.Replays, res.Stalls, o.chaos.Remaining())
+			if res.Anomalies > 0 {
+				log.Printf("guard: %d gradient anomalies detected, %d updates skipped", res.Anomalies, res.GuardSkips)
+			}
 			if len(res.LostRanks) > 0 {
 				log.Printf("chaos: finished elastically without ranks %v", res.LostRanks)
 			}
@@ -481,6 +508,8 @@ func runNet[S tensor.Scalar](o options, modelCfg unet.Config, samples []train.Sa
 		Chaos:          o.chaos,
 		SnapshotPath:   snapPath,
 		SnapshotEvery:  o.snapEvery,
+		SnapshotKeep:   o.snapKeep,
+		Guard:          o.guard,
 		Progress: func(epoch int, loss float64) {
 			log.Printf("rank %d epoch %d: loss %.4f (rank-local)", o.rank, epoch, loss)
 		},
@@ -489,14 +518,14 @@ func runNet[S tensor.Scalar](o options, modelCfg unet.Config, samples []train.Sa
 		log.Fatal(err)
 	}
 	if o.resume {
-		snap, err := ddp.LoadSnapshotFile(snapPath)
+		snap, entry, err := ddp.LoadSnapshotFallback(snapPath, o.snapKeep)
 		if err != nil {
 			log.Fatal(err)
 		}
 		if err := tr.Restore(snap); err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("rank %d resumed from %s at global step %d", o.rank, snapPath, snap.Step)
+		log.Printf("rank %d resumed from %s at global step %d", o.rank, entry, snap.Step)
 	}
 	log.Printf("rank %d/%d listening on %s, cluster %q", o.rank, o.workers, o.peers[o.rank], o.clusterID)
 	res, err := tr.Fit(samples)
@@ -520,10 +549,67 @@ func runNet[S tensor.Scalar](o options, modelCfg unet.Config, samples []train.Sa
 		}
 		log.Printf("chaos: %d network recoveries, %d stragglers absorbed, %d faults undelivered",
 			res.Recoveries, res.Stalls, o.chaos.Remaining())
+		if res.Anomalies > 0 {
+			log.Printf("guard: rank %d saw %d gradient anomalies, %d updates skipped", o.rank, res.Anomalies, res.GuardSkips)
+		}
 	}
 	log.Printf("network training: rank %d of %d, %d committed steps, virtual DGX time %.2f s, real %.2f s",
 		o.rank, o.workers, res.Steps, res.VirtualTotal, res.RealTotal)
 	return tr.Model()
+}
+
+// verifySnapshot is the -verify-snapshot scrub mode: it checks every
+// rotation entry of a snapshot file for on-disk integrity — header,
+// length, CRC32C trailer, decodability, and numeric sanity of the
+// decoded state — printing a per-section report and exiting non-zero if
+// the newest entry (the one -resume would prefer) does not verify.
+func verifySnapshot(path string, keep int) {
+	if keep <= 0 {
+		keep = ddp.DefaultSnapshotKeep
+	}
+	bad := false
+	for i := 0; i < keep; i++ {
+		entry := path
+		if i > 0 {
+			entry = fmt.Sprintf("%s.%d", path, i)
+		}
+		snap, err := ddp.LoadSnapshotFile(entry)
+		if err != nil {
+			switch {
+			case errors.Is(err, ddp.ErrCorruptSnapshot):
+				fmt.Printf("%s: CORRUPT — %v\n", entry, err)
+				bad = bad || i == 0
+			case errors.Is(err, ddp.ErrBadSnapshot):
+				fmt.Printf("%s: MALFORMED — %v\n", entry, err)
+				bad = bad || i == 0
+			default:
+				if i > 0 {
+					continue // older generations simply absent
+				}
+				fmt.Printf("%s: UNREADABLE — %v\n", entry, err)
+				bad = true
+			}
+			continue
+		}
+		params, nonFinite := 0, 0
+		for _, w := range snap.Weights {
+			params += len(w)
+			for _, v := range w {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					nonFinite++
+				}
+			}
+		}
+		fmt.Printf("%s: OK — header ok, CRC ok, step %d, precision %s, %d ranks, %d weight values\n",
+			entry, snap.Step, snap.Precision, len(snap.RNG), params)
+		if nonFinite > 0 {
+			fmt.Printf("%s: NUMERIC — %d non-finite weight values\n", entry, nonFinite)
+			bad = bad || i == 0
+		}
+	}
+	if bad {
+		log.Fatalf("snapshot %s failed verification", path)
+	}
 }
 
 // weightsSHA hashes the model's parameters as float64 little-endian bit

@@ -36,6 +36,16 @@
 //	burst@N[:D]          multiply offered load for D (default 1s) from virtual step N
 //	slownode@N[:rR][:D]  degrade node R from step N on: every batch +D (default 10ms)
 //
+// Data faults model silent corruption — bytes or floats going bad
+// without any process dying. Each is caught by a matching integrity
+// layer (CRC32C frame trailers, checksummed checkpoints, numeric
+// guards, scene validation) and recovered from deterministically:
+//
+//	bitflip@N[:rR]    flip one bit in rank R's next outgoing frame in step N
+//	nanstep@N[:rR]    poison rank R's gradient vector with NaN at step N
+//	badscene@K        corrupt scene K's raster bytes before the label stage
+//	torn@N            truncate the checkpoint written at step N mid-write
+//
 // Omitted targets are drawn from the schedule seed, so "7:crash@3" names
 // one concrete fault, not a random one. Example:
 //
@@ -103,6 +113,24 @@ const (
 	// by D (default 10ms). Unlike ServePanic it models a sick-but-alive
 	// node — the case health binaries miss and EWMA detectors catch.
 	SlowNode
+	// Bitflip flips one bit in rank R's next outgoing transport frame
+	// during step N — a silent in-flight corruption. The CRC32C frame
+	// trailer detects it on the receiving side, which surfaces a
+	// *ring.RankError and drives the normal rollback-and-retry recovery.
+	Bitflip
+	// NaNStep poisons one rank's flattened gradient vector with NaN just
+	// before the step-N all-reduce. NaN propagates through the reduction,
+	// so every rank's numeric guard sees the same non-finite reduced
+	// vector and rolls the step back in lockstep (train.GuardConfig).
+	NaNStep
+	// BadScene corrupts scene K's bytes before the label stage — the
+	// corrupt-granule fault. Scene validation detects the poison and the
+	// per-scene retry (or quarantine) path handles it.
+	BadScene
+	// TornWrite truncates the snapshot/shard checkpoint written at step N
+	// mid-write — a torn write the checksummed on-disk format detects at
+	// load, falling back to the previous rotation entry.
+	TornWrite
 )
 
 // String names the kind with its spec keyword.
@@ -130,6 +158,14 @@ func (k Kind) String() string {
 		return "burst"
 	case SlowNode:
 		return "slownode"
+	case Bitflip:
+		return "bitflip"
+	case NaNStep:
+		return "nanstep"
+	case BadScene:
+		return "badscene"
+	case TornWrite:
+		return "torn"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -220,8 +256,16 @@ func parseFault(part string) (Fault, error) {
 		f.Kind = LoadBurst
 	case "slownode":
 		f.Kind = SlowNode
+	case "bitflip":
+		f.Kind = Bitflip
+	case "nanstep":
+		f.Kind = NaNStep
+	case "badscene":
+		f.Kind = BadScene
+	case "torn":
+		f.Kind = TornWrite
 	default:
-		return Fault{}, fmt.Errorf("chaos: unknown fault kind %q (want crash|kill|stage|serve|stall|part|slow|drop|reconn|burst|slownode)", kindStr)
+		return Fault{}, fmt.Errorf("chaos: unknown fault kind %q (want crash|kill|stage|serve|stall|part|slow|drop|reconn|burst|slownode|bitflip|nanstep|badscene|torn)", kindStr)
 	}
 	fields := strings.Split(rest, ":")
 	step, err := strconv.Atoi(fields[0])
@@ -245,7 +289,7 @@ func parseFault(part string) (Fault, error) {
 			f.Delay = d
 		}
 	}
-	if f.Target >= 0 && (f.Kind == ProcessKill || f.Kind == StagePanic || f.Kind == ServePanic || f.Kind == LoadBurst) {
+	if f.Target >= 0 && (f.Kind == ProcessKill || f.Kind == StagePanic || f.Kind == ServePanic || f.Kind == LoadBurst || f.Kind == BadScene || f.Kind == TornWrite) {
 		return Fault{}, fmt.Errorf("chaos: fault %q: %s faults take no rank target", part, f.Kind)
 	}
 	switch f.Kind {
@@ -329,7 +373,7 @@ func New(s *Schedule, ranks int) *Injector {
 // participates in seed-derived auto-targeting).
 func rankTargeted(k Kind) bool {
 	switch k {
-	case ReplicaCrash, Straggler, NetPartition, SlowLink, DropFrame, Reconnect, SlowNode:
+	case ReplicaCrash, Straggler, NetPartition, SlowLink, DropFrame, Reconnect, SlowNode, Bitflip, NaNStep:
 		return true
 	}
 	return false
@@ -488,6 +532,58 @@ func (in *Injector) Reconnect(rank, step int) bool {
 // consumes exactly one frame.
 func (in *Injector) DropFrame(rank, step int) bool {
 	return in.fireRankStep(DropFrame, rank, step)
+}
+
+// Bitflip reports whether one bit of rank's next outgoing transport
+// frame during global step should be flipped — queried per send, so the
+// fault corrupts exactly one frame. The receiver's CRC32C trailer check
+// turns the silent corruption into a loud *ring.RankError.
+func (in *Injector) Bitflip(rank, step int) bool {
+	return in.fireRankStep(Bitflip, rank, step)
+}
+
+// NaNStep reports whether rank should poison its local flattened
+// gradient vector with NaN at the given global step, before the
+// all-reduce — so every rank's numeric guard trips on the same reduced
+// vector and the step rolls back deterministically.
+func (in *Injector) NaNStep(rank, step int) bool {
+	return in.fireRankStep(NaNStep, rank, step)
+}
+
+// BadScene reports whether the given scene's bytes should be corrupted
+// before the label stage — the pipeline's scene validation must catch
+// the poison and retry (or quarantine) the scene.
+func (in *Injector) BadScene(scene int) bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for i, f := range in.faults {
+		if !in.fired[i] && f.Kind == BadScene && f.Step == scene {
+			in.fire(i, 0)
+			return true
+		}
+	}
+	return false
+}
+
+// TornWrite reports whether the snapshot/shard checkpoint being written
+// at the given step (or shard) ordinal should be truncated mid-write —
+// the checksummed on-disk format detects the tear at load.
+func (in *Injector) TornWrite(step int) bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for i, f := range in.faults {
+		if !in.fired[i] && f.Kind == TornWrite && f.Step == step {
+			in.fire(i, 0)
+			return true
+		}
+	}
+	return false
 }
 
 // SlowLink returns how long rank's next frame send during global step

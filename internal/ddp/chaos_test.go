@@ -243,8 +243,10 @@ func TestChaosRestoreRejectsMismatch(t *testing.T) {
 	if _, err := ReadSnapshot(bytes.NewReader([]byte("not a snapshot"))); !errors.Is(err, ErrBadSnapshot) {
 		t.Fatalf("garbage stream: %v, want ErrBadSnapshot", err)
 	}
-	if _, err := ReadSnapshot(bytes.NewReader([]byte(snapMagic + "truncated"))); !errors.Is(err, ErrBadSnapshot) {
-		t.Fatalf("truncated stream: %v, want ErrBadSnapshot", err)
+	// A valid header followed by garbage is a corruption (the header
+	// promised a snapshot), not a malformed stream.
+	if _, err := ReadSnapshot(bytes.NewReader([]byte(snapMagic + "truncated"))); !errors.Is(err, ErrCorruptSnapshot) {
+		t.Fatalf("truncated stream: %v, want ErrCorruptSnapshot", err)
 	}
 }
 

@@ -63,6 +63,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -120,6 +121,17 @@ type Config struct {
 	// SnapshotPath, when non-empty, persists each snapshot atomically to
 	// this file, enabling kill-and-restart resume across processes.
 	SnapshotPath string
+	// SnapshotKeep is the on-disk snapshot rotation depth (the live file
+	// plus SnapshotKeep-1 older generations); <= 0 uses
+	// DefaultSnapshotKeep. Resume falls back to the newest generation
+	// that passes its checksum, so one corrupt or torn write never
+	// strands a run.
+	SnapshotKeep int
+	// Guard is the per-step numeric anomaly guard over the reduced
+	// gradient vector (train.CheckGrads); the zero value disables it.
+	// On anomaly the step is rolled back via RNG rewind and retried
+	// once; a reproduced anomaly is skipped or aborts per the policy.
+	Guard train.GuardConfig
 	// Elastic switches recovery policy: instead of heal-and-retry
 	// (bit-identical), dead ranks stay dead and training continues over
 	// the survivors with resharded batches and a re-chunked survivor
@@ -154,6 +166,12 @@ type Result struct {
 	Replays int
 	// Stalls counts absorbed straggler delays.
 	Stalls int
+	// Anomalies counts gradient anomalies the numeric guard caught; each
+	// was rolled back before any weight was touched.
+	Anomalies int
+	// GuardSkips counts steps whose update was dropped by the skip
+	// policy after an anomaly survived its rolled-back retry.
+	GuardSkips int
 	// LostRanks lists ranks still dead at exit (elastic mode only).
 	LostRanks []int
 }
@@ -186,6 +204,10 @@ type Trainer[S tensor.Scalar] struct {
 	batcher *train.Batcher
 	nb      int
 	dataFP  string
+	// guardSkipped marks global steps whose update the numeric guard
+	// dropped (skip policy): a snapshot replay must re-run their compute
+	// (to advance the RNG streams) without re-applying the update.
+	guardSkipped map[int]bool
 }
 
 // New builds a trainer whose rank-0 replica is initialized from the model
@@ -199,6 +221,9 @@ func New[S tensor.Scalar](modelCfg unet.Config, cfg Config) (*Trainer[S], error)
 	}
 	if cfg.SnapshotEvery <= 0 {
 		cfg.SnapshotEvery = DefaultSnapshotEvery
+	}
+	if cfg.SnapshotKeep <= 0 {
+		cfg.SnapshotKeep = DefaultSnapshotKeep
 	}
 	t := &Trainer[S]{cfg: cfg, modelCfg: modelCfg}
 	for r := 0; r < cfg.Workers; r++ {
@@ -396,8 +421,12 @@ func (t *Trainer[S]) computeGrads(ranks []int, shards [][]train.Sample, step int
 
 // reduceGrads flattens the listed ranks' gradients and averages them
 // through the membership-aware chunked ring (rebuilt over the live set,
-// re-chunked geometry).
-func (t *Trainer[S]) reduceGrads(ranks []int) error {
+// re-chunked geometry). An injected NaN fault scheduled for (rank, step)
+// poisons that rank's flattened vector just before the reduction — NaN
+// propagates through the mean, so every rank's guard sees the same
+// non-finite reduced vector. step < 0 (the fault-free Step/replay path)
+// never matches a fault.
+func (t *Trainer[S]) reduceGrads(ranks []int, step int) error {
 	p := len(t.replicas)
 	flatLen := 0
 	for _, prm := range t.replicas[0].Params() {
@@ -414,6 +443,9 @@ func (t *Trainer[S]) reduceGrads(ranks []int) error {
 		off := 0
 		for _, prm := range t.replicas[r].Params() {
 			off += copy(t.flat[r][off:], prm.Grad.Data)
+		}
+		if step >= 0 && t.cfg.Chaos.NaNStep(r, step) {
+			t.flat[r][0] = S(math.NaN())
 		}
 	}
 	// Dead ranks keep stale flat buffers; ensure they exist so the group
@@ -466,7 +498,7 @@ func (t *Trainer[S]) Step(shards [][]train.Sample) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if err := t.reduceGrads(all); err != nil {
+	if err := t.reduceGrads(all, -1); err != nil {
 		return 0, err
 	}
 	t.applyAdam(all)
@@ -500,6 +532,19 @@ func (t *Trainer[S]) heal(step int, rngAtStart []noise.RNGState, res *Result) (b
 		res.Replays++
 		res.Recoveries += len(dead)
 		for h := snapStep; h < step; h++ {
+			if t.guardSkipped[h] {
+				// The guard dropped this step's update: re-run the compute
+				// so every rank's RNG stream advances exactly as it did,
+				// but apply nothing.
+				all := make([]int, len(t.replicas))
+				for r := range all {
+					all[r] = r
+				}
+				if _, _, err := t.computeGrads(all, t.shardsFor(h), -1); err != nil {
+					return false, fmt.Errorf("ddp: replay skipped step %d: %w", h, err)
+				}
+				continue
+			}
 			if _, err := t.Step(t.shardsFor(h)); err != nil {
 				return false, fmt.Errorf("ddp: replay step %d: %w", h, err)
 			}
@@ -589,7 +634,12 @@ func (t *Trainer[S]) Fit(samples []train.Sample) (*Result, error) {
 		if wantSnaps && (g == t.startStep || g%t.cfg.SnapshotEvery == 0) && t.group.LiveCount() == len(t.replicas) {
 			t.snap = t.Snapshot(g)
 			if t.cfg.SnapshotPath != "" {
-				if err := SaveSnapshotFile(t.cfg.SnapshotPath, t.snap); err != nil {
+				// An injected torn-write fault truncates this snapshot
+				// mid-body; the rotation keeps the previous generation, and
+				// resume (LoadSnapshotFallback) detects the tear and falls
+				// back to it.
+				torn := t.cfg.Chaos.TornWrite(g)
+				if err := saveSnapshotFile(t.cfg.SnapshotPath, t.snap, t.cfg.SnapshotKeep, torn); err != nil {
 					return res, err
 				}
 			}
@@ -644,6 +694,7 @@ func (t *Trainer[S]) Fit(samples []train.Sample) (*Result, error) {
 // chaosStep executes global step g with failure detection and recovery.
 func (t *Trainer[S]) chaosStep(g int, batch []train.Sample, res *Result) (float64, error) {
 	p := len(t.replicas)
+	guardRetried := false
 	for {
 		// Capture every rank's RNG position at the step boundary so an
 		// aborted attempt can be rewound exactly.
@@ -703,7 +754,7 @@ func (t *Trainer[S]) chaosStep(g int, batch []train.Sample, res *Result) (float6
 		}
 		res.Stalls += stalls
 		aborted := false // a peer died mid-exchange; partial sums untrustworthy
-		if err := t.reduceGrads(live); err != nil {
+		if err := t.reduceGrads(live, g); err != nil {
 			var re *ring.RankError
 			if !errors.As(err, &re) {
 				return 0, err
@@ -735,6 +786,34 @@ func (t *Trainer[S]) chaosStep(g int, batch []train.Sample, res *Result) (float6
 				}
 			}
 			continue
+		}
+
+		// Numeric guard: scan the reduced gradient (identical on every
+		// participating rank) before any weight moves. An anomaly rolls
+		// the attempt back via RNG rewind and retries once — which clears
+		// transient corruption like an injected NaN; a reproduced anomaly
+		// is deterministic in (weights, batch, RNG) and falls to the
+		// policy: drop the update and continue, or abort typed.
+		if t.cfg.Guard.Enabled() {
+			if a := train.CheckGrads(t.cfg.Guard, g, t.flat[live[0]]); a != nil {
+				res.Anomalies++
+				if !guardRetried {
+					guardRetried = true
+					for _, r := range live {
+						t.replicas[r].SetRNGState(rngAtStart[r])
+					}
+					continue
+				}
+				if t.cfg.Guard.Policy == train.GuardAbort {
+					return 0, a
+				}
+				if t.guardSkipped == nil {
+					t.guardSkipped = make(map[int]bool)
+				}
+				t.guardSkipped[g] = true
+				res.GuardSkips++
+				return loss, nil
+			}
 		}
 
 		// Commit: identical Adam updates on the participating ranks.

@@ -3,6 +3,7 @@ package ddp
 import (
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"seaice/internal/nn"
@@ -57,6 +58,13 @@ type NetTrainer[S tensor.Scalar] struct {
 	batcher   *train.Batcher
 	nb        int
 	dataFP    string
+	// guardRetried is the step already rolled back and retried for a
+	// numeric anomaly (-1: none); a second trip at the same step is
+	// deterministic and falls to the guard policy.
+	guardRetried int
+	// lastSnapStep dedupes snapshot persistence across step retries, so
+	// a rolled-back attempt cannot churn the rotation generations.
+	lastSnapStep int
 }
 
 // netBoundary is the rank-local rollback state at a step boundary.
@@ -86,6 +94,9 @@ func NewNet[S tensor.Scalar](modelCfg unet.Config, cfg Config, coll ring.Collect
 	if cfg.SnapshotEvery <= 0 {
 		cfg.SnapshotEvery = DefaultSnapshotEvery
 	}
+	if cfg.SnapshotKeep <= 0 {
+		cfg.SnapshotKeep = DefaultSnapshotKeep
+	}
 	m, err := newReplica[S](modelCfg, coll.Rank())
 	if err != nil {
 		return nil, err
@@ -93,13 +104,15 @@ func NewNet[S tensor.Scalar](modelCfg unet.Config, cfg Config, coll ring.Collect
 	opt := nn.NewAdam[S](cfg.LR)
 	opt.Master = cfg.MasterWeights
 	return &NetTrainer[S]{
-		cfg:      cfg,
-		modelCfg: modelCfg,
-		rank:     coll.Rank(),
-		world:    coll.World(),
-		coll:     coll,
-		model:    m,
-		opt:      opt,
+		cfg:          cfg,
+		modelCfg:     modelCfg,
+		rank:         coll.Rank(),
+		world:        coll.World(),
+		coll:         coll,
+		model:        m,
+		opt:          opt,
+		guardRetried: -1,
+		lastSnapStep: -1,
 	}, nil
 }
 
@@ -275,10 +288,12 @@ func (t *NetTrainer[S]) Fit(samples []train.Sample) (*Result, error) {
 			curB = t.capture(g)
 		}
 		wantSnaps := t.cfg.Chaos != nil || t.cfg.SnapshotPath != ""
-		if wantSnaps && (g == t.startStep || g%t.cfg.SnapshotEvery == 0) {
+		if wantSnaps && (g == t.startStep || g%t.cfg.SnapshotEvery == 0) && t.lastSnapStep != g {
 			t.snap = t.Snapshot(g)
+			t.lastSnapStep = g
 			if t.cfg.SnapshotPath != "" {
-				if err := SaveSnapshotFile(t.cfg.SnapshotPath, t.snap); err != nil {
+				torn := t.cfg.Chaos.TornWrite(g)
+				if err := saveSnapshotFile(t.cfg.SnapshotPath, t.snap, t.cfg.SnapshotKeep, torn); err != nil {
 					return res, err
 				}
 			}
@@ -298,6 +313,16 @@ func (t *NetTrainer[S]) Fit(samples []train.Sample) (*Result, error) {
 			g++
 			if bi == t.nb-1 {
 				t.closeEpoch(res, losses, epoch, &epochStart)
+			}
+			continue
+		}
+		if errors.Is(err, errGuardRetry) {
+			// Numeric anomaly in the reduced gradient. Every rank scanned
+			// the identical reduced bytes and reached this verdict in
+			// lockstep; connections are intact, so roll back the boundary
+			// state locally and retry the step without a rendezvous.
+			if rerr := t.rollbackTo(curB); rerr != nil {
+				return res, rerr
 			}
 			continue
 		}
@@ -374,8 +399,36 @@ func (t *NetTrainer[S]) attemptStep(g int, batch []train.Sample, res *Result) (f
 	for _, prm := range t.model.Params() {
 		off += copy(t.flat[off:], prm.Grad.Data)
 	}
+	if t.cfg.Chaos.NaNStep(t.rank, g) {
+		// Poison one pre-reduce element: the ring mean propagates the NaN
+		// to every rank, so the guard verdict below is unanimous.
+		t.flat[0] = S(math.NaN())
+	}
 	if err := t.coll.AllReduceMean(t.flat, ring.DefaultChunk); err != nil {
 		return 0, err
+	}
+	if t.cfg.Guard.Enabled() {
+		if a := train.CheckGrads(t.cfg.Guard, g, t.flat); a != nil {
+			res.Anomalies++
+			if t.guardRetried != g {
+				// First trip at this step: signal the caller to roll back
+				// and re-execute; a transient (injected) corruption comes
+				// out clean on the retry.
+				t.guardRetried = g
+				return 0, fmt.Errorf("%w: %v", errGuardRetry, a)
+			}
+			if t.cfg.Guard.Policy == train.GuardAbort {
+				return 0, a
+			}
+			// Reproduced anomaly under GuardSkip: drop the update (weights
+			// untouched, dropout noise stays consumed) but still commit the
+			// barrier so every rank advances in lockstep.
+			res.GuardSkips++
+			if err := t.coll.Commit(g); err != nil {
+				return 0, err
+			}
+			return loss, nil
+		}
 	}
 	off = 0
 	for _, prm := range t.model.Params() {
@@ -387,6 +440,11 @@ func (t *NetTrainer[S]) attemptStep(g int, batch []train.Sample, res *Result) (f
 	}
 	return loss, nil
 }
+
+// errGuardRetry asks Fit to roll back the current boundary and retry the
+// step after a first numeric-anomaly verdict. Distinct from *RankError:
+// the ring is healthy, so no re-rendezvous is needed.
+var errGuardRetry = errors.New("ddp: numeric anomaly, retrying step")
 
 // closeEpoch emits the epoch stat from the committed per-step losses.
 func (t *NetTrainer[S]) closeEpoch(res *Result, losses []float64, epoch int, epochStart *time.Time) {

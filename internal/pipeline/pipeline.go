@@ -175,7 +175,8 @@ type TrainPlan struct {
 type Event struct {
 	// Kind is "resume" (shard restored from checkpoint), "scene" (one
 	// scene labeled and tiled), "retry" (a stage failure being
-	// re-attempted), or "shard" (one shard fully done).
+	// re-attempted), "quarantine" (a poisoned scene dropped from the
+	// products), or "shard" (one shard fully done).
 	Kind string
 	// Shard/Shards locate the event: Shard is the shard the scene or
 	// completion belongs to.
@@ -210,10 +211,18 @@ type Config struct {
 	// products (every stage is a pure function of scene + config), so
 	// retry changes wall clock, never output. 0 disables retry.
 	Retries int
-	// Chaos injects deterministic stage-worker faults (panics at exact
-	// scene indices) for the fault-tolerance tests and the -chaos flags;
-	// nil disables injection.
+	// Chaos injects deterministic stage-worker faults (panics, corrupted
+	// scene bytes, torn checkpoint writes at exact scene indices) for the
+	// fault-tolerance tests and the -chaos flags; nil disables injection.
 	Chaos *chaos.Injector
+	// Quarantine, when set, drops scenes that stay poisoned (failed
+	// integrity validation or a panicking stage) through the whole retry
+	// budget into the stream's quarantine report (Quarantined) instead of
+	// failing the run. Quarantined scenes contribute no tiles; plan-based
+	// consumers that need one of their tiles report an error naming the
+	// scene. Off by default: a silently shrinking dataset is the wrong
+	// default for training parity.
+	Quarantine bool
 	// Plan enables TrainBatches/TrainSamples/TestTiles and scene
 	// prioritization. Without it scenes are processed in index order.
 	Plan *TrainPlan
@@ -282,14 +291,17 @@ type Stream struct {
 	quit   chan struct{} // closed by Close or on failure
 	emitMu sync.Mutex    // serializes Progress callbacks
 
-	mu        sync.Mutex
-	cond      *sync.Cond
-	tiles     [][]dataset.Tile // per-scene, nil until ready
-	doneCount int
-	shardLeft []int // scenes outstanding per shard
-	closed    bool
-	err       error
-	cpErr     error // last non-fatal checkpoint I/O error
+	mu          sync.Mutex
+	cond        *sync.Cond
+	tiles       [][]dataset.Tile // per-scene, nil until ready
+	doneCount   int
+	shardLeft   []int // scenes outstanding per shard
+	cpPending   int   // shard checkpoint writes in flight
+	closed      bool
+	err         error
+	cpErr       error // last non-fatal checkpoint I/O error
+	quarantined []QuarantineRecord
+	qSet        map[int]bool // scene index -> quarantined
 }
 
 // planState is the precomputed index plumbing of a TrainPlan.

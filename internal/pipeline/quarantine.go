@@ -1,0 +1,125 @@
+package pipeline
+
+import (
+	"fmt"
+	"math"
+
+	"seaice/internal/dataset"
+	"seaice/internal/raster"
+	"seaice/internal/scene"
+)
+
+// poisonError marks a scene whose content failed integrity validation
+// (or whose stage worker panicked mid-decode): the data itself is
+// suspect, not the machinery around it. Poisoned scenes are retried like
+// any transient failure — an injected one-shot corruption comes out
+// clean on the retry — and, when Config.Quarantine is set, a scene that
+// stays poisoned through the retry budget is quarantined into the
+// stream's report instead of killing the run.
+type poisonError struct{ err error }
+
+func (e *poisonError) Error() string { return e.err.Error() }
+func (e *poisonError) Unwrap() error { return e.err }
+
+// QuarantineRecord is one quarantined scene in the stream's report.
+type QuarantineRecord struct {
+	// Scene is the global scene index that was dropped.
+	Scene int
+	// Reason is the final stage error that exhausted the retry budget.
+	Reason string
+}
+
+// Quarantined returns the quarantine report: every poisoned scene the
+// stream dropped (Config.Quarantine), in completion order. Empty for
+// healthy runs.
+func (s *Stream) Quarantined() []QuarantineRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]QuarantineRecord, len(s.quarantined))
+	copy(out, s.quarantined)
+	return out
+}
+
+// isQuarantined reports whether a scene was dropped from the products.
+func (s *Stream) isQuarantined(i int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.qSet[i]
+}
+
+// quarantine drops a poisoned scene: records it, emits the event, and
+// delivers an empty tile set so shard accounting and waiters complete.
+// The empty delivery is non-checkpointable — a shard holding a
+// quarantined scene recomputes from the source on resume, giving the
+// scene another chance with fresh bytes.
+func (s *Stream) quarantine(i int, err error) {
+	s.mu.Lock()
+	if s.qSet == nil {
+		s.qSet = make(map[int]bool)
+	}
+	s.qSet[i] = true
+	s.quarantined = append(s.quarantined, QuarantineRecord{Scene: i, Reason: err.Error()})
+	s.mu.Unlock()
+	s.emit(Event{Kind: "quarantine", Shard: s.shardOf(i), ScenesDone: s.completed()})
+	s.deliver(i, make([]dataset.Tile, 0), false)
+}
+
+// validateScene is the integrity gate between the source and the label
+// stage: it rejects truncated rasters and non-finite or out-of-range
+// reflectance values — the silent-corruption shapes that would otherwise
+// flow into tiles, labels, and ultimately trained weights. Validation
+// failures are poisonError (retryable; quarantinable).
+func validateScene(i int, sc *scene.Scene) error {
+	w, h := sc.Image.W, sc.Image.H
+	if len(sc.Image.Pix) != 3*w*h {
+		return &poisonError{fmt.Errorf("pipeline: scene %d: truncated image raster (%d bytes, want %d)",
+			i, len(sc.Image.Pix), 3*w*h)}
+	}
+	if err := validateBand(i, "cloud-opacity", sc.CloudOpacity, w*h); err != nil {
+		return err
+	}
+	return validateBand(i, "shadow", sc.Shadow, w*h)
+}
+
+// validateBand checks one optional float raster for truncation and
+// non-finite or out-of-range ([0,1]) values.
+func validateBand(i int, name string, r *raster.Float, want int) error {
+	if r == nil {
+		return nil
+	}
+	if len(r.Pix) != want {
+		return &poisonError{fmt.Errorf("pipeline: scene %d: truncated %s raster (%d values, want %d)",
+			i, name, len(r.Pix), want)}
+	}
+	for p, v := range r.Pix {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return &poisonError{fmt.Errorf("pipeline: scene %d: non-finite %s value at pixel %d", i, name, p)}
+		}
+		if v < 0 || v > 1 {
+			return &poisonError{fmt.Errorf("pipeline: scene %d: %s value %g at pixel %d outside [0,1]",
+				i, name, v, p)}
+		}
+	}
+	return nil
+}
+
+// poisonScene returns a corrupted copy of a scene for the badscene chaos
+// fault: the original is never mutated (sources may share scene
+// pointers, and the retry after the one-shot fault must see pristine
+// bytes). The corruption is a NaN dropped into the cloud-opacity
+// raster — exactly the silent-poison shape validateScene exists to stop.
+func poisonScene(sc *scene.Scene) *scene.Scene {
+	cp := *sc
+	if sc.CloudOpacity != nil && len(sc.CloudOpacity.Pix) > 0 {
+		r := *sc.CloudOpacity
+		r.Pix = append([]float64(nil), sc.CloudOpacity.Pix...)
+		r.Pix[len(r.Pix)/2] = math.NaN()
+		cp.CloudOpacity = &r
+	} else {
+		img := *sc.Image
+		img.Pix = append([]uint8(nil), sc.Image.Pix...)
+		img.Pix = img.Pix[:len(img.Pix)/2] // torn decode: truncated raster
+		cp.Image = &img
+	}
+	return &cp
+}

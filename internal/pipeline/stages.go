@@ -64,6 +64,14 @@ func (s *Stream) run() {
 			for i := range sceneCh {
 				ls, err := s.labelSceneWithRetry(i)
 				if err != nil {
+					var poison *poisonError
+					if s.cfg.Quarantine && errors.As(err, &poison) {
+						// The scene stayed poisoned through the retry
+						// budget: drop it into the report and keep the
+						// run alive.
+						s.quarantine(i, err)
+						continue
+					}
 					s.fail(err)
 					return nil
 				}
@@ -144,7 +152,10 @@ func (e *permanentError) Unwrap() error { return e.err }
 func (s *Stream) labelScene(i int) (ls *dataset.LabeledScene, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("pipeline: scene %d stage worker panicked: %v", i, r)
+			// A panic mid-decode means the scene bytes are suspect:
+			// poison-typed, so Quarantine can catch a scene that panics
+			// through the whole retry budget.
+			err = &poisonError{fmt.Errorf("pipeline: scene %d stage worker panicked: %v", i, r)}
 		}
 	}()
 	sc, err := s.src.SceneAt(i)
@@ -157,6 +168,14 @@ func (s *Stream) labelScene(i int) (ls *dataset.LabeledScene, err error) {
 	if sc.Image.W != s.w || sc.Image.H != s.h {
 		return nil, &permanentError{fmt.Errorf("pipeline: scene %d is %dx%d, source declared %dx%d",
 			i, sc.Image.W, sc.Image.H, s.w, s.h)}
+	}
+	if s.cfg.Chaos.BadScene(i) {
+		// Injected silent corruption: poison a copy (the retry after this
+		// one-shot fault must see the source's pristine bytes).
+		sc = poisonScene(sc)
+	}
+	if err := validateScene(i, sc); err != nil {
+		return nil, err
 	}
 	if s.cfg.Chaos.StagePanic(i) {
 		panic(fmt.Sprintf("chaos: injected stage fault on scene %d", i))
@@ -189,14 +208,25 @@ func (s *Stream) deliver(scene int, tiles []dataset.Tile, checkpointable bool) {
 	s.doneCount++
 	s.shardLeft[shard]--
 	shardDone := s.shardLeft[shard] == 0
+	saving := shardDone && checkpointable && s.cfg.CheckpointDir != ""
+	if saving {
+		// Registered under the same lock that publishes completion, so
+		// waitAll cannot observe the stream done while this shard's
+		// checkpoint write (with its fsyncs) is still in flight.
+		s.cpPending++
+	}
 	done := s.doneCount
 	s.mu.Unlock()
 	s.cond.Broadcast()
 
 	s.emit(Event{Kind: "scene", Shard: shard, ScenesDone: done})
 	if shardDone {
-		if checkpointable {
+		if saving {
 			s.saveShard(shard)
+			s.mu.Lock()
+			s.cpPending--
+			s.mu.Unlock()
+			s.cond.Broadcast()
 		}
 		s.emit(Event{Kind: "shard", Shard: shard, ScenesDone: done})
 	}
@@ -219,15 +249,17 @@ func (s *Stream) waitScenes(idx []int) error {
 	return nil
 }
 
-// waitAll blocks until the full campaign is assembled.
+// waitAll blocks until the full campaign is assembled and every shard
+// checkpoint write has settled (so a returned build implies durable
+// checkpoints).
 func (s *Stream) waitAll() error {
 	s.ensureStarted()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for s.doneCount < s.n && s.err == nil {
+	for (s.doneCount < s.n || s.cpPending > 0) && s.err == nil {
 		s.cond.Wait()
 	}
-	if s.doneCount == s.n {
+	if s.doneCount == s.n && s.cpPending == 0 {
 		return nil
 	}
 	return s.err
@@ -268,6 +300,9 @@ func (s *Stream) gather(global []int) ([]dataset.Tile, error) {
 	}
 	out := make([]dataset.Tile, len(global))
 	for i, g := range global {
+		if sc := g / s.tilesPerScene; s.isQuarantined(sc) {
+			return nil, fmt.Errorf("pipeline: scene %d was quarantined but the training plan needs its tiles", sc)
+		}
 		out[i] = s.tileAt(g)
 	}
 	return out, nil

@@ -148,6 +148,12 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusGatewayTimeout)
 		case errors.Is(err, ErrClosed):
 			http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+		case errors.Is(err, unet.ErrNonFinite):
+			// Corrupted weights or activations produced non-finite
+			// logits; the result never reached the cache, and the client
+			// learns the output is unusable rather than receiving a
+			// laundered class map.
+			http.Error(w, err.Error(), http.StatusBadRequest)
 		default:
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}

@@ -54,6 +54,20 @@ func (c *Conn) WriteFrame(tag byte, payload []byte) error {
 	return c.bw.Flush()
 }
 
+// writeRaw sends pre-encoded frame bytes under the write deadline and
+// flushes them. It exists for the bitflip fault injector, which must
+// corrupt a frame *after* its CRC trailer is computed — exactly what a
+// wire-level bit error looks like to the receiver.
+func (c *Conn) writeRaw(b []byte) error {
+	if err := c.nc.SetWriteDeadline(time.Now().Add(c.timeout)); err != nil {
+		return err
+	}
+	if _, err := c.bw.Write(b); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
 // ReadFrame receives one frame under the read deadline.
 func (c *Conn) ReadFrame() (Frame, error) {
 	if err := c.nc.SetReadDeadline(time.Now().Add(c.timeout)); err != nil {

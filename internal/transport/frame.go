@@ -20,22 +20,31 @@
 //
 // Wire format (all integers big-endian):
 //
-//	frame  := [length:4][tag:1][payload:length-1]
+//	frame  := [length:4][tag:1][payload:length-5][crc32c:4]
 //	hello  := [magic:4][rank:4][world:4][cidLen:2][clusterID]
 //	sync   := [step:4]            (Establish step agreement, ring min)
 //	commit := [step:4]            (end-of-step barrier token)
 //	data   := [step:4][seq:4][scalar bytes, little-endian IEEE-754]
 //
-// length counts the tag byte; frames above MaxFrame are rejected before
-// allocation, so a corrupt or malicious length prefix cannot balloon
-// memory (fuzzed in FuzzReadFrame).
+// length counts the tag byte and the 4-byte CRC32C (Castagnoli) trailer,
+// computed over tag+payload and verified by ReadFrame before the frame
+// is surfaced — a flipped bit anywhere in flight fails the check and is
+// reported as an error, never as silently corrupt data; the caller maps
+// it to *ring.RankError and the step retries. Frames above MaxFrame are
+// rejected before allocation, so a corrupt or malicious length prefix
+// cannot balloon memory (fuzzed in FuzzReadFrame).
 package transport
 
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
+
+// castagnoli is the CRC32C polynomial table shared by every frame
+// checksum (and by the checksummed checkpoint formats built on top).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // MaxFrame is the maximum frame length (tag + payload) the decoder
 // accepts: 1 MiB + 16 bytes of header slack, comfortably above the
@@ -61,9 +70,14 @@ type Frame struct {
 	Payload []byte
 }
 
-// WriteFrame encodes one frame to w: 4-byte length prefix, tag, payload.
+// crcTrailer is the size of the CRC32C integrity trailer every frame
+// carries after its payload.
+const crcTrailer = 4
+
+// WriteFrame encodes one frame to w: 4-byte length prefix, tag, payload,
+// and a CRC32C trailer over tag+payload.
 func WriteFrame(w io.Writer, tag byte, payload []byte) error {
-	n := 1 + len(payload)
+	n := 1 + len(payload) + crcTrailer
 	if n > MaxFrame {
 		return fmt.Errorf("transport: frame of %d bytes exceeds MaxFrame %d", n, MaxFrame)
 	}
@@ -73,23 +87,45 @@ func WriteFrame(w io.Writer, tag byte, payload []byte) error {
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
-	if len(payload) == 0 {
-		return nil
+	crc := crc32.Checksum(hdr[4:5], castagnoli)
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+		crc = crc32.Update(crc, castagnoli, payload)
 	}
-	_, err := w.Write(payload)
+	var trailer [crcTrailer]byte
+	binary.BigEndian.PutUint32(trailer[:], crc)
+	_, err := w.Write(trailer[:])
 	return err
 }
 
-// ReadFrame decodes one frame from r, rejecting empty or oversized
-// lengths before any payload allocation.
+// encodeFrame renders one complete frame — length prefix, tag, payload,
+// CRC32C trailer — into a fresh buffer. The bitflip injector uses it to
+// corrupt an already-checksummed frame the way the wire would.
+func encodeFrame(tag byte, payload []byte) []byte {
+	n := 1 + len(payload) + crcTrailer
+	buf := make([]byte, 4+n)
+	binary.BigEndian.PutUint32(buf[:4], uint32(n))
+	buf[4] = tag
+	copy(buf[5:], payload)
+	crc := crc32.Checksum(buf[4:4+n-crcTrailer], castagnoli)
+	binary.BigEndian.PutUint32(buf[4+n-crcTrailer:], crc)
+	return buf
+}
+
+// ReadFrame decodes one frame from r, rejecting undersized or oversized
+// lengths before any payload allocation and verifying the CRC32C
+// trailer before surfacing the payload — corruption anywhere in the
+// frame body comes back as an error, never as silently wrong bytes.
 func ReadFrame(r io.Reader) (Frame, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return Frame{}, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
-	if n == 0 {
-		return Frame{}, fmt.Errorf("transport: zero-length frame")
+	if n < 1+crcTrailer {
+		return Frame{}, fmt.Errorf("transport: frame of %d bytes lacks tag+CRC trailer", n)
 	}
 	if n > MaxFrame {
 		return Frame{}, fmt.Errorf("transport: frame of %d bytes exceeds MaxFrame %d", n, MaxFrame)
@@ -98,7 +134,12 @@ func ReadFrame(r io.Reader) (Frame, error) {
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return Frame{}, err
 	}
-	return Frame{Tag: buf[0], Payload: buf[1:]}, nil
+	body := buf[:n-crcTrailer]
+	want := binary.BigEndian.Uint32(buf[n-crcTrailer:])
+	if got := crc32.Checksum(body, castagnoli); got != want {
+		return Frame{}, fmt.Errorf("transport: frame CRC mismatch (got %08x, want %08x): corrupt frame", got, want)
+	}
+	return Frame{Tag: body[0], Payload: body[1:]}, nil
 }
 
 // hello is the decoded handshake payload.

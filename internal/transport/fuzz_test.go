@@ -27,7 +27,14 @@ func FuzzReadFrame(f *testing.F) {
 	oversize := make([]byte, 4)
 	binary.BigEndian.PutUint32(oversize, MaxFrame+1)
 	f.Add(append(oversize, 0x01))
-	f.Add([]byte{0, 0, 0, 5, 0x04, 1, 2}) // length promises more than present
+	f.Add([]byte{0, 0, 0, 9, 0x04, 1, 2}) // length promises more than present
+	// A flipped payload bit and a truncated CRC trailer: both must be
+	// rejected by the integrity check, never surfaced as data.
+	flipped := valid(tagData, []byte{0, 0, 0, 1, 0, 0, 0, 2, 42})
+	flipped[len(flipped)/2] ^= 0x10
+	f.Add(flipped)
+	whole := valid(tagCommit, encodeStep(7))
+	f.Add(whole[:len(whole)-2])
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr, err := ReadFrame(bytes.NewReader(data))

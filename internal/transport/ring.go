@@ -33,8 +33,8 @@ type Config struct {
 	// listens on Peers[Rank].
 	Listener net.Listener
 	// Chaos delivers injected network faults (partition, reconnect at
-	// step boundaries; dropped frames and slow links at data-frame
-	// sends); nil disables injection.
+	// step boundaries; dropped frames, bit flips, and slow links at
+	// data-frame sends); nil disables injection.
 	Chaos *chaos.Injector
 	// Logf, when non-nil, receives connection lifecycle messages.
 	Logf func(format string, args ...any)
@@ -356,6 +356,19 @@ func (r *Ring) sendData(payload []byte) error {
 	binary.BigEndian.PutUint32(buf[:4], uint32(r.step))
 	binary.BigEndian.PutUint32(buf[4:8], r.sendSeq)
 	copy(buf[8:], payload)
+	if in := r.cfg.Chaos; in != nil && in.Bitflip(r.rank, r.step) {
+		// Encode the frame (CRC included), then flip one deterministic
+		// payload bit — silent wire corruption the receiver's CRC check
+		// must turn into a loud *ring.RankError.
+		raw := encodeFrame(tagData, buf)
+		raw[5+len(buf)/2] ^= 1 << uint(r.step%8)
+		r.logf("rank %d: injected bitflip @%d (seq %d)", r.rank, r.step, r.sendSeq)
+		if err := next.writeRaw(raw); err != nil {
+			return r.nextErr(err)
+		}
+		r.sendSeq++
+		return nil
+	}
 	if err := next.WriteFrame(tagData, buf); err != nil {
 		return r.nextErr(err)
 	}

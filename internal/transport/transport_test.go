@@ -1,10 +1,12 @@
 package transport
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"math"
 	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -284,6 +286,54 @@ func TestSlowLinkAbsorbed(t *testing.T) { testFaultRecovery(t, "27:slow@1:r1:30m
 // ranks in one run.
 func TestCompoundFaults(t *testing.T) {
 	testFaultRecovery(t, "29:part@1:r0,drop@3:r2,slow@4:r1:20ms,reconn@5:r1")
+}
+
+// TestCorruptFrameRecovery: a bit flipped on the wire fails the CRC32C
+// trailer check on the receiving side — silent corruption becomes a
+// *ring.RankError, the step aborts ring-wide, and the retry is
+// bit-identical to a clean run.
+func TestCorruptFrameRecovery(t *testing.T) { testFaultRecovery(t, "33:bitflip@2:r1") }
+
+// TestCorruptFrameCRCDetected: the frame decoder rejects a flipped
+// payload bit and a truncated CRC trailer with errors — corrupt bytes
+// never surface as a decoded frame.
+func TestCorruptFrameCRCDetected(t *testing.T) {
+	payload := []byte{0, 0, 0, 1, 0, 0, 0, 2, 42, 43, 44}
+	raw := encodeFrame(tagData, payload)
+
+	if fr, err := ReadFrame(bytes.NewReader(raw)); err != nil {
+		t.Fatalf("clean frame rejected: %v", err)
+	} else if fr.Tag != tagData || !bytes.Equal(fr.Payload, payload) {
+		t.Fatal("clean frame decoded wrong")
+	}
+
+	for bit := 0; bit < 8; bit++ {
+		flipped := append([]byte(nil), raw...)
+		flipped[5+len(payload)/2] ^= 1 << uint(bit)
+		if _, err := ReadFrame(bytes.NewReader(flipped)); err == nil ||
+			!strings.Contains(err.Error(), "CRC mismatch") {
+			t.Fatalf("bit %d flip not detected: %v", bit, err)
+		}
+	}
+
+	// A flipped tag byte is inside the checksummed region too.
+	tagFlip := append([]byte(nil), raw...)
+	tagFlip[4] ^= 0x01
+	if _, err := ReadFrame(bytes.NewReader(tagFlip)); err == nil {
+		t.Fatal("tag flip not detected")
+	}
+
+	for cut := 1; cut <= 4; cut++ {
+		if _, err := ReadFrame(bytes.NewReader(raw[:len(raw)-cut])); err == nil {
+			t.Fatalf("truncation of %d bytes not detected", cut)
+		}
+	}
+
+	// A frame too short to even hold a CRC trailer is rejected before
+	// allocation.
+	if _, err := ReadFrame(bytes.NewReader([]byte{0, 0, 0, 3, 0x04, 1, 2})); err == nil {
+		t.Fatal("trailerless frame accepted")
+	}
 }
 
 // TestClusterIDMismatch: a ring with a different cluster ID must not

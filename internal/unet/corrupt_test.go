@@ -1,0 +1,68 @@
+package unet
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"seaice/internal/noise"
+	"seaice/internal/raster"
+)
+
+// corruptTile renders one deterministic random tile.
+func corruptTile(size int, seed uint64) *raster.RGB {
+	rng := noise.NewRNG(seed, 0x7e57)
+	img := raster.NewRGB(size, size)
+	for p := range img.Pix {
+		img.Pix[p] = uint8(rng.Uint64())
+	}
+	return img
+}
+
+// TestCorruptWeightsRejectNonFinite poisons a final-layer parameter (the
+// effect of a flipped bit in a loaded checkpoint) and asserts the
+// session refuses to argmax the resulting logits, failing typed with
+// ErrNonFinite and naming the value kind.
+func TestCorruptWeightsRejectNonFinite(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		poison float64
+	}{
+		{"NaN", math.NaN()},
+		{"Inf", math.Inf(1)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := New[float64](FastConfig(3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The last parameter feeds the logits directly (no ReLU
+			// between it and the output), so the poison cannot be masked.
+			ps := m.Params()
+			ps[len(ps)-1].W.Data[0] = tc.poison
+
+			s := NewSession(m)
+			_, err = s.PredictTiles([]*raster.RGB{corruptTile(16, 4)})
+			if !errors.Is(err, ErrNonFinite) {
+				t.Fatalf("PredictTiles = %v, want ErrNonFinite", err)
+			}
+			if !strings.Contains(err.Error(), tc.name) {
+				t.Errorf("error %q does not name the value kind %q", err, tc.name)
+			}
+		})
+	}
+}
+
+// TestCleanWeightsPassGuard is the control: an unpoisoned model predicts
+// without tripping the non-finite guard.
+func TestCleanWeightsPassGuard(t *testing.T) {
+	m, err := New[float64](FastConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSession(m)
+	if _, err := s.PredictTiles([]*raster.RGB{corruptTile(16, 4)}); err != nil {
+		t.Fatalf("clean model tripped the guard: %v", err)
+	}
+}

@@ -1,13 +1,23 @@
 package unet
 
 import (
+	"errors"
 	"fmt"
+	"math"
 
 	"seaice/internal/nn"
 	"seaice/internal/pool"
 	"seaice/internal/raster"
 	"seaice/internal/tensor"
 )
+
+// ErrNonFinite reports a forward pass whose logits contain NaN or ±Inf —
+// corrupted weights (a flipped bit in a checkpoint, a bad quantized
+// table) or poisoned activations. Predictions built from non-finite
+// logits are garbage that argmax would silently launder into plausible
+// class maps, so the session refuses to emit them; the serving layer
+// maps this to an HTTP 400 before the result can enter its cache.
+var ErrNonFinite = errors.New("unet: non-finite logits")
 
 // Session is a forward-only inference engine over a trained Model. It
 // avoids the training path's costs: convolutions run directly on NCHW
@@ -180,10 +190,22 @@ func (s *Session[S]) Forward(x *tensor.Tensor[S]) (*tensor.Tensor[S], error) {
 }
 
 // Predict returns per-pixel class predictions for x, like Model.Predict.
+// Logits are integrity-checked first: a non-finite value anywhere fails
+// the call with ErrNonFinite instead of laundering garbage through
+// argmax.
 func (s *Session[S]) Predict(x *tensor.Tensor[S]) ([]uint8, error) {
 	logits, err := s.Forward(x)
 	if err != nil {
 		return nil, err
+	}
+	for i, v := range logits.Data {
+		if f := float64(v); math.IsNaN(f) || math.IsInf(f, 0) {
+			kind := "NaN"
+			if math.IsInf(f, 0) {
+				kind = "Inf"
+			}
+			return nil, fmt.Errorf("%w: %s at element %d of %v", ErrNonFinite, kind, i, logits.Shape)
+		}
 	}
 	return nn.Predict(logits), nil
 }

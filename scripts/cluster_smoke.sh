@@ -67,6 +67,39 @@ for prec in f64 f32; do
     echo "ok: all 3 ranks recovered to golden weights $GOLD"
 done
 
+echo "== corruption parity: bitflip + NaN gradient injected into 3 TCP ranks"
+# Silent-corruption defense end to end with real processes: one bit
+# flipped in a data frame (after its CRC — the trailer must catch it)
+# and one NaN planted in a rank's gradient (the -guard scan must roll
+# it back). Both are transient, so the run must finish byte-identical
+# to the clean f64 golden run.
+GOLD=$(sha_of "$TMP/golden-f64.log")
+CFAULT="51:bitflip@3:r1,nanstep@4:r0"
+RANK_PIDS=""
+for r in 0 1 2; do
+    "$TMP/seaice-train" $TRAIN_FLAGS -precision f64 -peers "$PEERS" -rank "$r" \
+        -chaos "$CFAULT" -guard skip -ckpt "$TMP/corrupt.ckpt" >"$TMP/crank$r.log" 2>&1 &
+    RANK_PIDS="$RANK_PIDS $!"
+done
+for pid in $RANK_PIDS; do
+    wait "$pid" || { echo "FAIL: a corruption-run rank exited non-zero"; tail -n 20 "$TMP"/crank*.log; exit 1; }
+done
+for r in 0 1 2; do
+    GOT=$(sha_of "$TMP/crank$r.log")
+    if [ "$GOT" != "$GOLD" ]; then
+        echo "FAIL: corrupted-run rank $r weights $GOT != golden $GOLD"
+        tail -n 20 "$TMP/crank$r.log"
+        exit 1
+    fi
+done
+grep -q 'delivered bitflip@3' "$TMP/crank1.log" || {
+    echo "FAIL: bitflip fault was never delivered"; exit 1; }
+grep -q 'delivered nanstep@4' "$TMP/crank0.log" || {
+    echo "FAIL: nanstep fault was never delivered"; exit 1; }
+grep -q 'guard:' "$TMP/crank0.log" || {
+    echo "FAIL: the numeric guard never saw the injected NaN"; exit 1; }
+echo "ok: bitflip + NaN runs recovered to golden weights $GOLD"
+
 echo "== sharded serve: 2 worker nodes behind a coordinator"
 "$TMP/seaice-label" -scenes 1 -size 64 -out "$TMP/scenes" >/dev/null 2>&1
 SCENE="$TMP/scenes/scene00.png"
