@@ -1,12 +1,15 @@
 // Command seaice-label runs the data-preparation half of the workflow:
 // it generates (or loads) Sentinel-2-like scenes, applies the thin-cloud
-// and shadow filter, auto-labels them by HSV color segmentation, writes
+// and shadow filter, auto-labels them with the selected labeling engine
+// (HSV thresholds, mini-batch K-means, or a Gaussian mixture), writes
 // the imagery and label maps as PNGs, and reports the auto-label SSIM
 // against the manual (ground-truth) labels — §III-A/B of the paper.
 //
 // Usage:
 //
 //	seaice-label -scenes 4 -size 512 -seed 7 -out ./out
+//	seaice-label -labeler kmeans -scenes 4 -out ./out
+//	seaice-label -labeler hsv,kmeans,gmm -compare -out ./out
 //	seaice-label -demo -out ./out    # one annotated sample scene
 package main
 
@@ -16,10 +19,13 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"seaice/internal/autolabel"
 	"seaice/internal/cloudfilter"
+	"seaice/internal/labeler"
 	"seaice/internal/metrics"
+	"seaice/internal/pool"
 	"seaice/internal/raster"
 	"seaice/internal/scene"
 )
@@ -33,9 +39,13 @@ func main() {
 		size    = flag.Int("size", 512, "scene width and height in pixels")
 		seed    = flag.Uint64("seed", 2019, "campaign seed (November 2019 vibes)")
 		outDir  = flag.String("out", "out", "output directory")
+		spec    = flag.String("labeler", "hsv", "labeling engine: hsv|kmeans|gmm[:k] (comma-separated list with -compare)")
+		compare = flag.Bool("compare", false, "emit a labeler-agreement report instead of PNG products")
 		demo    = flag.Bool("demo", false, "write one fully annotated demo scene and exit")
+		procs   = flag.Int("procs", 0, "worker threads for the labeling kernels (0 = all cores); never changes outputs, only wall-clock")
 	)
 	flag.Parse()
+	pool.SetSharedWorkers(*procs)
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		log.Fatalf("creating %s: %v", *outDir, err)
@@ -56,14 +66,26 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if *compare {
+		if err := runCompare(scenes, *spec, *seed, *outDir); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	eng, err := labeler.Parse(*spec, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	var ssimOrig, ssimFilt float64
 	for i, sc := range scenes {
 		res := cloudfilter.FilterDefault(sc.Image)
-		labOrig, err := autolabel.LabelPaper(sc.Image)
+		labOrig, err := eng.Label(sc.Image)
 		if err != nil {
 			log.Fatal(err)
 		}
-		labFilt, err := autolabel.LabelPaper(res.Image)
+		labFilt, err := eng.Label(res.Image)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -95,9 +117,46 @@ func main() {
 			i, 100*sc.CloudFraction, so, sf)
 	}
 	n := float64(len(scenes))
-	fmt.Printf("\nmean auto-label SSIM vs manual: original %.4f, filtered %.4f (paper: 0.89 / 0.9964)\n",
-		ssimOrig/n, ssimFilt/n)
+	fmt.Printf("\n%s auto-label SSIM vs manual: original %.4f, filtered %.4f (paper, hsv: 0.89 / 0.9964)\n",
+		eng.Name(), ssimOrig/n, ssimFilt/n)
 	fmt.Printf("outputs in %s\n", *outDir)
+}
+
+// runCompare filters every scene and runs the labeler-agreement report
+// over the requested engines (comma-separated -labeler specs; a single
+// spec is compared against the paper's HSV thresholder). The report is
+// printed and written to <out>/agreement.txt; it is bit-reproducible for
+// a fixed campaign seed.
+func runCompare(scenes []*scene.Scene, specs string, seed uint64, outDir string) error {
+	var engines []labeler.Labeler
+	for _, s := range strings.Split(specs, ",") {
+		eng, err := labeler.Parse(strings.TrimSpace(s), seed)
+		if err != nil {
+			return err
+		}
+		engines = append(engines, eng)
+	}
+	if len(engines) == 1 {
+		if engines[0].Name() == "hsv" {
+			return fmt.Errorf("-compare needs at least two distinct engines (e.g. -labeler hsv,kmeans,gmm)")
+		}
+		engines = append([]labeler.Labeler{labeler.PaperHSV()}, engines...)
+	}
+	imgs := make([]*raster.RGB, len(scenes))
+	for i, sc := range scenes {
+		imgs[i] = cloudfilter.FilterDefault(sc.Image).Image
+	}
+	report, err := labeler.Compare(imgs, engines)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report)
+	path := filepath.Join(outDir, "agreement.txt")
+	if err := os.WriteFile(path, []byte(report), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("report written to %s\n", path)
+	return nil
 }
 
 // runDemo writes one scene with every intermediate product, the material

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"seaice/internal/dataset"
+	"seaice/internal/labeler"
 	"seaice/internal/pipeline"
 	"seaice/internal/pool"
 	"seaice/internal/scene"
@@ -43,6 +44,7 @@ func main() {
 		size       = flag.Int("size", 256, "scene size")
 		tile       = flag.Int("tile", 32, "tile size")
 		labels     = flag.String("labels", "auto", "training labels: manual | auto")
+		labSpec    = flag.String("labeler", "hsv", "auto-labeling engine: hsv|kmeans|gmm[:k]")
 		epochs     = flag.Int("epochs", 8, "training epochs")
 		batch      = flag.Int("batch", 8, "batch size")
 		lr         = flag.Float64("lr", 0.01, "Adam learning rate")
@@ -114,6 +116,11 @@ func main() {
 
 	build := dataset.DefaultBuild()
 	build.TileSize = *tile
+	eng, err := labeler.Parse(*labSpec, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	build.Labeler = eng
 
 	plan := &pipeline.TrainPlan{
 		TrainFrac: *trainFrac, SplitSeed: *seed,
@@ -152,8 +159,8 @@ func main() {
 	// shapes the trained weights, mirroring the fingerprint guard on
 	// shard checkpoints: a stale or mismatched model retrains instead of
 	// being silently reported as the requested configuration.
-	modelKey := fmt.Sprintf("preset=%s seed=%d scenes=%d size=%d tile=%d labels=%s epochs=%d batch=%d lr=%g train-frac=%g max-tiles=%d",
-		*preset, *seed, *scenes, *size, *tile, *labels, *epochs, *batch, *lr, *trainFrac, *maxTiles)
+	modelKey := fmt.Sprintf("preset=%s seed=%d scenes=%d size=%d tile=%d labels=%s labeler=%s epochs=%d batch=%d lr=%g train-frac=%g max-tiles=%d",
+		*preset, *seed, *scenes, *size, *tile, *labels, build.LabelerKey(), *epochs, *batch, *lr, *trainFrac, *maxTiles)
 	keyPath := modelPath + ".key"
 	var model *unet.Model[float64]
 	if prev, readErr := os.ReadFile(keyPath); *state != "" && readErr == nil && string(prev) == modelKey {

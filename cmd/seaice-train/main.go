@@ -49,12 +49,15 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"strconv"
 	"strings"
 	"time"
 
 	"seaice/internal/chaos"
 	"seaice/internal/dataset"
 	"seaice/internal/ddp"
+	"seaice/internal/labeler"
+	"seaice/internal/nn"
 	"seaice/internal/perfmodel"
 	"seaice/internal/pipeline"
 	"seaice/internal/pool"
@@ -73,6 +76,8 @@ type options struct {
 	size     int
 	tile     int
 	labels   string
+	labSpec  string
+	focal    *nn.FocalParams
 	epochs   int
 	batch    int
 	lr       float64
@@ -116,6 +121,8 @@ func main() {
 	flag.IntVar(&o.size, "size", 256, "scene size")
 	flag.IntVar(&o.tile, "tile", 32, "tile size")
 	flag.StringVar(&o.labels, "labels", "auto", "training labels: manual | auto")
+	flag.StringVar(&o.labSpec, "labeler", "hsv", "auto-labeling engine: hsv|kmeans|gmm[:k]")
+	focalSpec := flag.String("focal", "", `train with focal loss: "gamma" or "gamma:a0,a1,a2" per-class alphas (e.g. 2 or 2:0.25,1,0.5); empty = cross-entropy`)
 	flag.IntVar(&o.epochs, "epochs", 8, "training epochs")
 	flag.IntVar(&o.batch, "batch", 8, "batch size (per worker when -workers > 1)")
 	flag.Float64Var(&o.lr, "lr", 0.01, "Adam learning rate")
@@ -145,6 +152,9 @@ func main() {
 	}
 	var err error
 	if o.guard, err = train.ParseGuard(*guardSpec); err != nil {
+		log.Fatal(err)
+	}
+	if o.focal, err = parseFocal(*focalSpec); err != nil {
 		log.Fatal(err)
 	}
 	pool.SetSharedWorkers(*procs)
@@ -239,6 +249,11 @@ func run[S tensor.Scalar](o options, master bool) {
 	// the legacy batch path (see internal/pipeline parity tests).
 	build := dataset.DefaultBuild()
 	build.TileSize = o.tile
+	eng, err := labeler.Parse(o.labSpec, o.seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	build.Labeler = eng
 	plan := &pipeline.TrainPlan{
 		TrainFrac: 0.8, SplitSeed: o.seed,
 		TrainTiles: o.maxTiles, TrainSeed: o.seed,
@@ -262,7 +277,7 @@ func run[S tensor.Scalar](o options, master bool) {
 	// recoverable rather than fatal — sized from the schedule, since a
 	// spec may stack several faults on one scene.
 	retries := o.chaos.Count(chaos.StagePanic)
-	log.Printf("streaming %d scenes of %dx%d through filter/label/tile…", o.scenes, o.size, o.size)
+	log.Printf("streaming %d scenes of %dx%d through filter/label/tile (%s labeling)…", o.scenes, o.size, o.size, eng.Name())
 	st, err := pipeline.New(pipeline.CollectionSource{Cfg: cc}, pipeline.Config{
 		Build:   build,
 		Plan:    plan,
@@ -309,6 +324,7 @@ func run[S tensor.Scalar](o options, master bool) {
 			LR:             o.lr,
 			Seed:           o.seed,
 			MasterWeights:  master,
+			Focal:          o.focal,
 			Timing:         perfmodel.PaperDGX(),
 			Chaos:          o.chaos,
 			SnapshotPath:   o.snapshot,
@@ -384,7 +400,7 @@ func run[S tensor.Scalar](o options, master bool) {
 		start := time.Now()
 		res, err := train.FitStream(model, batches, train.Config{
 			Epochs: o.epochs, BatchSize: o.batch, LR: o.lr, Seed: o.seed,
-			MasterWeights: master,
+			MasterWeights: master, Focal: o.focal,
 			Progress: func(epoch int, loss float64) {
 				log.Printf("epoch %d: loss %.4f", epoch, loss)
 			},
@@ -504,6 +520,7 @@ func runNet[S tensor.Scalar](o options, modelCfg unet.Config, samples []train.Sa
 		LR:             o.lr,
 		Seed:           o.seed,
 		MasterWeights:  master,
+		Focal:          o.focal,
 		Timing:         perfmodel.PaperDGX(),
 		Chaos:          o.chaos,
 		SnapshotPath:   snapPath,
@@ -610,6 +627,33 @@ func verifySnapshot(path string, keep int) {
 	if bad {
 		log.Fatalf("snapshot %s failed verification", path)
 	}
+}
+
+// parseFocal parses the -focal spec: "" (nil — plain cross-entropy),
+// "gamma", or "gamma:a0,a1,..." with one alpha per class.
+func parseFocal(spec string) (*nn.FocalParams, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	gammaStr, alphaStr, hasAlpha := strings.Cut(spec, ":")
+	gamma, err := strconv.ParseFloat(gammaStr, 64)
+	if err != nil || gamma < 0 {
+		return nil, fmt.Errorf(`-focal %q: want "gamma" or "gamma:a0,a1,..." with gamma ≥ 0`, spec)
+	}
+	p := &nn.FocalParams{Gamma: gamma}
+	if hasAlpha {
+		for _, a := range strings.Split(alphaStr, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(a), 64)
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("-focal %q: bad alpha %q", spec, a)
+			}
+			p.Alpha = append(p.Alpha, v)
+		}
+		if len(p.Alpha) != int(raster.NumClasses) {
+			return nil, fmt.Errorf("-focal %q: %d alphas for %d classes", spec, len(p.Alpha), raster.NumClasses)
+		}
+	}
+	return p, nil
 }
 
 // weightsSHA hashes the model's parameters as float64 little-endian bit

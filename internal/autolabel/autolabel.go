@@ -58,10 +58,13 @@ func PaperThresholds() Thresholds {
 // jointly cover [0,255] — the property the paper calls "non-intersecting
 // borders [that] can be readily evaluated against individual pixels".
 func (t Thresholds) Validate() error {
-	if t.Water.Hi.V+1 != t.ThinIce.Lo.V {
+	// Compare in int: uint8 arithmetic would wrap 255+1 to 0, letting a
+	// degenerate config like Water.Hi.V=255, ThinIce.Lo.V=0 (fully
+	// overlapping bands) pass as "contiguous".
+	if int(t.Water.Hi.V)+1 != int(t.ThinIce.Lo.V) {
 		return fmt.Errorf("autolabel: water/thin value bands not contiguous: %d vs %d", t.Water.Hi.V, t.ThinIce.Lo.V)
 	}
-	if t.ThinIce.Hi.V+1 != t.ThickIce.Lo.V {
+	if int(t.ThinIce.Hi.V)+1 != int(t.ThickIce.Lo.V) {
 		return fmt.Errorf("autolabel: thin/thick value bands not contiguous: %d vs %d", t.ThinIce.Hi.V, t.ThickIce.Lo.V)
 	}
 	if t.Water.Lo.V != 0 || t.ThickIce.Hi.V != 255 {
@@ -109,9 +112,13 @@ func Merge(m Masks) (*raster.Labels, error) {
 	}
 	out := raster.NewLabels(w, h)
 	for i := 0; i < w*h; i++ {
+		// Brightest-first: thick before thin before water, so a pixel
+		// claimed by overlapping bands resolves to the brightest class.
 		switch {
 		case m.ThickIce.Pix[i] != 0:
 			out.Pix[i] = raster.ClassThickIce
+		case m.ThinIce.Pix[i] != 0:
+			out.Pix[i] = raster.ClassThinIce
 		case m.Water.Pix[i] != 0:
 			out.Pix[i] = raster.ClassWater
 		default:
@@ -138,6 +145,8 @@ func Label(img *raster.RGB, t Thresholds) (*raster.Labels, error) {
 			switch {
 			case t.ThickIce.Contains(px):
 				out.Pix[i] = raster.ClassThickIce
+			case t.ThinIce.Contains(px):
+				out.Pix[i] = raster.ClassThinIce
 			case t.Water.Contains(px):
 				out.Pix[i] = raster.ClassWater
 			default:

@@ -136,3 +136,78 @@ func TestPureColorPatches(t *testing.T) {
 		}
 	}
 }
+
+// TestValidateRejectsWraparound is the uint8 regression: with byte
+// arithmetic, Water.Hi.V=255 makes Water.Hi.V+1 wrap to 0, so a config
+// whose bands fully overlap used to pass the contiguity check.
+func TestValidateRejectsWraparound(t *testing.T) {
+	th := PaperThresholds()
+	th.Water.Hi.V = 255 // water covers everything…
+	th.ThinIce.Lo.V = 0 // …and thin starts at 0: fully overlapping
+	if err := th.Validate(); err == nil {
+		t.Fatal("wraparound config (water 0-255, thin 0-204) accepted")
+	}
+	th = PaperThresholds()
+	th.ThinIce.Hi.V = 255 // same wrap on the thin/thick boundary
+	th.ThickIce.Lo.V = 0
+	if err := th.Validate(); err == nil {
+		t.Fatal("wraparound config (thin 31-255, thick 0-255) accepted")
+	}
+}
+
+// TestOverlapResolvesBrightestFirst pins the documented multi-claim rule
+// for non-paper thresholds: a pixel inside several boxes takes the
+// brightest class, so thin beats water (the pre-fix code checked water
+// before the thin default) and thick beats both. Asserted on Merge and on
+// the fused Label path, which must agree.
+func TestOverlapResolvesBrightestFirst(t *testing.T) {
+	th := PaperThresholds()
+	th.Water.Hi.V = 60 // overlaps thin ice on V in [31,60]
+
+	img := raster.NewRGB(2, 1)
+	img.Set(0, 0, 45, 45, 45)    // V=45: claimed by water AND thin → thin
+	img.Set(1, 0, 220, 220, 220) // V=220: thick only (control)
+
+	lab, err := Merge(Segment(img, th))
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	fused, err := Label(img, th)
+	if err != nil {
+		t.Fatalf("label: %v", err)
+	}
+	for name, got := range map[string]*raster.Labels{"Merge": lab, "Label": fused} {
+		if got.Pix[0] != raster.ClassThinIce {
+			t.Errorf("%s: water∩thin pixel labeled %v, want ThinIce (brightest-first)", name, got.Pix[0])
+		}
+		if got.Pix[1] != raster.ClassThickIce {
+			t.Errorf("%s: thick pixel labeled %v, want ThickIce", name, got.Pix[1])
+		}
+	}
+
+	// Thick/thin overlap: thick wins.
+	th = PaperThresholds()
+	th.ThinIce.Hi.V = 255 // overlaps thick ice on V in [205,255]
+	one := raster.NewRGB(1, 1)
+	one.Set(0, 0, 230, 230, 230)
+	fused, err = Label(one, th)
+	if err != nil {
+		t.Fatalf("label: %v", err)
+	}
+	if fused.Pix[0] != raster.ClassThickIce {
+		t.Errorf("thick∩thin pixel labeled %v, want ThickIce", fused.Pix[0])
+	}
+
+	// Claimed by no box (a gap): still defaults to thin, the middle class.
+	th = PaperThresholds()
+	th.Water.Hi.V = 20 // V in [21,30] claimed by nobody
+	gap := raster.NewRGB(1, 1)
+	gap.Set(0, 0, 25, 25, 25)
+	fused, err = Label(gap, th)
+	if err != nil {
+		t.Fatalf("label: %v", err)
+	}
+	if fused.Pix[0] != raster.ClassThinIce {
+		t.Errorf("unclaimed pixel labeled %v, want ThinIce default", fused.Pix[0])
+	}
+}

@@ -73,8 +73,12 @@ func TestDiagFilterBreakdown(t *testing.T) {
 			if sc.CloudMask.Pix[i] != part.want {
 				continue
 			}
-			co.Add(sc.Truth.Pix[i], labOrig.Pix[i])
-			cf.Add(sc.Truth.Pix[i], labFilt.Pix[i])
+			if err := co.Add(sc.Truth.Pix[i], labOrig.Pix[i]); err != nil {
+				t.Fatal(err)
+			}
+			if err := cf.Add(sc.Truth.Pix[i], labFilt.Pix[i]); err != nil {
+				t.Fatal(err)
+			}
 		}
 		t.Logf("%s pixels (n=%d): original acc %.4f filtered acc %.4f", part.name, co.Total(), co.Accuracy(), cf.Accuracy())
 		t.Logf("%s original confusion:\n%s", part.name, co)

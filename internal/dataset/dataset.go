@@ -19,6 +19,7 @@ import (
 
 	"seaice/internal/autolabel"
 	"seaice/internal/cloudfilter"
+	"seaice/internal/labeler"
 	"seaice/internal/noise"
 	"seaice/internal/pool"
 	"seaice/internal/raster"
@@ -55,9 +56,30 @@ type BuildConfig struct {
 	TileSize int
 	Filter   cloudfilter.Config
 	Labels   autolabel.Thresholds
+	// Labeler selects the auto-labeling engine; nil uses the paper's HSV
+	// thresholder with the Labels thresholds above (which are then part
+	// of the labeler fingerprint; Labels is ignored when Labeler is
+	// set). Select on the CLIs with -labeler hsv|kmeans|gmm[:k].
+	Labeler labeler.Labeler
 	// Workers parallelizes per-scene processing (pool size); <=0 uses
 	// GOMAXPROCS.
 	Workers int
+}
+
+// ActiveLabeler resolves the engine LabelScene will run: the configured
+// Labeler, or the HSV thresholder over cfg.Labels when nil.
+func (c BuildConfig) ActiveLabeler() labeler.Labeler {
+	if c.Labeler != nil {
+		return c.Labeler
+	}
+	return labeler.HSV{T: c.Labels}
+}
+
+// LabelerKey fingerprints the labeling engine and its full configuration
+// for checkpoint keys: shard checkpoints written by one engine must
+// never be resumed by a run configured with another.
+func (c BuildConfig) LabelerKey() string {
+	return labeler.Fingerprint(c.ActiveLabeler())
 }
 
 // DefaultBuild returns the experiment-scale configuration: 64² tiles so a
@@ -111,7 +133,7 @@ type LabeledScene struct {
 // tiling as separate overlapped stages.
 func LabelScene(sc *scene.Scene, cfg BuildConfig) (*LabeledScene, error) {
 	res := cloudfilter.Filter(sc.Image, cfg.Filter)
-	auto, err := autolabel.Label(res.Image, cfg.Labels)
+	auto, err := cfg.ActiveLabeler().Label(res.Image)
 	if err != nil {
 		return nil, err
 	}

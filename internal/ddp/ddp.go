@@ -100,6 +100,11 @@ type Config struct {
 	// rank's Adam — the mixed-precision recipe for float32 replicas; it
 	// has no effect on float64 replicas.
 	MasterWeights bool
+	// Focal, if non-nil, trains every replica with the focal loss at
+	// these parameters instead of plain softmax cross-entropy; each
+	// rank's criterion is stateless apart from scratch buffers, so
+	// recovery and snapshot replay are unaffected.
+	Focal *nn.FocalParams
 	// Timing supplies the virtual clock for reported epoch times; the
 	// zero value disables virtual timing.
 	Timing perfmodel.Horovod
@@ -227,7 +232,7 @@ func New[S tensor.Scalar](modelCfg unet.Config, cfg Config) (*Trainer[S], error)
 	}
 	t := &Trainer[S]{cfg: cfg, modelCfg: modelCfg}
 	for r := 0; r < cfg.Workers; r++ {
-		m, err := newReplica[S](modelCfg, r)
+		m, err := newReplica[S](modelCfg, r, cfg.Focal)
 		if err != nil {
 			return nil, err
 		}
@@ -250,12 +255,19 @@ func New[S tensor.Scalar](modelCfg unet.Config, cfg Config) (*Trainer[S], error)
 
 // newReplica builds rank r's model with its distinct dropout stream;
 // weights are overwritten by broadcast or recovery.
-func newReplica[S tensor.Scalar](modelCfg unet.Config, r int) (*unet.Model[S], error) {
+func newReplica[S tensor.Scalar](modelCfg unet.Config, r int, focal *nn.FocalParams) (*unet.Model[S], error) {
 	mc := modelCfg
 	// Distinct dropout streams per rank; weights are broadcast from
 	// rank 0, so only regularization noise differs.
 	mc.Seed = modelCfg.Seed + uint64(r)*0x9e37
-	return unet.New[S](mc)
+	m, err := unet.New[S](mc)
+	if err != nil {
+		return nil, err
+	}
+	if focal != nil {
+		m.SetCriterion(nn.NewFocal[S](*focal))
+	}
+	return m, nil
 }
 
 // Replica exposes a rank's model (rank 0 is the canonical result).
@@ -556,7 +568,7 @@ func (t *Trainer[S]) heal(step int, rngAtStart []noise.RNGState, res *Result) (b
 		// A fresh replica stands in for the replacement worker; it
 		// inherits the survivor's synchronized state and resumes its own
 		// rank's RNG stream where the dead worker left it.
-		m, err := newReplica[S](t.modelCfg, r)
+		m, err := newReplica[S](t.modelCfg, r, t.cfg.Focal)
 		if err != nil {
 			return false, err
 		}

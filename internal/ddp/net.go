@@ -97,7 +97,7 @@ func NewNet[S tensor.Scalar](modelCfg unet.Config, cfg Config, coll ring.Collect
 	if cfg.SnapshotKeep <= 0 {
 		cfg.SnapshotKeep = DefaultSnapshotKeep
 	}
-	m, err := newReplica[S](modelCfg, coll.Rank())
+	m, err := newReplica[S](modelCfg, coll.Rank(), cfg.Focal)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,96 @@
+package labeler
+
+import (
+	"fmt"
+	"strings"
+
+	"seaice/internal/metrics"
+	"seaice/internal/raster"
+)
+
+// Compare runs every engine over every image and builds the
+// labeler-agreement report: scene-by-scene pixel agreement and SSIM for
+// each engine pair, the pooled per-class confusion of each non-reference
+// engine against the first (reference) engine, and overall pairwise
+// summaries. The report is plain text, built in fixed iteration order
+// from deterministic engines, so it is bit-reproducible — the golden
+// test commits one and regenerates it byte-for-byte.
+func Compare(imgs []*raster.RGB, engines []Labeler) (string, error) {
+	if len(imgs) == 0 {
+		return "", fmt.Errorf("labeler: compare needs at least one image")
+	}
+	if len(engines) < 2 {
+		return "", fmt.Errorf("labeler: compare needs at least two engines, got %d", len(engines))
+	}
+
+	names := make([]string, len(engines))
+	for e, eng := range engines {
+		names[e] = eng.Name()
+	}
+
+	type pairStat struct {
+		agreeSum float64 // mean pixel agreement accumulated over scenes
+		ssimSum  float64
+	}
+	pairs := make(map[[2]int]*pairStat)
+	confusions := make(map[[2]int]*metrics.Confusion)
+	for a := 0; a < len(engines); a++ {
+		for b := a + 1; b < len(engines); b++ {
+			pairs[[2]int{a, b}] = &pairStat{}
+			confusions[[2]int{a, b}] = metrics.NewConfusion(int(raster.NumClasses))
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "labeler agreement report\n")
+	fmt.Fprintf(&b, "engines: %s · scenes: %d\n\n", strings.Join(names, ", "), len(imgs))
+	fmt.Fprintf(&b, "%-6s %-22s %10s %8s\n", "scene", "pair", "agreement", "ssim")
+
+	for s, img := range imgs {
+		labels := make([]*raster.Labels, len(engines))
+		for e, eng := range engines {
+			lab, err := eng.Label(img)
+			if err != nil {
+				return "", fmt.Errorf("labeler: compare scene %d engine %s: %w", s, eng.Name(), err)
+			}
+			labels[e] = lab
+		}
+		for p := 0; p < len(engines); p++ {
+			for q := p + 1; q < len(engines); q++ {
+				agree, err := metrics.PixelAccuracy(labels[p], labels[q])
+				if err != nil {
+					return "", fmt.Errorf("labeler: compare scene %d %s/%s: %w", s, names[p], names[q], err)
+				}
+				ssim, err := metrics.SSIMRGB(labels[p].Render(), labels[q].Render())
+				if err != nil {
+					return "", fmt.Errorf("labeler: compare scene %d %s/%s ssim: %w", s, names[p], names[q], err)
+				}
+				if err := confusions[[2]int{p, q}].AddLabels(labels[p], labels[q]); err != nil {
+					return "", fmt.Errorf("labeler: compare scene %d %s/%s confusion: %w", s, names[p], names[q], err)
+				}
+				st := pairs[[2]int{p, q}]
+				st.agreeSum += agree
+				st.ssimSum += ssim
+				fmt.Fprintf(&b, "%-6d %-22s %9.2f%% %8.4f\n", s, names[p]+" vs "+names[q], 100*agree, ssim)
+			}
+		}
+	}
+
+	fmt.Fprintf(&b, "\noverall (mean over scenes)\n")
+	fmt.Fprintf(&b, "%-22s %10s %8s\n", "pair", "agreement", "ssim")
+	ns := float64(len(imgs))
+	for p := 0; p < len(engines); p++ {
+		for q := p + 1; q < len(engines); q++ {
+			st := pairs[[2]int{p, q}]
+			fmt.Fprintf(&b, "%-22s %9.2f%% %8.4f\n", names[p]+" vs "+names[q], 100*st.agreeSum/ns, st.ssimSum/ns)
+		}
+	}
+
+	for p := 0; p < len(engines); p++ {
+		for q := p + 1; q < len(engines); q++ {
+			fmt.Fprintf(&b, "\nper-class confusion, %s (rows) vs %s (columns), all scenes:\n%s",
+				names[p], names[q], confusions[[2]int{p, q}])
+		}
+	}
+	return b.String(), nil
+}

@@ -33,18 +33,49 @@ func NewConfusion(n int) *Confusion {
 	return c
 }
 
+// ClassRangeError reports an observation whose class byte lies outside
+// the matrix — a corrupt prediction or truth value. Evaluation surfaces
+// it as a verdict instead of an index panic, matching the repo's
+// silent-corruption posture: bad bytes are diagnosed, never trusted.
+type ClassRangeError struct {
+	Class raster.Class // the offending value
+	N     int          // number of classes the matrix holds
+}
+
+func (e *ClassRangeError) Error() string {
+	return fmt.Sprintf("metrics: class %d outside %d-class confusion matrix (corrupt label byte?)", int(e.Class), e.N)
+}
+
 // Add records one observation with true class t and predicted class p.
-func (c *Confusion) Add(t, p raster.Class) {
+// Out-of-range classes return a *ClassRangeError and leave the matrix
+// unchanged.
+func (c *Confusion) Add(t, p raster.Class) error {
+	if int(t) >= c.N {
+		return &ClassRangeError{Class: t, N: c.N}
+	}
+	if int(p) >= c.N {
+		return &ClassRangeError{Class: p, N: c.N}
+	}
 	c.Count[t][p]++
+	return nil
 }
 
 // AddLabels accumulates every pixel of a predicted label map against the
-// ground truth. The maps must be the same size.
+// ground truth. The maps must be the same size; an out-of-range class
+// byte in either map aborts with a *ClassRangeError, leaving the counts
+// accumulated so far in place.
 func (c *Confusion) AddLabels(truth, pred *raster.Labels) error {
 	if truth.W != pred.W || truth.H != pred.H {
 		return fmt.Errorf("metrics: label size mismatch %dx%d vs %dx%d", truth.W, truth.H, pred.W, pred.H)
 	}
+	n := raster.Class(c.N)
 	for i := range truth.Pix {
+		if truth.Pix[i] >= n || pred.Pix[i] >= n {
+			if truth.Pix[i] >= n {
+				return &ClassRangeError{Class: truth.Pix[i], N: c.N}
+			}
+			return &ClassRangeError{Class: pred.Pix[i], N: c.N}
+		}
 		c.Count[truth.Pix[i]][pred.Pix[i]]++
 	}
 	return nil

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -227,5 +228,53 @@ func TestPixelAccuracyProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCorruptClassRejected: a corrupt class byte (out of matrix range)
+// must surface as a *ClassRangeError, not an index panic, and must leave
+// the matrix untouched. Runs under the CI chaos-smoke `-run Corrupt` pass
+// with the rest of the silent-corruption defenses.
+func TestCorruptClassRejected(t *testing.T) {
+	c := NewConfusion(int(raster.NumClasses))
+	var rangeErr *ClassRangeError
+
+	if err := c.Add(raster.Class(7), raster.ClassWater); err == nil {
+		t.Fatal("corrupt true-class byte accepted")
+	} else if !errors.As(err, &rangeErr) {
+		t.Fatalf("want *ClassRangeError, got %T: %v", err, err)
+	} else if int(rangeErr.Class) != 7 || rangeErr.N != int(raster.NumClasses) {
+		t.Fatalf("error carries %d/%d, want 7/%d", rangeErr.Class, rangeErr.N, raster.NumClasses)
+	}
+	if err := c.Add(raster.ClassWater, raster.Class(255)); err == nil {
+		t.Fatal("corrupt predicted-class byte accepted")
+	}
+	if c.Total() != 0 {
+		t.Fatalf("rejected observations still counted: total %d", c.Total())
+	}
+
+	// Same defense on the bulk path: one flipped pixel byte in a label map.
+	truth := raster.NewLabels(8, 8)
+	pred := raster.NewLabels(8, 8)
+	pred.Pix[13] = raster.Class(0xEE)
+	if err := c.AddLabels(truth, pred); err == nil {
+		t.Fatal("corrupt label map accepted")
+	} else if !errors.As(err, &rangeErr) {
+		t.Fatalf("want *ClassRangeError, got %T: %v", err, err)
+	}
+	truth.Pix[2] = raster.Class(0x99)
+	pred.Pix[13] = raster.ClassWater
+	if err := c.AddLabels(truth, pred); err == nil {
+		t.Fatal("corrupt truth map accepted")
+	}
+
+	// PixelAccuracy rides AddLabels and must propagate the verdict.
+	if _, err := PixelAccuracy(truth, pred); err == nil {
+		t.Fatal("PixelAccuracy accepted corrupt map")
+	}
+
+	// In-range observations still accumulate afterwards.
+	if err := c.Add(raster.ClassThinIce, raster.ClassThinIce); err != nil {
+		t.Fatalf("valid observation rejected: %v", err)
 	}
 }

@@ -50,9 +50,9 @@ var ErrCorruptShard = errors.New("pipeline: corrupt shard checkpoint")
 // checkpointKey fingerprints everything a shard's tiles depend on.
 func (s *Stream) checkpointKey() string {
 	h := sha256.Sum256([]byte(fmt.Sprintf(
-		"v%d|%d scenes|%dx%d|tile %d|filter %+v|labels %+v|src %s",
+		"v%d|%d scenes|%dx%d|tile %d|filter %+v|labeler %s|src %s",
 		checkpointVersion, s.n, s.w, s.h, s.cfg.Build.TileSize,
-		s.cfg.Build.Filter, s.cfg.Build.Labels, s.src.Fingerprint(),
+		s.cfg.Build.Filter, s.cfg.Build.LabelerKey(), s.src.Fingerprint(),
 	)))
 	return fmt.Sprintf("%x", h[:])
 }

@@ -128,6 +128,11 @@ type Config struct {
 	// optimizer — the mixed-precision recipe for float32 training. It has
 	// no effect on the float64 path (the master would equal the weights).
 	MasterWeights bool
+	// Focal, if non-nil, trains with the focal loss at these parameters
+	// instead of plain softmax cross-entropy — the class-imbalance
+	// recipe for scenes where thin ice is rare. nil keeps the default
+	// criterion already set on the model.
+	Focal *nn.FocalParams
 	// Progress, if non-nil, receives per-epoch mean loss.
 	Progress func(epoch int, loss float64)
 }
@@ -198,6 +203,9 @@ func FitStream[S tensor.Scalar](m *unet.Model[S], src BatchSource[S], cfg Config
 	if cfg.Epochs <= 0 {
 		return nil, fmt.Errorf("train: epochs %d", cfg.Epochs)
 	}
+	if cfg.Focal != nil {
+		m.SetCriterion(nn.NewFocal[S](*cfg.Focal))
+	}
 	params := m.Params()
 	opt := nn.NewAdam[S](cfg.LR)
 	opt.Master = cfg.MasterWeights
@@ -256,7 +264,9 @@ func Evaluate[S tensor.Scalar](m *unet.Model[S], samples []Sample) (*metrics.Con
 			return nil, err
 		}
 		for p, want := range labels {
-			conf.Add(raster.Class(want), raster.Class(pred[p]))
+			if err := conf.Add(raster.Class(want), raster.Class(pred[p])); err != nil {
+				return nil, fmt.Errorf("train: evaluate sample %d: %w", i, err)
+			}
 		}
 	}
 	return conf, nil

@@ -136,7 +136,12 @@ type Model[S tensor.Scalar] struct {
 	dec        []*block[S]
 	final      *nn.Conv2D[S]
 
-	loss nn.SoftmaxCrossEntropy[S]
+	// loss is the training criterion; nil selects the default softmax
+	// cross-entropy on first use. SetCriterion swaps in an alternative
+	// (e.g. nn.FocalCrossEntropy via train.Config.Focal). The criterion
+	// is stateless apart from scratch buffers, so it is deliberately
+	// not part of checkpoints or snapshots.
+	loss nn.Criterion[S]
 
 	// rng is the model's one deterministic stream (He init, then dropout
 	// noise). Its position is part of the training state: the
@@ -288,15 +293,32 @@ func (m *Model[S]) Backward(dy *tensor.Tensor[S]) *tensor.Tensor[S] {
 	return dy
 }
 
-// LossAndGrad computes the softmax cross-entropy of a forward pass and
-// runs the full backward pass. It returns the mean loss.
+// SetCriterion selects the training loss for LossAndGrad; nil restores
+// the default softmax cross-entropy. Swapping the criterion does not
+// touch weights or optimizer state, so it composes with checkpoints and
+// the fault-tolerance snapshots.
+func (m *Model[S]) SetCriterion(c nn.Criterion[S]) { m.loss = c }
+
+// criterion returns the active training loss, defaulting to softmax
+// cross-entropy on first use.
+func (m *Model[S]) criterion() nn.Criterion[S] {
+	if m.loss == nil {
+		m.loss = &nn.SoftmaxCrossEntropy[S]{}
+	}
+	return m.loss
+}
+
+// LossAndGrad computes the training criterion (softmax cross-entropy by
+// default, see SetCriterion) on a forward pass and runs the full
+// backward pass. It returns the mean loss.
 func (m *Model[S]) LossAndGrad(x *tensor.Tensor[S], labels []uint8) (float64, error) {
+	crit := m.criterion()
 	logits := m.Forward(x, true)
-	loss, err := m.loss.Loss(logits, labels)
+	loss, err := crit.Loss(logits, labels)
 	if err != nil {
 		return 0, err
 	}
-	m.Backward(m.loss.Grad())
+	m.Backward(crit.Grad())
 	return loss, nil
 }
 
